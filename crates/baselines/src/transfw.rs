@@ -1,0 +1,60 @@
+//! Trans-FW (Li et al., HPCA 2023): short-circuiting page-table walks in
+//! multi-GPU systems via remote forwarding (paper §VI-C3).
+//!
+//! Trans-FW attacks the *cost of handling* page faults rather than their
+//! number: instead of a full host round trip and centralized walk for every
+//! fault, translations are forwarded between GPUs and served on the short
+//! path. At our abstraction level that is a reduction of the host fault
+//! service latency and of the centralized-walk component; the reduction
+//! factor below reproduces the relative gain Trans-FW reports over its
+//! baseline fault path.
+
+use grit_sim::SimConfig;
+
+/// Fraction of the baseline host fault-handling latency that remains with
+/// Trans-FW's forwarded path.
+pub const TRANSFW_HOST_FACTOR: f64 = 0.80;
+
+/// Applies Trans-FW to a configuration: fault handling and centralized
+/// walks get cheaper; everything else (migration transfers, flushes,
+/// invalidations, remote accesses) is untouched.
+pub fn apply_transfw(cfg: &mut SimConfig) {
+    cfg.lat.host_fault_base =
+        ((cfg.lat.host_fault_base as f64 * TRANSFW_HOST_FACTOR) as u64).max(1);
+    cfg.lat.central_walk = ((cfg.lat.central_walk as f64 * TRANSFW_HOST_FACTOR) as u64).max(1);
+    cfg.lat.fault_service_time =
+        ((cfg.lat.fault_service_time as f64 * TRANSFW_HOST_FACTOR) as u64).max(1);
+    cfg.lat.fault_replay = (cfg.lat.fault_replay / 2).max(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_only_fault_path_latencies() {
+        let base = SimConfig::default();
+        let mut cfg = base.clone();
+        apply_transfw(&mut cfg);
+        assert!(cfg.lat.host_fault_base < base.lat.host_fault_base);
+        assert!(cfg.lat.central_walk < base.lat.central_walk);
+        assert!(cfg.lat.fault_service_time < base.lat.fault_service_time);
+        assert!(cfg.lat.fault_replay < base.lat.fault_replay);
+        // Non-fault-path latencies unchanged.
+        assert_eq!(cfg.lat.flush_drain, base.lat.flush_drain);
+        assert_eq!(cfg.lat.remote_extra, base.lat.remote_extra);
+        assert_eq!(cfg.lat.local_dram, base.lat.local_dram);
+    }
+
+    #[test]
+    fn factors_stay_positive() {
+        let mut cfg = SimConfig::default();
+        cfg.lat.host_fault_base = 1;
+        cfg.lat.central_walk = 1;
+        cfg.lat.fault_replay = 1;
+        apply_transfw(&mut cfg);
+        assert!(cfg.lat.host_fault_base >= 1);
+        assert!(cfg.lat.central_walk >= 1);
+        assert!(cfg.lat.fault_replay >= 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Criterion macro-benchmarks: one benchmark per table/figure of the
+//! paper's evaluation, each re-running the exact experiment driver the
+//! `repro` binary uses (at CI scale, so `cargo bench` completes in
+//! minutes). Timing these is how we track the simulator's own performance;
+//! the *results* of each figure are printed by `repro` and recorded in
+//! EXPERIMENTS.md.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use grit::experiments as ex;
+use grit::experiments::ExpConfig;
+
+fn quick() -> ExpConfig {
+    // Benchmark-sized inputs: small enough that the full 20-figure sweep
+    // finishes in minutes, large enough to exercise every mechanism.
+    ExpConfig { scale: 0.015, intensity: 0.4, ..ExpConfig::quick() }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+
+    g.bench_function("fig01_uniform_schemes", |b| {
+        b.iter(|| ex::fig01_schemes::run(&quick()))
+    });
+    g.bench_function("fig03_latency_breakdown", |b| {
+        b.iter(|| ex::fig03_breakdown::run(&quick()))
+    });
+    g.bench_function("fig04_sharing_characterization", |b| {
+        b.iter(|| ex::fig04_sharing::run(&quick()))
+    });
+    g.bench_function("fig05_page_timeline", |b| {
+        b.iter(|| ex::fig05_page_timeline::run(&quick()))
+    });
+    g.bench_function("fig06_08_attr_grids", |b| {
+        b.iter(|| ex::fig06_attr_grids::run(&quick()))
+    });
+    g.bench_function("fig09_rw_characterization", |b| {
+        b.iter(|| ex::fig09_rw::run(&quick()))
+    });
+    g.bench_function("fig10_rw_timeline", |b| {
+        b.iter(|| ex::fig10_rw_timeline::run(&quick()))
+    });
+    g.bench_function("fig17_grit_headline", |b| {
+        b.iter(|| ex::fig17_grit::run(&quick()))
+    });
+    g.bench_function("fig18_fault_counts", |b| {
+        b.iter(|| ex::fig18_faults::run(&quick()))
+    });
+    g.bench_function("fig19_scheme_mix", |b| {
+        b.iter(|| ex::fig19_scheme_mix::run(&quick()))
+    });
+    g.bench_function("fig20_ablation", |b| {
+        b.iter(|| ex::fig20_ablation::run(&quick()))
+    });
+    g.bench_function("fig21_fault_threshold", |b| {
+        b.iter(|| ex::fig21_threshold::run(&quick()))
+    });
+    g.bench_function("fig22_24_gpu_scaling", |b| {
+        b.iter(|| ex::fig22_gpu_scaling::run_gpus(8, &quick()))
+    });
+    g.bench_function("fig25_large_pages", |b| {
+        b.iter(|| ex::fig25_large_pages::run(&quick()))
+    });
+    g.bench_function("fig26_griffin", |b| {
+        b.iter(|| ex::fig26_griffin::run(&quick()))
+    });
+    g.bench_function("fig27_gps", |b| {
+        b.iter(|| ex::fig27_gps::run(&quick()))
+    });
+    g.bench_function("fig28_transfw", |b| {
+        b.iter(|| ex::fig28_transfw::run(&quick()))
+    });
+    g.bench_function("fig29_first_touch", |b| {
+        b.iter(|| ex::fig29_first_touch::run(&quick()))
+    });
+    g.bench_function("fig30_prefetch", |b| {
+        b.iter(|| ex::fig30_prefetch::run(&quick()))
+    });
+    g.bench_function("fig31_dnn", |b| {
+        b.iter(|| ex::fig31_dnn::run(&quick()))
+    });
+    g.bench_function("ext_oracle", |b| {
+        b.iter(|| ex::ext_oracle::run(&quick()))
+    });
+    g.bench_function("ext_pa_cache_sweep", |b| {
+        b.iter(|| ex::ext_pa_cache::run(&quick()))
+    });
+    g.bench_function("ext_adaptation_timeline", |b| {
+        b.iter(|| ex::ext_adaptation::run(&quick()))
+    });
+    g.bench_function("ext_capacity_sweep", |b| {
+        b.iter(|| ex::ext_sweeps::run_capacity(&quick()))
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().without_plots();
+    targets = bench_figures
+}
+criterion_main!(figures);

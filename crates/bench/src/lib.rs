@@ -1,0 +1,12 @@
+//! # grit-bench
+//!
+//! Criterion benchmark harness for the GRIT reproduction.
+//!
+//! * `benches/figures.rs` — one macro-benchmark per table/figure of the
+//!   paper's evaluation, re-running the same experiment drivers as the
+//!   `repro` binary.
+//! * `benches/components.rs` — micro-benchmarks of the hot simulator
+//!   structures (set-associative cache, TLB hierarchy, walker pool, LRU
+//!   memory, PA-Cache, NAP, trace generation, full small system runs).
+//!
+//! Run with `cargo bench --workspace`.

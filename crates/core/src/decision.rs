@@ -1,0 +1,102 @@
+//! The scheme-decision mechanism (paper §V-C, Table III and Fig. 13).
+//!
+//! Any page whose fault counter reaches the threshold is, by construction,
+//! a shared page (a private page faults once, migrates, and never faults
+//! again), so the runtime decision reduces to the read/write bit: all-read
+//! shared pages go to duplication; written shared pages go to
+//! access-counter migration.
+
+use grit_sim::Scheme;
+
+use crate::pa_table::PaEntry;
+
+/// Sharing class of a page as characterized in §IV-B.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SharingClass {
+    /// Accessed by one GPU over the whole execution.
+    Private,
+    /// Producer–consumer shared: one GPU dominates per interval.
+    PcShared,
+    /// All GPUs access it throughout the execution.
+    AllShared,
+}
+
+/// Read/write class of a page.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RwClass {
+    /// Never written.
+    Read,
+    /// Written at least once.
+    ReadWrite,
+}
+
+/// The full Table III preference matrix: candidate schemes per page class.
+/// The runtime mechanism ([`decide`]) uses only the read/write bit; this
+/// matrix documents and tests the characterization behind it.
+pub fn preference(sharing: SharingClass, rw: RwClass) -> &'static [Scheme] {
+    use Scheme::{AccessCounter, Duplication, OnTouch};
+    match (sharing, rw) {
+        (SharingClass::Private, RwClass::Read) => &[OnTouch, Duplication],
+        (SharingClass::Private, RwClass::ReadWrite) => &[OnTouch],
+        (SharingClass::PcShared, RwClass::Read) => &[OnTouch, Duplication],
+        (SharingClass::PcShared, RwClass::ReadWrite) => &[OnTouch, AccessCounter],
+        (SharingClass::AllShared, RwClass::Read) => &[Duplication],
+        (SharingClass::AllShared, RwClass::ReadWrite) => &[AccessCounter],
+    }
+}
+
+/// The runtime decision of Fig. 13: the page is shared (it reached the
+/// fault threshold), so all-read pages duplicate and written pages migrate
+/// by access counter.
+pub fn decide(entry: PaEntry) -> Scheme {
+    if entry.write {
+        Scheme::AccessCounter
+    } else {
+        Scheme::Duplication
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_decision_follows_rw_bit() {
+        assert_eq!(decide(PaEntry { write: false, faults: 4 }), Scheme::Duplication);
+        assert_eq!(decide(PaEntry { write: true, faults: 4 }), Scheme::AccessCounter);
+    }
+
+    #[test]
+    fn table3_private_prefers_on_touch() {
+        assert!(preference(SharingClass::Private, RwClass::Read).contains(&Scheme::OnTouch));
+        assert_eq!(preference(SharingClass::Private, RwClass::ReadWrite), &[Scheme::OnTouch]);
+    }
+
+    #[test]
+    fn table3_all_shared_matches_runtime_decision() {
+        // The runtime decision implements exactly the all-shared row of
+        // Table III, which is the only reachable row at threshold time.
+        assert_eq!(preference(SharingClass::AllShared, RwClass::Read), &[Scheme::Duplication]);
+        assert_eq!(
+            preference(SharingClass::AllShared, RwClass::ReadWrite),
+            &[Scheme::AccessCounter]
+        );
+        assert_eq!(
+            decide(PaEntry { write: false, faults: 4 }),
+            preference(SharingClass::AllShared, RwClass::Read)[0]
+        );
+        assert_eq!(
+            decide(PaEntry { write: true, faults: 4 }),
+            preference(SharingClass::AllShared, RwClass::ReadWrite)[0]
+        );
+    }
+
+    #[test]
+    fn table3_pc_shared_rows() {
+        assert_eq!(
+            preference(SharingClass::PcShared, RwClass::ReadWrite),
+            &[Scheme::OnTouch, Scheme::AccessCounter]
+        );
+        assert!(preference(SharingClass::PcShared, RwClass::Read).contains(&Scheme::Duplication));
+    }
+}

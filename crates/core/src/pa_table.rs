@@ -1,0 +1,165 @@
+//! The software Page Attribute Table (paper §V-C, Fig. 12).
+//!
+//! The PA-Table lives in CPU memory and records, per faulting page, a
+//! read/write bit and a fault counter (local page faults + page protection
+//! faults). Entries are deleted once the fault counter reaches the
+//! threshold and the page's placement scheme is updated.
+
+use std::collections::HashMap;
+
+use grit_sim::PageId;
+
+/// One PA-Table entry's payload (the VPN is the key).
+///
+/// The hardware format packs the counter into 2 bits
+/// ([`grit_uvm::PaTableEntryBits`]); the simulator widens it so the
+/// threshold sensitivity study (§VI-B1, thresholds up to 16) runs on the
+/// same structure, saturating at [`PaEntry::MAX_FAULTS`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PaEntry {
+    /// Read/write bit: set on the first write and sticky for the entry's
+    /// lifetime ("once the read/write bit is set to 1, it remains
+    /// unchanged during the current scheme lifetime").
+    pub write: bool,
+    /// Fault counter (local + protection faults since registration).
+    pub faults: u8,
+}
+
+impl PaEntry {
+    /// Saturation bound of the widened fault counter.
+    pub const MAX_FAULTS: u8 = u8::MAX;
+
+    /// Applies one fault to the entry.
+    pub fn apply_fault(&mut self, is_write: bool) {
+        self.faults = self.faults.saturating_add(1);
+        self.write |= is_write;
+    }
+}
+
+/// The in-memory PA-Table.
+///
+/// ```
+/// use grit_core::PaTable;
+/// use grit_sim::PageId;
+///
+/// let mut t = PaTable::new();
+/// let e = t.record_fault(PageId(3), false);
+/// assert_eq!(e.faults, 1);
+/// let e = t.record_fault(PageId(3), true);
+/// assert_eq!(e.faults, 2);
+/// assert!(e.write);
+/// t.delete(PageId(3));
+/// assert!(t.get(PageId(3)).is_none());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PaTable {
+    entries: HashMap<PageId, PaEntry>,
+    reads: u64,
+    writes: u64,
+}
+
+impl PaTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        PaTable::default()
+    }
+
+    /// Registers (or updates) the entry for a faulting page and returns the
+    /// updated value. Counts one table read + one table write.
+    pub fn record_fault(&mut self, vpn: PageId, is_write: bool) -> PaEntry {
+        self.reads += 1;
+        self.writes += 1;
+        let e = self.entries.entry(vpn).or_default();
+        e.apply_fault(is_write);
+        *e
+    }
+
+    /// Current entry for a page, if registered.
+    pub fn get(&self, vpn: PageId) -> Option<PaEntry> {
+        self.entries.get(&vpn).copied()
+    }
+
+    /// Overwrites an entry (PA-Cache write-back path).
+    pub fn store(&mut self, vpn: PageId, entry: PaEntry) {
+        self.writes += 1;
+        self.entries.insert(vpn, entry);
+    }
+
+    /// Loads an entry without modifying it (PA-Cache fill path); counts a
+    /// table read.
+    pub fn load(&mut self, vpn: PageId) -> Option<PaEntry> {
+        self.reads += 1;
+        self.entries.get(&vpn).copied()
+    }
+
+    /// Deletes an entry (scheme change applied, §V-C).
+    pub fn delete(&mut self, vpn: PageId) -> Option<PaEntry> {
+        self.entries.remove(&vpn)
+    }
+
+    /// Registered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(reads, writes)` to CPU memory performed by the table.
+    pub fn mem_ops(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_increments_and_write_bit_sticks() {
+        let mut t = PaTable::new();
+        t.record_fault(PageId(1), true);
+        let e = t.record_fault(PageId(1), false);
+        assert_eq!(e.faults, 2);
+        assert!(e.write, "write bit must stay set");
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut e = PaEntry { write: false, faults: PaEntry::MAX_FAULTS };
+        e.apply_fault(false);
+        assert_eq!(e.faults, PaEntry::MAX_FAULTS);
+    }
+
+    #[test]
+    fn distinct_pages_are_independent() {
+        let mut t = PaTable::new();
+        t.record_fault(PageId(1), false);
+        t.record_fault(PageId(2), true);
+        assert_eq!(t.get(PageId(1)).unwrap().faults, 1);
+        assert!(!t.get(PageId(1)).unwrap().write);
+        assert!(t.get(PageId(2)).unwrap().write);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn delete_removes_entry() {
+        let mut t = PaTable::new();
+        t.record_fault(PageId(5), false);
+        assert_eq!(t.delete(PageId(5)).unwrap().faults, 1);
+        assert!(t.delete(PageId(5)).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn load_store_round_trip_counts_ops() {
+        let mut t = PaTable::new();
+        assert_eq!(t.load(PageId(9)), None);
+        t.store(PageId(9), PaEntry { write: true, faults: 3 });
+        assert_eq!(t.load(PageId(9)), Some(PaEntry { write: true, faults: 3 }));
+        let (r, w) = t.mem_ops();
+        assert_eq!((r, w), (2, 1));
+    }
+}

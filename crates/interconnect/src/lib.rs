@@ -1,0 +1,28 @@
+//! # grit-interconnect
+//!
+//! Interconnect model for the multi-GPU node: point-to-point NVLink-v2
+//! links between every GPU pair and a PCIe-v4 link from each GPU to the
+//! host (Table I: 300 GB/s NVLink, 32 GB/s PCIe). Links model both fixed
+//! latency and serial bandwidth occupancy, so heavy migration or remote
+//! traffic queues behind itself — the mechanism that makes "ping-pong"
+//! migration and counter-based remote storms expensive in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use grit_interconnect::Fabric;
+//! use grit_sim::{GpuId, LinkConfig};
+//!
+//! let mut fabric = Fabric::new(4, LinkConfig::default());
+//! let cfg = LinkConfig::default();
+//! let arrival = fabric.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 0, 4096);
+//! assert!(arrival > cfg.nvlink_latency); // latency + occupancy
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod topology;
+
+pub use link::{Link, LinkStats};
+pub use topology::{Fabric, FabricStats};

@@ -1,0 +1,127 @@
+//! A single duplex link with latency and serial bandwidth occupancy.
+
+use grit_sim::Cycle;
+
+/// Traffic counters for one link.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LinkStats {
+    /// Total payload bytes moved.
+    pub bytes: u64,
+    /// Number of transfers.
+    pub transfers: u64,
+    /// Cycles transfers spent waiting for the wire (congestion).
+    pub queue_cycles: u64,
+}
+
+/// A point-to-point link.
+///
+/// A transfer of `bytes` arriving at cycle `now` starts when the wire is
+/// free, occupies it for `bytes / bandwidth` cycles, and is delivered one
+/// `latency` later. This first-come-first-served serialization is what
+/// creates backpressure under migration storms.
+///
+/// ```
+/// use grit_interconnect::Link;
+/// let mut l = Link::new(100.0, 10); // 100 B/cycle, 10-cycle latency
+/// assert_eq!(l.transfer(0, 1000), 20);  // 10 occupancy + 10 latency
+/// // Second transfer queues behind the first's occupancy.
+/// assert_eq!(l.transfer(0, 1000), 30);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Link {
+    bytes_per_cycle: f64,
+    latency: Cycle,
+    free_at: Cycle,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// A link with the given bandwidth (bytes per cycle) and one-way
+    /// latency (cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not positive.
+    pub fn new(bytes_per_cycle: f64, latency: Cycle) -> Self {
+        assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
+        Link { bytes_per_cycle, latency, free_at: 0, stats: LinkStats::default() }
+    }
+
+    /// Schedules a transfer of `bytes` submitted at `now`; returns the
+    /// delivery cycle.
+    pub fn transfer(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        let start = now.max(self.free_at);
+        let occupancy = (bytes as f64 / self.bytes_per_cycle).ceil() as Cycle;
+        // Minimum one cycle on the wire for any nonzero payload.
+        let occupancy = if bytes > 0 { occupancy.max(1) } else { 0 };
+        self.free_at = start + occupancy;
+        self.stats.bytes += bytes;
+        self.stats.transfers += 1;
+        self.stats.queue_cycles += start - now;
+        self.free_at + self.latency
+    }
+
+    /// One-way latency only (control messages small enough to ignore
+    /// occupancy).
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Cycle at which the wire next becomes free.
+    pub fn free_at(&self) -> Cycle {
+        self.free_at
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_plus_occupancy() {
+        let mut l = Link::new(300.0, 400);
+        // A 4 KB page: ceil(4096/300)=14 cycles occupancy.
+        assert_eq!(l.transfer(0, 4096), 14 + 400);
+    }
+
+    #[test]
+    fn serialization_creates_queueing() {
+        let mut l = Link::new(100.0, 0);
+        assert_eq!(l.transfer(0, 1000), 10);
+        assert_eq!(l.transfer(5, 1000), 20);
+        assert_eq!(l.stats().queue_cycles, 5);
+        assert_eq!(l.stats().bytes, 2000);
+        assert_eq!(l.stats().transfers, 2);
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut l = Link::new(100.0, 7);
+        l.transfer(0, 100);
+        // Wire free at 1; arriving at 50 starts at 50.
+        assert_eq!(l.transfer(50, 100), 58);
+    }
+
+    #[test]
+    fn zero_bytes_costs_latency_only() {
+        let mut l = Link::new(100.0, 9);
+        assert_eq!(l.transfer(3, 0), 12);
+    }
+
+    #[test]
+    fn minimum_one_cycle_occupancy() {
+        let mut l = Link::new(1000.0, 0);
+        assert_eq!(l.transfer(0, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_panics() {
+        let _ = Link::new(0.0, 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Node topology: all-to-all NVLink between GPUs, PCIe to the host.
+
+use grit_sim::{Cycle, GpuId, LinkConfig};
+
+use crate::link::{Link, LinkStats};
+
+/// Aggregate fabric traffic, split by link class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FabricStats {
+    /// Bytes moved GPU-to-GPU over NVLink.
+    pub nvlink_bytes: u64,
+    /// Bytes moved to/from the host over PCIe.
+    pub pcie_bytes: u64,
+    /// Total congestion cycles across all links.
+    pub queue_cycles: u64,
+}
+
+/// The interconnect of one multi-GPU node.
+///
+/// GPU pairs get a dedicated duplex NVLink (DGX-style fully connected for
+/// the 2–16 GPU range the paper sweeps); each GPU shares one PCIe link with
+/// the host for fault handling and host-sourced fills.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    num_gpus: usize,
+    /// Upper-triangular pair links, indexed via [`Fabric::pair_index`].
+    nvlinks: Vec<Link>,
+    /// Bulk-data PCIe channel per GPU (page transfers).
+    pcie: Vec<Link>,
+    /// Control PCIe channel per GPU (fault messages/replies). Split from
+    /// the data channel so control traffic is not serialized behind bulk
+    /// transfers booked at future completion times.
+    pcie_ctrl: Vec<Link>,
+}
+
+impl Fabric {
+    /// Builds the fabric for `num_gpus` GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus` is zero.
+    pub fn new(num_gpus: usize, cfg: LinkConfig) -> Self {
+        assert!(num_gpus > 0, "fabric needs at least one GPU");
+        let pairs = num_gpus * num_gpus.saturating_sub(1) / 2;
+        Fabric {
+            num_gpus,
+            nvlinks: (0..pairs.max(1))
+                .map(|_| Link::new(cfg.nvlink_bytes_per_cycle, cfg.nvlink_latency))
+                .collect(),
+            pcie: (0..num_gpus)
+                .map(|_| Link::new(cfg.pcie_bytes_per_cycle, cfg.pcie_latency))
+                .collect(),
+            pcie_ctrl: (0..num_gpus)
+                .map(|_| Link::new(cfg.pcie_bytes_per_cycle, cfg.pcie_latency))
+                .collect(),
+        }
+    }
+
+    fn pair_index(&self, a: GpuId, b: GpuId) -> usize {
+        let (lo, hi) = if a.index() < b.index() { (a.index(), b.index()) } else { (b.index(), a.index()) };
+        debug_assert!(lo < hi, "pair link requires distinct GPUs");
+        // Index into the upper triangle laid out row by row.
+        lo * self.num_gpus - lo * (lo + 1) / 2 + (hi - lo - 1)
+    }
+
+    /// Transfers `bytes` between two distinct GPUs; returns delivery cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (local copies never cross the fabric).
+    pub fn gpu_to_gpu(&mut self, a: GpuId, b: GpuId, now: Cycle, bytes: u64) -> Cycle {
+        assert!(a != b, "gpu_to_gpu requires distinct endpoints");
+        let idx = self.pair_index(a, b);
+        self.nvlinks[idx].transfer(now, bytes)
+    }
+
+    /// Transfers `bytes` between a GPU and the host over its PCIe link.
+    pub fn gpu_to_host(&mut self, g: GpuId, now: Cycle, bytes: u64) -> Cycle {
+        self.pcie[g.index()].transfer(now, bytes)
+    }
+
+    /// Round trip between a GPU and the host (fault message + reply, no
+    /// bulk payload). The links are duplex: the reply travels the
+    /// downstream direction and does not re-book the upstream wire, so
+    /// only the request occupies this link and the reply adds latency.
+    pub fn host_round_trip(&mut self, g: GpuId, now: Cycle) -> Cycle {
+        let there = self.pcie_ctrl[g.index()].transfer(now, 64);
+        there + self.pcie_ctrl[g.index()].latency() + 1
+    }
+
+    /// One-way NVLink latency between two GPUs (control messages).
+    pub fn nvlink_latency(&self, a: GpuId, b: GpuId) -> Cycle {
+        assert!(a != b, "nvlink latency requires distinct endpoints");
+        self.nvlinks[self.pair_index(a, b)].latency()
+    }
+
+    /// Number of GPUs in the fabric.
+    pub fn num_gpus(&self) -> usize {
+        self.num_gpus
+    }
+
+    /// Per-link statistics for one GPU pair.
+    pub fn nvlink_stats(&self, a: GpuId, b: GpuId) -> LinkStats {
+        self.nvlinks[self.pair_index(a, b)].stats()
+    }
+
+    /// Aggregate traffic across the fabric.
+    pub fn stats(&self) -> FabricStats {
+        let mut s = FabricStats::default();
+        for l in &self.nvlinks {
+            s.nvlink_bytes += l.stats().bytes;
+            s.queue_cycles += l.stats().queue_cycles;
+        }
+        for l in self.pcie.iter().chain(&self.pcie_ctrl) {
+            s.pcie_bytes += l.stats().bytes;
+            s.queue_cycles += l.stats().queue_cycles;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(n: usize) -> Fabric {
+        Fabric::new(n, LinkConfig::default())
+    }
+
+    #[test]
+    fn pair_index_is_unique_and_total() {
+        let f = fabric(4);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..4u8 {
+            for b in (a + 1)..4u8 {
+                let idx = f.pair_index(GpuId::new(a), GpuId::new(b));
+                assert!(seen.insert(idx), "duplicate index {idx}");
+                assert!(idx < 6);
+            }
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn pair_index_symmetric() {
+        let f = fabric(8);
+        let i1 = f.pair_index(GpuId::new(2), GpuId::new(5));
+        let i2 = f.pair_index(GpuId::new(5), GpuId::new(2));
+        assert_eq!(i1, i2);
+    }
+
+    #[test]
+    fn distinct_pairs_do_not_contend() {
+        let mut f = fabric(4);
+        let t1 = f.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 0, 1_000_000);
+        let t2 = f.gpu_to_gpu(GpuId::new(2), GpuId::new(3), 0, 1_000_000);
+        assert_eq!(t1, t2); // independent wires
+        let t3 = f.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 0, 64);
+        assert!(t3 > t1 - 400, "same pair should queue");
+    }
+
+    #[test]
+    fn pcie_slower_than_nvlink() {
+        let mut f = fabric(2);
+        let nv = f.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 0, 4096);
+        let pcie = f.gpu_to_host(GpuId::new(0), 0, 4096);
+        assert!(pcie > nv);
+    }
+
+    #[test]
+    fn host_round_trip_costs_two_latencies() {
+        let mut f = fabric(1);
+        let t = f.host_round_trip(GpuId::new(0), 0);
+        let lat = LinkConfig::default().pcie_latency;
+        assert!(t >= 2 * lat);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let mut f = fabric(2);
+        f.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 0, 100);
+        f.gpu_to_host(GpuId::new(1), 0, 200);
+        let s = f.stats();
+        assert_eq!(s.nvlink_bytes, 100);
+        assert_eq!(s.pcie_bytes, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn same_gpu_transfer_panics() {
+        let mut f = fabric(2);
+        f.gpu_to_gpu(GpuId::new(1), GpuId::new(1), 0, 1);
+    }
+
+    #[test]
+    fn single_gpu_fabric_supports_host_traffic() {
+        let mut f = fabric(1);
+        assert!(f.gpu_to_host(GpuId::new(0), 0, 64) > 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for link and fabric timing arithmetic.
+
+use proptest::prelude::*;
+
+use grit_interconnect::{Fabric, Link};
+use grit_sim::{GpuId, LinkConfig};
+
+proptest! {
+    #[test]
+    fn delivery_is_after_submission(
+        transfers in prop::collection::vec((0u64..100_000, 0u64..1 << 20), 1..100)
+    ) {
+        let mut l = Link::new(100.0, 25);
+        for (now, bytes) in transfers {
+            let t = l.transfer(now, bytes);
+            prop_assert!(t >= now + 25, "latency is a lower bound");
+        }
+    }
+
+    #[test]
+    fn occupancy_serializes_in_call_order(
+        transfers in prop::collection::vec((0u64..1000, 1u64..10_000), 2..60)
+    ) {
+        let mut l = Link::new(50.0, 0);
+        let mut last_free = 0;
+        for (now, bytes) in transfers {
+            let t = l.transfer(now, bytes);
+            prop_assert!(l.free_at() >= last_free, "wire time must be monotone");
+            prop_assert!(t >= l.free_at(), "delivery includes occupancy end");
+            last_free = l.free_at();
+        }
+    }
+
+    #[test]
+    fn byte_accounting_is_exact(
+        transfers in prop::collection::vec((0u64..1000, 0u64..10_000), 0..60)
+    ) {
+        let mut l = Link::new(10.0, 5);
+        let expected: u64 = transfers.iter().map(|&(_, b)| b).sum();
+        for (now, bytes) in &transfers {
+            l.transfer(*now, *bytes);
+        }
+        prop_assert_eq!(l.stats().bytes, expected);
+        prop_assert_eq!(l.stats().transfers, transfers.len() as u64);
+    }
+
+    #[test]
+    fn fabric_pair_links_are_independent(
+        n in 4usize..=16,
+        picks in prop::collection::vec(any::<u8>(), 4),
+    ) {
+        // Derive four distinct endpoints in range deterministically.
+        let mut idx: Vec<u8> = (0..n as u8).collect();
+        let mut chosen = Vec::new();
+        for p in picks {
+            let take = (p as usize) % idx.len();
+            chosen.push(idx.remove(take));
+        }
+        let (a, b, c, d) = (chosen[0], chosen[1], chosen[2], chosen[3]);
+        // Pairs sharing no endpoints never contend.
+        let mut f = Fabric::new(n, LinkConfig::default());
+        let big = 1 << 20;
+        let t1 = f.gpu_to_gpu(GpuId::new(a), GpuId::new(b), 0, big);
+        let t2 = f.gpu_to_gpu(GpuId::new(c), GpuId::new(d), 0, big);
+        prop_assert_eq!(t1, t2, "disjoint pairs must not contend");
+    }
+
+    #[test]
+    fn fabric_symmetric_addressing(n in 2usize..=16, x in 0u8..16, y in 0u8..16) {
+        prop_assume!((x as usize) < n && (y as usize) < n && x != y);
+        let mut f = Fabric::new(n, LinkConfig::default());
+        let t1 = f.gpu_to_gpu(GpuId::new(x), GpuId::new(y), 0, 128);
+        // The same wire is busy now: the reverse direction queues.
+        let t2 = f.gpu_to_gpu(GpuId::new(y), GpuId::new(x), 0, 128);
+        prop_assert!(t2 >= t1, "shared duplex wire must serialize");
+    }
+}

@@ -1,0 +1,299 @@
+//! Per-GPU DRAM occupancy with LRU page eviction.
+//!
+//! The paper sizes GPU memory to 70 % of the application footprint
+//! (Table I) precisely to exercise oversubscription: page duplication and
+//! GPS inflate resident sets, forcing evictions, re-faults and
+//! re-duplications (§II-B3, §VI-C2). [`GpuMemory`] tracks which virtual
+//! pages are resident in one GPU's DRAM and picks LRU victims when space
+//! runs out.
+
+use std::collections::HashMap;
+
+use grit_sim::PageId;
+
+/// Intrusive doubly-linked LRU list over a slab of nodes.
+#[derive(Clone, Debug)]
+struct LruList {
+    nodes: Vec<LruNode>,
+    free: Vec<usize>,
+    head: Option<usize>, // MRU
+    tail: Option<usize>, // LRU
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LruNode {
+    page: PageId,
+    prev: Option<usize>,
+    next: Option<usize>,
+}
+
+impl LruList {
+    fn new() -> Self {
+        LruList { nodes: Vec::new(), free: Vec::new(), head: None, tail: None }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        match prev {
+            Some(p) => self.nodes[p].next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.nodes[n].prev = prev,
+            None => self.tail = prev,
+        }
+        self.nodes[idx].prev = None;
+        self.nodes[idx].next = None;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = None;
+        self.nodes[idx].next = self.head;
+        if let Some(h) = self.head {
+            self.nodes[h].prev = Some(idx);
+        }
+        self.head = Some(idx);
+        if self.tail.is_none() {
+            self.tail = Some(idx);
+        }
+    }
+
+    fn alloc(&mut self, page: PageId) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = LruNode { page, prev: None, next: None };
+            idx
+        } else {
+            self.nodes.push(LruNode { page, prev: None, next: None });
+            self.nodes.len() - 1
+        }
+    }
+
+    fn release(&mut self, idx: usize) {
+        self.free.push(idx);
+    }
+}
+
+/// Resident-page tracker for one GPU's local memory.
+///
+/// ```
+/// use grit_mem::GpuMemory;
+/// use grit_sim::PageId;
+///
+/// let mut m = GpuMemory::new(2);
+/// assert_eq!(m.insert(PageId(1)), None);
+/// assert_eq!(m.insert(PageId(2)), None);
+/// m.touch(PageId(1));                      // 1 becomes MRU
+/// assert_eq!(m.insert(PageId(3)), Some(PageId(2)));
+/// assert!(m.contains(PageId(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GpuMemory {
+    capacity_pages: usize,
+    index: HashMap<PageId, usize>,
+    dirty: std::collections::HashSet<PageId>,
+    lru: LruList,
+    evictions: u64,
+}
+
+impl GpuMemory {
+    /// Memory holding at most `capacity_pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_pages` is zero.
+    pub fn new(capacity_pages: usize) -> Self {
+        assert!(capacity_pages > 0, "GPU memory capacity must be non-zero");
+        GpuMemory {
+            capacity_pages,
+            index: HashMap::with_capacity(capacity_pages),
+            dirty: std::collections::HashSet::new(),
+            lru: LruList::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Marks a resident page as modified since it arrived; dirty victims
+    /// must be written back on eviction, clean ones can be dropped.
+    pub fn mark_dirty(&mut self, page: PageId) {
+        if self.index.contains_key(&page) {
+            self.dirty.insert(page);
+        }
+    }
+
+    /// Whether the page has been written since becoming resident.
+    pub fn is_dirty(&self, page: PageId) -> bool {
+        self.dirty.contains(&page)
+    }
+
+    /// Makes `page` resident as MRU. If memory is full, evicts and returns
+    /// the LRU page (never the page just inserted). Inserting an already
+    /// resident page just refreshes its recency.
+    pub fn insert(&mut self, page: PageId) -> Option<PageId> {
+        if let Some(&idx) = self.index.get(&page) {
+            self.lru.unlink(idx);
+            self.lru.push_front(idx);
+            return None;
+        }
+        let victim = if self.index.len() == self.capacity_pages {
+            let tail = self.lru.tail.expect("full memory has a tail");
+            let victim_page = self.lru.nodes[tail].page;
+            self.lru.unlink(tail);
+            self.lru.release(tail);
+            self.index.remove(&victim_page);
+            self.evictions += 1;
+            Some(victim_page)
+        } else {
+            None
+        };
+        // A fresh arrival starts clean.
+        self.dirty.remove(&page);
+        let idx = self.lru.alloc(page);
+        self.lru.push_front(idx);
+        self.index.insert(page, idx);
+        victim
+    }
+
+    /// Refreshes recency of a resident page; `true` if it was resident.
+    pub fn touch(&mut self, page: PageId) -> bool {
+        if let Some(&idx) = self.index.get(&page) {
+            self.lru.unlink(idx);
+            self.lru.push_front(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a page (migration away / invalidated replica); `true` if it
+    /// was resident.
+    pub fn remove(&mut self, page: PageId) -> bool {
+        if let Some(idx) = self.index.remove(&page) {
+            self.lru.unlink(idx);
+            self.lru.release(idx);
+            self.dirty.remove(&page);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the page is resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.index.contains_key(&page)
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Occupancy in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.index.len() as f64 / self.capacity_pages as f64
+    }
+
+    /// Total pages evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_evicts_lru() {
+        let mut m = GpuMemory::new(3);
+        for p in 0..3 {
+            assert_eq!(m.insert(PageId(p)), None);
+        }
+        assert_eq!(m.resident(), 3);
+        // 0 is LRU.
+        assert_eq!(m.insert(PageId(3)), Some(PageId(0)));
+        assert_eq!(m.evictions(), 1);
+        assert!(!m.contains(PageId(0)));
+    }
+
+    #[test]
+    fn touch_protects_from_eviction() {
+        let mut m = GpuMemory::new(2);
+        m.insert(PageId(1));
+        m.insert(PageId(2));
+        assert!(m.touch(PageId(1)));
+        assert_eq!(m.insert(PageId(3)), Some(PageId(2)));
+        assert!(!m.touch(PageId(2)));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut m = GpuMemory::new(2);
+        m.insert(PageId(1));
+        m.insert(PageId(2));
+        assert_eq!(m.insert(PageId(1)), None);
+        assert_eq!(m.insert(PageId(3)), Some(PageId(2)));
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut m = GpuMemory::new(2);
+        m.insert(PageId(1));
+        m.insert(PageId(2));
+        assert!(m.remove(PageId(1)));
+        assert!(!m.remove(PageId(1)));
+        assert_eq!(m.insert(PageId(3)), None);
+        assert_eq!(m.resident(), 2);
+    }
+
+    #[test]
+    fn occupancy_reporting() {
+        let mut m = GpuMemory::new(4);
+        assert_eq!(m.occupancy(), 0.0);
+        m.insert(PageId(1));
+        m.insert(PageId(2));
+        assert!((m.occupancy() - 0.5).abs() < 1e-12);
+        assert_eq!(m.capacity(), 4);
+    }
+
+    #[test]
+    fn eviction_order_is_true_lru_under_churn() {
+        let mut m = GpuMemory::new(3);
+        m.insert(PageId(1));
+        m.insert(PageId(2));
+        m.insert(PageId(3));
+        m.touch(PageId(1)); // order (MRU->LRU): 1,3,2
+        m.touch(PageId(2)); // order: 2,1,3
+        assert_eq!(m.insert(PageId(4)), Some(PageId(3)));
+        assert_eq!(m.insert(PageId(5)), Some(PageId(1)));
+        assert_eq!(m.insert(PageId(6)), Some(PageId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = GpuMemory::new(0);
+    }
+
+    #[test]
+    fn dirty_tracking_follows_residency() {
+        let mut m = GpuMemory::new(2);
+        m.insert(PageId(1));
+        assert!(!m.is_dirty(PageId(1)));
+        m.mark_dirty(PageId(1));
+        assert!(m.is_dirty(PageId(1)));
+        // Marking a non-resident page is a no-op.
+        m.mark_dirty(PageId(9));
+        assert!(!m.is_dirty(PageId(9)));
+        // Removal clears the dirty bit...
+        m.remove(PageId(1));
+        assert!(!m.is_dirty(PageId(1)));
+        // ...and re-insertion starts clean.
+        m.insert(PageId(1));
+        assert!(!m.is_dirty(PageId(1)));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the TLB hierarchy and the walker pool.
+
+use proptest::prelude::*;
+
+use grit_mem::{TlbHierarchy, TranslationLevel, WalkerPool};
+use grit_sim::{PageId, SimConfig, WalkConfig};
+
+proptest! {
+    #[test]
+    fn tlb_fill_then_translate_always_hits_l1(pages in prop::collection::vec(0u64..1 << 20, 1..64)) {
+        let cfg = SimConfig::default();
+        let mut t = TlbHierarchy::new(cfg.l1_tlb, cfg.l2_tlb);
+        for &p in &pages {
+            t.fill(PageId(p));
+            let (level, lat) = t.translate(PageId(p));
+            prop_assert_eq!(level, TranslationLevel::L1);
+            prop_assert_eq!(lat, cfg.l1_tlb.lookup_latency);
+        }
+    }
+
+    #[test]
+    fn tlb_invalidate_forces_walk(pages in prop::collection::vec(0u64..1 << 20, 1..64)) {
+        let cfg = SimConfig::default();
+        let mut t = TlbHierarchy::new(cfg.l1_tlb, cfg.l2_tlb);
+        for &p in &pages {
+            t.fill(PageId(p));
+            t.invalidate(PageId(p));
+            let (level, _) = t.translate(PageId(p));
+            prop_assert_eq!(level, TranslationLevel::Walk, "page {} survived", p);
+        }
+    }
+
+    #[test]
+    fn tlb_levels_never_exceed_capacity(pages in prop::collection::vec(any::<u32>(), 1..2000)) {
+        let cfg = SimConfig::default();
+        let mut t = TlbHierarchy::new(cfg.l1_tlb, cfg.l2_tlb);
+        for &p in &pages {
+            t.fill(PageId(p as u64));
+        }
+        prop_assert!(t.l1().len() <= cfg.l1_tlb.entries);
+        prop_assert!(t.l2().len() <= cfg.l2_tlb.entries);
+    }
+
+    #[test]
+    fn walker_results_are_causal_and_bounded(
+        walks in prop::collection::vec((0u64..1_000_000, any::<u32>()), 1..128)
+    ) {
+        let cfg = WalkConfig::default();
+        let mut pool = WalkerPool::new(cfg);
+        let max_latency = cfg.levels as u64 * cfg.cycles_per_level;
+        let mut sorted = walks;
+        sorted.sort();
+        for (now, vpn) in sorted {
+            let o = pool.walk(now, PageId(vpn as u64));
+            prop_assert!(o.done_at > now, "walks take time");
+            prop_assert!(o.levels_fetched >= 1 && o.levels_fetched <= cfg.levels);
+            prop_assert!(
+                o.done_at - now <= o.queue_wait + max_latency,
+                "done {} vs now {} + wait {} + max {}",
+                o.done_at,
+                now,
+                o.queue_wait,
+                max_latency
+            );
+        }
+        prop_assert!(pool.mean_levels() >= 1.0 && pool.mean_levels() <= cfg.levels as f64);
+    }
+
+    #[test]
+    fn walker_repeat_walks_get_cheaper_never_pricier(vpn in any::<u32>()) {
+        let mut pool = WalkerPool::new(WalkConfig::default());
+        let first = pool.walk(0, PageId(vpn as u64));
+        let second = pool.walk(first.done_at + 1_000, PageId(vpn as u64));
+        prop_assert!(second.levels_fetched <= first.levels_fetched);
+    }
+}

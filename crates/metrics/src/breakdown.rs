@@ -1,0 +1,194 @@
+//! Six-way page-handling latency attribution (paper Fig. 3).
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The six categories the paper breaks page-handling latency into (Fig. 3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LatencyClass {
+    /// Local page-table walk latency after L2 TLB misses.
+    Local,
+    /// UVM page-fault handling latency on the host.
+    Host,
+    /// Migrating pages between memories (flush, transfer, invalidations).
+    PageMigration,
+    /// Remote (peer) accesses under counter-based placement.
+    RemoteAccess,
+    /// Duplicating pages, evicting under oversubscription, re-duplicating.
+    PageDuplication,
+    /// Collapsing replicas when a shared page is written.
+    WriteCollapse,
+}
+
+impl LatencyClass {
+    /// All six classes in Fig. 3 legend order.
+    pub const ALL: [LatencyClass; 6] = [
+        LatencyClass::Local,
+        LatencyClass::Host,
+        LatencyClass::PageMigration,
+        LatencyClass::RemoteAccess,
+        LatencyClass::PageDuplication,
+        LatencyClass::WriteCollapse,
+    ];
+
+    /// Label as printed in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LatencyClass::Local => "local",
+            LatencyClass::Host => "host",
+            LatencyClass::PageMigration => "page-migration",
+            LatencyClass::RemoteAccess => "remote-access",
+            LatencyClass::PageDuplication => "page-duplication",
+            LatencyClass::WriteCollapse => "write-collapse",
+        }
+    }
+
+    fn slot(self) -> usize {
+        match self {
+            LatencyClass::Local => 0,
+            LatencyClass::Host => 1,
+            LatencyClass::PageMigration => 2,
+            LatencyClass::RemoteAccess => 3,
+            LatencyClass::PageDuplication => 4,
+            LatencyClass::WriteCollapse => 5,
+        }
+    }
+}
+
+impl fmt::Display for LatencyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulated page-handling cycles per [`LatencyClass`].
+///
+/// ```
+/// use grit_metrics::{LatencyBreakdown, LatencyClass};
+/// let mut b = LatencyBreakdown::default();
+/// b.record(LatencyClass::Host, 100);
+/// b.record(LatencyClass::Host, 50);
+/// assert_eq!(b.get(LatencyClass::Host), 150);
+/// assert_eq!(b.total(), 150);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LatencyBreakdown {
+    cycles: [u64; 6],
+}
+
+impl LatencyBreakdown {
+    /// Charges `cycles` to `class`.
+    ///
+    /// Named `record` rather than `add` so it can never be shadowed by the
+    /// by-value [`Add`] implementation during method resolution.
+    pub fn record(&mut self, class: LatencyClass, cycles: u64) {
+        self.cycles[class.slot()] += cycles;
+    }
+
+    /// Cycles accumulated in one class.
+    pub fn get(&self, class: LatencyClass) -> u64 {
+        self.cycles[class.slot()]
+    }
+
+    /// Total page-handling cycles.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Per-class fractions of the total (all zeros when the total is zero).
+    pub fn fractions(&self) -> [f64; 6] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 6];
+        }
+        let mut f = [0.0; 6];
+        for (i, &c) in self.cycles.iter().enumerate() {
+            f[i] = c as f64 / t as f64;
+        }
+        f
+    }
+}
+
+impl Add for LatencyBreakdown {
+    type Output = LatencyBreakdown;
+
+    fn add(self, rhs: LatencyBreakdown) -> LatencyBreakdown {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign for LatencyBreakdown {
+    fn add_assign(&mut self, rhs: LatencyBreakdown) {
+        for (a, b) in self.cycles.iter_mut().zip(rhs.cycles) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for LatencyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in LatencyClass::ALL {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{}={}", c.label(), self.get(c))?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_distinct() {
+        let mut b = LatencyBreakdown::default();
+        for (i, c) in LatencyClass::ALL.iter().enumerate() {
+            b.record(*c, (i + 1) as u64);
+        }
+        for (i, c) in LatencyClass::ALL.iter().enumerate() {
+            assert_eq!(b.get(*c), (i + 1) as u64);
+        }
+        assert_eq!(b.total(), 21);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut b = LatencyBreakdown::default();
+        b.record(LatencyClass::Local, 25);
+        b.record(LatencyClass::RemoteAccess, 75);
+        let f = b.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[3] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        assert_eq!(LatencyBreakdown::default().fractions(), [0.0; 6]);
+    }
+
+    #[test]
+    fn addition_combines_classwise() {
+        let mut a = LatencyBreakdown::default();
+        a.record(LatencyClass::Host, 10);
+        let mut b = LatencyBreakdown::default();
+        b.record(LatencyClass::Host, 5);
+        b.record(LatencyClass::WriteCollapse, 7);
+        let c = a + b;
+        assert_eq!(c.get(LatencyClass::Host), 15);
+        assert_eq!(c.get(LatencyClass::WriteCollapse), 7);
+    }
+
+    #[test]
+    fn display_shows_all_classes() {
+        let s = format!("{}", LatencyBreakdown::default());
+        for c in LatencyClass::ALL {
+            assert!(s.contains(c.label()));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Per-page attribute tracking: private vs shared, read vs read-write
+//! (paper §IV-B, Figs. 4 and 9).
+
+use std::collections::HashMap;
+
+use grit_sim::{AccessKind, GpuId, GpuSet, PageId};
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PageRecord {
+    accessors: GpuSet,
+    written: bool,
+    accesses: u64,
+}
+
+/// Aggregated attribute percentages, the quantities plotted in Figs. 4 & 9.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct PageAttrSummary {
+    /// Pages touched at all.
+    pub total_pages: u64,
+    /// Pages accessed by exactly one GPU over the whole run.
+    pub private_pages: u64,
+    /// Pages accessed by more than one GPU.
+    pub shared_pages: u64,
+    /// Accesses that went to private pages.
+    pub accesses_to_private: u64,
+    /// Accesses that went to shared pages.
+    pub accesses_to_shared: u64,
+    /// Pages never written.
+    pub read_pages: u64,
+    /// Pages written at least once.
+    pub read_write_pages: u64,
+    /// Accesses that went to read-only pages.
+    pub accesses_to_read: u64,
+    /// Accesses that went to read-write pages.
+    pub accesses_to_read_write: u64,
+    /// Pages that are both shared and read-write (the hard class of §VI-A).
+    pub shared_read_write_pages: u64,
+}
+
+impl PageAttrSummary {
+    /// Fraction of pages that are shared.
+    pub fn shared_page_frac(&self) -> f64 {
+        frac(self.shared_pages, self.total_pages)
+    }
+
+    /// Fraction of accesses going to shared pages.
+    pub fn shared_access_frac(&self) -> f64 {
+        frac(self.accesses_to_shared, self.accesses_to_private + self.accesses_to_shared)
+    }
+
+    /// Fraction of pages that are read-write.
+    pub fn read_write_page_frac(&self) -> f64 {
+        frac(self.read_write_pages, self.total_pages)
+    }
+
+    /// Fraction of accesses going to read-write pages.
+    pub fn read_write_access_frac(&self) -> f64 {
+        frac(self.accesses_to_read_write, self.accesses_to_read + self.accesses_to_read_write)
+    }
+
+    /// Fraction of pages that are shared *and* read-write.
+    pub fn shared_read_write_frac(&self) -> f64 {
+        frac(self.shared_read_write_pages, self.total_pages)
+    }
+}
+
+fn frac(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Tracks whole-run page attributes.
+///
+/// Definitions follow the paper exactly: a *private page* is accessed by
+/// one GPU during the entire execution; a *read page* never sees a write.
+///
+/// ```
+/// use grit_metrics::PageAttrTracker;
+/// use grit_sim::{AccessKind, GpuId, PageId};
+///
+/// let mut t = PageAttrTracker::new();
+/// t.record(GpuId::new(0), PageId(1), AccessKind::Read);
+/// t.record(GpuId::new(1), PageId(1), AccessKind::Write);
+/// t.record(GpuId::new(0), PageId(2), AccessKind::Read);
+/// let s = t.summary();
+/// assert_eq!(s.shared_pages, 1);
+/// assert_eq!(s.private_pages, 1);
+/// assert_eq!(s.read_write_pages, 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PageAttrTracker {
+    pages: HashMap<PageId, PageRecord>,
+}
+
+impl PageAttrTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        PageAttrTracker::default()
+    }
+
+    /// Records one access.
+    pub fn record(&mut self, gpu: GpuId, vpn: PageId, kind: AccessKind) {
+        let rec = self.pages.entry(vpn).or_default();
+        rec.accessors.insert(gpu);
+        rec.written |= kind.is_write();
+        rec.accesses += 1;
+    }
+
+    /// Whether the page has been touched by more than one GPU so far.
+    pub fn is_shared(&self, vpn: PageId) -> bool {
+        self.pages.get(&vpn).map_or(false, |r| r.accessors.len() > 1)
+    }
+
+    /// Whether the page has been written so far.
+    pub fn is_written(&self, vpn: PageId) -> bool {
+        self.pages.get(&vpn).map_or(false, |r| r.written)
+    }
+
+    /// Number of distinct pages touched.
+    pub fn pages_touched(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The most-accessed page with at least `min_sharers` distinct GPU
+    /// accessors — how the Fig. 5/10 drivers pick "a certain page" to
+    /// track. Deterministic: ties break toward the lowest VPN.
+    pub fn hottest(&self, min_sharers: usize) -> Option<PageId> {
+        self.pages
+            .iter()
+            .filter(|(_, r)| r.accessors.len() >= min_sharers)
+            .max_by_key(|(vpn, r)| (r.accesses, std::cmp::Reverse(vpn.vpn())))
+            .map(|(vpn, _)| *vpn)
+    }
+
+    /// Like [`PageAttrTracker::hottest`] but restricted to pages with at
+    /// least one write (Fig. 10 tracks a read-write page).
+    pub fn hottest_written(&self, min_sharers: usize) -> Option<PageId> {
+        self.pages
+            .iter()
+            .filter(|(_, r)| r.accessors.len() >= min_sharers && r.written)
+            .max_by_key(|(vpn, r)| (r.accesses, std::cmp::Reverse(vpn.vpn())))
+            .map(|(vpn, _)| *vpn)
+    }
+
+    /// Iterates `(page, sharer count, written, accesses)` for every page
+    /// touched — profile data for oracle-style placement.
+    pub fn iter_pages(&self) -> impl Iterator<Item = (PageId, usize, bool, u64)> + '_ {
+        self.pages
+            .iter()
+            .map(|(vpn, r)| (*vpn, r.accessors.len(), r.written, r.accesses))
+    }
+
+    /// Aggregates the whole-run summary.
+    pub fn summary(&self) -> PageAttrSummary {
+        let mut s = PageAttrSummary::default();
+        for rec in self.pages.values() {
+            s.total_pages += 1;
+            let shared = rec.accessors.len() > 1;
+            if shared {
+                s.shared_pages += 1;
+                s.accesses_to_shared += rec.accesses;
+            } else {
+                s.private_pages += 1;
+                s.accesses_to_private += rec.accesses;
+            }
+            if rec.written {
+                s.read_write_pages += 1;
+                s.accesses_to_read_write += rec.accesses;
+                if shared {
+                    s.shared_read_write_pages += 1;
+                }
+            } else {
+                s.read_pages += 1;
+                s.accesses_to_read += rec.accesses;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u8) -> GpuId {
+        GpuId::new(i)
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = PageAttrTracker::new().summary();
+        assert_eq!(s.total_pages, 0);
+        assert_eq!(s.shared_page_frac(), 0.0);
+        assert_eq!(s.read_write_access_frac(), 0.0);
+    }
+
+    #[test]
+    fn private_vs_shared_classification() {
+        let mut t = PageAttrTracker::new();
+        for _ in 0..10 {
+            t.record(g(0), PageId(1), AccessKind::Read);
+        }
+        t.record(g(0), PageId(2), AccessKind::Read);
+        t.record(g(1), PageId(2), AccessKind::Read);
+        let s = t.summary();
+        assert_eq!(s.private_pages, 1);
+        assert_eq!(s.shared_pages, 1);
+        assert_eq!(s.accesses_to_private, 10);
+        assert_eq!(s.accesses_to_shared, 2);
+        assert!((s.shared_page_frac() - 0.5).abs() < 1e-12);
+        assert!((s.shared_access_frac() - 2.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_write_classification_counts_all_accesses() {
+        let mut t = PageAttrTracker::new();
+        t.record(g(0), PageId(1), AccessKind::Read);
+        t.record(g(0), PageId(1), AccessKind::Write);
+        t.record(g(0), PageId(1), AccessKind::Read);
+        let s = t.summary();
+        assert_eq!(s.read_write_pages, 1);
+        assert_eq!(s.accesses_to_read_write, 3);
+        assert!(t.is_written(PageId(1)));
+    }
+
+    #[test]
+    fn shared_read_write_intersection() {
+        let mut t = PageAttrTracker::new();
+        t.record(g(0), PageId(1), AccessKind::Write);
+        t.record(g(1), PageId(1), AccessKind::Read);
+        t.record(g(0), PageId(2), AccessKind::Write); // private RW
+        t.record(g(0), PageId(3), AccessKind::Read);
+        t.record(g(1), PageId(3), AccessKind::Read); // shared read
+        let s = t.summary();
+        assert_eq!(s.shared_read_write_pages, 1);
+        assert!((s.shared_read_write_frac() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_queries() {
+        let mut t = PageAttrTracker::new();
+        t.record(g(0), PageId(9), AccessKind::Read);
+        assert!(!t.is_shared(PageId(9)));
+        t.record(g(2), PageId(9), AccessKind::Read);
+        assert!(t.is_shared(PageId(9)));
+        assert_eq!(t.pages_touched(), 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Plain-text report formatting: the tables the `repro` binary prints and
+//! EXPERIMENTS.md embeds.
+
+/// Geometric mean of a slice of positive values ("average improvement"
+/// figures in the paper are computed over the eight applications).
+///
+/// Returns 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+///
+/// ```
+/// use grit_metrics::geomean;
+/// assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for &v in values {
+        assert!(v > 0.0, "geomean requires positive values, got {v}");
+        acc += v.ln();
+    }
+    (acc / values.len() as f64).exp()
+}
+
+/// Normalizes each value to a baseline: `baseline / value` (cycle counts
+/// become speedups, as every figure in the paper is plotted).
+///
+/// # Panics
+///
+/// Panics if any value is zero.
+pub fn normalize_to(baseline: u64, values: &[u64]) -> Vec<f64> {
+    values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0, "cannot normalize a zero value");
+            baseline as f64 / v as f64
+        })
+        .collect()
+}
+
+/// A labelled numeric table rendered to aligned text, Markdown or CSV.
+///
+/// ```
+/// use grit_metrics::Table;
+/// let mut t = Table::new("Fig 1", vec!["OT".into(), "AC".into()]);
+/// t.push_row("BFS", vec![1.0, 1.3]);
+/// let text = t.to_text();
+/// assert!(text.contains("BFS"));
+/// assert!(t.to_csv().starts_with("app,OT,AC"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// A table titled `title` with the given value-column headers.
+    pub fn new<S: Into<String>>(title: S, columns: Vec<String>) -> Self {
+        Table { title: title.into(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a labelled row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row<S: Into<String>>(&mut self, label: S, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row has {} values for {} columns",
+            values.len(),
+            self.columns.len()
+        );
+        self.rows.push((label.into(), values));
+    }
+
+    /// Appends a geometric-mean summary row over all current rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column contains a non-positive value.
+    pub fn push_geomean_row(&mut self) {
+        let mut means = Vec::with_capacity(self.columns.len());
+        for c in 0..self.columns.len() {
+            let col: Vec<f64> = self.rows.iter().map(|(_, v)| v[c]).collect();
+            means.push(geomean(&col));
+        }
+        self.rows.push(("GEOMEAN".into(), means));
+    }
+
+    /// Table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Row labels and values.
+    pub fn rows(&self) -> &[(String, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Finds a cell by row label and column header.
+    pub fn cell(&self, row: &str, col: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == col)?;
+        let r = self.rows.iter().find(|(label, _)| label == row)?;
+        r.1.get(c).copied()
+    }
+
+    /// Renders as aligned monospace text with a title line.
+    pub fn to_text(&self) -> String {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(3))
+            .max()
+            .unwrap_or(3);
+        let col_w: Vec<usize> = self.columns.iter().map(|c| c.len().max(8)).collect();
+        let mut out = format!("== {} ==\n", self.title);
+        out.push_str(&format!("{:<label_w$}", ""));
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            out.push_str(&format!("  {c:>w$}"));
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("{label:<label_w$}"));
+            for (v, w) in values.iter().zip(&col_w) {
+                out.push_str(&format!("  {v:>w$.3}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV with an `app` label column.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("app");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(label);
+            for v in values {
+                out.push_str(&format!(",{v:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("| app |");
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push_str("\n|---|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("| {label} |"));
+            for v in values {
+                out.push_str(&format!(" {v:.3} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 8.0]) - 2.828_427).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_makes_speedups() {
+        let v = normalize_to(100, &[100, 50, 200]);
+        assert_eq!(v, vec![1.0, 2.0, 0.5]);
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = Table::new("T", vec!["a".into(), "b".into()]);
+        t.push_row("x", vec![1.0, 2.0]);
+        t.push_row("y", vec![4.0, 8.0]);
+        t.push_geomean_row();
+        assert_eq!(t.cell("x", "b"), Some(2.0));
+        assert_eq!(t.cell("GEOMEAN", "a"), Some(2.0));
+        assert_eq!(t.cell("missing", "a"), None);
+        assert_eq!(t.cell("x", "missing"), None);
+        assert!(t.to_text().contains("== T =="));
+        assert!(t.to_markdown().contains("| x | 1.000 | 2.000 |"));
+        let csv = t.to_csv();
+        assert!(csv.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn row_arity_checked() {
+        let mut t = Table::new("T", vec!["a".into()]);
+        t.push_row("x", vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Memory-access records produced by workload trace generators.
+
+use crate::ids::PageId;
+
+/// Whether an access reads or writes memory.
+///
+/// Reads that miss locally raise *local page faults*; writes to read-only
+/// replicas raise *page protection faults* (paper §II-B3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// One coalesced memory access issued by a GPU.
+///
+/// The trace abstraction operates at the granularity the paper's analysis
+/// does: a virtual page plus the cache line inside it (remote data is
+/// "fetched at a cache line granularity", §II-B2). `think` models compute
+/// cycles between this access and the previous one on the same GPU, which
+/// sets the baseline issue rate the memory system then throttles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Access {
+    /// Virtual page touched.
+    pub vpn: PageId,
+    /// Cache-line index within the page (0..page_size/64).
+    pub line: u16,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Compute cycles separating this access from the previous one.
+    pub think: u32,
+}
+
+impl Access {
+    /// A read of line `line` of page `vpn` with default 4-cycle think time.
+    pub fn read(vpn: PageId, line: u16) -> Self {
+        Access { vpn, line, kind: AccessKind::Read, think: 4 }
+    }
+
+    /// A write of line `line` of page `vpn` with default 4-cycle think time.
+    pub fn write(vpn: PageId, line: u16) -> Self {
+        Access { vpn, line, kind: AccessKind::Write, think: 4 }
+    }
+
+    /// Replaces the think time.
+    pub fn with_think(mut self, think: u32) -> Self {
+        self.think = think;
+        self
+    }
+
+    /// `true` if this access is a store.
+    pub fn is_write(self) -> bool {
+        self.kind.is_write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert!(!Access::read(PageId(1), 0).is_write());
+        assert!(Access::write(PageId(1), 0).is_write());
+    }
+
+    #[test]
+    fn with_think_overrides() {
+        let a = Access::read(PageId(1), 2).with_think(77);
+        assert_eq!(a.think, 77);
+        assert_eq!(a.line, 2);
+    }
+}

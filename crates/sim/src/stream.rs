@@ -1,0 +1,111 @@
+//! Access-stream abstraction connecting workload generators to the
+//! simulator.
+
+use crate::access::Access;
+
+/// A lazily generated, per-GPU sequence of memory accesses.
+///
+/// Implementors are the workload generators in `grit-workloads`; the system
+/// runner pulls one access at a time so multi-hundred-million-access traces
+/// never need to be materialized.
+pub trait AccessStream {
+    /// Produces the next access, or `None` when the GPU's work is done.
+    fn next_access(&mut self) -> Option<Access>;
+
+    /// Optional estimate of the total accesses this stream will produce
+    /// (used only for progress reporting; `None` if unknown).
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Blanket impl so `Box<dyn AccessStream>` is itself a stream.
+impl<S: AccessStream + ?Sized> AccessStream for Box<S> {
+    fn next_access(&mut self) -> Option<Access> {
+        (**self).next_access()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        (**self).len_hint()
+    }
+}
+
+/// A stream backed by a pre-materialized vector; used by unit and
+/// integration tests to feed exact access sequences.
+///
+/// ```
+/// use grit_sim::{Access, AccessStream, PageId, SliceStream};
+/// let mut s = SliceStream::new(vec![Access::read(PageId(1), 0)]);
+/// assert!(s.next_access().is_some());
+/// assert!(s.next_access().is_none());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SliceStream {
+    accesses: Vec<Access>,
+    pos: usize,
+}
+
+impl SliceStream {
+    /// Wraps a vector of accesses.
+    pub fn new(accesses: Vec<Access>) -> Self {
+        SliceStream { accesses, pos: 0 }
+    }
+
+    /// Accesses remaining.
+    pub fn remaining(&self) -> usize {
+        self.accesses.len() - self.pos
+    }
+}
+
+impl AccessStream for SliceStream {
+    fn next_access(&mut self) -> Option<Access> {
+        let a = self.accesses.get(self.pos).copied();
+        if a.is_some() {
+            self.pos += 1;
+        }
+        a
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.accesses.len() as u64)
+    }
+}
+
+impl FromIterator<Access> for SliceStream {
+    fn from_iter<T: IntoIterator<Item = Access>>(iter: T) -> Self {
+        SliceStream::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PageId;
+
+    #[test]
+    fn slice_stream_yields_in_order_then_none() {
+        let acc = vec![Access::read(PageId(1), 0), Access::write(PageId(2), 1)];
+        let mut s = SliceStream::new(acc.clone());
+        assert_eq!(s.len_hint(), Some(2));
+        assert_eq!(s.next_access(), Some(acc[0]));
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.next_access(), Some(acc[1]));
+        assert_eq!(s.next_access(), None);
+        assert_eq!(s.next_access(), None);
+    }
+
+    #[test]
+    fn boxed_stream_is_a_stream() {
+        let mut s: Box<dyn AccessStream> =
+            Box::new(SliceStream::new(vec![Access::read(PageId(9), 5)]));
+        assert_eq!(s.len_hint(), Some(1));
+        assert!(s.next_access().is_some());
+        assert!(s.next_access().is_none());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: SliceStream = (0..5).map(|i| Access::read(PageId(i), 0)).collect();
+        assert_eq!(s.remaining(), 5);
+    }
+}

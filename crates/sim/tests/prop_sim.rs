@@ -1,0 +1,105 @@
+//! Property tests for the simulation substrate: MLP window scheduling,
+//! GPU sets, scheme/group encodings and deterministic randomness.
+
+use proptest::prelude::*;
+
+use grit_sim::{GpuId, GpuSet, GroupSize, MlpWindow, PageId, Scheme, SimRng};
+
+proptest! {
+    #[test]
+    fn mlp_issue_is_never_before_ready(
+        completions in prop::collection::vec(0u64..10_000, 0..8),
+        ready in 0u64..10_000,
+    ) {
+        let mut w = MlpWindow::new(8);
+        for c in completions {
+            w.complete(c);
+        }
+        let t = w.issue_at(ready);
+        prop_assert!(t >= ready);
+        prop_assert!(w.in_flight() < 8, "issue must leave a free slot");
+    }
+
+    #[test]
+    fn mlp_in_flight_bounded(ops in prop::collection::vec((0u64..1000, 0u64..1000), 1..200)) {
+        let mut w = MlpWindow::new(4);
+        for (ready, extra) in ops {
+            let t = w.issue_at(ready);
+            w.complete(t + extra);
+            prop_assert!(w.in_flight() <= 4);
+        }
+    }
+
+    #[test]
+    fn mlp_drain_is_max_completion(completions in prop::collection::vec(0u64..100_000, 1..50)) {
+        let mut w = MlpWindow::new(64);
+        let max = *completions.iter().max().unwrap();
+        for c in &completions {
+            w.complete(*c);
+        }
+        prop_assert_eq!(w.drain_time(), max);
+        prop_assert_eq!(w.in_flight(), 0);
+    }
+
+    #[test]
+    fn gpu_set_behaves_like_hashset(ops in prop::collection::vec((0u8..16, any::<bool>()), 0..100)) {
+        let mut real = GpuSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for (g, insert) in ops {
+            if insert {
+                prop_assert_eq!(real.insert(GpuId::new(g)), model.insert(g));
+            } else {
+                prop_assert_eq!(real.remove(GpuId::new(g)), model.remove(&g));
+            }
+            prop_assert_eq!(real.len(), model.len());
+            let members: Vec<u8> = real.iter().map(|x| x.raw()).collect();
+            let expected: Vec<u8> = model.iter().copied().collect();
+            prop_assert_eq!(members, expected);
+        }
+    }
+
+    #[test]
+    fn scheme_bits_are_injective(a in 0u64..4, b in 0u64..4) {
+        let sa = Scheme::from_bits(a);
+        let sb = Scheme::from_bits(b);
+        prop_assert_eq!(sa == sb, a == b);
+    }
+
+    #[test]
+    fn group_base_is_idempotent_and_aligned(vpn in any::<u32>().prop_map(u64::from)) {
+        for g in [GroupSize::Eight, GroupSize::SixtyFour, GroupSize::FiveTwelve] {
+            let base = PageId(vpn).group_base(g.pages());
+            prop_assert_eq!(base.vpn() % g.pages(), 0);
+            prop_assert_eq!(base.group_base(g.pages()), base);
+            prop_assert!(base.vpn() <= vpn);
+            prop_assert!(vpn - base.vpn() < g.pages());
+        }
+    }
+
+    #[test]
+    fn counter_groups_partition_pages(vpn in any::<u32>().prop_map(u64::from)) {
+        // 16 consecutive 4 KB pages share one 64 KB counter group.
+        let g = PageId(vpn).counter_group(4096);
+        prop_assert_eq!(g, vpn / 16);
+    }
+
+    #[test]
+    fn rng_streams_reproduce(seed in any::<u64>()) {
+        let mut a = SimRng::seeded(seed);
+        let mut b = SimRng::seeded(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.below(1 << 30), b.below(1 << 30));
+        }
+        let mut fa = a.fork(7);
+        let mut fb = b.fork(7);
+        prop_assert_eq!(fa.below(1000), fb.below(1000));
+    }
+
+    #[test]
+    fn zipf_stays_in_support(seed in any::<u64>(), n in 1u64..10_000, theta in 0.1f64..1.6) {
+        let mut r = SimRng::seeded(seed);
+        for _ in 0..64 {
+            prop_assert!(r.zipf(n, theta) < n);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Hardware access counters for counter-based migration (§II-B2).
+//!
+//! Volta-class GPUs track remote accesses per 64 KB page group; when a
+//! group's counter reaches the threshold (256 by default, Table I), a
+//! migration request is generated for the faulting page and the group's
+//! counter resets.
+
+use std::collections::HashMap;
+
+use grit_sim::{GpuId, PageId};
+
+/// Per-GPU, per-64 KB-group remote-access counters.
+///
+/// ```
+/// use grit_uvm::AccessCounters;
+/// use grit_sim::{GpuId, PageId};
+///
+/// let mut c = AccessCounters::new(4, 4096);
+/// let g = GpuId::new(0);
+/// for _ in 0..3 {
+///     assert!(!c.record_remote(g, PageId(5)));
+/// }
+/// assert!(c.record_remote(g, PageId(5))); // threshold 4 reached
+/// ```
+#[derive(Clone, Debug)]
+pub struct AccessCounters {
+    threshold: u32,
+    page_size: u64,
+    counts: HashMap<(GpuId, u64), u32>,
+    triggers: u64,
+}
+
+impl AccessCounters {
+    /// Counters with the given migration threshold and page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u32, page_size: u64) -> Self {
+        assert!(threshold > 0, "access-counter threshold must be non-zero");
+        AccessCounters { threshold, page_size, counts: HashMap::new(), triggers: 0 }
+    }
+
+    /// Records one remote access by `gpu` to `vpn`. Returns `true` when the
+    /// group counter reaches the threshold; the counter then resets.
+    pub fn record_remote(&mut self, gpu: GpuId, vpn: PageId) -> bool {
+        let key = (gpu, vpn.counter_group(self.page_size));
+        let c = self.counts.entry(key).or_insert(0);
+        *c += 1;
+        if *c >= self.threshold {
+            *c = 0;
+            self.triggers += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current counter value for a GPU/page's group.
+    pub fn value(&self, gpu: GpuId, vpn: PageId) -> u32 {
+        self.counts.get(&(gpu, vpn.counter_group(self.page_size))).copied().unwrap_or(0)
+    }
+
+    /// Clears all counters for the group containing `vpn` (after the page
+    /// migrates, stale remote counts are meaningless).
+    pub fn reset_group(&mut self, vpn: PageId) {
+        let group = vpn.counter_group(self.page_size);
+        self.counts.retain(|&(_, g), _| g != group);
+    }
+
+    /// Total threshold crossings so far.
+    pub fn triggers(&self) -> u64 {
+        self.triggers
+    }
+
+    /// Configured threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_per_gpu_and_group() {
+        let mut c = AccessCounters::new(2, 4096);
+        let g0 = GpuId::new(0);
+        let g1 = GpuId::new(1);
+        assert!(!c.record_remote(g0, PageId(0)));
+        // Different GPU: separate counter.
+        assert!(!c.record_remote(g1, PageId(0)));
+        // Same GPU, same 64 KB group (pages 0..16): second hit triggers.
+        assert!(c.record_remote(g0, PageId(15)));
+        // Counter reset after trigger.
+        assert_eq!(c.value(g0, PageId(0)), 0);
+        assert_eq!(c.triggers(), 1);
+    }
+
+    #[test]
+    fn different_groups_do_not_share_counters() {
+        let mut c = AccessCounters::new(2, 4096);
+        let g = GpuId::new(0);
+        assert!(!c.record_remote(g, PageId(0)));
+        assert!(!c.record_remote(g, PageId(16))); // next 64 KB group
+        assert_eq!(c.value(g, PageId(0)), 1);
+        assert_eq!(c.value(g, PageId(16)), 1);
+    }
+
+    #[test]
+    fn reset_group_clears_all_gpus() {
+        let mut c = AccessCounters::new(10, 4096);
+        c.record_remote(GpuId::new(0), PageId(3));
+        c.record_remote(GpuId::new(1), PageId(4));
+        c.record_remote(GpuId::new(1), PageId(20));
+        c.reset_group(PageId(0));
+        assert_eq!(c.value(GpuId::new(0), PageId(3)), 0);
+        assert_eq!(c.value(GpuId::new(1), PageId(4)), 0);
+        assert_eq!(c.value(GpuId::new(1), PageId(20)), 1);
+    }
+
+    #[test]
+    fn large_pages_use_page_granularity() {
+        let mut c = AccessCounters::new(2, 2 * 1024 * 1024);
+        let g = GpuId::new(0);
+        assert!(!c.record_remote(g, PageId(1)));
+        assert!(!c.record_remote(g, PageId(2))); // different "group"
+        assert!(c.record_remote(g, PageId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_threshold_panics() {
+        let _ = AccessCounters::new(0, 4096);
+    }
+}

@@ -1,0 +1,253 @@
+//! Page-table-entry encoding for 4 KB pages in GRIT (paper Fig. 14).
+//!
+//! GRIT repurposes PTE bits 9–10 for the placement-scheme bits (Table IV)
+//! and the unused bits 52–53 for the page-group size bits (Table V). The
+//! simulator keeps page state in structured form ([`crate::central`]), but
+//! the bit-exact encoding is implemented and tested here because the
+//! paper's design argument (no extra page-table walks, group bits live in
+//! the base page's PTE) depends on everything fitting in one 64-bit PTE.
+
+use grit_sim::{GroupSize, Scheme};
+
+/// Bit positions from Fig. 14.
+mod bits {
+    pub const VALID: u64 = 1 << 0;
+    pub const USER: u64 = 1 << 1;
+    pub const RW: u64 = 1 << 2;
+    pub const PWT: u64 = 1 << 3;
+    pub const PCD: u64 = 1 << 4;
+    pub const ACCESSED: u64 = 1 << 5;
+    pub const DIRTY: u64 = 1 << 6;
+    pub const PAT: u64 = 1 << 7;
+    pub const GLOBAL: u64 = 1 << 8;
+    pub const SCHEME_SHIFT: u32 = 9;
+    pub const SCHEME_MASK: u64 = 0b11 << 9;
+    pub const PFN_SHIFT: u32 = 12;
+    pub const PFN_MASK: u64 = ((1u64 << 40) - 1) << 12;
+    pub const GROUP_SHIFT: u32 = 52;
+    pub const GROUP_MASK: u64 = 0b11 << 52;
+    pub const XD: u64 = 1 << 63;
+}
+
+/// A decoded 4 KB-page PTE with GRIT's extra fields.
+///
+/// ```
+/// use grit_uvm::Pte;
+/// use grit_sim::{GroupSize, Scheme};
+///
+/// let mut pte = Pte::new_valid(0x1234);
+/// pte.scheme = Some(Scheme::Duplication);
+/// pte.group = GroupSize::Eight;
+/// let raw = pte.encode();
+/// assert_eq!(Pte::decode(raw), pte);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Pte {
+    /// Translation valid (V).
+    pub valid: bool,
+    /// User/supervisor (U/S).
+    pub user: bool,
+    /// Writable (R/W = 1 means writes allowed; replicas clear it).
+    pub writable: bool,
+    /// Page-level write-through (PWT).
+    pub write_through: bool,
+    /// Page-level cache disable (PCD).
+    pub cache_disable: bool,
+    /// Accessed (A).
+    pub accessed: bool,
+    /// Dirty (D).
+    pub dirty: bool,
+    /// Page-attribute-table bit (PAT).
+    pub pat: bool,
+    /// Global (G).
+    pub global: bool,
+    /// Execute-disable (XD).
+    pub no_execute: bool,
+    /// 4 KB page frame number (40 bits, bits 12–51).
+    pub pfn: u64,
+    /// GRIT placement-scheme bits (bits 9–10, Table IV); `None` = `00`.
+    pub scheme: Option<Scheme>,
+    /// GRIT page-group size bits (bits 52–53, Table V); meaningful only in
+    /// the PTE of a group's base page.
+    pub group: GroupSize,
+}
+
+impl Pte {
+    /// Maximum representable PFN (40 bits).
+    pub const MAX_PFN: u64 = (1 << 40) - 1;
+
+    /// A valid, writable, user, accessed PTE for `pfn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfn` exceeds 40 bits.
+    pub fn new_valid(pfn: u64) -> Self {
+        assert!(pfn <= Self::MAX_PFN, "PFN {pfn:#x} exceeds 40 bits");
+        Pte { valid: true, user: true, writable: true, accessed: true, pfn, ..Pte::default() }
+    }
+
+    /// Packs into the raw 64-bit format of Fig. 14.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfn` exceeds 40 bits.
+    pub fn encode(&self) -> u64 {
+        assert!(self.pfn <= Self::MAX_PFN, "PFN {:#x} exceeds 40 bits", self.pfn);
+        let mut raw = 0u64;
+        let mut flag = |on: bool, bit: u64| {
+            if on {
+                raw |= bit;
+            }
+        };
+        flag(self.valid, bits::VALID);
+        flag(self.user, bits::USER);
+        flag(self.writable, bits::RW);
+        flag(self.write_through, bits::PWT);
+        flag(self.cache_disable, bits::PCD);
+        flag(self.accessed, bits::ACCESSED);
+        flag(self.dirty, bits::DIRTY);
+        flag(self.pat, bits::PAT);
+        flag(self.global, bits::GLOBAL);
+        flag(self.no_execute, bits::XD);
+        raw |= self.scheme.map_or(0, Scheme::bits) << bits::SCHEME_SHIFT;
+        raw |= self.pfn << bits::PFN_SHIFT;
+        raw |= self.group.bits() << bits::GROUP_SHIFT;
+        raw
+    }
+
+    /// Unpacks from the raw 64-bit format.
+    pub fn decode(raw: u64) -> Self {
+        Pte {
+            valid: raw & bits::VALID != 0,
+            user: raw & bits::USER != 0,
+            writable: raw & bits::RW != 0,
+            write_through: raw & bits::PWT != 0,
+            cache_disable: raw & bits::PCD != 0,
+            accessed: raw & bits::ACCESSED != 0,
+            dirty: raw & bits::DIRTY != 0,
+            pat: raw & bits::PAT != 0,
+            global: raw & bits::GLOBAL != 0,
+            no_execute: raw & bits::XD != 0,
+            pfn: (raw & bits::PFN_MASK) >> bits::PFN_SHIFT,
+            scheme: Scheme::from_bits((raw & bits::SCHEME_MASK) >> bits::SCHEME_SHIFT),
+            group: GroupSize::from_bits((raw & bits::GROUP_MASK) >> bits::GROUP_SHIFT),
+        }
+    }
+}
+
+/// One software PA-Table entry as specified in Fig. 12: 48 bits = 45-bit
+/// VPN + 1 read/write bit + 2-bit fault counter. Packed here to validate
+/// the storage-overhead claim (§V-F: 48 bits per 4 KB page = 0.15 %).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PaTableEntryBits {
+    /// 45-bit virtual page number.
+    pub vpn: u64,
+    /// Read/write bit (1 once any write has been observed).
+    pub write: bool,
+    /// 2-bit fault counter (saturates at 3; the threshold check combines it
+    /// with driver state for thresholds above 4 — see `grit-core`).
+    pub fault_count: u8,
+}
+
+impl PaTableEntryBits {
+    /// Maximum representable VPN (45 bits).
+    pub const MAX_VPN: u64 = (1 << 45) - 1;
+
+    /// Packs into 48 bits (returned in the low bits of a `u64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VPN exceeds 45 bits or the counter exceeds 2 bits.
+    pub fn encode(&self) -> u64 {
+        assert!(self.vpn <= Self::MAX_VPN, "VPN {:#x} exceeds 45 bits", self.vpn);
+        assert!(self.fault_count < 4, "fault counter {} exceeds 2 bits", self.fault_count);
+        self.vpn | (u64::from(self.write) << 45) | ((self.fault_count as u64) << 46)
+    }
+
+    /// Unpacks from 48 bits.
+    pub fn decode(raw: u64) -> Self {
+        PaTableEntryBits {
+            vpn: raw & Self::MAX_VPN,
+            write: raw & (1 << 45) != 0,
+            fault_count: ((raw >> 46) & 0b11) as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pte_round_trip_all_fields() {
+        let mut p = Pte::new_valid(0xAB_CDEF);
+        p.dirty = true;
+        p.global = true;
+        p.no_execute = true;
+        p.write_through = true;
+        p.cache_disable = true;
+        p.pat = true;
+        p.scheme = Some(Scheme::AccessCounter);
+        p.group = GroupSize::FiveTwelve;
+        assert_eq!(Pte::decode(p.encode()), p);
+    }
+
+    #[test]
+    fn scheme_bits_live_at_9_and_10() {
+        let mut p = Pte::default();
+        p.scheme = Some(Scheme::OnTouch);
+        assert_eq!(p.encode(), 0b01 << 9);
+        p.scheme = Some(Scheme::Duplication);
+        assert_eq!(p.encode(), 0b11 << 9);
+    }
+
+    #[test]
+    fn group_bits_live_at_52_and_53() {
+        let mut p = Pte::default();
+        p.group = GroupSize::SixtyFour;
+        assert_eq!(p.encode(), 0b10 << 52);
+    }
+
+    #[test]
+    fn pfn_occupies_bits_12_to_51() {
+        let p = Pte { pfn: Pte::MAX_PFN, ..Pte::default() };
+        let raw = p.encode();
+        assert_eq!(raw, (((1u64 << 40) - 1) << 12));
+        assert_eq!(Pte::decode(raw).pfn, Pte::MAX_PFN);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 40 bits")]
+    fn oversized_pfn_rejected() {
+        let _ = Pte { pfn: 1 << 40, ..Pte::default() }.encode();
+    }
+
+    #[test]
+    fn unset_scheme_is_none() {
+        assert_eq!(Pte::decode(0).scheme, None);
+        assert_eq!(Pte::decode(0).group, GroupSize::One);
+    }
+
+    #[test]
+    fn pa_entry_round_trip_and_width() {
+        let e = PaTableEntryBits { vpn: 0x1FFF_FFFF_FFFF & PaTableEntryBits::MAX_VPN, write: true, fault_count: 3 };
+        let raw = e.encode();
+        assert!(raw < 1 << 48, "PA-Table entry must fit in 48 bits");
+        assert_eq!(PaTableEntryBits::decode(raw), e);
+        let e2 = PaTableEntryBits { vpn: 7, write: false, fault_count: 0 };
+        assert_eq!(PaTableEntryBits::decode(e2.encode()), e2);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 bits")]
+    fn pa_entry_counter_bounds() {
+        let _ = PaTableEntryBits { vpn: 0, write: false, fault_count: 4 }.encode();
+    }
+
+    #[test]
+    fn pa_table_overhead_matches_paper() {
+        // 48 bits per 4 KB page = 0.146 % of the footprint (§V-F).
+        let overhead: f64 = 48.0 / (4096.0 * 8.0);
+        assert!((overhead - 0.00146).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the PTE and PA-Table bit encodings (paper Figs. 12
+//! and 14): every representable state must round-trip exactly, and the
+//! GRIT fields must never clobber the architectural bits.
+
+use proptest::prelude::*;
+
+use grit_sim::{GroupSize, Scheme};
+use grit_uvm::{PaTableEntryBits, Pte};
+
+fn scheme_strategy() -> impl Strategy<Value = Option<Scheme>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(Scheme::OnTouch)),
+        Just(Some(Scheme::AccessCounter)),
+        Just(Some(Scheme::Duplication)),
+    ]
+}
+
+fn group_strategy() -> impl Strategy<Value = GroupSize> {
+    prop_oneof![
+        Just(GroupSize::One),
+        Just(GroupSize::Eight),
+        Just(GroupSize::SixtyFour),
+        Just(GroupSize::FiveTwelve),
+    ]
+}
+
+fn pte_strategy() -> impl Strategy<Value = Pte> {
+    (
+        any::<(bool, bool, bool, bool, bool, bool, bool, bool, bool, bool)>(),
+        0u64..=Pte::MAX_PFN,
+        scheme_strategy(),
+        group_strategy(),
+    )
+        .prop_map(|(flags, pfn, scheme, group)| Pte {
+            valid: flags.0,
+            user: flags.1,
+            writable: flags.2,
+            write_through: flags.3,
+            cache_disable: flags.4,
+            accessed: flags.5,
+            dirty: flags.6,
+            pat: flags.7,
+            global: flags.8,
+            no_execute: flags.9,
+            pfn,
+            scheme,
+            group,
+        })
+}
+
+proptest! {
+    #[test]
+    fn pte_round_trips(pte in pte_strategy()) {
+        prop_assert_eq!(Pte::decode(pte.encode()), pte);
+    }
+
+    #[test]
+    fn grit_bits_do_not_clobber_architectural_fields(pte in pte_strategy()) {
+        // Stripping the scheme/group bits recovers a PTE identical except
+        // for those fields.
+        let raw = pte.encode();
+        let stripped = raw & !(0b11 << 9) & !(0b11 << 52);
+        let decoded = Pte::decode(stripped);
+        prop_assert_eq!(decoded.pfn, pte.pfn);
+        prop_assert_eq!(decoded.valid, pte.valid);
+        prop_assert_eq!(decoded.writable, pte.writable);
+        prop_assert_eq!(decoded.dirty, pte.dirty);
+        prop_assert_eq!(decoded.no_execute, pte.no_execute);
+        prop_assert_eq!(decoded.scheme, None);
+        prop_assert_eq!(decoded.group, GroupSize::One);
+    }
+
+    #[test]
+    fn decode_encode_is_stable_for_valid_bit_patterns(raw in any::<u64>()) {
+        // Mask to bits the format defines (no reserved bits set).
+        let defined = 0x1FFu64 | (0b11 << 9) | (((1u64 << 40) - 1) << 12) | (0b11 << 52) | (1 << 63);
+        let raw = raw & defined;
+        let decoded = Pte::decode(raw);
+        prop_assert_eq!(decoded.encode(), raw);
+    }
+
+    #[test]
+    fn pa_entry_round_trips(
+        vpn in 0u64..=PaTableEntryBits::MAX_VPN,
+        write in any::<bool>(),
+        faults in 0u8..4,
+    ) {
+        let e = PaTableEntryBits { vpn, write, fault_count: faults };
+        let raw = e.encode();
+        prop_assert!(raw < 1 << 48, "entry must fit 48 bits");
+        prop_assert_eq!(PaTableEntryBits::decode(raw), e);
+    }
+}

@@ -1,0 +1,109 @@
+//! BFS — Breadth-first Search (SHOC, 32 MB, *random*): frontier expansion
+//! over a CSR graph. The adjacency structure is read by every GPU at
+//! unpredictable offsets (all pages shared, Fig. 4), accesses are heavily
+//! read-dominated (Fig. 9), and page duplication wins (Fig. 1) because each
+//! GPU can then expand its frontier out of local replicas.
+
+use crate::builder::GenCtx;
+use crate::common::{barrier_all, GpuTrace, Segment};
+
+/// Generates BFS: 80 % read-only adjacency scanned randomly (Zipf-skewed
+/// hot vertices) by all GPUs; 20 % visited/frontier arrays with sparse
+/// random writes.
+pub fn generate(ctx: &mut GenCtx) -> Vec<GpuTrace> {
+    let mut sinks = ctx.sinks(14);
+    let adjacency = Segment::new(0, (ctx.pages * 8 / 10).max(1));
+    let visited = Segment::new(adjacency.end(), (ctx.pages - adjacency.end()).max(1));
+
+    // The graph is loaded by the CPU (host-resident UVM pages); the GPUs
+    // only ever read the CSR arrays.
+    let levels = ctx.reps(8);
+    let reads_per_level = (adjacency.len * 6).max(64);
+    for _level in 0..levels {
+        for gpu in 0..ctx.num_gpus {
+            for _ in 0..reads_per_level / ctx.num_gpus as u64 {
+                // Neighbour list lookup: random, hot-skewed, whole graph.
+                let v = sinks[gpu].rng().zipf(adjacency.len, 1.2);
+                sinks[gpu].burst_read(adjacency.page(v), 4);
+                // A few expansions mark vertices visited; each GPU owns a
+                // partition of the visited bitmap and writes only there
+                // (remote marks are queued and applied by the owner).
+                if sinks[gpu].rng().chance(0.04) {
+                    let mine = visited.partition(gpu, ctx.num_gpus);
+                    let w = sinks[gpu].rng().below(mine.len);
+                    sinks[gpu].write(mine.page(w));
+                } else if sinks[gpu].rng().chance(0.10) {
+                    let w = sinks[gpu].rng().below(visited.len);
+                    sinks[gpu].read(visited.page(w));
+                }
+            }
+        }
+        barrier_all(&mut sinks);
+    }
+    sinks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grit_sim::SimRng;
+
+    fn run() -> Vec<GpuTrace> {
+        let mut c = GenCtx {
+            num_gpus: 4,
+            pages: 1000,
+            lines_per_page: 64,
+            intensity: 1.0,
+            rng: SimRng::seeded(5),
+        };
+        generate(&mut c)
+    }
+
+    #[test]
+    fn read_dominated() {
+        let sinks = run();
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for s in sinks.iter() {
+            for a in s.clone().into_accesses().iter() {
+                if a.is_write() {
+                    writes += 1;
+                } else {
+                    reads += 1;
+                }
+            }
+        }
+        assert!(reads > writes * 10, "BFS must be read-dominated: {reads} vs {writes}");
+    }
+
+    #[test]
+    fn adjacency_is_all_shared() {
+        let sinks = run();
+        let mut accessors: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            Default::default();
+        for (g, s) in sinks.iter().enumerate() {
+            for a in s.clone().into_accesses() {
+                if a.vpn.vpn() < 800 {
+                    accessors.entry(a.vpn.vpn()).or_default().insert(g);
+                }
+            }
+        }
+        let shared = accessors.values().filter(|s| s.len() > 1).count();
+        assert!(
+            shared * 10 > accessors.len() * 8,
+            "adjacency must be mostly shared: {shared}/{}",
+            accessors.len()
+        );
+    }
+
+    #[test]
+    fn adjacency_never_written() {
+        let sinks = run();
+        for s in sinks.iter() {
+            for a in s.clone().into_accesses() {
+                if a.vpn.vpn() < 800 {
+                    assert!(!a.is_write());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! BS — Bitonic Sort (AMDAPPSDK, 30 MB, *random*): compare-and-swap stages
+//! whose partner distance changes every stage, so each GPU reads *and
+//! writes* ever-different remote partitions — the all-shared read-write
+//! pattern for which access-counter migration is the best uniform scheme
+//! (Fig. 19) and on-touch ping-pongs catastrophically.
+
+use crate::builder::GenCtx;
+use crate::common::{barrier_all, GpuTrace, Segment};
+
+/// Generates BS: log²-style stage sweep; at each stage GPU `g` touches its
+/// own blocks and the partner blocks at the stage's distance, half of the
+/// touches being writes (compare-and-swap).
+pub fn generate(ctx: &mut GenCtx) -> Vec<GpuTrace> {
+    let mut sinks = ctx.sinks(10);
+    let array = Segment::new(0, ctx.pages);
+    let g = ctx.num_gpus;
+
+    // The unsorted input arrives from the host (CPU-initialized UVM
+    // pages); sorting kernels then read and write it in place.
+    let stages = ctx.reps(18);
+    // Use 2*G logical blocks so partners can live on other GPUs.
+    let blocks = (2 * g as u64).next_power_of_two();
+    let log2_blocks = blocks.trailing_zeros() as u64;
+    for stage in 0..stages {
+        let dist = 1u64 << (stage % log2_blocks.max(1));
+        for gpu in 0..g {
+            for b in 0..2u64 {
+                let my_block = (gpu as u64 * 2 + b) % blocks;
+                let partner = my_block ^ dist;
+                for block in [my_block, partner] {
+                    let seg = array.partition(block as usize, blocks as usize);
+                    // Sample half the block per stage, 50 % writes.
+                    for _ in 0..(seg.len / 2).max(1) {
+                        let p = seg.page(sinks[gpu].rng().below(seg.len));
+                        sinks[gpu].burst(p, 6, 0.5);
+                    }
+                }
+            }
+        }
+        barrier_all(&mut sinks);
+    }
+    sinks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grit_sim::SimRng;
+
+    fn run() -> (Vec<GpuTrace>, u64) {
+        let pages = 800;
+        let mut c = GenCtx {
+            num_gpus: 4,
+            pages,
+            lines_per_page: 64,
+            intensity: 1.0,
+            rng: SimRng::seeded(6),
+        };
+        (generate(&mut c), pages)
+    }
+
+    #[test]
+    fn heavily_read_write_shared() {
+        let (sinks, pages) = run();
+        let mut accessors: Vec<std::collections::HashSet<usize>> =
+            vec![Default::default(); pages as usize];
+        let mut written = vec![false; pages as usize];
+        for (g, s) in sinks.iter().enumerate() {
+            for a in s.clone().into_accesses() {
+                accessors[a.vpn.vpn() as usize].insert(g);
+                written[a.vpn.vpn() as usize] |= a.is_write();
+            }
+        }
+        let shared_rw = accessors
+            .iter()
+            .zip(&written)
+            .filter(|(s, &w)| s.len() > 1 && w)
+            .count();
+        assert!(
+            shared_rw as f64 > 0.5 * pages as f64,
+            "BS must have majority shared-RW pages, got {shared_rw}/{pages}"
+        );
+    }
+
+    #[test]
+    fn balanced_read_write_mix() {
+        let (sinks, _pages) = run();
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for s in sinks.iter() {
+            for a in s.clone().into_accesses() {
+                if a.is_write() {
+                    writes += 1;
+                } else {
+                    reads += 1;
+                }
+            }
+        }
+        let ratio = writes as f64 / (reads + writes) as f64;
+        assert!((0.35..=0.65).contains(&ratio), "write ratio {ratio} not ~0.5");
+    }
+
+    #[test]
+    fn partners_change_across_stages() {
+        // With 8 blocks, distances cycle 1,2,4: block 0 partners with
+        // blocks 1, 2 and 4 across stages.
+        let blocks = 8u64;
+        let log2 = blocks.trailing_zeros() as u64;
+        let partners: std::collections::HashSet<u64> =
+            (0..6).map(|s| 0 ^ (1u64 << (s % log2))).collect();
+        assert_eq!(partners.len(), 3);
+    }
+}

@@ -1,0 +1,222 @@
+//! Model-parallel DNN training (paper §VI-F: VGG16 and ResNet18): layers
+//! are placed on GPUs in pipeline order; weights are private to the owning
+//! GPU, activations flow producer→consumer between pipeline-adjacent GPUs
+//! on the forward pass, and gradients flow back on the backward pass.
+
+use crate::builder::GenCtx;
+use crate::common::{barrier_all, tb_to_gpu, GpuTrace, Segment};
+
+/// Relative per-layer parameter counts for VGG16's 13 convolution layers
+/// plus its 3 classifier layers (in units of ~10k parameters, from the
+/// standard architecture: 3->64, 64->64, 64->128, ... 512->512 conv
+/// kernels, then the giant fully connected layers).
+pub const VGG16_LAYER_WEIGHTS: [u64; 16] =
+    [1, 4, 8, 15, 30, 59, 59, 118, 236, 236, 236, 236, 236, 10276, 1678, 410];
+
+/// Relative per-layer parameter counts for ResNet18's 17 convolution
+/// layers plus the classifier (3x3 kernels across the 64/128/256/512
+/// stages; downsample projections folded into their stage).
+pub const RESNET18_LAYER_WEIGHTS: [u64; 18] =
+    [1, 4, 4, 4, 4, 8, 15, 15, 15, 29, 59, 59, 59, 118, 236, 236, 236, 5];
+
+/// Per-layer relative weight sizes for the model with `layers` layers
+/// (uniform for models without a published table).
+fn layer_weights(layers: usize) -> Vec<u64> {
+    match layers {
+        16 => VGG16_LAYER_WEIGHTS.to_vec(),
+        18 => RESNET18_LAYER_WEIGHTS.to_vec(),
+        n => vec![1; n],
+    }
+}
+
+/// Generates a model-parallel training trace with `layers` layers.
+pub fn generate(ctx: &mut GenCtx, layers: usize) -> Vec<GpuTrace> {
+    assert!(layers >= 2, "a pipeline needs at least two layers");
+    let lw = layer_weights(layers);
+    let mut sinks = ctx.sinks(12);
+    let g = ctx.num_gpus;
+    // Per-layer weights are private to the owning stage; a replicated
+    // parameter block (embedding/classifier tables, normalization
+    // statistics) is read by every stage each step.
+    let weights = Segment::new(0, (ctx.pages * 45 / 100).max(1));
+    let shared_params = Segment::new(weights.end(), (ctx.pages * 15 / 100).max(1));
+    let acts = Segment::new(
+        shared_params.end(),
+        (ctx.pages - shared_params.end()).max(layers as u64),
+    );
+
+    // Pipeline stages fill GPUs in contiguous ranges — the same
+    // round-robin-fill order the §III-B TB scheduler uses.
+    let layer_gpu = |l: usize| tb_to_gpu(l as u64, layers as u64, g);
+
+    // Weight initialization: each GPU writes its own layers' weights,
+    // sized by the real per-layer parameter counts.
+    for l in 0..layers {
+        let w = weights.partition_weighted(l, &lw);
+        let gpu = layer_gpu(l);
+        for i in 0..w.len {
+            sinks[gpu].write(w.page(i));
+        }
+    }
+    barrier_all(&mut sinks);
+
+    let epochs = ctx.reps(2);
+    for _epoch in 0..epochs {
+        // Forward: read weights + replicated parameters + previous
+        // activations, write activations.
+        for l in 0..layers {
+            let gpu = layer_gpu(l);
+            let w = weights.partition_weighted(l, &lw);
+            let out = acts.partition(l, layers);
+            for i in 0..w.len {
+                sinks[gpu].burst_read(w.page(i), 8);
+            }
+            // Replicated parameters: every stage reads a strided sample
+            // of the shared block each step.
+            for i in 0..shared_params.len / 4 {
+                sinks[gpu].burst_read(shared_params.page(i * 4), 4);
+            }
+            if l > 0 {
+                let input = acts.partition(l - 1, layers);
+                for i in 0..input.len {
+                    sinks[gpu].burst_read(input.page(i), 10);
+                }
+            }
+            for i in 0..out.len {
+                sinks[gpu].burst_write(out.page(i), 6);
+            }
+            barrier_all(&mut sinks);
+        }
+        // Backward: read activations of the layer below, update weights.
+        for l in (0..layers).rev() {
+            let gpu = layer_gpu(l);
+            let w = weights.partition_weighted(l, &lw);
+            let out = acts.partition(l, layers);
+            for i in 0..out.len {
+                sinks[gpu].burst_read(out.page(i), 6);
+            }
+            if l + 1 < layers {
+                // Gradient from the next layer's GPU.
+                let grad = acts.partition(l + 1, layers);
+                for i in 0..(grad.len / 2).max(1) {
+                    sinks[gpu].burst_read(grad.page(i), 6);
+                }
+            }
+            for i in 0..w.len {
+                sinks[gpu].burst_write(w.page(i), 6); // weight update
+            }
+            barrier_all(&mut sinks);
+        }
+    }
+    sinks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grit_sim::SimRng;
+
+    fn run(layers: usize) -> Vec<GpuTrace> {
+        let mut c = GenCtx {
+            num_gpus: 4,
+            pages: 2000,
+            lines_per_page: 64,
+            intensity: 1.0,
+            rng: SimRng::seeded(9),
+        };
+        generate(&mut c, layers)
+    }
+
+    #[test]
+    fn weights_private_to_layer_owner() {
+        let sinks = run(16);
+        let mut accessors: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            Default::default();
+        for (g, s) in sinks.iter().enumerate() {
+            for a in s.clone().into_accesses() {
+                if a.vpn.vpn() < 900 {
+                    accessors.entry(a.vpn.vpn()).or_default().insert(g);
+                }
+            }
+        }
+        assert!(accessors.values().all(|s| s.len() == 1), "weights must be private");
+    }
+
+    #[test]
+    fn replicated_parameters_are_read_shared_by_all() {
+        let sinks = run(16);
+        let mut accessors: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            Default::default();
+        for (g, s) in sinks.iter().enumerate() {
+            for a in s.clone().into_accesses() {
+                if (900..1200).contains(&a.vpn.vpn()) {
+                    assert!(!a.is_write(), "shared parameters are read-only");
+                    accessors.entry(a.vpn.vpn()).or_default().insert(g);
+                }
+            }
+        }
+        let all_shared = accessors.values().filter(|s| s.len() == 4).count();
+        assert!(all_shared > 0, "some parameter pages must be read by all stages");
+    }
+
+    #[test]
+    fn activations_cross_pipeline_boundaries() {
+        let sinks = run(16);
+        let mut accessors: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            Default::default();
+        for (g, s) in sinks.iter().enumerate() {
+            for a in s.clone().into_accesses() {
+                if a.vpn.vpn() >= 1200 {
+                    accessors.entry(a.vpn.vpn()).or_default().insert(g);
+                }
+            }
+        }
+        let shared = accessors.values().filter(|s| s.len() > 1).count();
+        assert!(shared > 0, "boundary activations must be shared");
+        // Sharing degree stays 2 (pipeline-adjacent GPUs only).
+        assert!(accessors.values().all(|s| s.len() <= 2));
+    }
+
+    #[test]
+    fn every_gpu_participates() {
+        for layers in [16, 18] {
+            let sinks = run(layers);
+            assert!(sinks.iter().all(|s| !s.is_empty()));
+        }
+    }
+
+    #[test]
+    fn vgg_layer_loads_are_imbalanced() {
+        // The classifier stage (last GPU) owns far more weight pages than
+        // the first conv stage — the real VGG16 imbalance.
+        let sinks = run(16);
+        let pages_touched = |g: usize| -> usize {
+            let mut set = std::collections::HashSet::new();
+            for a in sinks[g].clone().into_accesses() {
+                if a.vpn.vpn() < 900 {
+                    set.insert(a.vpn.vpn());
+                }
+            }
+            set.len()
+        };
+        let first = pages_touched(0);
+        let last = pages_touched(3);
+        assert!(
+            last > 3 * first,
+            "classifier stage must dominate the weights: {first} vs {last}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two layers")]
+    fn single_layer_rejected() {
+        let mut c = GenCtx {
+            num_gpus: 2,
+            pages: 100,
+            lines_per_page: 64,
+            intensity: 1.0,
+            rng: SimRng::seeded(9),
+        };
+        let _ = generate(&mut c, 1);
+    }
+}

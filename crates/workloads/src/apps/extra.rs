@@ -1,0 +1,159 @@
+//! Extension workloads beyond the paper's Table II roster: SpMV and
+//! PageRank, two classic irregular multi-GPU kernels. They exercise the
+//! same mechanism space (read-shared structure data, private partials,
+//! iterative re-sharing) from different angles and make the suite more
+//! useful as a general page-placement testbed.
+
+use crate::builder::GenCtx;
+use crate::common::{barrier_all, GpuTrace, Segment};
+
+/// Sparse matrix-vector multiply, `y = A·x` row-partitioned:
+/// the matrix rows are private to their GPU (streamed once per iteration),
+/// the dense vector `x` is gathered randomly by every GPU (read-shared),
+/// and each GPU writes its own slice of `y`.
+pub fn generate_spmv(ctx: &mut GenCtx) -> Vec<GpuTrace> {
+    let mut sinks = ctx.sinks(10);
+    let g = ctx.num_gpus;
+    let matrix = Segment::new(0, (ctx.pages * 55 / 100).max(1));
+    let x = Segment::new(matrix.end(), (ctx.pages * 30 / 100).max(1));
+    let y = Segment::new(x.end(), (ctx.pages - x.end()).max(1));
+
+    let iters = ctx.reps(4);
+    for _ in 0..iters {
+        for gpu in 0..g {
+            let my_rows = matrix.partition(gpu, g);
+            let my_y = y.partition(gpu, g);
+            for i in 0..my_rows.len {
+                // Stream the row block (private)...
+                sinks[gpu].burst_read(my_rows.page(i), 10);
+                // ...gather x at the row's column indices (shared, random).
+                for _ in 0..3 {
+                    let col = sinks[gpu].rng().below(x.len);
+                    sinks[gpu].burst_read(x.page(col), 2);
+                }
+                // ...accumulate into the private output slice.
+                let out = my_y.page(i * my_y.len / my_rows.len.max(1));
+                sinks[gpu].burst_read(out, 1);
+                sinks[gpu].burst_write(out, 3);
+            }
+        }
+        barrier_all(&mut sinks);
+    }
+    sinks
+}
+
+/// PageRank push-style iterations: ranks are double-buffered; every GPU
+/// reads the full previous-rank vector (all-shared read) and scatters
+/// updates into its own partition of the next-rank vector, with the edge
+/// structure private per GPU.
+pub fn generate_pagerank(ctx: &mut GenCtx) -> Vec<GpuTrace> {
+    let mut sinks = ctx.sinks(10);
+    let g = ctx.num_gpus;
+    let edges = Segment::new(0, (ctx.pages * 50 / 100).max(1));
+    let rank_a = Segment::new(edges.end(), (ctx.pages * 25 / 100).max(1));
+    let rank_b = Segment::new(rank_a.end(), (ctx.pages - rank_a.end()).max(1));
+
+    let iters = ctx.reps(5);
+    for iter in 0..iters {
+        let (src, dst) = if iter % 2 == 0 { (rank_a, rank_b) } else { (rank_b, rank_a) };
+        for gpu in 0..g {
+            let my_edges = edges.partition(gpu, g);
+            let my_dst = dst.partition(gpu, g);
+            for i in 0..my_edges.len {
+                sinks[gpu].burst_read(my_edges.page(i), 8);
+                // Pull neighbour ranks: random reads over the whole shared
+                // source vector.
+                for _ in 0..2 {
+                    let v = sinks[gpu].rng().zipf(src.len, 0.8);
+                    sinks[gpu].burst_read(src.page(v), 2);
+                }
+                // Scatter into the private destination partition.
+                let out = my_dst.page(i * my_dst.len / my_edges.len.max(1));
+                sinks[gpu].burst_write(out, 2);
+            }
+        }
+        barrier_all(&mut sinks);
+    }
+    sinks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grit_sim::SimRng;
+
+    fn ctx() -> GenCtx {
+        GenCtx {
+            num_gpus: 4,
+            pages: 1000,
+            lines_per_page: 64,
+            intensity: 1.0,
+            rng: SimRng::seeded(21),
+        }
+    }
+
+    fn sharing(sinks: &[GpuTrace], lo: u64, hi: u64) -> (usize, usize) {
+        let mut accessors: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            Default::default();
+        for (g, s) in sinks.iter().enumerate() {
+            for a in s.clone().into_accesses() {
+                if (lo..hi).contains(&a.vpn.vpn()) {
+                    accessors.entry(a.vpn.vpn()).or_default().insert(g);
+                }
+            }
+        }
+        let shared = accessors.values().filter(|s| s.len() > 1).count();
+        (shared, accessors.len())
+    }
+
+    #[test]
+    fn spmv_vector_shared_matrix_private() {
+        let mut c = ctx();
+        let sinks = generate_spmv(&mut c);
+        // Matrix pages 0..550: private.
+        let (shared_m, total_m) = sharing(&sinks, 0, 550);
+        assert!(shared_m == 0, "matrix rows must be private: {shared_m}/{total_m}");
+        // Vector pages 550..850: heavily shared.
+        let (shared_x, total_x) = sharing(&sinks, 550, 850);
+        assert!(
+            shared_x * 10 > total_x * 7,
+            "x must be gathered by many GPUs: {shared_x}/{total_x}"
+        );
+    }
+
+    #[test]
+    fn spmv_writes_stay_in_own_slice() {
+        let mut c = ctx();
+        let sinks = generate_spmv(&mut c);
+        let mut writers: std::collections::HashMap<u64, usize> = Default::default();
+        for (g, s) in sinks.iter().enumerate() {
+            for a in s.clone().into_accesses() {
+                if a.is_write() {
+                    assert!(a.vpn.vpn() >= 850, "writes must land in y");
+                    let w = writers.entry(a.vpn.vpn()).or_insert(g);
+                    assert_eq!(*w, g);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_double_buffers_alternate() {
+        let mut c = ctx();
+        let sinks = generate_pagerank(&mut c);
+        // Both rank buffers (500..750 and 750..1000) end up read-shared and
+        // written by partition owners across iterations.
+        for (lo, hi) in [(500u64, 750u64), (750, 1000)] {
+            let (shared, total) = sharing(&sinks, lo, hi);
+            assert!(shared * 2 > total, "rank buffer {lo}..{hi}: {shared}/{total}");
+        }
+    }
+
+    #[test]
+    fn pagerank_edges_private() {
+        let mut c = ctx();
+        let sinks = generate_pagerank(&mut c);
+        let (shared, total) = sharing(&sinks, 0, 500);
+        assert_eq!(shared, 0, "edge partitions must be private ({total} pages)");
+    }
+}

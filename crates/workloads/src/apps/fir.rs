@@ -1,0 +1,120 @@
+//! FIR (Hetero-Mark, 155 MB, *adjacent*): streaming filter over a batched
+//! signal. Almost every page is private (Fig. 4): each GPU filters its own
+//! contiguous batch. The input is staged by GPU 0 first (the §III-B TB
+//! scheduler fills GPU 0 before spilling), which is what makes uniform
+//! access-counter placement pay: the other GPUs' "private" partitions start
+//! out resident on GPU 0 and never reach the 256-access migration threshold.
+
+use crate::builder::GenCtx;
+use crate::common::{barrier_all, GpuTrace, Segment};
+
+/// Generates FIR: input 60 % / output 40 %, staged by GPU 0, then three
+/// filtered passes per GPU over its own partition with a two-page halo.
+pub fn generate(ctx: &mut GenCtx) -> Vec<GpuTrace> {
+    let mut sinks = ctx.sinks(12);
+    let input = Segment::new(0, (ctx.pages * 6 / 10).max(1));
+    let output = Segment::new(input.end(), (ctx.pages - input.end()).max(1));
+    let g = ctx.num_gpus;
+
+    // The signal batch arrives from the host (CPU-filled UVM pages); the
+    // filter kernels only read it.
+
+    let passes = ctx.reps(4);
+    for _pass in 0..passes {
+        for gpu in 0..g {
+            let my_in = input.partition(gpu, g);
+            let my_out = output.partition(gpu, g);
+            for i in 0..my_in.len {
+                let p = my_in.page(i);
+                // Filter taps: a line-dense read burst per input page and
+                // a write burst to the output page.
+                sinks[gpu].burst_read(p, 12);
+                // Output accumulation is read-modify-write.
+                sinks[gpu].burst_read(my_out.page(i), 2);
+                sinks[gpu].burst_write(my_out.page(i), 6);
+            }
+            // Filter halo: taps reach two pages into the next batch.
+            if gpu + 1 < g {
+                let next = input.partition(gpu + 1, g);
+                for i in 0..2.min(next.len) {
+                    sinks[gpu].burst_read(next.page(i), 4);
+                }
+            }
+        }
+        barrier_all(&mut sinks);
+    }
+    sinks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grit_sim::SimRng;
+
+    fn ctx() -> GenCtx {
+        GenCtx {
+            num_gpus: 4,
+            pages: 1000,
+            lines_per_page: 64,
+            intensity: 1.0,
+            rng: SimRng::seeded(1),
+        }
+    }
+
+    #[test]
+    fn mostly_private_pages() {
+        let mut c = ctx();
+        let sinks = generate(&mut c);
+        let mut accessors: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            Default::default();
+        for (g, s) in sinks.iter().enumerate() {
+            for a in s.clone().into_accesses() {
+                accessors.entry(a.vpn.vpn()).or_default().insert(g);
+            }
+        }
+        let shared = accessors.values().filter(|s| s.len() > 1).count();
+        let frac = shared as f64 / accessors.len() as f64;
+        assert!(frac < 0.05, "FIR must be ~all private, got {frac}");
+    }
+
+    #[test]
+    fn input_pages_never_written() {
+        let mut c = ctx();
+        let sinks = generate(&mut c);
+        for s in &sinks {
+            for a in s.clone().into_accesses() {
+                if a.vpn.vpn() < 600 {
+                    assert!(!a.is_write(), "FIR input is read-only");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_pages_are_read_modify_write() {
+        let mut c = ctx();
+        let sinks = generate(&mut c);
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for s in &sinks {
+            for a in s.clone().into_accesses() {
+                if a.vpn.vpn() >= 600 {
+                    if a.is_write() {
+                        writes += 1;
+                    } else {
+                        reads += 1;
+                    }
+                }
+            }
+        }
+        assert!(writes > reads, "output accumulation is write-dominated");
+        assert!(reads > 0, "accumulation reads the previous value");
+    }
+
+    #[test]
+    fn barriers_align_across_gpus() {
+        let mut c = ctx();
+        let sinks = generate(&mut c);
+        let counts: Vec<usize> = sinks.iter().map(|s| s.barriers().len()).collect();
+        assert!(counts.iter().all(|&n| n == counts[0] && n > 0));
+    }
+}

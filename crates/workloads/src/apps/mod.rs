@@ -1,0 +1,40 @@
+//! Per-application trace generators.
+//!
+//! Each generator reproduces the *page-sharing and read/write pattern* the
+//! paper characterizes for its benchmark (§IV, Figs. 4–10) — private vs
+//! shared mixes, producer–consumer vs all-shared phases, read vs read-write
+//! intervals — on a synthetic address space. The absolute instruction
+//! streams of the original OpenCL kernels are irrelevant to page placement;
+//! the fault/sharing behaviour is what exercises every mechanism.
+
+mod bfs;
+mod bs;
+mod c2d;
+mod dnn;
+mod extra;
+mod fir;
+mod gemm;
+mod sc;
+mod st;
+
+use crate::builder::GenCtx;
+use crate::common::GpuTrace;
+use crate::spec::App;
+
+/// Dispatches to the generator for `app`.
+pub fn generate(app: App, ctx: &mut GenCtx) -> Vec<GpuTrace> {
+    match app {
+        App::Bfs => bfs::generate(ctx),
+        App::Bs => bs::generate(ctx),
+        App::C2d => c2d::generate(ctx),
+        App::Fir => fir::generate(ctx),
+        App::Gemm => gemm::generate(ctx, 0.15, 0.45, 4),
+        App::Mm => gemm::generate(ctx, 0.20, 0.40, 3),
+        App::Sc => sc::generate(ctx),
+        App::St => st::generate(ctx),
+        App::Vgg16 => dnn::generate(ctx, 16),
+        App::Resnet18 => dnn::generate(ctx, 18),
+        App::Spmv => extra::generate_spmv(ctx),
+        App::Pagerank => extra::generate_pagerank(ctx),
+    }
+}

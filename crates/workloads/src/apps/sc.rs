@@ -1,0 +1,104 @@
+//! SC — Simple Convolution (AMDAPPSDK, 131 MB, *adjacent*): 2-D
+//! convolution over a row-partitioned image. Like FIR, almost all pages are
+//! private (Fig. 4) with a small read-shared halo at partition boundaries;
+//! on-touch migration wins (Fig. 1).
+
+use crate::builder::GenCtx;
+use crate::common::{barrier_all, GpuTrace, Segment};
+
+/// Generates SC: input image 70 % / output 30 %, staged by GPU 0, then
+/// per-GPU convolution passes with a boundary-row halo.
+pub fn generate(ctx: &mut GenCtx) -> Vec<GpuTrace> {
+    let mut sinks = ctx.sinks(12);
+    let input = Segment::new(0, (ctx.pages * 7 / 10).max(1));
+    let output = Segment::new(input.end(), (ctx.pages - input.end()).max(1));
+    let g = ctx.num_gpus;
+
+    // The image arrives from the host (CPU-filled UVM pages); the kernels
+    // only read it.
+
+    let passes = ctx.reps(3);
+    for _ in 0..passes {
+        for gpu in 0..g {
+            let my_in = input.partition(gpu, g);
+            let my_out = output.partition(gpu, g);
+            for i in 0..my_in.len {
+                let p = my_in.page(i);
+                // 3x3 stencil: line-dense reads of the row page plus its
+                // vertical neighbours, then an output write burst.
+                sinks[gpu].burst_read(p, 8);
+                sinks[gpu].burst_read(my_in.page(i.saturating_sub(1)), 3);
+                sinks[gpu].burst_read(my_in.page((i + 1) % my_in.len), 3);
+                let out_page = my_out.page(i * my_out.len / my_in.len.max(1));
+                // Output accumulation is read-modify-write.
+                sinks[gpu].burst_read(out_page, 2);
+                sinks[gpu].burst_write(out_page, 6);
+            }
+            // Halo rows from both neighbours (~1 % of the partition).
+            let halo = (my_in.len / 100).max(1);
+            if gpu + 1 < g {
+                let next = input.partition(gpu + 1, g);
+                for i in 0..halo.min(next.len) {
+                    sinks[gpu].burst_read(next.page(i), 4);
+                }
+            }
+            if gpu > 0 {
+                let prev = input.partition(gpu - 1, g);
+                for i in 0..halo.min(prev.len) {
+                    sinks[gpu].burst_read(prev.page(prev.len - 1 - i), 4);
+                }
+            }
+        }
+        barrier_all(&mut sinks);
+    }
+    sinks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grit_sim::SimRng;
+
+    #[test]
+    fn halo_pages_are_read_shared_only() {
+        let mut c = GenCtx {
+            num_gpus: 4,
+            pages: 2000,
+            lines_per_page: 64,
+            intensity: 1.0,
+            rng: SimRng::seeded(2),
+        };
+        let sinks = generate(&mut c);
+        // Writes must target the output segment only: the input image is
+        // read-only.
+        let input_end = 1400u64;
+        for s in sinks.iter() {
+            for a in s.clone().into_accesses() {
+                if a.is_write() {
+                    assert!(a.vpn.vpn() >= input_end);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_partitions_disjoint_across_gpus() {
+        let mut c = GenCtx {
+            num_gpus: 4,
+            pages: 2000,
+            lines_per_page: 64,
+            intensity: 1.0,
+            rng: SimRng::seeded(2),
+        };
+        let sinks = generate(&mut c);
+        let mut writers: std::collections::HashMap<u64, usize> = Default::default();
+        for (g, s) in sinks.iter().enumerate() {
+            for a in s.clone().into_accesses() {
+                if a.is_write() {
+                    let w = writers.entry(a.vpn.vpn()).or_insert(g);
+                    assert_eq!(*w, g, "output page written by two GPUs");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! ST — Stencil 2D (SHOC, 33 MB, *adjacent*): iterative Jacobi relaxation
+//! over a row-partitioned grid. 99 % of pages end up shared read-write
+//! (§VI-A): halo rows are exchanged every iteration and the TB scheduler's
+//! fill order drifts the partition boundary across iterations, so pages
+//! migrate through every GPU's working set over time — the all-shared
+//! pattern of Fig. 5(b) with the read-only-then-read-write phases of
+//! Fig. 10.
+
+use crate::builder::GenCtx;
+use crate::common::{barrier_all, GpuTrace, Segment};
+
+/// Generates ST: a read-only residual phase, then drifting read-write
+/// relaxation iterations with halo exchange.
+pub fn generate(ctx: &mut GenCtx) -> Vec<GpuTrace> {
+    let mut sinks = ctx.sinks(12);
+    let grid = Segment::new(0, ctx.pages);
+    let g = ctx.num_gpus as u64;
+    let iters = ctx.reps(10);
+    // Drift a quarter partition per iteration: pages cycle through every
+    // GPU's working set over the run (all-shared over time, Fig. 5b).
+    let drift_step = (grid.len / (g * 4)).max(1);
+
+    // Phase 1 (intervals 0..N_read, Fig. 10's read-only prefix): residual
+    // norms read each GPU's own rows plus the full neighbouring partition,
+    // so interior pages collect read faults from several GPUs.
+    let read_phases = ctx.reps(3);
+    for _ in 0..read_phases {
+        for gpu in 0..ctx.num_gpus {
+            let part = grid.partition(gpu, ctx.num_gpus);
+            let next = grid.partition((gpu + 1) % ctx.num_gpus, ctx.num_gpus);
+            for i in 0..part.len {
+                sinks[gpu].burst_read(part.page(i), 5);
+            }
+            for i in 0..next.len {
+                sinks[gpu].burst_read(next.page(i), 3);
+            }
+        }
+        barrier_all(&mut sinks);
+    }
+
+    // Phase 2: relaxation sweeps with boundary drift and two-sided halo
+    // exchange (each boundary region is read by both neighbours and
+    // written by its drifting owner).
+    for iter in 0..iters {
+        let offset = iter * drift_step;
+        for gpu in 0..ctx.num_gpus {
+            let part = grid.partition(gpu, ctx.num_gpus);
+            for i in 0..part.len {
+                let p = grid.page(part.start - grid.start + i + offset);
+                sinks[gpu].burst_read(p, 6);
+                sinks[gpu].burst_write(p, 4);
+            }
+            let halo = (part.len / 4).max(1);
+            for i in 0..halo {
+                let ahead = grid.page(part.end() - grid.start + i + offset);
+                sinks[gpu].burst_read(ahead, 4);
+                let behind = grid
+                    .page(part.start - grid.start + grid.len - 1 - i + offset);
+                sinks[gpu].burst_read(behind, 4);
+            }
+        }
+        barrier_all(&mut sinks);
+    }
+    sinks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grit_sim::SimRng;
+
+    fn run() -> (Vec<GpuTrace>, u64) {
+        let pages = 1024;
+        let mut c = GenCtx {
+            num_gpus: 4,
+            pages,
+            lines_per_page: 64,
+            intensity: 1.0,
+            rng: SimRng::seeded(4),
+        };
+        (generate(&mut c), pages)
+    }
+
+    #[test]
+    fn nearly_all_pages_shared_and_written() {
+        let (sinks, pages) = run();
+        let mut accessors: Vec<std::collections::HashSet<usize>> =
+            vec![Default::default(); pages as usize];
+        let mut written = vec![false; pages as usize];
+        for (g, s) in sinks.iter().enumerate() {
+            for a in s.clone().into_accesses() {
+                accessors[a.vpn.vpn() as usize].insert(g);
+                written[a.vpn.vpn() as usize] |= a.is_write();
+            }
+        }
+        let shared_rw = accessors
+            .iter()
+            .zip(&written)
+            .filter(|(s, &w)| s.len() > 1 && w)
+            .count();
+        assert!(
+            shared_rw as f64 > 0.9 * pages as f64,
+            "ST must be ~all shared read-write, got {shared_rw}/{pages}"
+        );
+    }
+
+    #[test]
+    fn early_phase_is_read_only() {
+        let (sinks, _) = run();
+        for s in &sinks {
+            let acc = s.clone().into_accesses();
+            // The first half-partition's worth of accesses are the norm
+            // phase: all reads.
+            assert!(acc[..100].iter().all(|a| !a.is_write()));
+        }
+    }
+
+    #[test]
+    fn drift_spreads_ownership() {
+        let (sinks, pages) = run();
+        // Some single page must be written by at least 2 different GPUs.
+        let mut writers: Vec<std::collections::HashSet<usize>> =
+            vec![Default::default(); pages as usize];
+        for (g, s) in sinks.iter().enumerate() {
+            for a in s.clone().into_accesses() {
+                if a.is_write() {
+                    writers[a.vpn.vpn() as usize].insert(g);
+                }
+            }
+        }
+        let multi = writers.iter().filter(|w| w.len() >= 2).count();
+        assert!(multi > pages as usize / 4, "drift must move writers, got {multi}");
+    }
+}

@@ -1,0 +1,171 @@
+//! The application roster of Table II, plus the DNN workloads of §VI-F.
+
+use std::fmt;
+
+/// Multi-GPU memory access pattern class (Table II).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessPattern {
+    /// Unpredictable cross-GPU reads and writes (BFS, BS).
+    Random,
+    /// Batched input shared with neighboring GPUs (C2D, FIR, SC, ST).
+    Adjacent,
+    /// Reads/writes gathered from local and remote GPUs (GEMM, MM).
+    ScatterGather,
+    /// Model-parallel DNN layer pipeline (VGG16, ResNet18).
+    LayerPipeline,
+}
+
+/// One benchmark of the evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum App {
+    /// Breadth-first search (SHOC).
+    Bfs,
+    /// Bitonic sort (AMDAPPSDK).
+    Bs,
+    /// Convolution 2D (DNN-Mark).
+    C2d,
+    /// Finite impulse response (Hetero-Mark).
+    Fir,
+    /// General matrix multiplication (AMDAPPSDK).
+    Gemm,
+    /// Matrix multiplication (AMDAPPSDK).
+    Mm,
+    /// Simple convolution (AMDAPPSDK).
+    Sc,
+    /// Stencil 2D (SHOC).
+    St,
+    /// VGG16 model-parallel training (§VI-F).
+    Vgg16,
+    /// ResNet18 model-parallel training (§VI-F).
+    Resnet18,
+    /// Sparse matrix-vector multiply (extension workload, not in the
+    /// paper: private row blocks, all-shared gathered vector).
+    Spmv,
+    /// PageRank push iterations (extension workload, not in the paper:
+    /// private edges, double-buffered shared rank vectors).
+    Pagerank,
+}
+
+impl App {
+    /// The eight Table II applications, in the paper's order.
+    pub const TABLE2: [App; 8] =
+        [App::Bfs, App::Bs, App::C2d, App::Fir, App::Gemm, App::Mm, App::Sc, App::St];
+
+    /// The DNN workloads of §VI-F.
+    pub const DNN: [App; 2] = [App::Vgg16, App::Resnet18];
+
+    /// Extension workloads beyond the paper's roster.
+    pub const EXTRA: [App; 2] = [App::Spmv, App::Pagerank];
+
+    /// Abbreviation used in every figure.
+    pub fn abbr(self) -> &'static str {
+        match self {
+            App::Bfs => "BFS",
+            App::Bs => "BS",
+            App::C2d => "C2D",
+            App::Fir => "FIR",
+            App::Gemm => "GEMM",
+            App::Mm => "MM",
+            App::Sc => "SC",
+            App::St => "ST",
+            App::Vgg16 => "VGG16",
+            App::Resnet18 => "ResNet18",
+            App::Spmv => "SPMV",
+            App::Pagerank => "PR",
+        }
+    }
+
+    /// Full application name (Table II).
+    pub fn full_name(self) -> &'static str {
+        match self {
+            App::Bfs => "Breadth-first Search",
+            App::Bs => "Bitonic Sort",
+            App::C2d => "Convolution 2D",
+            App::Fir => "Finite Impulse Resp.",
+            App::Gemm => "General Matrix Multiplication",
+            App::Mm => "Matrix Multiplication",
+            App::Sc => "Simple Convolution",
+            App::St => "Stencil 2D",
+            App::Vgg16 => "VGG16 (model parallel)",
+            App::Resnet18 => "ResNet18 (model parallel)",
+            App::Spmv => "Sparse Matrix-Vector Multiply",
+            App::Pagerank => "PageRank",
+        }
+    }
+
+    /// Benchmark suite of origin (Table II).
+    pub fn suite(self) -> &'static str {
+        match self {
+            App::Bfs | App::St => "SHOC",
+            App::Bs | App::Gemm | App::Mm | App::Sc => "AMDAPPSDK",
+            App::C2d => "DNN-Mark",
+            App::Fir => "Hetero-Mark",
+            App::Vgg16 | App::Resnet18 => "DNN",
+            App::Spmv | App::Pagerank => "extension",
+        }
+    }
+
+    /// Access-pattern class (Table II).
+    pub fn pattern(self) -> AccessPattern {
+        match self {
+            App::Bfs | App::Bs => AccessPattern::Random,
+            App::C2d | App::Fir | App::Sc | App::St => AccessPattern::Adjacent,
+            App::Gemm | App::Mm => AccessPattern::ScatterGather,
+            App::Vgg16 | App::Resnet18 => AccessPattern::LayerPipeline,
+            App::Spmv | App::Pagerank => AccessPattern::ScatterGather,
+        }
+    }
+
+    /// Memory footprint in bytes at scale 1.0 (Table II; DNNs sized to the
+    /// §VI-F model-parallel working sets).
+    pub fn footprint_bytes(self) -> u64 {
+        const MB: u64 = 1024 * 1024;
+        match self {
+            App::Bfs => 32 * MB,
+            App::Bs => 30 * MB,
+            App::C2d => 94 * MB,
+            App::Fir => 155 * MB,
+            App::Gemm => 16 * MB,
+            App::Mm => 33 * MB,
+            App::Sc => 131 * MB,
+            App::St => 33 * MB,
+            App::Vgg16 => 120 * MB,
+            App::Resnet18 => 64 * MB,
+            App::Spmv => 96 * MB,
+            App::Pagerank => 80 * MB,
+        }
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        assert_eq!(App::TABLE2.len(), 8);
+        assert_eq!(App::Fir.footprint_bytes(), 155 * 1024 * 1024);
+        assert_eq!(App::Gemm.footprint_bytes(), 16 * 1024 * 1024);
+        assert_eq!(App::Bfs.suite(), "SHOC");
+        assert_eq!(App::Fir.suite(), "Hetero-Mark");
+        assert_eq!(App::C2d.suite(), "DNN-Mark");
+        assert_eq!(App::Bfs.pattern(), AccessPattern::Random);
+        assert_eq!(App::Fir.pattern(), AccessPattern::Adjacent);
+        assert_eq!(App::Gemm.pattern(), AccessPattern::ScatterGather);
+    }
+
+    #[test]
+    fn abbreviations_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for a in App::TABLE2.iter().chain(App::DNN.iter()).chain(App::EXTRA.iter()) {
+            assert!(seen.insert(a.abbr()));
+            assert!(!a.full_name().is_empty());
+        }
+    }
+}

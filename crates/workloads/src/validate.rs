@@ -1,0 +1,219 @@
+//! Workload validation: checks a generated trace against the paper's
+//! documented characterization of its benchmark (Table II access pattern,
+//! Fig. 4 sharing mix, Fig. 9 read/write mix, §VI-A shared-RW shares).
+//!
+//! Used by the test suite and the `repro` tooling to guard the trace
+//! generators against drift: a refactor that silently turns FIR into a
+//! shared workload would invalidate half the evaluation.
+
+use std::collections::HashMap;
+
+use grit_sim::AccessStream;
+
+use crate::builder::MultiGpuWorkload;
+use crate::spec::App;
+
+/// Expected characterization band for one application.
+#[derive(Clone, Copy, Debug)]
+pub struct Expectation {
+    /// Inclusive band for the fraction of pages shared by >1 GPU.
+    pub shared_pages: (f64, f64),
+    /// Inclusive band for the fraction of accesses that are writes.
+    pub write_accesses: (f64, f64),
+    /// Inclusive band for the fraction of pages that are shared *and*
+    /// written (§VI-A's hard class).
+    pub shared_rw_pages: (f64, f64),
+}
+
+impl Expectation {
+    /// The paper-derived band for `app`.
+    pub fn for_app(app: App) -> Expectation {
+        match app {
+            // Almost all pages shared, read-dominated (Figs. 4/9).
+            App::Bfs => Expectation {
+                shared_pages: (0.80, 1.0),
+                write_accesses: (0.0, 0.15),
+                shared_rw_pages: (0.0, 0.5),
+            },
+            // All-shared, ~50/50 reads and writes.
+            App::Bs => Expectation {
+                shared_pages: (0.80, 1.0),
+                write_accesses: (0.35, 0.65),
+                shared_rw_pages: (0.45, 1.0),
+            },
+            // Mixed private weights / PC-shared activations (§VI-A: 42 %).
+            App::C2d => Expectation {
+                shared_pages: (0.30, 0.92),
+                write_accesses: (0.10, 0.60),
+                shared_rw_pages: (0.25, 0.95),
+            },
+            // Almost all private.
+            App::Fir | App::Sc => Expectation {
+                shared_pages: (0.0, 0.05),
+                write_accesses: (0.10, 0.55),
+                shared_rw_pages: (0.0, 0.05),
+            },
+            // Roughly half shared (read-only inputs), private RW outputs.
+            App::Gemm | App::Mm => Expectation {
+                shared_pages: (0.30, 0.70),
+                write_accesses: (0.05, 0.40),
+                shared_rw_pages: (0.0, 0.10),
+            },
+            // Practically everything shared read-write (§VI-A: 99 %).
+            App::St => Expectation {
+                shared_pages: (0.90, 1.0),
+                write_accesses: (0.15, 0.55),
+                shared_rw_pages: (0.85, 1.0),
+            },
+            // Model parallel: private weights dominate; activations +
+            // replicated parameters shared.
+            App::Vgg16 | App::Resnet18 => Expectation {
+                shared_pages: (0.05, 0.60),
+                write_accesses: (0.15, 0.70),
+                shared_rw_pages: (0.0, 0.30),
+            },
+            // Extension: private structure, shared gathered vectors.
+            App::Spmv => Expectation {
+                shared_pages: (0.15, 0.50),
+                write_accesses: (0.02, 0.30),
+                shared_rw_pages: (0.0, 0.10),
+            },
+            App::Pagerank => Expectation {
+                shared_pages: (0.25, 0.65),
+                write_accesses: (0.02, 0.30),
+                shared_rw_pages: (0.10, 0.65),
+            },
+        }
+    }
+}
+
+/// Measured characterization of a generated workload.
+#[derive(Clone, Copy, Debug)]
+pub struct Characterization {
+    /// Distinct pages touched.
+    pub pages: u64,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Fraction of pages shared by more than one GPU.
+    pub shared_pages: f64,
+    /// Fraction of accesses that are writes.
+    pub write_accesses: f64,
+    /// Fraction of pages both shared and written.
+    pub shared_rw_pages: f64,
+}
+
+/// Measures a workload's sharing/write characterization (consumes the
+/// streams; clone the workload if it is still needed).
+pub fn characterize(workload: MultiGpuWorkload) -> Characterization {
+    let mut sharers: HashMap<u64, u16> = HashMap::new();
+    let mut written: HashMap<u64, bool> = HashMap::new();
+    let mut accesses = 0u64;
+    let mut writes = 0u64;
+    for (g, mut stream) in workload.streams.into_iter().enumerate() {
+        let bit = 1u16 << g;
+        while let Some(a) = stream.next_access() {
+            accesses += 1;
+            *sharers.entry(a.vpn.vpn()).or_insert(0) |= bit;
+            *written.entry(a.vpn.vpn()).or_insert(false) |= a.is_write();
+            if a.is_write() {
+                writes += 1;
+            }
+        }
+    }
+    let pages = sharers.len() as u64;
+    let shared = sharers.values().filter(|m| m.count_ones() > 1).count() as u64;
+    let shared_rw = sharers
+        .iter()
+        .filter(|(p, m)| m.count_ones() > 1 && written[*p])
+        .count() as u64;
+    Characterization {
+        pages,
+        accesses,
+        shared_pages: ratio(shared, pages),
+        write_accesses: ratio(writes, accesses),
+        shared_rw_pages: ratio(shared_rw, pages),
+    }
+}
+
+fn ratio(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Validates a workload against its application's expected band.
+///
+/// # Errors
+///
+/// Returns a description of the first band violated.
+pub fn validate(app: App, workload: MultiGpuWorkload) -> Result<Characterization, String> {
+    let c = characterize(workload);
+    let e = Expectation::for_app(app);
+    let check = |name: &str, v: f64, (lo, hi): (f64, f64)| {
+        if v < lo || v > hi {
+            Err(format!("{app}: {name} {v:.3} outside [{lo:.2}, {hi:.2}]"))
+        } else {
+            Ok(())
+        }
+    };
+    check("shared-page fraction", c.shared_pages, e.shared_pages)?;
+    check("write-access fraction", c.write_accesses, e.write_accesses)?;
+    check("shared-RW-page fraction", c.shared_rw_pages, e.shared_rw_pages)?;
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkloadBuilder;
+
+    fn build(app: App) -> MultiGpuWorkload {
+        WorkloadBuilder::new(app).scale(0.04).intensity(1.5).seed(0xBEEF).build()
+    }
+
+    #[test]
+    fn every_app_passes_its_own_band() {
+        for app in App::TABLE2.iter().chain(App::DNN.iter()).chain(App::EXTRA.iter()) {
+            let c = validate(*app, build(*app))
+                .unwrap_or_else(|e| panic!("characterization drifted: {e}"));
+            assert!(c.pages > 0 && c.accesses > 0);
+        }
+    }
+
+    #[test]
+    fn bands_discriminate_between_apps() {
+        // ST's trace must *fail* FIR's band (and vice versa): the bands are
+        // tight enough to catch a generator mix-up.
+        assert!(validate(App::Fir, build(App::St)).is_err());
+        assert!(validate(App::St, build(App::Fir)).is_err());
+        assert!(validate(App::Bfs, build(App::Bs)).is_err());
+    }
+
+    #[test]
+    fn characterize_counts_exactly() {
+        use crate::common::GpuTrace;
+        use grit_sim::{PageId, SimRng, SliceStream};
+        let mut t0 = GpuTrace::new(SimRng::seeded(1), 64, 4);
+        t0.read(PageId(0));
+        t0.write(PageId(1));
+        let mut t1 = GpuTrace::new(SimRng::seeded(2), 64, 4);
+        t1.read(PageId(1));
+        let w = MultiGpuWorkload {
+            app: App::Bfs,
+            footprint_pages: 2,
+            streams: vec![
+                SliceStream::new(t0.into_accesses()),
+                SliceStream::new(t1.into_accesses()),
+            ],
+            barriers: vec![vec![], vec![]],
+        };
+        let c = characterize(w);
+        assert_eq!(c.pages, 2);
+        assert_eq!(c.accesses, 3);
+        assert!((c.shared_pages - 0.5).abs() < 1e-12); // page 1 only
+        assert!((c.write_accesses - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.shared_rw_pages - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,454 @@
+//! `repro` — regenerates every table and figure of the GRIT paper.
+//!
+//! ```text
+//! repro all                # every figure at the default scale
+//! repro fig17              # one figure
+//! repro fig17 --quick      # CI-sized inputs
+//! repro fig17 --full       # Table II full footprints (slow)
+//! repro list               # figure index
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use grit::experiments::{self as ex, ExpConfig};
+use grit_metrics::Table;
+
+const FIGURES: &[(&str, &str)] = &[
+    ("fig1", "Uniform schemes + Ideal vs on-touch (motivation)"),
+    ("fig3", "Page-handling latency breakdown per scheme"),
+    ("fig4", "Private/shared pages and accesses"),
+    ("fig5", "Shared-page access mix over time (C2D, ST)"),
+    ("fig6", "Attribute grids: GEMM & ST (Figs 6-8)"),
+    ("fig9", "Accesses to read vs read-write pages"),
+    ("fig10", "Read/write mix over time for one RW page (ST)"),
+    ("fig17", "HEADLINE: GRIT vs uniform schemes"),
+    ("fig18", "GPU page faults per policy"),
+    ("fig19", "Scheme mix under GRIT"),
+    ("fig20", "Component ablation"),
+    ("fig21", "Fault-threshold sensitivity"),
+    ("fig22", "2/8/16-GPU scaling (Figs 22-24)"),
+    ("fig25", "2MB pages with enlarged inputs"),
+    ("fig26", "Griffin comparison"),
+    ("fig27", "GPS comparison"),
+    ("fig28", "Griffin-DPC + Trans-FW comparison"),
+    ("fig29", "First-touch comparison"),
+    ("fig30", "Prefetching combination"),
+    ("fig31", "DNN model parallelism"),
+    ("oracle", "EXT: GRIT vs profile-guided static oracle"),
+    ("pacache", "EXT: PA-Cache capacity sweep"),
+    ("sweeps", "EXT: capacity / remote-gap / MLP sensitivity sweeps"),
+    ("adapt", "EXT: GRIT adaptation timeline (scheme mix over time)"),
+    ("extra", "EXT: GRIT on SpMV and PageRank"),
+];
+
+fn run_summary(exp: &ExpConfig) {
+    use grit::experiments::fig17_grit;
+    use grit::experiments::fig18_faults;
+    let t17 = fig17_grit::run(exp);
+    let (ot, ac, d) = fig17_grit::headline(&t17);
+    let t18 = fig18_faults::run(exp);
+    println!("== GRIT reproduction digest ==");
+    println!(
+        "performance: GRIT vs on-touch {:+.0}%, vs access-counter {:+.0}%, vs duplication {:+.0}%",
+        100.0 * ot,
+        100.0 * ac,
+        100.0 * d
+    );
+    println!("paper:       GRIT vs on-touch +60%, vs access-counter +49%, vs duplication +29%");
+    let g18 = t18.cell("GEOMEAN", "grit").unwrap_or(1.0);
+    println!(
+        "page faults: GRIT raises {:.0}% fewer GPU faults than on-touch (paper: 39% fewer)",
+        100.0 * (1.0 - g18)
+    );
+    println!("\nper-app speedup over on-touch (GRIT / best uniform scheme):");
+    for (label, row) in t17.rows() {
+        if label == "GEOMEAN" {
+            continue;
+        }
+        let best = row[0].max(row[1]).max(row[2]);
+        println!("  {label:<6} {:>6.2}x / {best:>5.2}x", row[3]);
+    }
+}
+
+fn run_validate(exp: &ExpConfig) -> bool {
+    use grit_workloads::{validate, App, WorkloadBuilder};
+    let mut ok = true;
+    println!("== generator characterization check ==");
+    for app in App::TABLE2.into_iter().chain(App::DNN).chain(App::EXTRA) {
+        let w = WorkloadBuilder::new(app)
+            .scale(exp.scale)
+            .intensity(exp.intensity)
+            .seed(exp.seed)
+            .build();
+        match validate(app, w) {
+            Ok(c) => println!(
+                "  {:<8} OK  ({} pages, {} accesses, {:.0}% shared, {:.0}% writes)",
+                app.abbr(),
+                c.pages,
+                c.accesses,
+                100.0 * c.shared_pages,
+                100.0 * c.write_accesses
+            ),
+            Err(e) => {
+                ok = false;
+                println!("  {:<8} DRIFTED: {e}", app.abbr());
+            }
+        }
+    }
+    ok
+}
+
+fn dump_trace(app_name: &str, path: &str, exp: &ExpConfig) -> bool {
+    use grit_workloads::{write_trace, App, WorkloadBuilder};
+    let Some(app) = App::TABLE2
+        .into_iter()
+        .chain(App::DNN)
+        .find(|a| a.abbr().eq_ignore_ascii_case(app_name))
+    else {
+        eprintln!("unknown app {app_name}");
+        return false;
+    };
+    let w = WorkloadBuilder::new(app)
+        .scale(exp.scale)
+        .intensity(exp.intensity)
+        .seed(exp.seed)
+        .build();
+    let file = match fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {path}: {e}");
+            return false;
+        }
+    };
+    match write_trace(&w, std::io::BufWriter::new(file)) {
+        Ok(()) => {
+            eprintln!(
+                "[repro] wrote {}: {} accesses over {} pages",
+                path,
+                w.total_accesses(),
+                w.footprint_pages
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("write failed: {e}");
+            false
+        }
+    }
+}
+
+fn trace_info(path: &str) -> bool {
+    use grit_workloads::{characterize, read_trace};
+    let file = match fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return false;
+        }
+    };
+    match read_trace(std::io::BufReader::new(file)) {
+        Ok(w) => {
+            println!("app:        {}", w.app.abbr());
+            println!("GPUs:       {}", w.streams.len());
+            println!("footprint:  {} pages", w.footprint_pages);
+            println!("accesses:   {}", w.total_accesses());
+            println!("phases:     {}", w.barriers[0].len());
+            let c = characterize(w);
+            println!("shared:     {:.1}% of pages", 100.0 * c.shared_pages);
+            println!("writes:     {:.1}% of accesses", 100.0 * c.write_accesses);
+            println!("shared-RW:  {:.1}% of pages", 100.0 * c.shared_rw_pages);
+            true
+        }
+        Err(e) => {
+            eprintln!("not a valid trace: {e}");
+            false
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: repro <figN|all|tables|list> [--quick|--full] [--scale X] [--intensity X] [--seed N] [--csv DIR]"
+    );
+    eprintln!("figures:");
+    for (name, desc) in FIGURES {
+        eprintln!("  {name:<7} {desc}");
+    }
+    eprintln!("  tables   print the configuration tables (Table I-V)");
+    eprintln!("  summary  one-screen digest of the headline results");
+    eprintln!("  validate check every generator against its characterization band");
+    eprintln!("  dump-trace <APP> <PATH> / trace-info <PATH>  trace tooling");
+}
+
+/// Prints a table and optionally appends its CSV rendering to `csv_dir`.
+fn emit(table: &Table, name: &str, csv_dir: &Option<PathBuf>) {
+    println!("{}", table.to_text());
+    if let Some(dir) = csv_dir {
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = fs::write(&path, table.to_csv()) {
+            eprintln!("[repro] failed to write {}: {e}", path.display());
+        }
+    }
+}
+
+fn print_config_tables() {
+    use grit_sim::SimConfig;
+    use grit_workloads::App;
+    let cfg = SimConfig::default();
+    println!("== Table I: baseline multi-GPU configuration ==");
+    println!("  GPUs                      {}", cfg.num_gpus);
+    println!("  page size                 {} B", cfg.page_size);
+    println!("  DRAM per GPU              {:.0}% of footprint", 100.0 * cfg.capacity_ratio);
+    println!("  L1 data cache             {} x 64 B, {}-way", cfg.l1_cache.entries, cfg.l1_cache.ways);
+    println!("  L2 data cache             {} x 64 B, {}-way", cfg.l2_cache.entries, cfg.l2_cache.ways);
+    println!("  L1 TLB                    {} entries, {}-way, {} cyc", cfg.l1_tlb.entries, cfg.l1_tlb.ways, cfg.l1_tlb.lookup_latency);
+    println!("  L2 TLB                    {} entries, {}-way, {} cyc", cfg.l2_tlb.entries, cfg.l2_tlb.ways, cfg.l2_tlb.lookup_latency);
+    println!("  page walkers              {} shared, {} cyc/level, {} levels", cfg.walk.walkers, cfg.walk.cycles_per_level, cfg.walk.levels);
+    println!("  page-walk cache / queue   {} / {} entries", cfg.walk.walk_cache_entries, cfg.walk.queue_capacity);
+    println!("  access-counter threshold  {}", cfg.access_counter_threshold);
+    println!("  NVLink / PCIe             {:.0} / {:.0} B per cycle", cfg.links.nvlink_bytes_per_cycle, cfg.links.pcie_bytes_per_cycle);
+    println!();
+    println!("== Table II: applications ==");
+    println!("  {:<5} {:<30} {:<12} {:<15} {:>9}", "abbr", "application", "suite", "pattern", "footprint");
+    for app in App::TABLE2 {
+        println!(
+            "  {:<5} {:<30} {:<12} {:<15} {:>6} MB",
+            app.abbr(),
+            app.full_name(),
+            app.suite(),
+            format!("{:?}", app.pattern()),
+            app.footprint_bytes() / (1024 * 1024)
+        );
+    }
+    println!();
+    println!("== Table III: policy preference ==");
+    use grit_core::{preference, RwClass, SharingClass};
+    for (label, s) in [
+        ("private", SharingClass::Private),
+        ("pc-shared", SharingClass::PcShared),
+        ("all-shared", SharingClass::AllShared),
+    ] {
+        for (rw_label, rw) in [("read", RwClass::Read), ("read-write", RwClass::ReadWrite)] {
+            let pref: Vec<String> =
+                preference(s, rw).iter().map(|x| x.to_string()).collect();
+            println!("  {label:<10} {rw_label:<10} -> {}", pref.join(" / "));
+        }
+    }
+    println!();
+    println!("== Table IV: scheme bits ==");
+    use grit_sim::Scheme;
+    for s in Scheme::ALL {
+        println!("  {:#04b}  {s}", s.bits());
+    }
+    println!();
+    println!("== Table V: group bits ==");
+    use grit_sim::GroupSize;
+    for g in [GroupSize::One, GroupSize::Eight, GroupSize::SixtyFour, GroupSize::FiveTwelve] {
+        println!("  {:#04b}  {:>3} pages ({} KB)", g.bits(), g.pages(), g.pages() * 4);
+    }
+}
+
+fn run_figure(name: &str, exp: &ExpConfig, csv_dir: &Option<PathBuf>) -> bool {
+    match name {
+        "tables" => print_config_tables(),
+        "summary" => run_summary(exp),
+        "validate" => {
+            if !run_validate(exp) {
+                eprintln!("[repro] at least one generator drifted from its band");
+            }
+        }
+        "stats" => {
+            use grit::experiments::{run_cell, PolicyKind};
+            use grit_sim::Scheme;
+            for app in grit_workloads::App::TABLE2 {
+                for p in [
+                    PolicyKind::Static(Scheme::OnTouch),
+                    PolicyKind::Static(Scheme::AccessCounter),
+                    PolicyKind::Static(Scheme::Duplication),
+                    PolicyKind::GRIT,
+                    PolicyKind::Ideal,
+                ] {
+                    let out = run_cell(app, p, exp);
+                    let m = &out.metrics;
+                    let fl = m.aux("fault_latency_summary").unwrap_or(&[]).to_vec();
+                    println!(
+                        "{:<5} {:<16} cycles={:<12} acc={:<9} faults(l={},p={}) migr={} dup={} col={} evic={} remote={} fault-lat(mean={:.0} p99={:.0}) bd[{}]",
+                        app.abbr(),
+                        p.label(),
+                        m.total_cycles,
+                        m.accesses,
+                        m.faults.local_faults,
+                        m.faults.protection_faults,
+                        m.faults.migrations,
+                        m.faults.duplications,
+                        m.faults.collapses,
+                        m.faults.evictions,
+                        m.remote_accesses,
+                        fl.get(1).copied().unwrap_or(0.0),
+                        fl.get(3).copied().unwrap_or(0.0),
+                        m.breakdown,
+                    );
+                }
+            }
+        }
+        "fig1" => emit(&ex::fig01_schemes::run(exp), "fig1", csv_dir),
+        "fig3" => emit(&ex::fig03_breakdown::run(exp), "fig3", csv_dir),
+        "fig4" => emit(&ex::fig04_sharing::run(exp), "fig4", csv_dir),
+        "fig5" => {
+            for (i, t) in ex::fig05_page_timeline::run(exp).into_iter().enumerate() {
+                emit(&t, &format!("fig5_{i}"), csv_dir);
+            }
+        }
+        "fig6" | "fig7" | "fig8" => emit(&ex::fig06_attr_grids::run(exp), "fig6_8", csv_dir),
+        "fig9" => emit(&ex::fig09_rw::run(exp), "fig9", csv_dir),
+        "fig10" => emit(&ex::fig10_rw_timeline::run(exp), "fig10", csv_dir),
+        "fig17" => {
+            let t = ex::fig17_grit::run(exp);
+            emit(&t, "fig17", csv_dir);
+            let (ot, ac, d) = ex::fig17_grit::headline(&t);
+            println!(
+                "headline: GRIT vs on-touch +{:.0}%  vs access-counter +{:.0}%  vs duplication +{:.0}%",
+                100.0 * ot,
+                100.0 * ac,
+                100.0 * d
+            );
+            println!("paper:    GRIT vs on-touch +60%  vs access-counter +49%  vs duplication +29%\n");
+        }
+        "fig18" => emit(&ex::fig18_faults::run(exp), "fig18", csv_dir),
+        "fig19" => emit(&ex::fig19_scheme_mix::run(exp), "fig19", csv_dir),
+        "fig20" => emit(&ex::fig20_ablation::run(exp), "fig20", csv_dir),
+        "fig21" => emit(&ex::fig21_threshold::run(exp), "fig21", csv_dir),
+        "fig22" | "fig23" | "fig24" => {
+            for (n, perf, faults) in ex::fig22_gpu_scaling::run(exp) {
+                println!("--- {n} GPUs ---");
+                emit(&perf, &format!("fig22_24_{n}gpu_perf"), csv_dir);
+                emit(&faults, &format!("fig22_24_{n}gpu_faults"), csv_dir);
+            }
+        }
+        "fig25" => emit(&ex::fig25_large_pages::run(exp), "fig25", csv_dir),
+        "fig26" => emit(&ex::fig26_griffin::run(exp), "fig26", csv_dir),
+        "fig27" => emit(&ex::fig27_gps::run(exp), "fig27", csv_dir),
+        "fig28" => emit(&ex::fig28_transfw::run(exp), "fig28", csv_dir),
+        "fig29" => emit(&ex::fig29_first_touch::run(exp), "fig29", csv_dir),
+        "fig30" => emit(&ex::fig30_prefetch::run(exp), "fig30", csv_dir),
+        "fig31" => emit(&ex::fig31_dnn::run(exp), "fig31", csv_dir),
+        "oracle" => emit(&ex::ext_oracle::run(exp), "oracle", csv_dir),
+        "pacache" => emit(&ex::ext_pa_cache::run(exp), "pacache", csv_dir),
+        "extra" => emit(&ex::ext_workloads::run(exp), "extra_workloads", csv_dir),
+        "adapt" => {
+            for (i, t) in ex::ext_adaptation::run(exp).into_iter().enumerate() {
+                emit(&t, &format!("adapt_{i}"), csv_dir);
+            }
+        }
+        "sweeps" => {
+            emit(&ex::ext_sweeps::run_capacity(exp), "sweep_capacity", csv_dir);
+            emit(&ex::ext_sweeps::run_remote_gap(exp), "sweep_remote_gap", csv_dir);
+            emit(&ex::ext_sweeps::run_mlp(exp), "sweep_mlp", csv_dir);
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+
+    let mut exp = ExpConfig::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => exp = ExpConfig::quick(),
+            "--full" => exp = ExpConfig::full(),
+            "--scale" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    eprintln!("--scale needs a number");
+                    return ExitCode::FAILURE;
+                };
+                exp.scale = v;
+            }
+            "--intensity" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    eprintln!("--intensity needs a number");
+                    return ExitCode::FAILURE;
+                };
+                exp.intensity = v;
+            }
+            "--seed" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                };
+                exp.seed = v;
+            }
+            "--csv" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--csv needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                let dir = PathBuf::from(dir);
+                if let Err(e) = fs::create_dir_all(&dir) {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+                csv_dir = Some(dir);
+            }
+            "list" | "--list" | "-l" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => targets.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    // Trace tooling takes positional arguments.
+    if targets.first().map(String::as_str) == Some("dump-trace") {
+        let (Some(app), Some(path)) = (targets.get(1), targets.get(2)) else {
+            eprintln!("usage: repro dump-trace <APP> <PATH> [--scale X]");
+            return ExitCode::FAILURE;
+        };
+        return if dump_trace(app, path, &exp) { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    if targets.first().map(String::as_str) == Some("trace-info") {
+        let Some(path) = targets.get(1) else {
+            eprintln!("usage: repro trace-info <PATH>");
+            return ExitCode::FAILURE;
+        };
+        return if trace_info(path) { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    if targets.iter().any(|t| t == "all") {
+        targets = FIGURES.iter().map(|(n, _)| n.to_string()).collect();
+    }
+    if targets.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "[repro] scale={} intensity={} seed={:#x}",
+        exp.scale, exp.intensity, exp.seed
+    );
+    for t in &targets {
+        eprintln!("[repro] running {t} ...");
+        if !run_figure(t, &exp, &csv_dir) {
+            eprintln!("unknown figure: {t}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

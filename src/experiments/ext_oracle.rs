@@ -1,0 +1,87 @@
+//! Extension experiment (beyond the paper): GRIT vs a profile-guided
+//! *static oracle* that places every page with whole-run knowledge.
+//!
+//! The oracle upper-bounds any static per-page placement; pages whose
+//! behaviour changes over time (Fig. 10) are the only thing it cannot
+//! express. GRIT approaching the oracle on the static apps validates its
+//! online classification; GRIT or the oracle trading wins on the
+//! phase-changing apps (ST, BS) shows where adaptivity matters.
+
+use grit_baselines::OraclePolicy;
+use grit_metrics::Table;
+use grit_sim::{Scheme, SimConfig};
+use grit_workloads::WorkloadBuilder;
+
+use super::{run_cell, table2_apps, ExpConfig, PolicyKind};
+use crate::runner::Simulation;
+
+/// Runs the extension: speedups over on-touch for GRIT, the static oracle
+/// and the Ideal.
+pub fn run(exp: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Extension: GRIT vs profile-guided static oracle (speedup over on-touch)",
+        vec!["on-touch".into(), "grit".into(), "oracle".into(), "ideal".into()],
+    );
+    for app in table2_apps() {
+        // Profiling pass (the oracle gets a free run the online policies
+        // never see).
+        let profile = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp);
+        let base = profile.metrics.total_cycles;
+        let oracle_policy = OraclePolicy::from_profile(&profile.attrs);
+
+        let cfg = SimConfig::default();
+        let workload = WorkloadBuilder::new(app)
+            .num_gpus(cfg.num_gpus)
+            .scale(exp.scale)
+            .intensity(exp.intensity)
+            .seed(exp.seed)
+            .build();
+        let oracle =
+            Simulation::new(cfg, workload, Box::new(oracle_policy)).run().metrics.total_cycles;
+
+        let grit = run_cell(app, PolicyKind::GRIT, exp).metrics.total_cycles;
+        let ideal = run_cell(app, PolicyKind::Ideal, exp).metrics.total_cycles;
+        table.push_row(
+            app.abbr(),
+            vec![
+                1.0,
+                base as f64 / grit as f64,
+                base as f64 / oracle as f64,
+                base as f64 / ideal as f64,
+            ],
+        );
+    }
+    table.push_geomean_row();
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_sits_between_grit_and_ideal_on_average() {
+        let t = run(&ExpConfig::quick());
+        let grit = t.cell("GEOMEAN", "grit").unwrap();
+        let oracle = t.cell("GEOMEAN", "oracle").unwrap();
+        let ideal = t.cell("GEOMEAN", "ideal").unwrap();
+        assert!(
+            oracle >= 0.95 * grit,
+            "perfect-profile placement must match or beat GRIT: {oracle} vs {grit}"
+        );
+        assert!(ideal > oracle, "Ideal bounds the oracle: {ideal} vs {oracle}");
+    }
+
+    #[test]
+    fn grit_recovers_most_of_the_oracle() {
+        // The paper's premise: online fault-driven classification gets
+        // close to what offline profiling would pick.
+        let t = run(&ExpConfig::quick());
+        let grit = t.cell("GEOMEAN", "grit").unwrap();
+        let oracle = t.cell("GEOMEAN", "oracle").unwrap();
+        assert!(
+            grit >= 0.70 * oracle,
+            "GRIT must recover most of the oracle's gain: {grit} vs {oracle}"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Extension sensitivity sweeps (beyond the paper): how robust is GRIT's
+//! advantage to the substrate parameters the paper holds fixed?
+//!
+//! * **Memory capacity** — §III-B fixes per-GPU memory at 70 % of the
+//!   footprint; replication-based placement lives or dies by this.
+//! * **Remote-access throughput** — the peer-request issue gap decides the
+//!   on-touch-vs-remote tradeoff at the heart of every scheme comparison.
+//! * **Memory-level parallelism** — the CU-abstraction window; fault
+//!   latency tolerance scales with it.
+
+use grit_metrics::Table;
+use grit_sim::{Scheme, SimConfig};
+use grit_workloads::App;
+
+use super::{run_cell_with, ExpConfig, PolicyKind};
+
+/// Capacity ratios swept.
+pub const CAPACITIES: [f64; 4] = [0.4, 0.55, 0.7, 1.0];
+/// Remote issue gaps swept (cycles between peer requests).
+pub const REMOTE_GAPS: [u64; 4] = [15, 45, 90, 180];
+/// MLP windows swept (outstanding memory operations per GPU).
+pub const MLP_WINDOWS: [usize; 4] = [12, 24, 48, 96];
+
+/// Representative application set for the sweeps: one per pattern class.
+fn sweep_apps() -> [App; 4] {
+    [App::Bfs, App::Gemm, App::Fir, App::St]
+}
+
+fn grit_gain(app: App, cfg: &SimConfig, exp: &ExpConfig) -> f64 {
+    let ot = run_cell_with(app, PolicyKind::Static(Scheme::OnTouch), exp, cfg.clone(), None)
+        .metrics
+        .total_cycles;
+    let grit =
+        run_cell_with(app, PolicyKind::GRIT, exp, cfg.clone(), None).metrics.total_cycles;
+    ot as f64 / grit as f64
+}
+
+/// Sweep per-GPU memory capacity.
+pub fn run_capacity(exp: &ExpConfig) -> Table {
+    let cols = CAPACITIES.iter().map(|c| format!("{:.0}%", 100.0 * c)).collect();
+    let mut table = Table::new(
+        "Extension: GRIT gain over on-touch vs per-GPU memory capacity",
+        cols,
+    );
+    for app in sweep_apps() {
+        let row = CAPACITIES
+            .iter()
+            .map(|&c| {
+                let mut cfg = SimConfig::default();
+                cfg.capacity_ratio = c;
+                grit_gain(app, &cfg, exp)
+            })
+            .collect();
+        table.push_row(app.abbr(), row);
+    }
+    table.push_geomean_row();
+    table
+}
+
+/// Sweep the peer-request issue gap.
+pub fn run_remote_gap(exp: &ExpConfig) -> Table {
+    let cols = REMOTE_GAPS.iter().map(|g| format!("gap={g}")).collect();
+    let mut table = Table::new(
+        "Extension: GRIT gain over on-touch vs remote-access throughput",
+        cols,
+    );
+    for app in sweep_apps() {
+        let row = REMOTE_GAPS
+            .iter()
+            .map(|&g| {
+                let mut cfg = SimConfig::default();
+                cfg.lat.remote_issue_gap = g;
+                grit_gain(app, &cfg, exp)
+            })
+            .collect();
+        table.push_row(app.abbr(), row);
+    }
+    table.push_geomean_row();
+    table
+}
+
+/// Sweep the per-GPU MLP window.
+pub fn run_mlp(exp: &ExpConfig) -> Table {
+    let cols = MLP_WINDOWS.iter().map(|w| format!("mlp={w}")).collect();
+    let mut table = Table::new(
+        "Extension: GRIT gain over on-touch vs memory-level parallelism",
+        cols,
+    );
+    for app in sweep_apps() {
+        let row = MLP_WINDOWS
+            .iter()
+            .map(|&w| {
+                let mut cfg = SimConfig::default();
+                cfg.mlp_window = w;
+                grit_gain(app, &cfg, exp)
+            })
+            .collect();
+        table.push_row(app.abbr(), row);
+    }
+    table.push_geomean_row();
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grit_gain_is_robust_across_capacity() {
+        let t = run_capacity(&ExpConfig::quick());
+        for (label, row) in t.rows() {
+            if label == "GEOMEAN" {
+                // Positive on average at every capacity point.
+                for (i, v) in row.iter().enumerate() {
+                    assert!(*v > 0.9, "capacity point {i}: geomean gain {v}");
+                }
+            }
+        }
+        // Abundant memory helps the duplication-leaning apps most: BFS's
+        // gain at 100% capacity must be at least its gain at 40%.
+        assert!(
+            t.cell("BFS", "100%").unwrap() >= t.cell("BFS", "40%").unwrap() * 0.9,
+            "more memory must not collapse BFS's replication gain"
+        );
+    }
+
+    #[test]
+    fn remote_throughput_shifts_but_never_flips_st() {
+        // ST converges to access-counter placement under GRIT, so its gain
+        // over on-touch is largest when remote access is cheap and shrinks
+        // as the peer fabric gets slower — but it must stay a win at every
+        // point of the sweep.
+        let t = run_remote_gap(&ExpConfig::quick());
+        let cheap = t.cell("ST", "gap=15").unwrap();
+        let costly = t.cell("ST", "gap=180").unwrap();
+        assert!(cheap > 1.0 && costly > 1.0, "ST gain must persist: {cheap}/{costly}");
+        assert!(
+            cheap >= costly,
+            "remote-bound ST should benefit most from a cheap fabric: {cheap} vs {costly}"
+        );
+    }
+
+    #[test]
+    fn mlp_window_does_not_flip_the_result() {
+        let t = run_mlp(&ExpConfig::quick());
+        for w in MLP_WINDOWS {
+            let g = t.cell("GEOMEAN", &format!("mlp={w}")).unwrap();
+            assert!(g > 0.9, "mlp={w}: geomean gain {g}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig. 4: percentage of private vs shared pages, and percentage of
+//! accesses going to private vs shared pages, per application.
+
+use grit_metrics::Table;
+use grit_sim::Scheme;
+
+use super::{run_cell, table2_apps, ExpConfig, PolicyKind};
+
+/// Runs the figure (page attributes are policy-independent; the on-touch
+/// baseline run supplies them).
+pub fn run(exp: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Fig 4: private/shared pages and accesses (%)",
+        vec![
+            "private-pages".into(),
+            "shared-pages".into(),
+            "acc-private".into(),
+            "acc-shared".into(),
+        ],
+    );
+    for app in table2_apps() {
+        let out = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp);
+        let s = out.page_attrs;
+        table.push_row(
+            app.abbr(),
+            vec![
+                100.0 * (1.0 - s.shared_page_frac()),
+                100.0 * s.shared_page_frac(),
+                100.0 * (1.0 - s.shared_access_frac()),
+                100.0 * s.shared_access_frac(),
+            ],
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages_are_complementary() {
+        let t = run(&ExpConfig::quick());
+        for (_, row) in t.rows() {
+            assert!((row[0] + row[1] - 100.0).abs() < 1e-6);
+            assert!((row[2] + row[3] - 100.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn characterization_matches_paper() {
+        let t = run(&ExpConfig::quick());
+        // FIR and SC: almost all pages private (paper: "almost all").
+        assert!(t.cell("FIR", "private-pages").unwrap() > 80.0);
+        assert!(t.cell("SC", "private-pages").unwrap() > 80.0);
+        // BFS and ST: almost all pages shared.
+        assert!(t.cell("BFS", "shared-pages").unwrap() > 80.0);
+        assert!(t.cell("ST", "shared-pages").unwrap() > 80.0);
+        // C2D, GEMM and MM: a mix of both.
+        for app in ["C2D", "GEMM", "MM"] {
+            let shared = t.cell(app, "shared-pages").unwrap();
+            assert!((15.0..=92.0).contains(&shared), "{app}: {shared}");
+        }
+    }
+}

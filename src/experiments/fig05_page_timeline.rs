@@ -1,0 +1,83 @@
+//! Fig. 5: per-interval distribution of the GPUs accessing one hot shared
+//! page — producer–consumer sharing in C2D (one GPU per interval, handing
+//! off) vs all-shared in ST (every GPU throughout).
+
+use grit_metrics::Table;
+use grit_sim::{Scheme, SimConfig};
+use grit_workloads::App;
+
+use super::{run_cell, run_cell_with, ExpConfig, PolicyKind};
+use crate::runner::ObserverConfig;
+
+/// Per-interval GPU access fractions for the hottest shared page of `app`.
+pub fn run_app(app: App, exp: &ExpConfig) -> Table {
+    // Pass 1: find the page to track (the paper picks "a certain page"
+    // with significant sharing).
+    let scout = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp);
+    let page = scout
+        .attrs
+        .hottest(2)
+        .expect("workload must have at least one shared page");
+
+    // Pass 2: rerun with the tracked-page observer. The interval shrinks
+    // with the scaled runs so several intervals land inside the page's
+    // active window (producer-consumer pages live in a narrow span).
+    let interval = (scout.metrics.total_cycles / 192).max(1);
+    let obs = ObserverConfig {
+        track_page: Some(page),
+        interval_cycles: interval,
+        ..Default::default()
+    };
+    let out = run_cell_with(
+        app,
+        PolicyKind::Static(Scheme::OnTouch),
+        exp,
+        SimConfig::default(),
+        Some(obs),
+    );
+    let observer = out.observer.expect("observer configured");
+
+    let gpus = SimConfig::default().num_gpus;
+    let cols: Vec<String> = (0..gpus).map(|g| format!("GPU{g}")).collect();
+    let mut table = Table::new(
+        format!("Fig 5: access mix over time for {} of {}", page, app.abbr()),
+        cols,
+    );
+    for (i, fracs) in observer.page_by_gpu.fractions().into_iter().enumerate() {
+        table.push_row(format!("interval{i}"), fracs.iter().map(|f| 100.0 * f).collect());
+    }
+    table
+}
+
+/// Runs the figure for the paper's two exemplars, C2D and ST.
+pub fn run(exp: &ExpConfig) -> Vec<Table> {
+    vec![run_app(App::C2d, exp), run_app(App::St, exp)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn st_page_is_touched_by_multiple_gpus_over_time() {
+        let t = run_app(App::St, &ExpConfig::quick());
+        let mut gpus_seen = std::collections::HashSet::new();
+        for (_, row) in t.rows() {
+            for (g, &v) in row.iter().enumerate() {
+                if v > 0.0 {
+                    gpus_seen.insert(g);
+                }
+            }
+        }
+        assert!(gpus_seen.len() >= 2, "ST hot page must be shared over time");
+    }
+
+    #[test]
+    fn rows_are_percentages() {
+        let t = run_app(App::C2d, &ExpConfig::quick());
+        for (_, row) in t.rows() {
+            let sum: f64 = row.iter().sum();
+            assert!(sum <= 100.0 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Figs. 6–8: page-attribute-over-time grids. Fig. 6 shows private/shared
+//! per page bin over time for GEMM, Fig. 7 read/read-write for GEMM,
+//! Fig. 8 private/shared for ST. The load-bearing observation (§IV-C) is
+//! that *neighboring pages share attributes* — quantified here as the
+//! horizontal neighbor-agreement of each grid.
+
+use grit_metrics::{AttrGrid, Table};
+use grit_sim::{Scheme, SimConfig};
+use grit_workloads::App;
+
+use super::{run_cell, run_cell_with, ExpConfig, PolicyKind};
+use crate::runner::ObserverConfig;
+
+/// Grids for one application.
+pub struct AppGrids {
+    /// The application.
+    pub app: App,
+    /// Private(1)/shared(2) grid.
+    pub private_shared: AttrGrid,
+    /// Read(1)/read-write(2) grid.
+    pub read_rw: AttrGrid,
+}
+
+/// Records the grids for `app` with `bins` page bins.
+pub fn grids_for(app: App, exp: &ExpConfig, bins: usize) -> AppGrids {
+    // Scout run sizes the 50 intervals to the execution length.
+    let scout = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp);
+    let interval = (scout.metrics.total_cycles / 50).max(1);
+    let obs = ObserverConfig {
+        track_page: None,
+        interval_cycles: interval,
+        grid_page_bins: bins,
+        grid_intervals: 50,
+        scheme_timeline: false,
+    };
+    let out = run_cell_with(
+        app,
+        PolicyKind::Static(Scheme::OnTouch),
+        exp,
+        SimConfig::default(),
+        Some(obs),
+    );
+    let observer = out.observer.expect("grids configured");
+    AppGrids {
+        app,
+        private_shared: observer.grid_private_shared.expect("ps grid"),
+        read_rw: observer.grid_read_rw.expect("rw grid"),
+    }
+}
+
+/// Runs Figs. 6–8 and reports neighbor agreement plus attribute mix.
+pub fn run(exp: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Figs 6-8: page-attribute grids (neighbor agreement & attribute mix)",
+        vec![
+            "neighbor-agreement".into(),
+            "frac-attr-1".into(),
+            "frac-attr-2".into(),
+        ],
+    );
+    for (label, grid) in [
+        ("GEMM private/shared (Fig 6)", grids_for(App::Gemm, exp, 64).private_shared),
+        ("GEMM read/read-write (Fig 7)", grids_for(App::Gemm, exp, 64).read_rw),
+        ("ST private/shared (Fig 8)", grids_for(App::St, exp, 64).private_shared),
+    ] {
+        table.push_row(
+            label,
+            vec![grid.neighbor_agreement(), grid.frac_of_touched(1), grid.frac_of_touched(2)],
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighboring_pages_agree() {
+        // The §IV-C claim GRIT's NAP is built on: neighboring pages show
+        // the same attributes the vast majority of the time.
+        let t = run(&ExpConfig::quick());
+        for (label, row) in t.rows() {
+            assert!(row[0] > 0.8, "{label}: neighbor agreement {} too low", row[0]);
+        }
+    }
+
+    #[test]
+    fn gemm_has_both_attribute_classes() {
+        let g = grids_for(App::Gemm, &ExpConfig::quick(), 64);
+        assert!(g.private_shared.frac_of_touched(1) > 0.05, "private pages exist");
+        assert!(g.private_shared.frac_of_touched(2) > 0.05, "shared pages exist");
+    }
+}

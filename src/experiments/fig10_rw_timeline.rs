@@ -1,0 +1,71 @@
+//! Fig. 10: read/write access mix over time for one read-write page of ST
+//! — read-only intervals followed by read-write intervals, the temporal
+//! variation that makes a static duplication decision wrong.
+
+use grit_metrics::Table;
+use grit_sim::{Scheme, SimConfig};
+use grit_workloads::App;
+
+use super::{run_cell, run_cell_with, ExpConfig, PolicyKind};
+use crate::runner::ObserverConfig;
+
+/// Runs the figure for `app` (the paper uses ST).
+pub fn run_app(app: App, exp: &ExpConfig) -> Table {
+    let scout = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp);
+    let page = scout
+        .attrs
+        .hottest_written(2)
+        .expect("workload must have a shared read-write page");
+    let interval = (scout.metrics.total_cycles / 32).max(1);
+    let obs = ObserverConfig {
+        track_page: Some(page),
+        interval_cycles: interval,
+        ..Default::default()
+    };
+    let out = run_cell_with(
+        app,
+        PolicyKind::Static(Scheme::OnTouch),
+        exp,
+        SimConfig::default(),
+        Some(obs),
+    );
+    let observer = out.observer.expect("observer configured");
+    let mut table = Table::new(
+        format!("Fig 10: read/write mix over time for {} of {}", page, app.abbr()),
+        vec!["reads%".into(), "writes%".into()],
+    );
+    for (i, fracs) in observer.page_rw.fractions().into_iter().enumerate() {
+        table.push_row(format!("interval{i}"), fracs.iter().map(|f| 100.0 * f).collect());
+    }
+    table
+}
+
+/// The paper's exemplar: ST.
+pub fn run(exp: &ExpConfig) -> Table {
+    run_app(App::St, exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn st_page_has_read_only_and_rw_intervals() {
+        let t = run(&ExpConfig::quick());
+        let mut read_only = 0;
+        let mut with_writes = 0;
+        for (_, row) in t.rows() {
+            let (r, w) = (row[0], row[1]);
+            if r + w == 0.0 {
+                continue;
+            }
+            if w == 0.0 {
+                read_only += 1;
+            } else {
+                with_writes += 1;
+            }
+        }
+        assert!(read_only >= 1, "ST must have read-only intervals (Fig 10: 0-8)");
+        assert!(with_writes >= 1, "ST must have read-write intervals (Fig 10: 9-31)");
+    }
+}

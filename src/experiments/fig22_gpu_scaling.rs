@@ -1,0 +1,86 @@
+//! Figs. 22–24: GRIT on 2-, 8- and 16-GPU systems, normalized to each
+//! system size's own on-touch baseline (input size held constant, §VI-B2),
+//! with the accompanying page-fault reductions.
+
+use grit_metrics::Table;
+use grit_sim::{Scheme, SimConfig};
+
+use super::{run_cell_with, table2_apps, ExpConfig, PolicyKind};
+
+/// Policies compared per GPU count.
+fn policies() -> [PolicyKind; 4] {
+    [
+        PolicyKind::Static(Scheme::OnTouch),
+        PolicyKind::Static(Scheme::AccessCounter),
+        PolicyKind::Static(Scheme::Duplication),
+        PolicyKind::GRIT,
+    ]
+}
+
+/// Runs one GPU-count variant; returns `(speedups, fault ratios)` tables.
+pub fn run_gpus(num_gpus: usize, exp: &ExpConfig) -> (Table, Table) {
+    let cols: Vec<String> = policies().iter().map(|p| p.label()).collect();
+    let mut perf = Table::new(
+        format!("Figs 22-24: {num_gpus}-GPU speedup over {num_gpus}-GPU on-touch"),
+        cols.clone(),
+    );
+    let mut faults = Table::new(
+        format!("Figs 22-24: {num_gpus}-GPU page faults normalized to on-touch"),
+        cols,
+    );
+    for app in table2_apps() {
+        let outs: Vec<_> = policies()
+            .iter()
+            .map(|p| {
+                run_cell_with(app, *p, exp, SimConfig::with_gpus(num_gpus), None).metrics
+            })
+            .collect();
+        let base_c = outs[0].total_cycles;
+        let base_f = outs[0].faults.total_faults().max(1);
+        perf.push_row(
+            app.abbr(),
+            outs.iter().map(|m| base_c as f64 / m.total_cycles as f64).collect(),
+        );
+        faults.push_row(
+            app.abbr(),
+            outs.iter()
+                .map(|m| m.faults.total_faults().max(1) as f64 / base_f as f64)
+                .collect(),
+        );
+    }
+    perf.push_geomean_row();
+    faults.push_geomean_row();
+    (perf, faults)
+}
+
+/// Runs all three GPU counts of the study.
+pub fn run(exp: &ExpConfig) -> Vec<(usize, Table, Table)> {
+    [2usize, 8, 16]
+        .into_iter()
+        .map(|n| {
+            let (p, f) = run_gpus(n, exp);
+            (n, p, f)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grit_keeps_winning_at_2_gpus() {
+        let (perf, faults) = run_gpus(2, &ExpConfig::quick());
+        let g = perf.cell("GEOMEAN", "grit").unwrap();
+        assert!(g > 1.0, "GRIT must beat 2-GPU on-touch: {g}");
+        let gf = faults.cell("GEOMEAN", "grit").unwrap();
+        assert!(gf < 1.0, "GRIT must reduce 2-GPU faults: {gf}");
+    }
+
+    #[test]
+    fn grit_keeps_winning_at_8_gpus() {
+        let (perf, _) = run_gpus(8, &ExpConfig::quick());
+        let g = perf.cell("GEOMEAN", "grit").unwrap();
+        assert!(g > 1.0, "GRIT must beat 8-GPU on-touch: {g}");
+    }
+}

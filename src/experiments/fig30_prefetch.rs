@@ -1,0 +1,80 @@
+//! Fig. 30: GRIT combined with the tree-based neighborhood prefetcher vs
+//! the on-touch baseline with the same prefetcher (paper: 23 % — placement
+//! and prefetching are complementary).
+
+use grit_baselines::TreePrefetcher;
+use grit_metrics::Table;
+use grit_sim::{Scheme, SimConfig};
+use grit_workloads::WorkloadBuilder;
+
+use super::{table2_apps, ExpConfig, PolicyKind};
+use crate::runner::Simulation;
+
+fn run_with_prefetch(
+    app: grit_workloads::App,
+    policy: PolicyKind,
+    exp: &ExpConfig,
+) -> u64 {
+    let cfg = SimConfig::default();
+    let workload = WorkloadBuilder::new(app)
+        .num_gpus(cfg.num_gpus)
+        .scale(exp.scale)
+        .intensity(exp.intensity)
+        .seed(exp.seed)
+        .build();
+    let p = policy.build(&cfg, workload.footprint_pages);
+    let mut sim = Simulation::new(cfg, workload, p);
+    sim.set_prefetcher(Box::new(TreePrefetcher::new()));
+    sim.run().metrics.total_cycles
+}
+
+/// Runs the figure.
+pub fn run(exp: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Fig 30: GRIT + prefetching vs on-touch + prefetching",
+        vec!["on-touch+pf".into(), "grit+pf".into()],
+    );
+    for app in table2_apps() {
+        let base = run_with_prefetch(app, PolicyKind::Static(Scheme::OnTouch), exp);
+        let grit = run_with_prefetch(app, PolicyKind::GRIT, exp);
+        table.push_row(app.abbr(), vec![1.0, base as f64 / grit as f64]);
+    }
+    table.push_geomean_row();
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::run_cell;
+
+    #[test]
+    fn grit_still_wins_with_prefetching() {
+        let t = run(&ExpConfig::quick());
+        assert!(t.cell("GEOMEAN", "grit+pf").unwrap() > 1.0);
+    }
+
+    #[test]
+    fn prefetching_reduces_faults_for_adjacent_apps() {
+        let exp = ExpConfig::quick();
+        let app = grit_workloads::App::Fir;
+        let without = run_cell(app, PolicyKind::Static(Scheme::OnTouch), &exp)
+            .metrics
+            .faults
+            .local_faults;
+        let cfg = SimConfig::default();
+        let workload = WorkloadBuilder::new(app)
+            .scale(exp.scale)
+            .intensity(exp.intensity)
+            .seed(exp.seed)
+            .build();
+        let p = PolicyKind::Static(Scheme::OnTouch).build(&cfg, workload.footprint_pages);
+        let mut sim = Simulation::new(cfg, workload, p);
+        sim.set_prefetcher(Box::new(TreePrefetcher::new()));
+        let with = sim.run().metrics.faults.local_faults;
+        assert!(
+            with < without,
+            "prefetching must absorb faults: {with} vs {without}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Fig. 31: GRIT on model-parallel DNN training — VGG16 and ResNet18 —
+//! normalized to their on-touch baselines (paper: 15 % and 18 %).
+
+use grit_metrics::Table;
+use grit_sim::Scheme;
+use grit_workloads::App;
+
+use super::{run_cell, ExpConfig, PolicyKind};
+
+/// Runs the figure.
+pub fn run(exp: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Fig 31: DNN model parallelism (speedup over on-touch)",
+        vec!["on-touch".into(), "grit".into()],
+    );
+    for app in App::DNN {
+        let base = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp)
+            .metrics
+            .total_cycles;
+        let grit = run_cell(app, PolicyKind::GRIT, exp).metrics.total_cycles;
+        table.push_row(app.abbr(), vec![1.0, base as f64 / grit as f64]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grit_helps_dnn_training() {
+        let t = run(&ExpConfig::quick());
+        for (label, row) in t.rows() {
+            assert!(row[1] > 0.95, "{label}: GRIT must not hurt DNNs, got {}", row[1]);
+        }
+        // At least one model shows a clear gain.
+        assert!(t.rows().iter().any(|(_, r)| r[1] > 1.0));
+    }
+}

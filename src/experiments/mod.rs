@@ -1,0 +1,203 @@
+//! Experiment drivers: one module per figure of the paper's evaluation.
+//!
+//! Every driver returns a [`grit_metrics::Table`] (or a small set of them)
+//! whose rows mirror the corresponding figure, normalized the same way the
+//! paper normalizes. The `repro` binary prints them; `EXPERIMENTS.md`
+//! records paper-vs-measured values; the Criterion benches in `grit-bench`
+//! re-run the same drivers.
+
+pub mod fig01_schemes;
+pub mod fig03_breakdown;
+pub mod fig04_sharing;
+pub mod fig05_page_timeline;
+pub mod fig06_attr_grids;
+pub mod fig09_rw;
+pub mod fig10_rw_timeline;
+pub mod fig17_grit;
+pub mod fig18_faults;
+pub mod fig19_scheme_mix;
+pub mod fig20_ablation;
+pub mod fig21_threshold;
+pub mod fig22_gpu_scaling;
+pub mod fig25_large_pages;
+pub mod fig26_griffin;
+pub mod fig27_gps;
+pub mod fig28_transfw;
+pub mod fig29_first_touch;
+pub mod fig30_prefetch;
+pub mod fig31_dnn;
+
+pub mod ext_adaptation;
+pub mod ext_oracle;
+pub mod ext_pa_cache;
+pub mod ext_sweeps;
+pub mod ext_workloads;
+
+use grit_baselines::{FirstTouchPolicy, GpsPolicy, GriffinDpcPolicy, IdealPolicy};
+use grit_core::{GritConfig, GritPolicy};
+use grit_sim::{Scheme, SimConfig};
+use grit_uvm::{PlacementPolicy, StaticPolicy};
+use grit_workloads::{App, WorkloadBuilder};
+
+use crate::runner::{ObserverConfig, RunOutput, Simulation};
+
+/// Which policy a run uses (a serializable recipe, since policies carry
+/// per-run state).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum PolicyKind {
+    /// One uniform scheme for every page.
+    Static(Scheme),
+    /// The unrealizable Ideal of Fig. 1.
+    Ideal,
+    /// GRIT with the given configuration (latencies are re-derived from
+    /// the run's `SimConfig`).
+    Grit {
+        /// Fault threshold (default 4).
+        threshold: u8,
+        /// PA-Cache enabled.
+        pa_cache: bool,
+        /// Neighboring-Aware Prediction enabled.
+        nap: bool,
+    },
+    /// First-touch pinning (§VI-D).
+    FirstTouch,
+    /// Griffin's dynamic page classification (§VI-C1).
+    GriffinDpc,
+    /// GPS publish-subscribe (§VI-C2).
+    Gps,
+    /// GRIT with an explicit PA-Cache capacity (geometry ablation).
+    GritWithCache {
+        /// PA-Cache entries (4-way sets).
+        entries: usize,
+    },
+}
+
+impl PolicyKind {
+    /// The full GRIT design.
+    pub const GRIT: PolicyKind = PolicyKind::Grit { threshold: 4, pa_cache: true, nap: true };
+
+    /// Builds the policy object for a run.
+    pub fn build(self, cfg: &SimConfig, footprint_pages: u64) -> Box<dyn PlacementPolicy> {
+        match self {
+            PolicyKind::Static(s) => Box::new(StaticPolicy::new(s)),
+            PolicyKind::Ideal => Box::new(IdealPolicy::new()),
+            PolicyKind::Grit { threshold, pa_cache, nap } => {
+                let gc = GritConfig { fault_threshold: threshold, pa_cache, nap, ..GritConfig::full(cfg) };
+                Box::new(GritPolicy::new(gc, footprint_pages))
+            }
+            PolicyKind::FirstTouch => Box::new(FirstTouchPolicy::new()),
+            PolicyKind::GriffinDpc => Box::new(GriffinDpcPolicy::new(cfg.num_gpus)),
+            PolicyKind::Gps => Box::new(GpsPolicy::new()),
+            PolicyKind::GritWithCache { entries } => {
+                let gc = GritConfig { pa_cache_entries: entries, ..GritConfig::full(cfg) };
+                Box::new(GritPolicy::new(gc, footprint_pages))
+            }
+        }
+    }
+
+    /// Report label.
+    pub fn label(self) -> String {
+        match self {
+            PolicyKind::Static(s) => s.to_string(),
+            PolicyKind::Ideal => "ideal".into(),
+            PolicyKind::Grit { threshold: 4, pa_cache: true, nap: true } => "grit".into(),
+            PolicyKind::Grit { threshold, pa_cache, nap } => {
+                format!("grit(t={threshold},cache={pa_cache},nap={nap})")
+            }
+            PolicyKind::FirstTouch => "first-touch".into(),
+            PolicyKind::GriffinDpc => "griffin-dpc".into(),
+            PolicyKind::Gps => "gps".into(),
+            PolicyKind::GritWithCache { entries } => format!("grit(pa-cache={entries})"),
+        }
+    }
+}
+
+/// Shared experiment knobs: workload scale and trace intensity trade
+/// fidelity against wall-clock time. The defaults reproduce every trend at
+/// a fraction of the full-footprint runtime; `--full` in the `repro`
+/// binary raises them.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Footprint scale relative to Table II.
+    pub scale: f64,
+    /// Trace-length multiplier.
+    pub intensity: f64,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig { scale: 0.10, intensity: 2.0, seed: 0xBEEF }
+    }
+}
+
+impl ExpConfig {
+    /// A fast configuration for CI/integration tests.
+    pub fn quick() -> Self {
+        ExpConfig { scale: 0.04, intensity: 1.5, ..Default::default() }
+    }
+
+    /// Full-footprint configuration (Table II sizes). Intensity stays at
+    /// the calibrated default: trace length already scales with footprint.
+    pub fn full() -> Self {
+        ExpConfig { scale: 1.0, intensity: 2.0, ..Default::default() }
+    }
+}
+
+/// Runs one `(app, policy)` cell with the baseline system configuration.
+pub fn run_cell(app: App, policy: PolicyKind, exp: &ExpConfig) -> RunOutput {
+    run_cell_with(app, policy, exp, SimConfig::default(), None)
+}
+
+/// Runs one cell with an explicit system configuration and optional
+/// observer instrumentation.
+pub fn run_cell_with(
+    app: App,
+    policy: PolicyKind,
+    exp: &ExpConfig,
+    cfg: SimConfig,
+    observer: Option<ObserverConfig>,
+) -> RunOutput {
+    let workload = WorkloadBuilder::new(app)
+        .num_gpus(cfg.num_gpus)
+        .scale(exp.scale)
+        .intensity(exp.intensity)
+        .seed(exp.seed)
+        .page_size(cfg.page_size)
+        .build();
+    let policy = policy.build(&cfg, workload.footprint_pages);
+    let mut sim = Simulation::new(cfg, workload, policy);
+    if let Some(obs) = observer {
+        sim.set_observer(obs);
+    }
+    sim.run()
+}
+
+/// The eight Table II applications, the row set of most figures.
+pub fn table2_apps() -> [App; 8] {
+    App::TABLE2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(PolicyKind::GRIT.label(), "grit");
+        assert_eq!(PolicyKind::Static(Scheme::OnTouch).label(), "on-touch");
+        assert_eq!(
+            PolicyKind::Grit { threshold: 8, pa_cache: true, nap: true }.label(),
+            "grit(t=8,cache=true,nap=true)"
+        );
+    }
+
+    #[test]
+    fn run_cell_smoke() {
+        let out = run_cell(App::Gemm, PolicyKind::Static(Scheme::OnTouch), &ExpConfig::quick());
+        assert!(out.metrics.total_cycles > 0);
+        assert!(out.metrics.accesses > 0);
+        assert!(out.metrics.faults.local_faults > 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end scheme-ordering tests: the qualitative results of Fig. 1
+//! must hold on full system runs — which uniform scheme wins depends on
+//! each application's page-sharing pattern, and the Ideal bounds them all.
+
+use grit::experiments::{run_cell, ExpConfig, PolicyKind};
+use grit::prelude::*;
+
+fn cycles(app: App, p: PolicyKind) -> u64 {
+    run_cell(app, p, &ExpConfig::quick()).metrics.total_cycles
+}
+
+const OT: PolicyKind = PolicyKind::Static(Scheme::OnTouch);
+const AC: PolicyKind = PolicyKind::Static(Scheme::AccessCounter);
+const DUP: PolicyKind = PolicyKind::Static(Scheme::Duplication);
+
+#[test]
+fn on_touch_wins_private_streaming_apps() {
+    // FIR and SC are almost entirely private (Fig. 4): migrating each page
+    // once to its only user beats both remote access and replication.
+    for app in [App::Fir, App::Sc] {
+        let ot = cycles(app, OT);
+        let dup = cycles(app, DUP);
+        assert!(ot < dup, "{app}: on-touch {ot} must beat duplication {dup}");
+    }
+}
+
+#[test]
+fn on_touch_wins_producer_consumer_c2d() {
+    let ot = cycles(App::C2d, OT);
+    let ac = cycles(App::C2d, AC);
+    let dup = cycles(App::C2d, DUP);
+    assert!(ot < ac, "C2D: on-touch {ot} must beat access-counter {ac}");
+    assert!(ot < dup, "C2D: on-touch {ot} must beat duplication {dup}");
+}
+
+#[test]
+fn duplication_wins_read_shared_apps() {
+    // BFS, GEMM and MM have substantial read-shared data: local replicas
+    // beat both migration ping-pong and counter-based remote access.
+    for app in [App::Bfs, App::Gemm, App::Mm] {
+        let ot = cycles(app, OT);
+        let ac = cycles(app, AC);
+        let dup = cycles(app, DUP);
+        assert!(dup < ot, "{app}: duplication {dup} must beat on-touch {ot}");
+        assert!(dup < ac, "{app}: duplication {dup} must beat access-counter {ac}");
+    }
+}
+
+#[test]
+fn access_counter_wins_interleaved_read_write_bs() {
+    let ot = cycles(App::Bs, OT);
+    let ac = cycles(App::Bs, AC);
+    let dup = cycles(App::Bs, DUP);
+    assert!(ac < ot, "BS: access-counter {ac} must beat on-touch {ot}");
+    assert!(ac < dup, "BS: access-counter {ac} must beat duplication {dup}");
+}
+
+#[test]
+fn duplication_loses_on_write_heavy_shared_apps() {
+    // BS and ST collapse and re-duplicate constantly (§IV-A reports 45-46 %
+    // of their pages experiencing the cycle): duplication must be the
+    // worst way to handle their shared read-write pages — behind on-touch
+    // for BS and behind access-counter for both.
+    let bs_ot = cycles(App::Bs, OT);
+    let bs_dup = cycles(App::Bs, DUP);
+    assert!(bs_dup > bs_ot, "BS: duplication {bs_dup} must lose to on-touch {bs_ot}");
+    for app in [App::Bs, App::St] {
+        let ac = cycles(app, AC);
+        let dup = cycles(app, DUP);
+        assert!(dup > ac, "{app}: duplication {dup} must lose to access-counter {ac}");
+    }
+}
+
+#[test]
+fn ideal_bounds_every_scheme_on_every_app() {
+    for app in App::TABLE2 {
+        let ideal = cycles(app, PolicyKind::Ideal);
+        for p in [OT, AC, DUP, PolicyKind::GRIT] {
+            let c = cycles(app, p);
+            assert!(
+                ideal <= c,
+                "{app}: ideal {ideal} must lower-bound {} {c}",
+                p.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn write_collapse_only_under_duplication_semantics() {
+    for app in App::TABLE2 {
+        let ot = run_cell(app, OT, &ExpConfig::quick()).metrics;
+        let ac = run_cell(app, AC, &ExpConfig::quick()).metrics;
+        assert_eq!(ot.faults.collapses, 0, "{app}: on-touch must never collapse");
+        assert_eq!(ac.faults.collapses, 0, "{app}: access-counter must never collapse");
+        assert_eq!(ot.faults.duplications, 0, "{app}: on-touch must never duplicate");
+    }
+}
+
+#[test]
+fn remote_traffic_only_under_counter_semantics() {
+    for app in [App::Bfs, App::St] {
+        let ot = run_cell(app, OT, &ExpConfig::quick()).metrics;
+        let dup = run_cell(app, DUP, &ExpConfig::quick()).metrics;
+        let ac = run_cell(app, AC, &ExpConfig::quick()).metrics;
+        assert_eq!(ot.remote_accesses, 0, "{app}: on-touch never reads remotely");
+        assert_eq!(dup.remote_accesses, 0, "{app}: duplication never reads remotely");
+        assert!(ac.remote_accesses > 0, "{app}: access-counter must read remotely");
+    }
+}
+
+#[test]
+fn fault_counts_track_scheme_behaviour() {
+    // §VI-A: fault counts correlate with performance. The migration
+    // ping-pong of on-touch must raise more faults than counter-based
+    // placement on the all-shared apps.
+    for app in [App::Bfs, App::Bs, App::St] {
+        let ot = run_cell(app, OT, &ExpConfig::quick()).metrics.faults;
+        let ac = run_cell(app, AC, &ExpConfig::quick()).metrics.faults;
+        assert!(
+            ot.total_faults() > ac.total_faults(),
+            "{app}: OT faults {} vs AC faults {}",
+            ot.total_faults(),
+            ac.total_faults()
+        );
+    }
+}
