@@ -65,12 +65,21 @@ mod tests {
             fault: FaultKind::Local,
         };
         let cold = t.note_fault(f.gpu, f.vpn, false);
-        assert_eq!(p.on_fault(&f, &cold, &mut t).resolution, Resolution::Migrate);
+        assert_eq!(
+            p.on_fault(&f, &cold, &mut t).resolution,
+            Resolution::Migrate
+        );
 
         t.page_mut(PageId(1)).owner = MemLoc::Gpu(GpuId::new(0));
-        let f2 = FaultInfo { gpu: GpuId::new(2), ..f };
+        let f2 = FaultInfo {
+            gpu: GpuId::new(2),
+            ..f
+        };
         let warm = t.note_fault(f2.gpu, f2.vpn, false);
-        assert_eq!(p.on_fault(&f2, &warm, &mut t).resolution, Resolution::MapRemote);
+        assert_eq!(
+            p.on_fault(&f2, &warm, &mut t).resolution,
+            Resolution::MapRemote
+        );
         // Counters never fire: scheme bits are not access-counter.
         assert_eq!(t.scheme_of(PageId(1)), Some(Scheme::OnTouch));
     }

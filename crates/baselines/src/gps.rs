@@ -12,8 +12,7 @@
 
 use grit_sim::Scheme;
 use grit_uvm::{
-    CentralPageTable, FaultInfo, PageState, PlacementPolicy, PolicyDecision, Resolution,
-    WriteMode,
+    CentralPageTable, FaultInfo, PageState, PlacementPolicy, PolicyDecision, Resolution, WriteMode,
 };
 
 /// The GPS publish-subscribe policy.

@@ -15,12 +15,9 @@
 //!   `flush_drain` latency; it composes with any policy (the paper builds
 //!   GRIT+ACUD the same way).
 
-use std::collections::HashMap;
-
-use grit_sim::{AccessKind, Cycle, GpuId, MemLoc, PageId, Scheme, SimConfig};
+use grit_sim::{AccessKind, Cycle, FxHashMap, GpuId, MemLoc, PageId, Scheme, SimConfig};
 use grit_uvm::{
-    CentralPageTable, Directive, FaultInfo, PageState, PlacementPolicy, PolicyDecision,
-    Resolution,
+    CentralPageTable, Directive, FaultInfo, PageState, PlacementPolicy, PolicyDecision, Resolution,
 };
 
 /// Default Griffin-DPC profiling interval (cycles). Griffin classifies
@@ -50,7 +47,7 @@ pub struct GriffinDpcPolicy {
     num_gpus: usize,
     interval: Cycle,
     /// Per-page access counts by GPU within the current interval.
-    profile: HashMap<PageId, Vec<u64>>,
+    profile: FxHashMap<PageId, Vec<u64>>,
     migrations_requested: u64,
 }
 
@@ -70,7 +67,7 @@ impl GriffinDpcPolicy {
         GriffinDpcPolicy {
             num_gpus,
             interval,
-            profile: HashMap::new(),
+            profile: FxHashMap::default(),
             migrations_requested: 0,
         }
     }
@@ -104,10 +101,7 @@ impl PlacementPolicy for GriffinDpcPolicy {
     }
 
     fn on_access(&mut self, _now: Cycle, gpu: GpuId, vpn: PageId, _kind: AccessKind) {
-        let counts = self
-            .profile
-            .entry(vpn)
-            .or_insert_with(|| vec![0; self.num_gpus]);
+        let counts = self.profile.entry(vpn).or_insert_with(|| vec![0; self.num_gpus]);
         counts[gpu.index()] += 1;
     }
 
@@ -122,11 +116,8 @@ impl PlacementPolicy for GriffinDpcPolicy {
             if total < DPC_MIN_ACCESSES {
                 continue;
             }
-            let (best_gpu, &best) = counts
-                .iter()
-                .enumerate()
-                .max_by_key(|&(_, c)| *c)
-                .expect("at least one GPU");
+            let (best_gpu, &best) =
+                counts.iter().enumerate().max_by_key(|&(_, c)| *c).expect("at least one GPU");
             if (best as f64) < DPC_DOMINANCE * total as f64 {
                 continue;
             }
@@ -167,7 +158,13 @@ mod tests {
         feed(&mut p, 2, 1, 20);
         feed(&mut p, 0, 1, 2);
         let d = p.on_epoch(DPC_INTERVAL_DEFAULT, &mut t);
-        assert_eq!(d, vec![Directive::MigratePage { vpn: PageId(1), to: GpuId::new(2) }]);
+        assert_eq!(
+            d,
+            vec![Directive::MigratePage {
+                vpn: PageId(1),
+                to: GpuId::new(2)
+            }]
+        );
         assert_eq!(p.migrations_requested(), 1);
     }
 
@@ -216,11 +213,20 @@ mod tests {
             fault: FaultKind::Local,
         };
         let cold = t.note_fault(f.gpu, f.vpn, false);
-        assert_eq!(p.on_fault(&f, &cold, &mut t).resolution, Resolution::Migrate);
+        assert_eq!(
+            p.on_fault(&f, &cold, &mut t).resolution,
+            Resolution::Migrate
+        );
         t.page_mut(PageId(3)).owner = MemLoc::Gpu(GpuId::new(1));
         let warm = t.note_fault(GpuId::new(2), PageId(3), false);
-        let f2 = FaultInfo { gpu: GpuId::new(2), ..f };
-        assert_eq!(p.on_fault(&f2, &warm, &mut t).resolution, Resolution::MapRemote);
+        let f2 = FaultInfo {
+            gpu: GpuId::new(2),
+            ..f
+        };
+        assert_eq!(
+            p.on_fault(&f2, &warm, &mut t).resolution,
+            Resolution::MapRemote
+        );
     }
 
     #[test]

@@ -10,10 +10,8 @@
 //! re-deciding per phase (the oracle cannot express Fig. 10's read-only →
 //! read-write transitions).
 
-use std::collections::HashMap;
-
 use grit_metrics::PageAttrTracker;
-use grit_sim::{PageId, Scheme};
+use grit_sim::{FxHashMap, PageId, Scheme};
 use grit_uvm::{
     CentralPageTable, FaultInfo, PageState, PlacementPolicy, PolicyDecision, Resolution,
 };
@@ -35,7 +33,7 @@ use grit_uvm::{
 /// ```
 #[derive(Clone, Debug)]
 pub struct OraclePolicy {
-    schemes: HashMap<PageId, Scheme>,
+    schemes: FxHashMap<PageId, Scheme>,
 }
 
 impl OraclePolicy {

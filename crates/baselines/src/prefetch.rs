@@ -7,9 +7,7 @@
 //! non-leaf node exceeds 50 % of the node's capacity, the remaining leaves
 //! under that node are prefetched to that GPU.
 
-use std::collections::HashMap;
-
-use grit_sim::{GpuId, PageId};
+use grit_sim::{FxHashMap, GpuId, PageId};
 use grit_uvm::Prefetcher;
 
 /// 4 KB pages per 64 KB leaf block.
@@ -33,7 +31,7 @@ type OccupancyKey = (u64, GpuId);
 #[derive(Clone, Debug, Default)]
 pub struct TreePrefetcher {
     /// 32-bit leaf bitmap per (2 MB region, GPU).
-    occupancy: HashMap<OccupancyKey, u32>,
+    occupancy: FxHashMap<OccupancyKey, u32>,
     prefetches_issued: u64,
 }
 
@@ -78,7 +76,11 @@ impl Prefetcher for TreePrefetcher {
         let mut size = 2u32;
         while size <= LEAVES_PER_REGION as u32 {
             let start = leaf / size * size;
-            let mask = if size == 32 { u32::MAX } else { ((1u32 << size) - 1) << start };
+            let mask = if size == 32 {
+                u32::MAX
+            } else {
+                ((1u32 << size) - 1) << start
+            };
             let occupied = (*bitmap & mask).count_ones();
             if occupied * 2 > size {
                 chosen = Some((start, size));
@@ -86,7 +88,9 @@ impl Prefetcher for TreePrefetcher {
             size *= 2;
         }
 
-        let Some((start, size)) = chosen else { return Vec::new() };
+        let Some((start, size)) = chosen else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         for l in start..start + size {
             if *bitmap & (1 << l) != 0 {

@@ -81,7 +81,7 @@ fn bench_grit_structures(c: &mut Criterion) {
         let mut p = 0u64;
         b.iter(|| {
             p = (p + 7) % 4096;
-            let (e, lat) = s.record_fault(PageId(p), p % 3 == 0);
+            let (e, lat) = s.record_fault(PageId(p), p.is_multiple_of(3));
             if e.faults >= 4 {
                 s.delete(PageId(p));
             }
@@ -96,7 +96,11 @@ fn bench_grit_structures(c: &mut Criterion) {
         b.iter(|| {
             p = (p + 13) % 8_192;
             flip = !flip;
-            let new = if flip { Scheme::Duplication } else { Scheme::AccessCounter };
+            let new = if flip {
+                Scheme::Duplication
+            } else {
+                Scheme::AccessCounter
+            };
             let prev = table.scheme_of(PageId(p));
             if prev != Some(new) {
                 table.set_scheme(PageId(p), new);
@@ -115,9 +119,7 @@ fn bench_workloads(c: &mut Criterion) {
     for app in [App::Gemm, App::St, App::Bfs] {
         g.bench_function(format!("generate_{}", app.abbr()), |b| {
             b.iter(|| {
-                black_box(
-                    WorkloadBuilder::new(app).scale(0.03).intensity(1.0).seed(1).build(),
-                )
+                black_box(WorkloadBuilder::new(app).scale(0.03).intensity(1.0).seed(1).build())
             })
         });
     }
@@ -167,7 +169,11 @@ fn bench_grit_policy_end_to_end(c: &mut Criterion) {
                 now: p,
                 gpu,
                 vpn: PageId(p),
-                kind: if p % 5 == 0 { AccessKind::Write } else { AccessKind::Read },
+                kind: if p.is_multiple_of(5) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
                 fault: FaultKind::Local,
             };
             let state = table.note_fault(gpu, PageId(p), fault.kind.is_write());

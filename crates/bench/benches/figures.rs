@@ -15,7 +15,11 @@ use grit::experiments::ExpConfig;
 fn quick() -> ExpConfig {
     // Benchmark-sized inputs: small enough that the full 20-figure sweep
     // finishes in minutes, large enough to exercise every mechanism.
-    ExpConfig { scale: 0.015, intensity: 0.4, ..ExpConfig::quick() }
+    ExpConfig {
+        scale: 0.015,
+        intensity: 0.4,
+        ..ExpConfig::quick()
+    }
 }
 
 fn bench_figures(c: &mut Criterion) {
@@ -69,9 +73,7 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig26_griffin", |b| {
         b.iter(|| ex::fig26_griffin::run(&quick()))
     });
-    g.bench_function("fig27_gps", |b| {
-        b.iter(|| ex::fig27_gps::run(&quick()))
-    });
+    g.bench_function("fig27_gps", |b| b.iter(|| ex::fig27_gps::run(&quick())));
     g.bench_function("fig28_transfw", |b| {
         b.iter(|| ex::fig28_transfw::run(&quick()))
     });
@@ -81,12 +83,8 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig30_prefetch", |b| {
         b.iter(|| ex::fig30_prefetch::run(&quick()))
     });
-    g.bench_function("fig31_dnn", |b| {
-        b.iter(|| ex::fig31_dnn::run(&quick()))
-    });
-    g.bench_function("ext_oracle", |b| {
-        b.iter(|| ex::ext_oracle::run(&quick()))
-    });
+    g.bench_function("fig31_dnn", |b| b.iter(|| ex::fig31_dnn::run(&quick())));
+    g.bench_function("ext_oracle", |b| b.iter(|| ex::ext_oracle::run(&quick())));
     g.bench_function("ext_pa_cache_sweep", |b| {
         b.iter(|| ex::ext_pa_cache::run(&quick()))
     });

@@ -1,0 +1,67 @@
+//! Benchmarks of the experiment harness itself: one cached `run_cell`,
+//! and a small apps x policies grid executed serially vs across the
+//! worker pool — the ratio is the wall-clock win `repro all` sees.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use grit::experiments::{run_batch_with_jobs, run_cell, CellSpec, ExpConfig, PolicyKind};
+use grit_sim::Scheme;
+use grit_workloads::App;
+
+fn quick() -> ExpConfig {
+    ExpConfig {
+        scale: 0.015,
+        intensity: 0.4,
+        ..ExpConfig::quick()
+    }
+}
+
+fn grid() -> Vec<CellSpec> {
+    let exp = quick();
+    let policies = [
+        PolicyKind::Static(Scheme::OnTouch),
+        PolicyKind::Static(Scheme::Duplication),
+        PolicyKind::GRIT,
+    ];
+    [App::Bfs, App::Gemm, App::Fir, App::St]
+        .into_iter()
+        .flat_map(|app| policies.map(|p| CellSpec::new(app, p, &exp)))
+        .collect()
+}
+
+fn bench_harness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("harness");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+
+    // One cell through the shared workload cache (the trace is built on
+    // the first iteration and reused afterwards, so this times the
+    // simulator, not the generator).
+    g.bench_function("run_cell_grit_bfs", |b| {
+        let exp = quick();
+        b.iter(|| black_box(run_cell(App::Bfs, PolicyKind::GRIT, &exp)))
+    });
+
+    // The same 12-cell grid, serial vs parallel.
+    g.bench_function("grid_12_cells_serial", |b| {
+        let cells = grid();
+        b.iter(|| black_box(run_batch_with_jobs(&cells, 1)))
+    });
+    let jobs = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+    g.bench_function("grid_12_cells_parallel", |b| {
+        let cells = grid();
+        b.iter(|| black_box(run_batch_with_jobs(&cells, jobs)))
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = harness;
+    config = Criterion::default().without_plots();
+    targets = bench_harness
+}
+criterion_main!(harness);

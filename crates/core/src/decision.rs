@@ -62,31 +62,55 @@ mod tests {
 
     #[test]
     fn runtime_decision_follows_rw_bit() {
-        assert_eq!(decide(PaEntry { write: false, faults: 4 }), Scheme::Duplication);
-        assert_eq!(decide(PaEntry { write: true, faults: 4 }), Scheme::AccessCounter);
+        assert_eq!(
+            decide(PaEntry {
+                write: false,
+                faults: 4
+            }),
+            Scheme::Duplication
+        );
+        assert_eq!(
+            decide(PaEntry {
+                write: true,
+                faults: 4
+            }),
+            Scheme::AccessCounter
+        );
     }
 
     #[test]
     fn table3_private_prefers_on_touch() {
         assert!(preference(SharingClass::Private, RwClass::Read).contains(&Scheme::OnTouch));
-        assert_eq!(preference(SharingClass::Private, RwClass::ReadWrite), &[Scheme::OnTouch]);
+        assert_eq!(
+            preference(SharingClass::Private, RwClass::ReadWrite),
+            &[Scheme::OnTouch]
+        );
     }
 
     #[test]
     fn table3_all_shared_matches_runtime_decision() {
         // The runtime decision implements exactly the all-shared row of
         // Table III, which is the only reachable row at threshold time.
-        assert_eq!(preference(SharingClass::AllShared, RwClass::Read), &[Scheme::Duplication]);
+        assert_eq!(
+            preference(SharingClass::AllShared, RwClass::Read),
+            &[Scheme::Duplication]
+        );
         assert_eq!(
             preference(SharingClass::AllShared, RwClass::ReadWrite),
             &[Scheme::AccessCounter]
         );
         assert_eq!(
-            decide(PaEntry { write: false, faults: 4 }),
+            decide(PaEntry {
+                write: false,
+                faults: 4
+            }),
             preference(SharingClass::AllShared, RwClass::Read)[0]
         );
         assert_eq!(
-            decide(PaEntry { write: true, faults: 4 }),
+            decide(PaEntry {
+                write: true,
+                faults: 4
+            }),
             preference(SharingClass::AllShared, RwClass::ReadWrite)[0]
         );
     }

@@ -42,7 +42,10 @@ impl Nap {
     /// Panics if the footprint is zero.
     pub fn new(footprint_pages: u64) -> Self {
         assert!(footprint_pages > 0, "footprint must be non-zero");
-        Nap { footprint_pages, stats: NapStats::default() }
+        Nap {
+            footprint_pages,
+            stats: NapStats::default(),
+        }
     }
 
     /// Activity counters.
@@ -53,7 +56,11 @@ impl Nap {
     /// The group currently covering `p`, resolved top-down from base-page
     /// group bits: `(base, size)`.
     pub fn covering_group(table: &CentralPageTable, p: PageId) -> (PageId, GroupSize) {
-        for size in [GroupSize::FiveTwelve, GroupSize::SixtyFour, GroupSize::Eight] {
+        for size in [
+            GroupSize::FiveTwelve,
+            GroupSize::SixtyFour,
+            GroupSize::Eight,
+        ] {
             let base = p.group_base(size.pages());
             if table.group_of(base) == size {
                 return (base, size);
@@ -233,7 +240,12 @@ mod tests {
         ]);
         let mut nap = Nap::new(4096);
         // Page 3 changed to AC; only 1 of 8 pages uses AC.
-        nap.on_scheme_change(&mut t, PageId(3), Scheme::AccessCounter, Some(Scheme::Duplication));
+        nap.on_scheme_change(
+            &mut t,
+            PageId(3),
+            Scheme::AccessCounter,
+            Some(Scheme::Duplication),
+        );
         assert_eq!(t.group_of(PageId(0)), GroupSize::One);
         assert_eq!(nap.stats().promotions, 0);
         // Page 5 untouched.
@@ -275,7 +287,12 @@ mod tests {
         let mut nap = Nap::new(4096);
         // Page 20 (inside sub-group 2, pages 16..24) changes to duplication.
         t.set_scheme(PageId(20), Scheme::Duplication);
-        nap.on_scheme_change(&mut t, PageId(20), Scheme::Duplication, Some(Scheme::AccessCounter));
+        nap.on_scheme_change(
+            &mut t,
+            PageId(20),
+            Scheme::Duplication,
+            Some(Scheme::AccessCounter),
+        );
         // The seven unaffected 8-groups stay promoted as 8-groups.
         for g in [0u64, 1, 3, 4, 5, 6, 7] {
             assert_eq!(t.group_of(PageId(g * 8)), GroupSize::Eight, "sub-group {g}");
@@ -300,7 +317,10 @@ mod tests {
             (PageId(64), GroupSize::SixtyFour)
         );
         let t = CentralPageTable::new();
-        assert_eq!(Nap::covering_group(&t, PageId(9)), (PageId(9), GroupSize::One));
+        assert_eq!(
+            Nap::covering_group(&t, PageId(9)),
+            (PageId(9), GroupSize::One)
+        );
     }
 
     #[test]
@@ -329,6 +349,11 @@ mod tests {
     fn unchanged_scheme_is_rejected() {
         let mut t = CentralPageTable::new();
         let mut nap = Nap::new(64);
-        nap.on_scheme_change(&mut t, PageId(0), Scheme::AccessCounter, Some(Scheme::AccessCounter));
+        nap.on_scheme_change(
+            &mut t,
+            PageId(0),
+            Scheme::AccessCounter,
+            Some(Scheme::AccessCounter),
+        );
     }
 }

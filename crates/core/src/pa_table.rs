@@ -5,9 +5,7 @@
 //! faults). Entries are deleted once the fault counter reaches the
 //! threshold and the page's placement scheme is updated.
 
-use std::collections::HashMap;
-
-use grit_sim::PageId;
+use grit_sim::{FxHashMap, PageId};
 
 /// One PA-Table entry's payload (the VPN is the key).
 ///
@@ -53,7 +51,7 @@ impl PaEntry {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct PaTable {
-    entries: HashMap<PageId, PaEntry>,
+    entries: FxHashMap<PageId, PaEntry>,
     reads: u64,
     writes: u64,
 }
@@ -128,7 +126,10 @@ mod tests {
 
     #[test]
     fn counter_saturates() {
-        let mut e = PaEntry { write: false, faults: PaEntry::MAX_FAULTS };
+        let mut e = PaEntry {
+            write: false,
+            faults: PaEntry::MAX_FAULTS,
+        };
         e.apply_fault(false);
         assert_eq!(e.faults, PaEntry::MAX_FAULTS);
     }
@@ -157,8 +158,20 @@ mod tests {
     fn load_store_round_trip_counts_ops() {
         let mut t = PaTable::new();
         assert_eq!(t.load(PageId(9)), None);
-        t.store(PageId(9), PaEntry { write: true, faults: 3 });
-        assert_eq!(t.load(PageId(9)), Some(PaEntry { write: true, faults: 3 }));
+        t.store(
+            PageId(9),
+            PaEntry {
+                write: true,
+                faults: 3,
+            },
+        );
+        assert_eq!(
+            t.load(PageId(9)),
+            Some(PaEntry {
+                write: true,
+                faults: 3
+            })
+        );
         let (r, w) = t.mem_ops();
         assert_eq!((r, w), (2, 1));
     }

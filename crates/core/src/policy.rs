@@ -49,17 +49,27 @@ impl GritConfig {
 
     /// Fig. 20 ablation: PA-Table only (no PA-Cache, no NAP).
     pub fn table_only(cfg: &SimConfig) -> Self {
-        GritConfig { pa_cache: false, nap: false, ..Self::full(cfg) }
+        GritConfig {
+            pa_cache: false,
+            nap: false,
+            ..Self::full(cfg)
+        }
     }
 
     /// Fig. 20 ablation: PA-Table + PA-Cache (no NAP).
     pub fn table_and_cache(cfg: &SimConfig) -> Self {
-        GritConfig { nap: false, ..Self::full(cfg) }
+        GritConfig {
+            nap: false,
+            ..Self::full(cfg)
+        }
     }
 
     /// Fig. 20 ablation: PA-Table + NAP (no PA-Cache).
     pub fn table_and_nap(cfg: &SimConfig) -> Self {
-        GritConfig { pa_cache: false, ..Self::full(cfg) }
+        GritConfig {
+            pa_cache: false,
+            ..Self::full(cfg)
+        }
     }
 
     /// Replaces the fault threshold (Fig. 21).

@@ -36,7 +36,11 @@ fn check_group_alignment(table: &CentralPageTable) -> Result<(), String> {
 fn check_disjoint_cover(table: &CentralPageTable) -> Result<(), String> {
     for p in 0..FOOTPRINT {
         let mut covers = 0;
-        for size in [GroupSize::Eight, GroupSize::SixtyFour, GroupSize::FiveTwelve] {
+        for size in [
+            GroupSize::Eight,
+            GroupSize::SixtyFour,
+            GroupSize::FiveTwelve,
+        ] {
             let base = PageId(p).group_base(size.pages());
             if table.group_of(base) == size {
                 covers += 1;
@@ -65,8 +69,8 @@ proptest! {
             }
             table.set_scheme(PageId(vpn), scheme);
             nap.on_scheme_change(&mut table, PageId(vpn), scheme, prev);
-            check_group_alignment(&table).map_err(|e| TestCaseError::fail(e))?;
-            check_disjoint_cover(&table).map_err(|e| TestCaseError::fail(e))?;
+            check_group_alignment(&table).map_err(TestCaseError::fail)?;
+            check_disjoint_cover(&table).map_err(TestCaseError::fail)?;
         }
     }
 

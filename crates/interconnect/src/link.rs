@@ -44,7 +44,12 @@ impl Link {
     /// Panics if `bytes_per_cycle` is not positive.
     pub fn new(bytes_per_cycle: f64, latency: Cycle) -> Self {
         assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
-        Link { bytes_per_cycle, latency, free_at: 0, stats: LinkStats::default() }
+        Link {
+            bytes_per_cycle,
+            latency,
+            free_at: 0,
+            stats: LinkStats::default(),
+        }
     }
 
     /// Schedules a transfer of `bytes` submitted at `now`; returns the

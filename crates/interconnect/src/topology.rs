@@ -57,7 +57,11 @@ impl Fabric {
     }
 
     fn pair_index(&self, a: GpuId, b: GpuId) -> usize {
-        let (lo, hi) = if a.index() < b.index() { (a.index(), b.index()) } else { (b.index(), a.index()) };
+        let (lo, hi) = if a.index() < b.index() {
+            (a.index(), b.index())
+        } else {
+            (b.index(), a.index())
+        };
         debug_assert!(lo < hi, "pair link requires distinct GPUs");
         // Index into the upper triangle laid out row by row.
         lo * self.num_gpus - lo * (lo + 1) / 2 + (hi - lo - 1)

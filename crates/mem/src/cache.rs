@@ -97,7 +97,10 @@ impl<K: CacheKey, V> SetAssocCache<K, V> {
     ///
     /// Panics if `sets` or `ways` is zero.
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && ways > 0, "cache must have non-zero sets and ways");
+        assert!(
+            sets > 0 && ways > 0,
+            "cache must have non-zero sets and ways"
+        );
         SetAssocCache {
             sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
             ways,
@@ -111,7 +114,10 @@ impl<K: CacheKey, V> SetAssocCache<K, V> {
     ///
     /// Panics if `ways` does not divide `entries`.
     pub fn with_entries(entries: usize, ways: usize) -> Self {
-        assert!(ways > 0 && entries % ways == 0, "entries must be a multiple of ways");
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "entries must be a multiple of ways"
+        );
         Self::new(entries / ways, ways)
     }
 

@@ -7,9 +7,7 @@
 //! pages are resident in one GPU's DRAM and picks LRU victims when space
 //! runs out.
 
-use std::collections::HashMap;
-
-use grit_sim::PageId;
+use grit_sim::{FxHashMap, FxHashSet, PageId};
 
 /// Intrusive doubly-linked LRU list over a slab of nodes.
 #[derive(Clone, Debug)]
@@ -29,7 +27,12 @@ struct LruNode {
 
 impl LruList {
     fn new() -> Self {
-        LruList { nodes: Vec::new(), free: Vec::new(), head: None, tail: None }
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: None,
+            tail: None,
+        }
     }
 
     fn unlink(&mut self, idx: usize) {
@@ -60,10 +63,18 @@ impl LruList {
 
     fn alloc(&mut self, page: PageId) -> usize {
         if let Some(idx) = self.free.pop() {
-            self.nodes[idx] = LruNode { page, prev: None, next: None };
+            self.nodes[idx] = LruNode {
+                page,
+                prev: None,
+                next: None,
+            };
             idx
         } else {
-            self.nodes.push(LruNode { page, prev: None, next: None });
+            self.nodes.push(LruNode {
+                page,
+                prev: None,
+                next: None,
+            });
             self.nodes.len() - 1
         }
     }
@@ -89,8 +100,8 @@ impl LruList {
 #[derive(Clone, Debug)]
 pub struct GpuMemory {
     capacity_pages: usize,
-    index: HashMap<PageId, usize>,
-    dirty: std::collections::HashSet<PageId>,
+    index: FxHashMap<PageId, usize>,
+    dirty: FxHashSet<PageId>,
     lru: LruList,
     evictions: u64,
 }
@@ -105,8 +116,8 @@ impl GpuMemory {
         assert!(capacity_pages > 0, "GPU memory capacity must be non-zero");
         GpuMemory {
             capacity_pages,
-            index: HashMap::with_capacity(capacity_pages),
-            dirty: std::collections::HashSet::new(),
+            index: FxHashMap::with_capacity_and_hasher(capacity_pages, Default::default()),
+            dirty: FxHashSet::default(),
             lru: LruList::new(),
             evictions: 0,
         }

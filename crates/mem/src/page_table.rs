@@ -6,9 +6,7 @@
 //! to a remote GPU's memory (counter-based scheme, §II-B2), or to a local
 //! read-only replica (duplication, §II-B3).
 
-use std::collections::HashMap;
-
-use grit_sim::{GpuId, PageId};
+use grit_sim::{FxHashMap, GpuId, PageId};
 
 /// How a GPU's local page table resolves a virtual page.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -30,7 +28,10 @@ pub enum Mapping {
 impl Mapping {
     /// Whether a write through this mapping is legal without a fault.
     pub fn writable(self) -> bool {
-        matches!(self, Mapping::Local | Mapping::Remote(_) | Mapping::RemoteHost)
+        matches!(
+            self,
+            Mapping::Local | Mapping::Remote(_) | Mapping::RemoteHost
+        )
     }
 }
 
@@ -48,7 +49,7 @@ impl Mapping {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct LocalPageTable {
-    entries: HashMap<PageId, Mapping>,
+    entries: FxHashMap<PageId, Mapping>,
     invalidations: u64,
 }
 

@@ -96,7 +96,10 @@ pub struct TlbHierarchy {
 impl TlbHierarchy {
     /// Builds the hierarchy from the two geometries.
     pub fn new(l1: TlbGeometry, l2: TlbGeometry) -> Self {
-        TlbHierarchy { l1: Tlb::new(l1), l2: Tlb::new(l2) }
+        TlbHierarchy {
+            l1: Tlb::new(l1),
+            l2: Tlb::new(l2),
+        }
     }
 
     /// Probes L1 then L2; returns the satisfying level and the cycles spent
@@ -201,7 +204,11 @@ mod tests {
 
     #[test]
     fn capacity_bounded_by_geometry() {
-        let mut t = Tlb::new(TlbGeometry { entries: 8, ways: 2, lookup_latency: 1 });
+        let mut t = Tlb::new(TlbGeometry {
+            entries: 8,
+            ways: 2,
+            lookup_latency: 1,
+        });
         for p in 0..100 {
             t.fill(PageId(p));
         }

@@ -124,7 +124,11 @@ impl WalkerPool {
         self.outstanding.push_back(done);
         self.walks += 1;
         self.total_levels += levels_fetched as u64;
-        WalkOutcome { done_at: done, levels_fetched, queue_wait: start - arrival }
+        WalkOutcome {
+            done_at: done,
+            levels_fetched,
+            queue_wait: start - arrival,
+        }
     }
 
     /// Number of walks serviced so far.

@@ -13,7 +13,10 @@ struct ModelCache {
 
 impl ModelCache {
     fn new(sets: usize, ways: usize) -> Self {
-        ModelCache { sets: vec![Vec::new(); sets], ways }
+        ModelCache {
+            sets: vec![Vec::new(); sets],
+            ways,
+        }
     }
 
     fn set_of(&self, k: u64) -> usize {
@@ -37,7 +40,11 @@ impl ModelCache {
             set.insert(0, (k, v));
             return None;
         }
-        let victim = if set.len() == self.ways { set.pop() } else { None };
+        let victim = if set.len() == self.ways {
+            set.pop()
+        } else {
+            None
+        };
         set.insert(0, (k, v));
         victim
     }

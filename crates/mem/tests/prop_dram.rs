@@ -13,7 +13,10 @@ struct ModelLru {
 
 impl ModelLru {
     fn new(capacity: usize) -> Self {
-        ModelLru { pages: Vec::new(), capacity }
+        ModelLru {
+            pages: Vec::new(),
+            capacity,
+        }
     }
 
     fn insert(&mut self, p: u64) -> Option<u64> {
@@ -22,8 +25,11 @@ impl ModelLru {
             self.pages.insert(0, p);
             return None;
         }
-        let victim =
-            if self.pages.len() == self.capacity { self.pages.pop() } else { None };
+        let victim = if self.pages.len() == self.capacity {
+            self.pages.pop()
+        } else {
+            None
+        };
         self.pages.insert(0, p);
         victim
     }

@@ -29,7 +29,12 @@ pub struct LatencyHistogram {
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
-        LatencyHistogram { buckets: [0; 48], samples: 0, total: 0, max: 0 }
+        LatencyHistogram {
+            buckets: [0; 48],
+            samples: 0,
+            total: 0,
+            max: 0,
+        }
     }
 }
 

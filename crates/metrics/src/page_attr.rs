@@ -1,9 +1,7 @@
 //! Per-page attribute tracking: private vs shared, read vs read-write
 //! (paper §IV-B, Figs. 4 and 9).
 
-use std::collections::HashMap;
-
-use grit_sim::{AccessKind, GpuId, GpuSet, PageId};
+use grit_sim::{AccessKind, FxHashMap, GpuId, GpuSet, PageId};
 
 #[derive(Clone, Copy, Debug, Default)]
 struct PageRecord {
@@ -45,7 +43,10 @@ impl PageAttrSummary {
 
     /// Fraction of accesses going to shared pages.
     pub fn shared_access_frac(&self) -> f64 {
-        frac(self.accesses_to_shared, self.accesses_to_private + self.accesses_to_shared)
+        frac(
+            self.accesses_to_shared,
+            self.accesses_to_private + self.accesses_to_shared,
+        )
     }
 
     /// Fraction of pages that are read-write.
@@ -55,7 +56,10 @@ impl PageAttrSummary {
 
     /// Fraction of accesses going to read-write pages.
     pub fn read_write_access_frac(&self) -> f64 {
-        frac(self.accesses_to_read_write, self.accesses_to_read + self.accesses_to_read_write)
+        frac(
+            self.accesses_to_read_write,
+            self.accesses_to_read + self.accesses_to_read_write,
+        )
     }
 
     /// Fraction of pages that are shared *and* read-write.
@@ -92,7 +96,7 @@ fn frac(n: u64, d: u64) -> f64 {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct PageAttrTracker {
-    pages: HashMap<PageId, PageRecord>,
+    pages: FxHashMap<PageId, PageRecord>,
 }
 
 impl PageAttrTracker {
@@ -111,12 +115,12 @@ impl PageAttrTracker {
 
     /// Whether the page has been touched by more than one GPU so far.
     pub fn is_shared(&self, vpn: PageId) -> bool {
-        self.pages.get(&vpn).map_or(false, |r| r.accessors.len() > 1)
+        self.pages.get(&vpn).is_some_and(|r| r.accessors.len() > 1)
     }
 
     /// Whether the page has been written so far.
     pub fn is_written(&self, vpn: PageId) -> bool {
-        self.pages.get(&vpn).map_or(false, |r| r.written)
+        self.pages.get(&vpn).is_some_and(|r| r.written)
     }
 
     /// Number of distinct pages touched.

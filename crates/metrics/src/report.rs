@@ -52,7 +52,7 @@ pub fn normalize_to(baseline: u64, values: &[u64]) -> Vec<f64> {
 /// assert!(text.contains("BFS"));
 /// assert!(t.to_csv().starts_with("app,OT,AC"));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Table {
     title: String,
     columns: Vec<String>,
@@ -62,7 +62,11 @@ pub struct Table {
 impl Table {
     /// A table titled `title` with the given value-column headers.
     pub fn new<S: Into<String>>(title: S, columns: Vec<String>) -> Self {
-        Table { title: title.into(), columns, rows: Vec::new() }
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a labelled row.

@@ -138,7 +138,11 @@ mod tests {
 
     #[test]
     fn fault_totals() {
-        let f = FaultCounters { local_faults: 3, protection_faults: 4, ..Default::default() };
+        let f = FaultCounters {
+            local_faults: 3,
+            protection_faults: 4,
+            ..Default::default()
+        };
         assert_eq!(f.total_faults(), 7);
     }
 

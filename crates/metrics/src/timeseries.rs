@@ -32,8 +32,15 @@ impl IntervalSeries {
     ///
     /// Panics if either argument is zero.
     pub fn new(interval_cycles: Cycle, buckets: usize) -> Self {
-        assert!(interval_cycles > 0 && buckets > 0, "series dims must be non-zero");
-        IntervalSeries { interval_cycles, buckets, rows: Vec::new() }
+        assert!(
+            interval_cycles > 0 && buckets > 0,
+            "series dims must be non-zero"
+        );
+        IntervalSeries {
+            interval_cycles,
+            buckets,
+            rows: Vec::new(),
+        }
     }
 
     /// Increments `bucket` in the interval containing cycle `now`.
@@ -76,9 +83,7 @@ impl IntervalSeries {
             .iter()
             .map(|r| {
                 let t: u64 = r.iter().sum();
-                r.iter()
-                    .map(|&v| if t == 0 { 0.0 } else { v as f64 / t as f64 })
-                    .collect()
+                r.iter().map(|&v| if t == 0 { 0.0 } else { v as f64 / t as f64 }).collect()
             })
             .collect()
     }
@@ -88,11 +93,8 @@ impl IntervalSeries {
         self.rows
             .iter()
             .map(|r| {
-                let (idx, &max) = r
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|&(_, v)| *v)
-                    .expect("buckets > 0");
+                let (idx, &max) =
+                    r.iter().enumerate().max_by_key(|&(_, v)| *v).expect("buckets > 0");
                 if max == 0 {
                     None
                 } else {
@@ -122,7 +124,11 @@ impl AttrGrid {
     /// Panics if either dimension is zero.
     pub fn new(intervals: usize, page_bins: usize) -> Self {
         assert!(intervals > 0 && page_bins > 0, "grid dims must be non-zero");
-        AttrGrid { page_bins, intervals, cells: vec![vec![0; page_bins]; intervals] }
+        AttrGrid {
+            page_bins,
+            intervals,
+            cells: vec![vec![0; page_bins]; intervals],
+        }
     }
 
     /// Sets the attribute of `bin` during `interval`, keeping the maximum

@@ -43,12 +43,22 @@ pub struct Access {
 impl Access {
     /// A read of line `line` of page `vpn` with default 4-cycle think time.
     pub fn read(vpn: PageId, line: u16) -> Self {
-        Access { vpn, line, kind: AccessKind::Read, think: 4 }
+        Access {
+            vpn,
+            line,
+            kind: AccessKind::Read,
+            think: 4,
+        }
     }
 
     /// A write of line `line` of page `vpn` with default 4-cycle think time.
     pub fn write(vpn: PageId, line: u16) -> Self {
-        Access { vpn, line, kind: AccessKind::Write, think: 4 }
+        Access {
+            vpn,
+            line,
+            kind: AccessKind::Write,
+            think: 4,
+        }
     }
 
     /// Replaces the think time.

@@ -23,7 +23,10 @@ pub struct ConfigError {
 
 impl ConfigError {
     fn new(field: &'static str, reason: impl Into<String>) -> Self {
-        ConfigError { field, reason: reason.into() }
+        ConfigError {
+            field,
+            reason: reason.into(),
+        }
     }
 }
 
@@ -76,7 +79,7 @@ impl CacheGeometry {
     pub fn sets(self) -> usize {
         assert!(self.ways > 0, "cache ways must be non-zero");
         assert!(
-            self.entries % self.ways == 0,
+            self.entries.is_multiple_of(self.ways),
             "cache entries ({}) must be a multiple of ways ({})",
             self.entries,
             self.ways
@@ -263,11 +266,25 @@ impl Default for SimConfig {
             num_gpus: 4,
             page_size: PAGE_SIZE_4K,
             capacity_ratio: 0.70,
-            l1_tlb: TlbGeometry { entries: 256, ways: 32, lookup_latency: 1 },
-            l2_tlb: TlbGeometry { entries: 512, ways: 16, lookup_latency: 10 },
+            l1_tlb: TlbGeometry {
+                entries: 256,
+                ways: 32,
+                lookup_latency: 1,
+            },
+            l2_tlb: TlbGeometry {
+                entries: 512,
+                ways: 16,
+                lookup_latency: 10,
+            },
             walk: WalkConfig::default(),
-            l1_cache: CacheGeometry { entries: 256, ways: 4 },
-            l2_cache: CacheGeometry { entries: 4_096, ways: 16 },
+            l1_cache: CacheGeometry {
+                entries: 256,
+                ways: 4,
+            },
+            l2_cache: CacheGeometry {
+                entries: 4_096,
+                ways: 16,
+            },
             access_counter_threshold: ACCESS_COUNTER_THRESHOLD_DEFAULT,
             links: LinkConfig::default(),
             lat: LatencyConfig::default(),
@@ -280,7 +297,10 @@ impl Default for SimConfig {
 impl SimConfig {
     /// Convenience constructor varying only the GPU count.
     pub fn with_gpus(num_gpus: usize) -> Self {
-        SimConfig { num_gpus, ..SimConfig::default() }
+        SimConfig {
+            num_gpus,
+            ..SimConfig::default()
+        }
     }
 
     /// Cache lines per page under this configuration.
@@ -366,55 +386,82 @@ mod tests {
     #[test]
     fn lines_per_page() {
         assert_eq!(SimConfig::default().lines_per_page(), 64);
-        let big = SimConfig { page_size: PAGE_SIZE_2M, ..SimConfig::default() };
+        let big = SimConfig {
+            page_size: PAGE_SIZE_2M,
+            ..SimConfig::default()
+        };
         assert_eq!(big.lines_per_page() as u64, PAGE_SIZE_2M / 64);
     }
 
     #[test]
     fn validate_rejects_bad_configs() {
-        let mut c = SimConfig::default();
-        c.num_gpus = 0;
+        let mut c = SimConfig {
+            num_gpus: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
         c.num_gpus = 17;
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.page_size = 3000;
+        let c = SimConfig {
+            page_size: 3000,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.capacity_ratio = 0.0;
+        let c = SimConfig {
+            capacity_ratio: 0.0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = SimConfig::default();
         c.l1_tlb.ways = 3; // 256 % 3 != 0
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.mlp_window = 0;
+        let c = SimConfig {
+            mlp_window: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn config_error_reports_field_and_reason() {
-        let mut c = SimConfig::default();
-        c.num_gpus = 0;
+        let c = SimConfig {
+            num_gpus: 0,
+            ..SimConfig::default()
+        };
         let e = c.validate().unwrap_err();
         assert_eq!(e.field, "num_gpus");
         let msg = e.to_string();
-        assert!(msg.contains("num_gpus") && msg.contains("at least 1"), "{msg}");
+        assert!(
+            msg.contains("num_gpus") && msg.contains("at least 1"),
+            "{msg}"
+        );
         // It is a std error.
         let _: &dyn std::error::Error = &e;
     }
 
     #[test]
     fn cache_geometry_sets() {
-        assert_eq!(CacheGeometry { entries: 64, ways: 4 }.sets(), 16);
+        assert_eq!(
+            CacheGeometry {
+                entries: 64,
+                ways: 4
+            }
+            .sets(),
+            16
+        );
     }
 
     #[test]
     #[should_panic(expected = "multiple of ways")]
     fn cache_geometry_rejects_uneven() {
-        let _ = CacheGeometry { entries: 65, ways: 4 }.sets();
+        let _ = CacheGeometry {
+            entries: 65,
+            ways: 4,
+        }
+        .sets();
     }
 }

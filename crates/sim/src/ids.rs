@@ -260,7 +260,10 @@ mod tests {
     #[test]
     fn gpu_all_enumerates_in_order() {
         let v: Vec<_> = GpuId::all(4).collect();
-        assert_eq!(v, vec![GpuId::new(0), GpuId::new(1), GpuId::new(2), GpuId::new(3)]);
+        assert_eq!(
+            v,
+            vec![GpuId::new(0), GpuId::new(1), GpuId::new(2), GpuId::new(3)]
+        );
     }
 
     #[test]

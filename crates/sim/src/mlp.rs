@@ -38,7 +38,11 @@ impl MlpWindow {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MLP window capacity must be non-zero");
-        MlpWindow { capacity, inflight: BinaryHeap::with_capacity(capacity + 1), last_drain: 0 }
+        MlpWindow {
+            capacity,
+            inflight: BinaryHeap::with_capacity(capacity + 1),
+            last_drain: 0,
+        }
     }
 
     /// Earliest cycle at which a new operation can issue, given the GPU is

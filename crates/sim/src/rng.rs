@@ -1,12 +1,10 @@
 //! Deterministic randomness for workload generation.
 //!
 //! Every figure in the reproduction must be re-runnable bit-for-bit, so all
-//! randomness flows through [`SimRng`], a thin wrapper over a seeded
-//! [`rand::rngs::StdRng`] with the handful of distributions the trace
-//! generators need.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! randomness flows through [`SimRng`], a self-contained SplitMix64
+//! generator with the handful of distributions the trace generators need.
+//! Being dependency-free keeps the build hermetic and the sequence stable
+//! across toolchains and platforms.
 
 /// Seeded random source for trace generation.
 ///
@@ -18,19 +16,28 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    state: u64,
 }
 
 impl SimRng {
     /// A generator with the given seed.
     pub fn seeded(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        SimRng { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64 step).
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// Derives an independent child generator; used to give each GPU stream
     /// its own deterministic sequence.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seeded(s)
     }
 
@@ -41,7 +48,8 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be non-zero");
-        self.inner.gen_range(0..bound)
+        // Modulo bias is < 2^-40 for the bounds trace generation uses.
+        self.next_u64() % bound
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -51,17 +59,18 @@ impl SimRng {
     /// Panics if the range is empty.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// `true` with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Uniform f64 in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen()
+        // 53 uniform mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Picks one element of a non-empty slice.

@@ -161,8 +161,12 @@ mod tests {
 
     #[test]
     fn group_bits_round_trip_and_pages() {
-        let all =
-            [GroupSize::One, GroupSize::Eight, GroupSize::SixtyFour, GroupSize::FiveTwelve];
+        let all = [
+            GroupSize::One,
+            GroupSize::Eight,
+            GroupSize::SixtyFour,
+            GroupSize::FiveTwelve,
+        ];
         let pages = [1u64, 8, 64, 512];
         for (g, p) in all.iter().zip(pages) {
             assert_eq!(GroupSize::from_bits(g.bits()), *g);

@@ -1,6 +1,8 @@
 //! Access-stream abstraction connecting workload generators to the
 //! simulator.
 
+use std::sync::Arc;
+
 use crate::access::Access;
 
 /// A lazily generated, per-GPU sequence of memory accesses.
@@ -30,8 +32,12 @@ impl<S: AccessStream + ?Sized> AccessStream for Box<S> {
     }
 }
 
-/// A stream backed by a pre-materialized vector; used by unit and
-/// integration tests to feed exact access sequences.
+/// A stream backed by a pre-materialized, immutably shared trace.
+///
+/// The trace lives behind an `Arc<[Access]>`, so cloning a stream (or
+/// re-running the same workload under a different policy) shares the
+/// underlying accesses instead of copying them: the stream itself is just a
+/// shared trace plus a private cursor.
 ///
 /// ```
 /// use grit_sim::{Access, AccessStream, PageId, SliceStream};
@@ -39,27 +45,57 @@ impl<S: AccessStream + ?Sized> AccessStream for Box<S> {
 /// assert!(s.next_access().is_some());
 /// assert!(s.next_access().is_none());
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SliceStream {
-    accesses: Vec<Access>,
+    trace: Arc<[Access]>,
     pos: usize,
+}
+
+impl Default for SliceStream {
+    fn default() -> Self {
+        SliceStream {
+            trace: Arc::from(Vec::new()),
+            pos: 0,
+        }
+    }
 }
 
 impl SliceStream {
     /// Wraps a vector of accesses.
     pub fn new(accesses: Vec<Access>) -> Self {
-        SliceStream { accesses, pos: 0 }
+        SliceStream {
+            trace: accesses.into(),
+            pos: 0,
+        }
+    }
+
+    /// Wraps an already-shared trace without copying it.
+    pub fn from_shared(trace: Arc<[Access]>) -> Self {
+        SliceStream { trace, pos: 0 }
+    }
+
+    /// The shared trace backing this stream.
+    pub fn shared(&self) -> Arc<[Access]> {
+        Arc::clone(&self.trace)
+    }
+
+    /// A fresh stream over the same shared trace, rewound to the start.
+    pub fn reset_clone(&self) -> Self {
+        SliceStream {
+            trace: Arc::clone(&self.trace),
+            pos: 0,
+        }
     }
 
     /// Accesses remaining.
     pub fn remaining(&self) -> usize {
-        self.accesses.len() - self.pos
+        self.trace.len() - self.pos
     }
 }
 
 impl AccessStream for SliceStream {
     fn next_access(&mut self) -> Option<Access> {
-        let a = self.accesses.get(self.pos).copied();
+        let a = self.trace.get(self.pos).copied();
         if a.is_some() {
             self.pos += 1;
         }
@@ -67,7 +103,7 @@ impl AccessStream for SliceStream {
     }
 
     fn len_hint(&self) -> Option<u64> {
-        Some(self.accesses.len() as u64)
+        Some(self.trace.len() as u64)
     }
 }
 
@@ -107,5 +143,20 @@ mod tests {
     fn from_iterator_collects() {
         let s: SliceStream = (0..5).map(|i| Access::read(PageId(i), 0)).collect();
         assert_eq!(s.remaining(), 5);
+    }
+
+    #[test]
+    fn clones_share_one_trace_with_private_cursors() {
+        let mut a: SliceStream = (0..3).map(|i| Access::read(PageId(i), 0)).collect();
+        let shared = a.shared();
+        a.next_access();
+        let mut b = SliceStream::from_shared(shared);
+        assert!(Arc::ptr_eq(&a.trace, &b.trace));
+        assert_eq!(a.remaining(), 2);
+        assert_eq!(b.remaining(), 3);
+        assert_eq!(b.next_access(), Some(Access::read(PageId(0), 0)));
+        let c = a.reset_clone();
+        assert!(Arc::ptr_eq(&a.trace, &c.trace));
+        assert_eq!(c.remaining(), 3);
     }
 }

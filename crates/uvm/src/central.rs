@@ -1,9 +1,7 @@
 //! The UVM driver's centralized page table (§II-A): authoritative per-page
 //! state for every GPU in the node, including GRIT's scheme and group bits.
 
-use std::collections::HashMap;
-
-use grit_sim::{GpuId, GpuSet, GroupSize, MemLoc, PageId, Scheme};
+use grit_sim::{FxHashMap, GpuId, GpuSet, GroupSize, MemLoc, PageId, Scheme};
 
 /// Authoritative state of one virtual page.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -69,7 +67,7 @@ impl PageState {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct CentralPageTable {
-    pages: HashMap<PageId, PageState>,
+    pages: FxHashMap<PageId, PageState>,
 }
 
 impl CentralPageTable {

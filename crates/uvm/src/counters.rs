@@ -5,9 +5,7 @@
 //! migration request is generated for the faulting page and the group's
 //! counter resets.
 
-use std::collections::HashMap;
-
-use grit_sim::{GpuId, PageId};
+use grit_sim::{FxHashMap, GpuId, PageId};
 
 /// Per-GPU, per-64 KB-group remote-access counters.
 ///
@@ -26,7 +24,7 @@ use grit_sim::{GpuId, PageId};
 pub struct AccessCounters {
     threshold: u32,
     page_size: u64,
-    counts: HashMap<(GpuId, u64), u32>,
+    counts: FxHashMap<(GpuId, u64), u32>,
     triggers: u64,
 }
 
@@ -38,7 +36,12 @@ impl AccessCounters {
     /// Panics if `threshold` is zero.
     pub fn new(threshold: u32, page_size: u64) -> Self {
         assert!(threshold > 0, "access-counter threshold must be non-zero");
-        AccessCounters { threshold, page_size, counts: HashMap::new(), triggers: 0 }
+        AccessCounters {
+            threshold,
+            page_size,
+            counts: FxHashMap::default(),
+            triggers: 0,
+        }
     }
 
     /// Records one remote access by `gpu` to `vpn`. Returns `true` when the

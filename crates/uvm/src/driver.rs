@@ -14,9 +14,7 @@
 use grit_interconnect::Fabric;
 use grit_mem::{GpuMemory, LocalPageTable, Mapping};
 use grit_metrics::{FaultCounters, LatencyBreakdown, LatencyClass, LatencyHistogram};
-use grit_sim::{
-    AccessKind, Cycle, GpuId, MemLoc, PageId, Scheme, SimConfig, CACHE_LINE_BYTES,
-};
+use grit_sim::{AccessKind, Cycle, GpuId, MemLoc, PageId, Scheme, SimConfig, CACHE_LINE_BYTES};
 
 use crate::central::CentralPageTable;
 use crate::counters::AccessCounters;
@@ -36,6 +34,12 @@ pub struct DriverOutcome {
     pub stalls: Vec<(GpuId, Cycle)>,
     /// Translations the runner must drop from TLBs and data caches.
     pub invalidated: Vec<(GpuId, PageId)>,
+    /// The mapping the mechanism installed for the *faulting* GPU and page,
+    /// when the operation resolved a fault. Lets the runner replay the
+    /// access without a second page-table lookup. Only meaningful on
+    /// [`UvmDriver::handle_fault`] results; side-effect outcomes (epochs,
+    /// counter trips) leave it unset or stale.
+    pub mapping: Option<Mapping>,
 }
 
 impl DriverOutcome {
@@ -43,6 +47,11 @@ impl DriverOutcome {
         self.done_at = self.done_at.max(other.done_at);
         self.stalls.extend(other.stalls);
         self.invalidated.extend(other.invalidated);
+        // The first mapping recorded belongs to the faulting page; merged
+        // side effects (group duplication, teardown) must not clobber it.
+        if self.mapping.is_none() {
+            self.mapping = other.mapping;
+        }
     }
 }
 
@@ -235,7 +244,11 @@ impl UvmDriver {
             let pt = &self.local_pts[g.index()];
             let mem = &self.memories[g.index()];
             if mem.resident() > mem.capacity() {
-                return Err(format!("{g}: residency {} exceeds capacity {}", mem.resident(), mem.capacity()));
+                return Err(format!(
+                    "{g}: residency {} exceeds capacity {}",
+                    mem.resident(),
+                    mem.capacity()
+                ));
             }
             for (&vpn, &mapping) in pt.iter() {
                 let state = self.central.page(vpn);
@@ -304,7 +317,10 @@ impl UvmDriver {
         }
         self.next_epoch = Some(due + epoch.max(1));
         let directives = self.policy.on_epoch(now, &mut self.central);
-        let mut out = DriverOutcome { done_at: now, ..Default::default() };
+        let mut out = DriverOutcome {
+            done_at: now,
+            ..Default::default()
+        };
         // Interval-based classifiers ship per-GPU access profiles to the
         // host every epoch — the CPU–GPU communication overhead §VI-C1
         // holds against Griffin-DPC. Every GPU stalls while its profile
@@ -315,7 +331,10 @@ impl UvmDriver {
             out.stalls.push((g, t));
             out.done_at = out.done_at.max(t);
         }
-        self.breakdown.record(LatencyClass::Host, profile_bytes / 8 * self.cfg.num_gpus as u64);
+        self.breakdown.record(
+            LatencyClass::Host,
+            profile_bytes / 8 * self.cfg.num_gpus as u64,
+        );
         for d in directives {
             match d {
                 Directive::MigratePage { vpn, to } => {
@@ -375,7 +394,8 @@ impl UvmDriver {
             // Resetting away from duplication must tear replicas down for
             // consistency (§V-F).
             let state = self.central.page(fault.vpn);
-            if state.is_duplicated() && self.central.scheme_of(fault.vpn) != Some(Scheme::Duplication)
+            if state.is_duplicated()
+                && self.central.scheme_of(fault.vpn) != Some(Scheme::Duplication)
             {
                 let o = self.teardown_replicas(fault.vpn, t);
                 t = t.max(o.done_at);
@@ -384,7 +404,9 @@ impl UvmDriver {
         }
 
         let o = match decision.resolution {
-            Resolution::Migrate => self.migrate_page(fault.gpu, fault.vpn, t, LatencyClass::PageMigration),
+            Resolution::Migrate => {
+                self.migrate_page(fault.gpu, fault.vpn, t, LatencyClass::PageMigration)
+            }
             Resolution::MapRemote => self.map_remote(fault.gpu, fault.vpn, t),
             Resolution::Duplicate => {
                 if fault.kind.is_write() && self.policy.write_mode() == WriteMode::Collapse {
@@ -454,7 +476,10 @@ impl UvmDriver {
         let t = now + lat.host_fault_base;
         let pages_per_group = (65_536 / self.cfg.page_size).max(1);
         let base = vpn.group_base(pages_per_group);
-        let mut out = DriverOutcome { done_at: t, ..Default::default() };
+        let mut out = DriverOutcome {
+            done_at: t,
+            ..Default::default()
+        };
         for i in 0..pages_per_group {
             let p = base.offset(i);
             if p.vpn() >= self.footprint_pages || !self.central.page(p).touched {
@@ -476,9 +501,7 @@ impl UvmDriver {
         let start = now.max(*port);
         *port = start + self.cfg.lat.remote_issue_gap;
         let done = match owner {
-            MemLoc::Gpu(o) if o != gpu => {
-                self.fabric.gpu_to_gpu(gpu, o, start, CACHE_LINE_BYTES)
-            }
+            MemLoc::Gpu(o) if o != gpu => self.fabric.gpu_to_gpu(gpu, o, start, CACHE_LINE_BYTES),
             MemLoc::Gpu(_) => start + self.cfg.lat.local_dram,
             MemLoc::Host => self.fabric.gpu_to_host(gpu, start, CACHE_LINE_BYTES),
         };
@@ -511,8 +534,8 @@ impl UvmDriver {
         }
         let mut occupancy_end = start;
         for g in targets.iter() {
-            occupancy_end = occupancy_end
-                .max(self.fabric.gpu_to_gpu(gpu, g, start, CACHE_LINE_BYTES));
+            occupancy_end =
+                occupancy_end.max(self.fabric.gpu_to_gpu(gpu, g, start, CACHE_LINE_BYTES));
         }
         // Background traffic time lands in the remote class.
         if occupancy_end > start {
@@ -558,8 +581,17 @@ impl UvmDriver {
     /// the host, replicas are simply dropped. Charged to `class` because
     /// eviction cost belongs to whichever scheme caused the pressure
     /// (Fig. 3 folds duplication-driven eviction into "page-duplication").
-    fn evict_page(&mut self, gpu: GpuId, vpn: PageId, now: Cycle, class: LatencyClass) -> DriverOutcome {
-        let mut out = DriverOutcome { done_at: now, ..Default::default() };
+    fn evict_page(
+        &mut self,
+        gpu: GpuId,
+        vpn: PageId,
+        now: Cycle,
+        class: LatencyClass,
+    ) -> DriverOutcome {
+        let mut out = DriverOutcome {
+            done_at: now,
+            ..Default::default()
+        };
         let state = *self.central.page_mut(vpn);
         let lat = self.cfg.lat;
         if state.owner == MemLoc::Gpu(gpu) {
@@ -596,7 +628,10 @@ impl UvmDriver {
         now: Cycle,
         class: LatencyClass,
     ) -> DriverOutcome {
-        let mut out = DriverOutcome { done_at: now, ..Default::default() };
+        let mut out = DriverOutcome {
+            done_at: now,
+            ..Default::default()
+        };
         let state = self.central.page(vpn);
         let lat = self.cfg.lat;
 
@@ -604,6 +639,7 @@ impl UvmDriver {
             // Already local and exclusive: just (re)establish the mapping.
             self.local_pts[dst.index()].map(vpn, Mapping::Local);
             self.memories[dst.index()].touch(vpn);
+            out.mapping = Some(Mapping::Local);
             return out;
         }
 
@@ -627,7 +663,9 @@ impl UvmDriver {
 
         // 3. Move the data.
         let arrive = match state.owner {
-            MemLoc::Gpu(src) if src != dst => self.fabric.gpu_to_gpu(src, dst, t, self.cfg.page_size),
+            MemLoc::Gpu(src) if src != dst => {
+                self.fabric.gpu_to_gpu(src, dst, t, self.cfg.page_size)
+            }
             MemLoc::Gpu(_) => t, // dst already holds the bytes (was owner with replicas)
             MemLoc::Host => self.fabric.gpu_to_host(dst, t, self.cfg.page_size),
         };
@@ -646,6 +684,7 @@ impl UvmDriver {
         }
         self.insert_resident(dst, vpn, arrive, class, &mut out);
         self.local_pts[dst.index()].map(vpn, Mapping::Local);
+        out.mapping = Some(Mapping::Local);
         out.done_at = out.done_at.max(arrive);
         out
     }
@@ -659,7 +698,10 @@ impl UvmDriver {
         now: Cycle,
         class: LatencyClass,
     ) -> DriverOutcome {
-        let mut out = DriverOutcome { done_at: now, ..Default::default() };
+        let mut out = DriverOutcome {
+            done_at: now,
+            ..Default::default()
+        };
         let lat = self.cfg.lat;
         let mut replicas = self.central.page(vpn).replicas;
         for g in GpuId::all(self.cfg.num_gpus) {
@@ -688,7 +730,10 @@ impl UvmDriver {
     /// Tears down every replica of a page (scheme reset away from
     /// duplication, §V-F): PTE/TLB invalidations in each holder.
     fn teardown_replicas(&mut self, vpn: PageId, now: Cycle) -> DriverOutcome {
-        let mut out = DriverOutcome { done_at: now, ..Default::default() };
+        let mut out = DriverOutcome {
+            done_at: now,
+            ..Default::default()
+        };
         let lat = self.cfg.lat;
         let replicas = self.central.page(vpn).replicas;
         for g in replicas.iter() {
@@ -709,34 +754,52 @@ impl UvmDriver {
         match state.owner {
             MemLoc::Gpu(owner) if owner != gpu => {
                 self.local_pts[gpu.index()].map(vpn, Mapping::Remote(owner));
-                DriverOutcome { done_at: now, ..Default::default() }
+                DriverOutcome {
+                    done_at: now,
+                    mapping: Some(Mapping::Remote(owner)),
+                    ..Default::default()
+                }
             }
             MemLoc::Gpu(_) => {
                 // Owner faulted on its own page (stale PTE): remap local.
                 self.local_pts[gpu.index()].map(vpn, Mapping::Local);
                 self.memories[gpu.index()].touch(vpn);
-                DriverOutcome { done_at: now, ..Default::default() }
+                DriverOutcome {
+                    done_at: now,
+                    mapping: Some(Mapping::Local),
+                    ..Default::default()
+                }
             }
             MemLoc::Host => {
                 // The page stays in host memory; the GPU reads it over
                 // PCIe while the access counters tick (§II-B2).
                 self.local_pts[gpu.index()].map(vpn, Mapping::RemoteHost);
-                DriverOutcome { done_at: now, ..Default::default() }
+                DriverOutcome {
+                    done_at: now,
+                    mapping: Some(Mapping::RemoteHost),
+                    ..Default::default()
+                }
             }
         }
     }
 
     fn duplicate_to(&mut self, gpu: GpuId, vpn: PageId, now: Cycle) -> DriverOutcome {
-        let mut out = DriverOutcome { done_at: now, ..Default::default() };
+        let mut out = DriverOutcome {
+            done_at: now,
+            ..Default::default()
+        };
         let state = self.central.page(vpn);
 
         if state.owner == MemLoc::Gpu(gpu) || state.replicas.contains(gpu) {
             // Already holding a copy (e.g. stale TLB after flush).
-            self.local_pts[gpu.index()].map(
-                vpn,
-                if state.owner == MemLoc::Gpu(gpu) { Mapping::Local } else { Mapping::Replica },
-            );
+            let m = if state.owner == MemLoc::Gpu(gpu) {
+                Mapping::Local
+            } else {
+                Mapping::Replica
+            };
+            self.local_pts[gpu.index()].map(vpn, m);
             self.memories[gpu.index()].touch(vpn);
+            out.mapping = Some(m);
             return out;
         }
 
@@ -748,10 +811,14 @@ impl UvmDriver {
             MemLoc::Gpu(src) => self.fabric.gpu_to_gpu(src, gpu, now, self.cfg.page_size),
             MemLoc::Host => self.fabric.gpu_to_host(gpu, now, self.cfg.page_size),
         };
-        self.breakdown.record(LatencyClass::PageDuplication, arrive - now + self.cfg.lat.dup_overhead);
+        self.breakdown.record(
+            LatencyClass::PageDuplication,
+            arrive - now + self.cfg.lat.dup_overhead,
+        );
         self.central.page_mut(vpn).replicas.insert(gpu);
         self.insert_resident(gpu, vpn, arrive, LatencyClass::PageDuplication, &mut out);
         self.local_pts[gpu.index()].map(vpn, Mapping::Replica);
+        out.mapping = Some(Mapping::Replica);
         out.done_at = out.done_at.max(arrive);
         out
     }
@@ -767,7 +834,10 @@ impl UvmDriver {
             return self.migrate_page(writer, vpn, now, LatencyClass::PageMigration);
         }
 
-        let mut out = DriverOutcome { done_at: now, ..Default::default() };
+        let mut out = DriverOutcome {
+            done_at: now,
+            ..Default::default()
+        };
         let mut t = now;
         if !others.is_empty() {
             self.faults.collapses += 1;
@@ -781,7 +851,10 @@ impl UvmDriver {
         // (§II-B3); the flushes proceed in parallel across GPUs.
         let mut flush_end = t;
         for g in others.iter() {
-            self.breakdown.record(LatencyClass::WriteCollapse, lat.flush_drain + lat.invalidation_per_gpu);
+            self.breakdown.record(
+                LatencyClass::WriteCollapse,
+                lat.flush_drain + lat.invalidation_per_gpu,
+            );
             out.stalls.push((g, t + lat.flush_drain));
             flush_end = flush_end.max(t + lat.flush_drain + lat.invalidation_per_gpu);
             self.local_pts[g.index()].invalidate(vpn);
@@ -791,7 +864,8 @@ impl UvmDriver {
         // Ownership moves to the writer: every other translation of this
         // page — including remote mappings held by non-holders — is stale
         // and must be shot down.
-        let mut teardown = self.teardown_mappings_except(vpn, writer, flush_end, LatencyClass::WriteCollapse);
+        let mut teardown =
+            self.teardown_mappings_except(vpn, writer, flush_end, LatencyClass::WriteCollapse);
         out.stalls.append(&mut teardown.stalls);
         out.invalidated.append(&mut teardown.invalidated);
         flush_end = flush_end.max(teardown.done_at);
@@ -820,6 +894,7 @@ impl UvmDriver {
             p.replicas.clear();
         }
         self.local_pts[writer.index()].map(vpn, Mapping::Local);
+        out.mapping = Some(Mapping::Local);
         out.done_at = out.done_at.max(t);
         out
     }
@@ -846,11 +921,17 @@ impl UvmDriver {
         // Every GPU sees the page as local; no capacity pressure is
         // modelled for the unrealizable upper bound.
         self.local_pts[gpu.index()].map(vpn, Mapping::Local);
-        DriverOutcome { done_at: done, ..Default::default() }
+        DriverOutcome {
+            done_at: done,
+            mapping: Some(Mapping::Local),
+            ..Default::default()
+        }
     }
 
     fn run_prefetch(&mut self, gpu: GpuId, vpn: PageId, now: Cycle) {
-        let Some(pf) = self.prefetcher.as_mut() else { return };
+        let Some(pf) = self.prefetcher.as_mut() else {
+            return;
+        };
         let candidates = pf.on_fill(gpu, vpn, self.footprint_pages);
         for cand in candidates {
             let state = self.central.page(cand);
@@ -885,7 +966,13 @@ mod tests {
     }
 
     fn fault(gpu: u8, vpn: u64, kind: AccessKind, fk: FaultKind, now: Cycle) -> FaultInfo {
-        FaultInfo { now, gpu: GpuId::new(gpu), vpn: PageId(vpn), kind, fault: fk }
+        FaultInfo {
+            now,
+            gpu: GpuId::new(gpu),
+            vpn: PageId(vpn),
+            kind,
+            fault: fk,
+        }
     }
 
     #[test]
@@ -963,10 +1050,19 @@ mod tests {
         let st = d.central.page(PageId(9));
         assert_eq!(st.holders().len(), 3);
         assert_eq!(d.fault_counters().duplications, 3);
-        assert_eq!(d.translate(GpuId::new(2), PageId(9)), Some(Mapping::Replica));
+        assert_eq!(
+            d.translate(GpuId::new(2), PageId(9)),
+            Some(Mapping::Replica)
+        );
 
         // GPU1 writes: everyone else collapses.
-        let out = d.handle_fault(fault(1, 9, AccessKind::Write, FaultKind::Protection, 300_000));
+        let out = d.handle_fault(fault(
+            1,
+            9,
+            AccessKind::Write,
+            FaultKind::Protection,
+            300_000,
+        ));
         let st = d.central.page(PageId(9));
         assert_eq!(st.owner, MemLoc::Gpu(GpuId::new(1)));
         assert!(st.replicas.is_empty());
@@ -1130,8 +1226,7 @@ mod tests {
         let cfg = SimConfig::default();
         let mut clean_driver =
             UvmDriver::new(cfg.clone(), 8, Box::new(StaticPolicy::new(Scheme::OnTouch)));
-        let mut dirty_driver =
-            UvmDriver::new(cfg, 8, Box::new(StaticPolicy::new(Scheme::OnTouch)));
+        let mut dirty_driver = UvmDriver::new(cfg, 8, Box::new(StaticPolicy::new(Scheme::OnTouch)));
         // Fill GPU0's 6-page capacity (8 * 0.7 -> 6), dirtying pages only
         // in one driver, then overflow to force an eviction.
         for p in 0..6u64 {
@@ -1192,7 +1287,10 @@ mod tests {
         // Back-to-back broadcasts from GPU1: the second queues on the port.
         let t1 = d.broadcast_store(300_000, GpuId::new(1), PageId(1));
         let t2 = d.broadcast_store(300_000, GpuId::new(1), PageId(1));
-        assert!(t2 >= t1 + gap, "second store must wait for port slots: {t1} vs {t2}");
+        assert!(
+            t2 >= t1 + gap,
+            "second store must wait for port slots: {t1} vs {t2}"
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ pub struct PolicyDecision {
 impl PolicyDecision {
     /// A zero-latency decision applying `resolution`.
     pub fn plain(resolution: Resolution) -> Self {
-        PolicyDecision { resolution, decision_latency: 0, scheme_changed: false }
+        PolicyDecision {
+            resolution,
+            decision_latency: 0,
+            scheme_changed: false,
+        }
     }
 }
 

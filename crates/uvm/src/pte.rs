@@ -83,7 +83,14 @@ impl Pte {
     /// Panics if `pfn` exceeds 40 bits.
     pub fn new_valid(pfn: u64) -> Self {
         assert!(pfn <= Self::MAX_PFN, "PFN {pfn:#x} exceeds 40 bits");
-        Pte { valid: true, user: true, writable: true, accessed: true, pfn, ..Pte::default() }
+        Pte {
+            valid: true,
+            user: true,
+            writable: true,
+            accessed: true,
+            pfn,
+            ..Pte::default()
+        }
     }
 
     /// Packs into the raw 64-bit format of Fig. 14.
@@ -92,7 +99,11 @@ impl Pte {
     ///
     /// Panics if `pfn` exceeds 40 bits.
     pub fn encode(&self) -> u64 {
-        assert!(self.pfn <= Self::MAX_PFN, "PFN {:#x} exceeds 40 bits", self.pfn);
+        assert!(
+            self.pfn <= Self::MAX_PFN,
+            "PFN {:#x} exceeds 40 bits",
+            self.pfn
+        );
         let mut raw = 0u64;
         let mut flag = |on: bool, bit: u64| {
             if on {
@@ -159,8 +170,16 @@ impl PaTableEntryBits {
     ///
     /// Panics if the VPN exceeds 45 bits or the counter exceeds 2 bits.
     pub fn encode(&self) -> u64 {
-        assert!(self.vpn <= Self::MAX_VPN, "VPN {:#x} exceeds 45 bits", self.vpn);
-        assert!(self.fault_count < 4, "fault counter {} exceeds 2 bits", self.fault_count);
+        assert!(
+            self.vpn <= Self::MAX_VPN,
+            "VPN {:#x} exceeds 45 bits",
+            self.vpn
+        );
+        assert!(
+            self.fault_count < 4,
+            "fault counter {} exceeds 2 bits",
+            self.fault_count
+        );
         self.vpn | (u64::from(self.write) << 45) | ((self.fault_count as u64) << 46)
     }
 
@@ -194,8 +213,10 @@ mod tests {
 
     #[test]
     fn scheme_bits_live_at_9_and_10() {
-        let mut p = Pte::default();
-        p.scheme = Some(Scheme::OnTouch);
+        let mut p = Pte {
+            scheme: Some(Scheme::OnTouch),
+            ..Pte::default()
+        };
         assert_eq!(p.encode(), 0b01 << 9);
         p.scheme = Some(Scheme::Duplication);
         assert_eq!(p.encode(), 0b11 << 9);
@@ -203,14 +224,19 @@ mod tests {
 
     #[test]
     fn group_bits_live_at_52_and_53() {
-        let mut p = Pte::default();
-        p.group = GroupSize::SixtyFour;
+        let p = Pte {
+            group: GroupSize::SixtyFour,
+            ..Pte::default()
+        };
         assert_eq!(p.encode(), 0b10 << 52);
     }
 
     #[test]
     fn pfn_occupies_bits_12_to_51() {
-        let p = Pte { pfn: Pte::MAX_PFN, ..Pte::default() };
+        let p = Pte {
+            pfn: Pte::MAX_PFN,
+            ..Pte::default()
+        };
         let raw = p.encode();
         assert_eq!(raw, (((1u64 << 40) - 1) << 12));
         assert_eq!(Pte::decode(raw).pfn, Pte::MAX_PFN);
@@ -219,7 +245,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds 40 bits")]
     fn oversized_pfn_rejected() {
-        let _ = Pte { pfn: 1 << 40, ..Pte::default() }.encode();
+        let _ = Pte {
+            pfn: 1 << 40,
+            ..Pte::default()
+        }
+        .encode();
     }
 
     #[test]
@@ -230,18 +260,31 @@ mod tests {
 
     #[test]
     fn pa_entry_round_trip_and_width() {
-        let e = PaTableEntryBits { vpn: 0x1FFF_FFFF_FFFF & PaTableEntryBits::MAX_VPN, write: true, fault_count: 3 };
+        let e = PaTableEntryBits {
+            vpn: 0x1FFF_FFFF_FFFF & PaTableEntryBits::MAX_VPN,
+            write: true,
+            fault_count: 3,
+        };
         let raw = e.encode();
         assert!(raw < 1 << 48, "PA-Table entry must fit in 48 bits");
         assert_eq!(PaTableEntryBits::decode(raw), e);
-        let e2 = PaTableEntryBits { vpn: 7, write: false, fault_count: 0 };
+        let e2 = PaTableEntryBits {
+            vpn: 7,
+            write: false,
+            fault_count: 0,
+        };
         assert_eq!(PaTableEntryBits::decode(e2.encode()), e2);
     }
 
     #[test]
     #[should_panic(expected = "2 bits")]
     fn pa_entry_counter_bounds() {
-        let _ = PaTableEntryBits { vpn: 0, write: false, fault_count: 4 }.encode();
+        let _ = PaTableEntryBits {
+            vpn: 0,
+            write: false,
+            fault_count: 4,
+        }
+        .encode();
     }
 
     #[test]

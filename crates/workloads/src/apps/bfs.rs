@@ -72,7 +72,10 @@ mod tests {
                 }
             }
         }
-        assert!(reads > writes * 10, "BFS must be read-dominated: {reads} vs {writes}");
+        assert!(
+            reads > writes * 10,
+            "BFS must be read-dominated: {reads} vs {writes}"
+        );
     }
 
     #[test]

@@ -71,11 +71,7 @@ mod tests {
                 written[a.vpn.vpn() as usize] |= a.is_write();
             }
         }
-        let shared_rw = accessors
-            .iter()
-            .zip(&written)
-            .filter(|(s, &w)| s.len() > 1 && w)
-            .count();
+        let shared_rw = accessors.iter().zip(&written).filter(|(s, &w)| s.len() > 1 && w).count();
         assert!(
             shared_rw as f64 > 0.5 * pages as f64,
             "BS must have majority shared-RW pages, got {shared_rw}/{pages}"
@@ -96,7 +92,10 @@ mod tests {
             }
         }
         let ratio = writes as f64 / (reads + writes) as f64;
-        assert!((0.35..=0.65).contains(&ratio), "write ratio {ratio} not ~0.5");
+        assert!(
+            (0.35..=0.65).contains(&ratio),
+            "write ratio {ratio} not ~0.5"
+        );
     }
 
     #[test]
@@ -105,8 +104,7 @@ mod tests {
         // blocks 1, 2 and 4 across stages.
         let blocks = 8u64;
         let log2 = blocks.trailing_zeros() as u64;
-        let partners: std::collections::HashSet<u64> =
-            (0..6).map(|s| 0 ^ (1u64 << (s % log2))).collect();
+        let partners: std::collections::HashSet<u64> = (0..6).map(|s| 1u64 << (s % log2)).collect();
         assert_eq!(partners.len(), 3);
     }
 }

@@ -10,14 +10,16 @@ use crate::common::{barrier_all, tb_to_gpu, GpuTrace, Segment};
 /// plus its 3 classifier layers (in units of ~10k parameters, from the
 /// standard architecture: 3->64, 64->64, 64->128, ... 512->512 conv
 /// kernels, then the giant fully connected layers).
-pub const VGG16_LAYER_WEIGHTS: [u64; 16] =
-    [1, 4, 8, 15, 30, 59, 59, 118, 236, 236, 236, 236, 236, 10276, 1678, 410];
+pub const VGG16_LAYER_WEIGHTS: [u64; 16] = [
+    1, 4, 8, 15, 30, 59, 59, 118, 236, 236, 236, 236, 236, 10276, 1678, 410,
+];
 
 /// Relative per-layer parameter counts for ResNet18's 17 convolution
 /// layers plus the classifier (3x3 kernels across the 64/128/256/512
 /// stages; downsample projections folded into their stage).
-pub const RESNET18_LAYER_WEIGHTS: [u64; 18] =
-    [1, 4, 4, 4, 4, 8, 15, 15, 15, 29, 59, 59, 59, 118, 236, 236, 236, 5];
+pub const RESNET18_LAYER_WEIGHTS: [u64; 18] = [
+    1, 4, 4, 4, 4, 8, 15, 15, 15, 29, 59, 59, 59, 118, 236, 236, 236, 5,
+];
 
 /// Per-layer relative weight sizes for the model with `layers` layers
 /// (uniform for models without a published table).
@@ -139,7 +141,10 @@ mod tests {
                 }
             }
         }
-        assert!(accessors.values().all(|s| s.len() == 1), "weights must be private");
+        assert!(
+            accessors.values().all(|s| s.len() == 1),
+            "weights must be private"
+        );
     }
 
     #[test]
@@ -156,7 +161,10 @@ mod tests {
             }
         }
         let all_shared = accessors.values().filter(|s| s.len() == 4).count();
-        assert!(all_shared > 0, "some parameter pages must be read by all stages");
+        assert!(
+            all_shared > 0,
+            "some parameter pages must be read by all stages"
+        );
     }
 
     #[test]

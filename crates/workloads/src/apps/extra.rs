@@ -55,7 +55,11 @@ pub fn generate_pagerank(ctx: &mut GenCtx) -> Vec<GpuTrace> {
 
     let iters = ctx.reps(5);
     for iter in 0..iters {
-        let (src, dst) = if iter % 2 == 0 { (rank_a, rank_b) } else { (rank_b, rank_a) };
+        let (src, dst) = if iter % 2 == 0 {
+            (rank_a, rank_b)
+        } else {
+            (rank_b, rank_a)
+        };
         for gpu in 0..g {
             let my_edges = edges.partition(gpu, g);
             let my_dst = dst.partition(gpu, g);
@@ -112,7 +116,10 @@ mod tests {
         let sinks = generate_spmv(&mut c);
         // Matrix pages 0..550: private.
         let (shared_m, total_m) = sharing(&sinks, 0, 550);
-        assert!(shared_m == 0, "matrix rows must be private: {shared_m}/{total_m}");
+        assert!(
+            shared_m == 0,
+            "matrix rows must be private: {shared_m}/{total_m}"
+        );
         // Vector pages 550..850: heavily shared.
         let (shared_x, total_x) = sharing(&sinks, 550, 850);
         assert!(
@@ -145,7 +152,10 @@ mod tests {
         // written by partition owners across iterations.
         for (lo, hi) in [(500u64, 750u64), (750, 1000)] {
             let (shared, total) = sharing(&sinks, lo, hi);
-            assert!(shared * 2 > total, "rank buffer {lo}..{hi}: {shared}/{total}");
+            assert!(
+                shared * 2 > total,
+                "rank buffer {lo}..{hi}: {shared}/{total}"
+            );
         }
     }
 

@@ -14,7 +14,10 @@ use crate::common::{barrier_all, GpuTrace, Segment};
 /// Generates GEMM-like traffic. `a_frac`/`b_frac` set the input matrix
 /// sizes as fractions of the footprint; the remainder is the output C.
 pub fn generate(ctx: &mut GenCtx, a_frac: f64, b_frac: f64, passes: u64) -> Vec<GpuTrace> {
-    assert!(a_frac + b_frac < 1.0, "inputs must leave room for the output");
+    assert!(
+        a_frac + b_frac < 1.0,
+        "inputs must leave room for the output"
+    );
     let mut sinks = ctx.sinks(12);
     let a_len = ((ctx.pages as f64 * a_frac) as u64).max(1);
     let b_len = ((ctx.pages as f64 * b_frac) as u64).max(1);
@@ -112,7 +115,10 @@ mod tests {
         }
         let shared = accessors.values().filter(|s| s.len() > 1).count() as f64;
         let frac = shared / accessors.len() as f64;
-        assert!((0.35..=0.65).contains(&frac), "GEMM shared fraction {frac} not ~0.5");
+        assert!(
+            (0.35..=0.65).contains(&frac),
+            "GEMM shared fraction {frac} not ~0.5"
+        );
     }
 
     #[test]

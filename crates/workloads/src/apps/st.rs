@@ -54,8 +54,7 @@ pub fn generate(ctx: &mut GenCtx) -> Vec<GpuTrace> {
             for i in 0..halo {
                 let ahead = grid.page(part.end() - grid.start + i + offset);
                 sinks[gpu].burst_read(ahead, 4);
-                let behind = grid
-                    .page(part.start - grid.start + grid.len - 1 - i + offset);
+                let behind = grid.page(part.start - grid.start + grid.len - 1 - i + offset);
                 sinks[gpu].burst_read(behind, 4);
             }
         }
@@ -93,11 +92,7 @@ mod tests {
                 written[a.vpn.vpn() as usize] |= a.is_write();
             }
         }
-        let shared_rw = accessors
-            .iter()
-            .zip(&written)
-            .filter(|(s, &w)| s.len() > 1 && w)
-            .count();
+        let shared_rw = accessors.iter().zip(&written).filter(|(s, &w)| s.len() > 1 && w).count();
         assert!(
             shared_rw as f64 > 0.9 * pages as f64,
             "ST must be ~all shared read-write, got {shared_rw}/{pages}"
@@ -129,6 +124,9 @@ mod tests {
             }
         }
         let multi = writers.iter().filter(|w| w.len() >= 2).count();
-        assert!(multi > pages as usize / 4, "drift must move writers, got {multi}");
+        assert!(
+            multi > pages as usize / 4,
+            "drift must move writers, got {multi}"
+        );
     }
 }

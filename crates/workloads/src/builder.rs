@@ -108,7 +108,10 @@ impl WorkloadBuilder {
     /// Panics if the configuration is degenerate (zero GPUs, more than 16
     /// GPUs, non-positive scale).
     pub fn build(self) -> MultiGpuWorkload {
-        assert!(self.num_gpus > 0 && self.num_gpus <= 16, "GPU count out of range");
+        assert!(
+            self.num_gpus > 0 && self.num_gpus <= 16,
+            "GPU count out of range"
+        );
         assert!(self.scale > 0.0, "scale must be positive");
         assert!(self.intensity > 0.0, "intensity must be positive");
         let pages = (((self.app.footprint_bytes() as f64 * self.scale) / self.page_size as f64)
@@ -135,7 +138,12 @@ impl WorkloadBuilder {
             barriers.iter().all(|b| b.len() == phases),
             "every GPU must see the same kernel-boundary count"
         );
-        MultiGpuWorkload { app: self.app, footprint_pages: pages, streams, barriers }
+        MultiGpuWorkload {
+            app: self.app,
+            footprint_pages: pages,
+            streams,
+            barriers,
+        }
     }
 }
 

@@ -36,7 +36,10 @@ impl Segment {
         assert!(n > 0 && g < n, "invalid partition");
         let base = self.len * g as u64 / n as u64;
         let end = self.len * (g as u64 + 1) / n as u64;
-        Segment { start: self.start + base, len: (end - base).max(1) }
+        Segment {
+            start: self.start + base,
+            len: (end - base).max(1),
+        }
     }
 
     /// One past the last page.
@@ -66,11 +69,12 @@ impl Segment {
         for (k, &w) in weights.iter().enumerate() {
             cum += w;
             let remaining_slots = (n - k - 1) as u64;
-            let hi = (self.len * cum / total)
-                .max(lo + 1)
-                .min(self.len - remaining_slots);
+            let hi = (self.len * cum / total).max(lo + 1).min(self.len - remaining_slots);
             if k == i {
-                return Segment { start: self.start + lo, len: hi - lo };
+                return Segment {
+                    start: self.start + lo,
+                    len: hi - lo,
+                };
             }
             lo = hi;
         }
@@ -97,7 +101,13 @@ pub struct GpuTrace {
 impl GpuTrace {
     /// A trace sink for a GPU with `lines_per_page` cache lines per page.
     pub fn new(rng: SimRng, lines_per_page: u16, think: u32) -> Self {
-        GpuTrace { accesses: Vec::new(), barriers: Vec::new(), rng, lines_per_page, think }
+        GpuTrace {
+            accesses: Vec::new(),
+            barriers: Vec::new(),
+            rng,
+            lines_per_page,
+            think,
+        }
     }
 
     /// Marks a kernel boundary at the current position. Repeated positions
@@ -195,7 +205,12 @@ impl GpuTrace {
 }
 
 /// Per-GPU trace sinks for one workload.
-pub fn make_sinks(rng: &mut SimRng, num_gpus: usize, lines_per_page: u16, think: u32) -> Vec<GpuTrace> {
+pub fn make_sinks(
+    rng: &mut SimRng,
+    num_gpus: usize,
+    lines_per_page: u16,
+    think: u32,
+) -> Vec<GpuTrace> {
     (0..num_gpus)
         .map(|g| GpuTrace::new(rng.fork(g as u64 + 1), lines_per_page, think))
         .collect()

@@ -48,8 +48,16 @@ pub enum App {
 
 impl App {
     /// The eight Table II applications, in the paper's order.
-    pub const TABLE2: [App; 8] =
-        [App::Bfs, App::Bs, App::C2d, App::Fir, App::Gemm, App::Mm, App::Sc, App::St];
+    pub const TABLE2: [App; 8] = [
+        App::Bfs,
+        App::Bs,
+        App::C2d,
+        App::Fir,
+        App::Gemm,
+        App::Mm,
+        App::Sc,
+        App::St,
+    ];
 
     /// The DNN workloads of §VI-F.
     pub const DNN: [App; 2] = [App::Vgg16, App::Resnet18];

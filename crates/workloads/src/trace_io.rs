@@ -138,7 +138,12 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<MultiGpuWorkload> {
                 1 => AccessKind::Write,
                 k => return Err(err(format!("bad access kind {k}"))),
             };
-            acc.push(Access { vpn: PageId(vpn), line, kind, think });
+            acc.push(Access {
+                vpn: PageId(vpn),
+                line,
+                kind,
+                think,
+            });
         }
         if let Some(&last) = bars.last() {
             if last > acc.len() {
@@ -148,7 +153,12 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<MultiGpuWorkload> {
         streams.push(SliceStream::new(acc));
         barriers.push(bars);
     }
-    Ok(MultiGpuWorkload { app, footprint_pages, streams, barriers })
+    Ok(MultiGpuWorkload {
+        app,
+        footprint_pages,
+        streams,
+        barriers,
+    })
 }
 
 #[cfg(test)]

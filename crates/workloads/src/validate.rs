@@ -122,10 +122,8 @@ pub fn characterize(workload: MultiGpuWorkload) -> Characterization {
     }
     let pages = sharers.len() as u64;
     let shared = sharers.values().filter(|m| m.count_ones() > 1).count() as u64;
-    let shared_rw = sharers
-        .iter()
-        .filter(|(p, m)| m.count_ones() > 1 && written[*p])
-        .count() as u64;
+    let shared_rw =
+        sharers.iter().filter(|(p, m)| m.count_ones() > 1 && written[*p]).count() as u64;
     Characterization {
         pages,
         accesses,
@@ -160,7 +158,11 @@ pub fn validate(app: App, workload: MultiGpuWorkload) -> Result<Characterization
     };
     check("shared-page fraction", c.shared_pages, e.shared_pages)?;
     check("write-access fraction", c.write_accesses, e.write_accesses)?;
-    check("shared-RW-page fraction", c.shared_rw_pages, e.shared_rw_pages)?;
+    check(
+        "shared-RW-page fraction",
+        c.shared_rw_pages,
+        e.shared_rw_pages,
+    )?;
     Ok(c)
 }
 

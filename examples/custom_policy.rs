@@ -55,7 +55,10 @@ fn grit(app: App) -> u64 {
 
 fn main() {
     println!("Custom policy vs GRIT (cycles, lower is better)\n");
-    println!("{:<6} {:>14} {:>14} {:>10}", "app", "custom", "grit", "grit wins");
+    println!(
+        "{:<6} {:>14} {:>14} {:>10}",
+        "app", "custom", "grit", "grit wins"
+    );
     for app in [App::Bfs, App::Gemm, App::Bs, App::St] {
         let custom = run(app, Box::new(ReadDupWriteMigrate));
         let g = grit(app);

@@ -11,7 +11,11 @@ use grit::experiments::{run_cell, ExpConfig, PolicyKind};
 use grit::prelude::*;
 
 fn main() {
-    let exp = ExpConfig { scale: 0.08, intensity: 2.0, seed: 42 };
+    let exp = ExpConfig {
+        scale: 0.08,
+        intensity: 2.0,
+        seed: 42,
+    };
 
     println!("Model-parallel DNN training, 4 GPUs\n");
     for app in App::DNN {

@@ -21,7 +21,10 @@ fn main() {
         })
         .unwrap_or(App::Bs);
 
-    println!("Fault-handling latency under each policy — {}\n", app.abbr());
+    println!(
+        "Fault-handling latency under each policy — {}\n",
+        app.abbr()
+    );
     println!(
         "{:<16} {:>8} {:>10} {:>10} {:>10} {:>12}",
         "policy", "faults", "mean", "p50", "p99", "max"

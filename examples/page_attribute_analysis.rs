@@ -17,15 +17,26 @@ fn main() {
             App::TABLE2
                 .into_iter()
                 .find(|a| a.abbr().eq_ignore_ascii_case(&s))
-                .unwrap_or_else(|| panic!("unknown app {s}; use one of BFS BS C2D FIR GEMM MM SC ST"))
+                .unwrap_or_else(|| {
+                    panic!("unknown app {s}; use one of BFS BS C2D FIR GEMM MM SC ST")
+                })
         })
         .unwrap_or(App::St);
-    let exp = ExpConfig { scale: 0.08, intensity: 2.0, seed: 42 };
+    let exp = ExpConfig {
+        scale: 0.08,
+        intensity: 2.0,
+        seed: 42,
+    };
 
     // Pass 1: whole-run attributes on the on-touch baseline.
     let scout = run_cell(app, PolicyKind::Static(Scheme::OnTouch), &exp);
     let s = scout.page_attrs;
-    println!("=== {} ({}, {} pattern) ===", app.abbr(), app.full_name(), format_args!("{:?}", app.pattern()));
+    println!(
+        "=== {} ({}, {} pattern) ===",
+        app.abbr(),
+        app.full_name(),
+        format_args!("{:?}", app.pattern())
+    );
     println!("pages touched: {}", s.total_pages);
     println!(
         "private {:>5.1}% | shared {:>5.1}%   (accesses: {:>5.1}% / {:>5.1}%)",
@@ -41,7 +52,10 @@ fn main() {
         100.0 * (1.0 - s.read_write_access_frac()),
         100.0 * s.read_write_access_frac(),
     );
-    println!("shared read-write: {:.1}%", 100.0 * s.shared_read_write_frac());
+    println!(
+        "shared read-write: {:.1}%",
+        100.0 * s.shared_read_write_frac()
+    );
 
     // Pass 2: track the hottest shared page over time (Fig. 5 style).
     if let Some(page) = scout.attrs.hottest(2) {

@@ -24,7 +24,11 @@ fn main() {
             .build()
     };
 
-    println!("GEMM on a {}-GPU node, {} pages footprint\n", cfg.num_gpus, build().footprint_pages);
+    println!(
+        "GEMM on a {}-GPU node, {} pages footprint\n",
+        cfg.num_gpus,
+        build().footprint_pages
+    );
     println!(
         "{:<16} {:>12} {:>9} {:>8} {:>8} {:>8}",
         "policy", "cycles", "faults", "migr", "dup", "remote"

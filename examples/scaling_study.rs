@@ -19,7 +19,11 @@ fn main() {
                 .unwrap_or_else(|| panic!("unknown app {s}"))
         })
         .unwrap_or(App::Gemm);
-    let exp = ExpConfig { scale: 0.08, intensity: 2.0, seed: 42 };
+    let exp = ExpConfig {
+        scale: 0.08,
+        intensity: 2.0,
+        seed: 42,
+    };
 
     println!("=== {} scaling (input held constant) ===\n", app.abbr());
     println!(
@@ -29,9 +33,8 @@ fn main() {
 
     for gpus in [2usize, 4, 8, 16] {
         let cfg = SimConfig::with_gpus(gpus);
-        let run = |p: PolicyKind| {
-            run_cell_with(app, p, &exp, cfg.clone(), None).metrics.total_cycles
-        };
+        let run =
+            |p: PolicyKind| run_cell_with(app, p, &exp, cfg.clone(), None).metrics.total_cycles;
         let ot = run(PolicyKind::Static(Scheme::OnTouch));
         let ac = run(PolicyKind::Static(Scheme::AccessCounter));
         let d = run(PolicyKind::Static(Scheme::Duplication));

@@ -21,12 +21,19 @@ fn main() {
     println!("accesses:   {}", c.accesses);
     println!("shared:     {:.1}% of pages", 100.0 * c.shared_pages);
     println!("writes:     {:.1}% of accesses", 100.0 * c.write_accesses);
-    println!("shared-RW:  {:.1}% of pages (paper: 99%)", 100.0 * c.shared_rw_pages);
+    println!(
+        "shared-RW:  {:.1}% of pages (paper: 99%)",
+        100.0 * c.shared_rw_pages
+    );
 
     // 2. Serialize and reload.
     let mut buf = Vec::new();
     write_trace(&build(), &mut buf).expect("in-memory serialization cannot fail");
-    println!("\nserialized: {} bytes ({:.1} B/access)", buf.len(), buf.len() as f64 / c.accesses as f64);
+    println!(
+        "\nserialized: {} bytes ({:.1} B/access)",
+        buf.len(),
+        buf.len() as f64 / c.accesses as f64
+    );
     let loaded = read_trace(buf.as_slice()).expect("round trip");
     let c2 = characterize(loaded);
     assert_eq!(c.accesses, c2.accesses);
@@ -39,8 +46,16 @@ fn main() {
     };
     let direct = run(build());
     let replayed = run(read_trace(buf.as_slice()).expect("round trip"));
-    println!("\ndirect run:   {} cycles, {} faults", direct.total_cycles, direct.faults.total_faults());
-    println!("replayed run: {} cycles, {} faults", replayed.total_cycles, replayed.faults.total_faults());
+    println!(
+        "\ndirect run:   {} cycles, {} faults",
+        direct.total_cycles,
+        direct.faults.total_faults()
+    );
+    println!(
+        "replayed run: {} cycles, {} faults",
+        replayed.total_cycles,
+        replayed.faults.total_faults()
+    );
     assert_eq!(direct.total_cycles, replayed.total_cycles);
     assert_eq!(direct.faults.total_faults(), replayed.faults.total_faults());
     println!("\nbit-identical: the simulator is a pure function of the trace.");

@@ -5,13 +5,19 @@
 //! repro fig17              # one figure
 //! repro fig17 --quick      # CI-sized inputs
 //! repro fig17 --full       # Table II full footprints (slow)
+//! repro all --jobs 8       # cap the worker pool (default: all cores)
 //! repro list               # figure index
 //! ```
+//!
+//! Experiment cells fan out across a worker pool sized by `--jobs`, the
+//! `GRIT_JOBS` environment variable, or the machine's core count; tables
+//! are byte-identical to a serial run regardless of the worker count.
 
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use grit::experiments::{self as ex, ExpConfig};
 use grit_metrics::Table;
@@ -39,17 +45,31 @@ const FIGURES: &[(&str, &str)] = &[
     ("fig31", "DNN model parallelism"),
     ("oracle", "EXT: GRIT vs profile-guided static oracle"),
     ("pacache", "EXT: PA-Cache capacity sweep"),
-    ("sweeps", "EXT: capacity / remote-gap / MLP sensitivity sweeps"),
-    ("adapt", "EXT: GRIT adaptation timeline (scheme mix over time)"),
+    (
+        "sweeps",
+        "EXT: capacity / remote-gap / MLP sensitivity sweeps",
+    ),
+    (
+        "adapt",
+        "EXT: GRIT adaptation timeline (scheme mix over time)",
+    ),
     ("extra", "EXT: GRIT on SpMV and PageRank"),
 ];
 
-fn run_summary(exp: &ExpConfig) {
+/// Tables that later targets can reuse — `repro all` runs fig17/fig18
+/// before the summary, and the digest must not re-run them.
+#[derive(Default)]
+struct TableCache {
+    fig17: Option<Table>,
+    fig18: Option<Table>,
+}
+
+fn run_summary(exp: &ExpConfig, cache: &mut TableCache) {
     use grit::experiments::fig17_grit;
     use grit::experiments::fig18_faults;
-    let t17 = fig17_grit::run(exp);
-    let (ot, ac, d) = fig17_grit::headline(&t17);
-    let t18 = fig18_faults::run(exp);
+    let t17 = cache.fig17.get_or_insert_with(|| fig17_grit::run(exp));
+    let (ot, ac, d) = fig17_grit::headline(t17);
+    let t18 = cache.fig18.get_or_insert_with(|| fig18_faults::run(exp));
     println!("== GRIT reproduction digest ==");
     println!(
         "performance: GRIT vs on-touch {:+.0}%, vs access-counter {:+.0}%, vs duplication {:+.0}%",
@@ -171,7 +191,7 @@ fn trace_info(path: &str) -> bool {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <figN|all|tables|list> [--quick|--full] [--scale X] [--intensity X] [--seed N] [--csv DIR]"
+        "usage: repro <figN|all|tables|list> [--quick|--full] [--jobs N] [--scale X] [--intensity X] [--seed N] [--csv DIR]"
     );
     eprintln!("figures:");
     for (name, desc) in FIGURES {
@@ -181,6 +201,9 @@ fn print_usage() {
     eprintln!("  summary  one-screen digest of the headline results");
     eprintln!("  validate check every generator against its characterization band");
     eprintln!("  dump-trace <APP> <PATH> / trace-info <PATH>  trace tooling");
+    eprintln!(
+        "  --jobs N  worker threads for experiment cells (also GRIT_JOBS; default: all cores)"
+    );
 }
 
 /// Prints a table and optionally appends its CSV rendering to `csv_dir`.
@@ -201,18 +224,48 @@ fn print_config_tables() {
     println!("== Table I: baseline multi-GPU configuration ==");
     println!("  GPUs                      {}", cfg.num_gpus);
     println!("  page size                 {} B", cfg.page_size);
-    println!("  DRAM per GPU              {:.0}% of footprint", 100.0 * cfg.capacity_ratio);
-    println!("  L1 data cache             {} x 64 B, {}-way", cfg.l1_cache.entries, cfg.l1_cache.ways);
-    println!("  L2 data cache             {} x 64 B, {}-way", cfg.l2_cache.entries, cfg.l2_cache.ways);
-    println!("  L1 TLB                    {} entries, {}-way, {} cyc", cfg.l1_tlb.entries, cfg.l1_tlb.ways, cfg.l1_tlb.lookup_latency);
-    println!("  L2 TLB                    {} entries, {}-way, {} cyc", cfg.l2_tlb.entries, cfg.l2_tlb.ways, cfg.l2_tlb.lookup_latency);
-    println!("  page walkers              {} shared, {} cyc/level, {} levels", cfg.walk.walkers, cfg.walk.cycles_per_level, cfg.walk.levels);
-    println!("  page-walk cache / queue   {} / {} entries", cfg.walk.walk_cache_entries, cfg.walk.queue_capacity);
-    println!("  access-counter threshold  {}", cfg.access_counter_threshold);
-    println!("  NVLink / PCIe             {:.0} / {:.0} B per cycle", cfg.links.nvlink_bytes_per_cycle, cfg.links.pcie_bytes_per_cycle);
+    println!(
+        "  DRAM per GPU              {:.0}% of footprint",
+        100.0 * cfg.capacity_ratio
+    );
+    println!(
+        "  L1 data cache             {} x 64 B, {}-way",
+        cfg.l1_cache.entries, cfg.l1_cache.ways
+    );
+    println!(
+        "  L2 data cache             {} x 64 B, {}-way",
+        cfg.l2_cache.entries, cfg.l2_cache.ways
+    );
+    println!(
+        "  L1 TLB                    {} entries, {}-way, {} cyc",
+        cfg.l1_tlb.entries, cfg.l1_tlb.ways, cfg.l1_tlb.lookup_latency
+    );
+    println!(
+        "  L2 TLB                    {} entries, {}-way, {} cyc",
+        cfg.l2_tlb.entries, cfg.l2_tlb.ways, cfg.l2_tlb.lookup_latency
+    );
+    println!(
+        "  page walkers              {} shared, {} cyc/level, {} levels",
+        cfg.walk.walkers, cfg.walk.cycles_per_level, cfg.walk.levels
+    );
+    println!(
+        "  page-walk cache / queue   {} / {} entries",
+        cfg.walk.walk_cache_entries, cfg.walk.queue_capacity
+    );
+    println!(
+        "  access-counter threshold  {}",
+        cfg.access_counter_threshold
+    );
+    println!(
+        "  NVLink / PCIe             {:.0} / {:.0} B per cycle",
+        cfg.links.nvlink_bytes_per_cycle, cfg.links.pcie_bytes_per_cycle
+    );
     println!();
     println!("== Table II: applications ==");
-    println!("  {:<5} {:<30} {:<12} {:<15} {:>9}", "abbr", "application", "suite", "pattern", "footprint");
+    println!(
+        "  {:<5} {:<30} {:<12} {:<15} {:>9}",
+        "abbr", "application", "suite", "pattern", "footprint"
+    );
     for app in App::TABLE2 {
         println!(
             "  {:<5} {:<30} {:<12} {:<15} {:>6} MB",
@@ -232,8 +285,7 @@ fn print_config_tables() {
         ("all-shared", SharingClass::AllShared),
     ] {
         for (rw_label, rw) in [("read", RwClass::Read), ("read-write", RwClass::ReadWrite)] {
-            let pref: Vec<String> =
-                preference(s, rw).iter().map(|x| x.to_string()).collect();
+            let pref: Vec<String> = preference(s, rw).iter().map(|x| x.to_string()).collect();
             println!("  {label:<10} {rw_label:<10} -> {}", pref.join(" / "));
         }
     }
@@ -246,15 +298,30 @@ fn print_config_tables() {
     println!();
     println!("== Table V: group bits ==");
     use grit_sim::GroupSize;
-    for g in [GroupSize::One, GroupSize::Eight, GroupSize::SixtyFour, GroupSize::FiveTwelve] {
-        println!("  {:#04b}  {:>3} pages ({} KB)", g.bits(), g.pages(), g.pages() * 4);
+    for g in [
+        GroupSize::One,
+        GroupSize::Eight,
+        GroupSize::SixtyFour,
+        GroupSize::FiveTwelve,
+    ] {
+        println!(
+            "  {:#04b}  {:>3} pages ({} KB)",
+            g.bits(),
+            g.pages(),
+            g.pages() * 4
+        );
     }
 }
 
-fn run_figure(name: &str, exp: &ExpConfig, csv_dir: &Option<PathBuf>) -> bool {
+fn run_figure(
+    name: &str,
+    exp: &ExpConfig,
+    csv_dir: &Option<PathBuf>,
+    cache: &mut TableCache,
+) -> bool {
     match name {
         "tables" => print_config_tables(),
-        "summary" => run_summary(exp),
+        "summary" => run_summary(exp, cache),
         "validate" => {
             if !run_validate(exp) {
                 eprintln!("[repro] at least one generator drifted from its band");
@@ -315,9 +382,16 @@ fn run_figure(name: &str, exp: &ExpConfig, csv_dir: &Option<PathBuf>) -> bool {
                 100.0 * ac,
                 100.0 * d
             );
-            println!("paper:    GRIT vs on-touch +60%  vs access-counter +49%  vs duplication +29%\n");
+            println!(
+                "paper:    GRIT vs on-touch +60%  vs access-counter +49%  vs duplication +29%\n"
+            );
+            cache.fig17 = Some(t);
         }
-        "fig18" => emit(&ex::fig18_faults::run(exp), "fig18", csv_dir),
+        "fig18" => {
+            let t = ex::fig18_faults::run(exp);
+            emit(&t, "fig18", csv_dir);
+            cache.fig18 = Some(t);
+        }
         "fig19" => emit(&ex::fig19_scheme_mix::run(exp), "fig19", csv_dir),
         "fig20" => emit(&ex::fig20_ablation::run(exp), "fig20", csv_dir),
         "fig21" => emit(&ex::fig21_threshold::run(exp), "fig21", csv_dir),
@@ -344,8 +418,16 @@ fn run_figure(name: &str, exp: &ExpConfig, csv_dir: &Option<PathBuf>) -> bool {
             }
         }
         "sweeps" => {
-            emit(&ex::ext_sweeps::run_capacity(exp), "sweep_capacity", csv_dir);
-            emit(&ex::ext_sweeps::run_remote_gap(exp), "sweep_remote_gap", csv_dir);
+            emit(
+                &ex::ext_sweeps::run_capacity(exp),
+                "sweep_capacity",
+                csv_dir,
+            );
+            emit(
+                &ex::ext_sweeps::run_remote_gap(exp),
+                "sweep_remote_gap",
+                csv_dir,
+            );
             emit(&ex::ext_sweeps::run_mlp(exp), "sweep_mlp", csv_dir);
         }
         _ => return false,
@@ -392,6 +474,15 @@ fn main() -> ExitCode {
                 };
                 exp.seed = v;
             }
+            "--jobs" | "-j" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<usize>().ok()).filter(|&n| n > 0)
+                else {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                ex::set_jobs(v);
+            }
             "--csv" => {
                 i += 1;
                 let Some(dir) = args.get(i) else {
@@ -420,18 +511,29 @@ fn main() -> ExitCode {
             eprintln!("usage: repro dump-trace <APP> <PATH> [--scale X]");
             return ExitCode::FAILURE;
         };
-        return if dump_trace(app, path, &exp) { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        return if dump_trace(app, path, &exp) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     if targets.first().map(String::as_str) == Some("trace-info") {
         let Some(path) = targets.get(1) else {
             eprintln!("usage: repro trace-info <PATH>");
             return ExitCode::FAILURE;
         };
-        return if trace_info(path) { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        return if trace_info(path) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     if targets.iter().any(|t| t == "all") {
+        // Every figure, capped by the digest — which reuses the fig17 and
+        // fig18 tables computed moments earlier.
         targets = FIGURES.iter().map(|(n, _)| n.to_string()).collect();
+        targets.push("summary".to_string());
     }
     if targets.is_empty() {
         print_usage();
@@ -439,16 +541,29 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "[repro] scale={} intensity={} seed={:#x}",
-        exp.scale, exp.intensity, exp.seed
+        "[repro] scale={} intensity={} seed={:#x} jobs={}",
+        exp.scale,
+        exp.intensity,
+        exp.seed,
+        ex::effective_jobs()
     );
+    let mut cache = TableCache::default();
+    let t0 = Instant::now();
     for t in &targets {
         eprintln!("[repro] running {t} ...");
-        if !run_figure(t, &exp, &csv_dir) {
+        let started = Instant::now();
+        if !run_figure(t, &exp, &csv_dir, &mut cache) {
             eprintln!("unknown figure: {t}");
             print_usage();
             return ExitCode::FAILURE;
         }
+        eprintln!("[repro] {t} time: {:.2}s", started.elapsed().as_secs_f64());
     }
+    eprintln!(
+        "[repro] total time: {:.2}s ({} targets, {} jobs)",
+        t0.elapsed().as_secs_f64(),
+        targets.len(),
+        ex::effective_jobs()
+    );
     ExitCode::SUCCESS
 }

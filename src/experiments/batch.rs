@@ -1,0 +1,287 @@
+//! Parallel experiment execution.
+//!
+//! A figure driver declares its grid as [`CellSpec`] recipes — plain data
+//! describing *what* to run — and [`run_batch`] fans the cells across a
+//! scoped worker pool. Results come back in declaration order, so drivers
+//! assemble tables exactly as the serial loops did and the printed output
+//! is byte-identical regardless of the worker count.
+//!
+//! Workers pull cells from a shared index, so a long cell (e.g. a full
+//! GRIT run) never blocks the queue behind it. Workloads come from the
+//! shared [`super::workload_cache`], which builds each distinct trace once
+//! no matter how many cells (or workers) request it.
+//!
+//! The worker count is resolved, in priority order, from the programmatic
+//! override ([`set_jobs`], wired to `repro --jobs N`), the `GRIT_JOBS`
+//! environment variable, and the machine's available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use grit_sim::SimConfig;
+use grit_uvm::{PlacementPolicy, Prefetcher};
+use grit_workloads::App;
+
+use crate::runner::{ObserverConfig, RunOutput, Simulation};
+
+use super::{workload_cache, ExpConfig, PolicyKind};
+
+/// Constructor for [`PolicySpec::Factory`] cells: receives the run's
+/// `SimConfig` and footprint pages, returns the policy object.
+pub type PolicyFactory = Arc<dyn Fn(&SimConfig, u64) -> Box<dyn PlacementPolicy> + Send + Sync>;
+
+/// How a cell obtains its policy object.
+#[derive(Clone)]
+pub enum PolicySpec {
+    /// A declarative recipe (the common case).
+    Kind(PolicyKind),
+    /// An arbitrary constructor, for cells whose policy is derived from
+    /// earlier results (e.g. oracle policies seeded with a profile).
+    Factory(PolicyFactory),
+}
+
+impl std::fmt::Debug for PolicySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicySpec::Kind(k) => write!(f, "Kind({k:?})"),
+            PolicySpec::Factory(_) => write!(f, "Factory(..)"),
+        }
+    }
+}
+
+impl From<PolicyKind> for PolicySpec {
+    fn from(kind: PolicyKind) -> Self {
+        PolicySpec::Kind(kind)
+    }
+}
+
+/// One experiment cell: everything needed to run `(app, policy)` under an
+/// experiment and system configuration.
+#[derive(Clone)]
+pub struct CellSpec {
+    /// The workload-generating application.
+    pub app: App,
+    /// The placement policy recipe.
+    pub policy: PolicySpec,
+    /// Scale/intensity/seed knobs.
+    pub exp: ExpConfig,
+    /// System configuration (GPU count, latencies, page size).
+    pub cfg: SimConfig,
+    /// Optional instrumentation.
+    pub observer: Option<ObserverConfig>,
+    /// Optional prefetcher constructor (prefetchers are stateful, so each
+    /// cell builds its own instance).
+    pub prefetcher: Option<Arc<dyn Fn() -> Box<dyn Prefetcher> + Send + Sync>>,
+}
+
+impl std::fmt::Debug for CellSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellSpec")
+            .field("app", &self.app)
+            .field("policy", &self.policy)
+            .field("exp", &self.exp)
+            .field("observer", &self.observer.is_some())
+            .field("prefetcher", &self.prefetcher.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CellSpec {
+    /// A cell with the baseline system configuration.
+    pub fn new(app: App, policy: impl Into<PolicySpec>, exp: &ExpConfig) -> Self {
+        CellSpec {
+            app,
+            policy: policy.into(),
+            exp: *exp,
+            cfg: SimConfig::default(),
+            observer: None,
+            prefetcher: None,
+        }
+    }
+
+    /// Replaces the system configuration.
+    pub fn with_cfg(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Attaches observer instrumentation.
+    pub fn observed(mut self, observer: ObserverConfig) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches a prefetcher, built fresh for each run.
+    pub fn with_prefetcher(
+        mut self,
+        make: impl Fn() -> Box<dyn Prefetcher> + Send + Sync + 'static,
+    ) -> Self {
+        self.prefetcher = Some(Arc::new(make));
+        self
+    }
+
+    /// Runs this cell (workload via the shared cache).
+    pub fn run(&self) -> RunOutput {
+        let workload = workload_cache::shared_workload(self.app, &self.exp, &self.cfg);
+        let policy = match &self.policy {
+            PolicySpec::Kind(kind) => kind.build(&self.cfg, workload.footprint_pages),
+            PolicySpec::Factory(make) => make(&self.cfg, workload.footprint_pages),
+        };
+        let mut sim = Simulation::new(self.cfg.clone(), workload, policy);
+        if let Some(obs) = &self.observer {
+            sim.set_observer(obs.clone());
+        }
+        if let Some(make) = &self.prefetcher {
+            sim.set_prefetcher(make());
+        }
+        sim.run()
+    }
+}
+
+/// Explicit worker-count override; 0 means "not set".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count for subsequent [`run_batch`] calls (0 clears the
+/// override). The `repro --jobs N` flag lands here.
+pub fn set_jobs(jobs: usize) {
+    JOBS_OVERRIDE.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count [`run_batch`] will use: the [`set_jobs`] override,
+/// else `GRIT_JOBS`, else the machine's available parallelism.
+pub fn effective_jobs() -> usize {
+    let explicit = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Some(n) = std::env::var("GRIT_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs every cell and returns outputs in declaration order, using
+/// [`effective_jobs`] workers.
+pub fn run_batch(cells: &[CellSpec]) -> Vec<RunOutput> {
+    run_batch_with_jobs(cells, effective_jobs())
+}
+
+/// Runs every cell with an explicit worker count. `jobs <= 1` runs
+/// serially on the calling thread; either way, outputs are returned in
+/// declaration order and are identical to a serial run.
+pub fn run_batch_with_jobs(cells: &[CellSpec], jobs: usize) -> Vec<RunOutput> {
+    let jobs = jobs.clamp(1, cells.len().max(1));
+    if jobs <= 1 {
+        return cells.iter().map(CellSpec::run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunOutput>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let out = cell.run();
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell ran to completion")
+        })
+        .collect()
+}
+
+/// Runs an `apps x policies` grid — the shape of most figures — and
+/// returns one row of outputs per app, in declaration order.
+pub fn run_grid(apps: &[App], policies: &[PolicyKind], exp: &ExpConfig) -> Vec<Vec<RunOutput>> {
+    let cells: Vec<CellSpec> = apps
+        .iter()
+        .flat_map(|&app| policies.iter().map(move |&p| CellSpec::new(app, p, exp)))
+        .collect();
+    let outputs = run_batch(&cells);
+    outputs.chunks(policies.len().max(1)).map(<[RunOutput]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grit_sim::Scheme;
+
+    fn exp() -> ExpConfig {
+        ExpConfig {
+            scale: 0.02,
+            intensity: 0.5,
+            seed: 0x7E57,
+        }
+    }
+
+    fn grid() -> Vec<CellSpec> {
+        let policies = [
+            PolicyKind::Static(Scheme::OnTouch),
+            PolicyKind::FirstTouch,
+            PolicyKind::GRIT,
+        ];
+        [App::Bfs, App::Fir]
+            .into_iter()
+            .flat_map(|app| policies.map(|p| CellSpec::new(app, p, &exp())))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_in_order() {
+        let cells = grid();
+        let serial = run_batch_with_jobs(&cells, 1);
+        let parallel = run_batch_with_jobs(&cells, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.metrics.total_cycles, p.metrics.total_cycles);
+            assert_eq!(s.metrics.accesses, p.metrics.accesses);
+            assert_eq!(s.metrics.faults.local_faults, p.metrics.faults.local_faults);
+            assert_eq!(s.page_attrs, p.page_attrs);
+        }
+    }
+
+    #[test]
+    fn factory_policies_run() {
+        let cell = CellSpec {
+            app: App::Fir,
+            policy: PolicySpec::Factory(Arc::new(|_, _| {
+                Box::new(grit_uvm::StaticPolicy::new(Scheme::OnTouch))
+            })),
+            exp: exp(),
+            cfg: SimConfig::default(),
+            observer: None,
+            prefetcher: None,
+        };
+        let by_factory = cell.run();
+        let by_kind = CellSpec::new(App::Fir, PolicyKind::Static(Scheme::OnTouch), &exp()).run();
+        assert_eq!(
+            by_factory.metrics.total_cycles,
+            by_kind.metrics.total_cycles
+        );
+    }
+
+    #[test]
+    fn jobs_resolution_prefers_override() {
+        // No override: some positive count.
+        set_jobs(0);
+        assert!(effective_jobs() >= 1);
+        set_jobs(3);
+        assert_eq!(effective_jobs(), 3);
+        set_jobs(0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(run_batch(&[]).is_empty());
+    }
+}

@@ -8,19 +8,16 @@
 //! is the per-app mix of Fig. 19.
 
 use grit_metrics::Table;
-use grit_sim::SimConfig;
 use grit_workloads::App;
 
-use super::{run_cell, run_cell_with, ExpConfig, PolicyKind};
-use crate::runner::ObserverConfig;
+use super::{run_batch, CellSpec, ExpConfig, PolicyKind};
+use crate::runner::{ObserverConfig, RunOutput};
 
 /// Number of timeline rows reported.
 pub const INTERVALS: usize = 16;
 
-/// Runs the timeline for one application under GRIT.
-pub fn run_app(app: App, exp: &ExpConfig) -> Table {
-    // Scout for the run length, then rerun with the timeline observer.
-    let scout = run_cell(app, PolicyKind::GRIT, exp);
+/// The rerun cell with the timeline observer, sized from a scout run.
+fn observed_cell(app: App, scout: &RunOutput, exp: &ExpConfig) -> CellSpec {
     let interval = (scout.metrics.total_cycles / INTERVALS as u64).max(1);
     let obs = ObserverConfig {
         track_page: None,
@@ -29,16 +26,29 @@ pub fn run_app(app: App, exp: &ExpConfig) -> Table {
         grid_intervals: 0,
         scheme_timeline: true,
     };
-    let out = run_cell_with(app, PolicyKind::GRIT, exp, SimConfig::default(), Some(obs));
+    CellSpec::new(app, PolicyKind::GRIT, exp).observed(obs)
+}
+
+/// Assembles the timeline table from an observed run.
+fn table_for(app: App, out: &RunOutput) -> Table {
     let series = out
         .observer
+        .as_ref()
         .expect("observer configured")
         .scheme_timeline
+        .as_ref()
         .expect("timeline requested");
 
     let mut table = Table::new(
-        format!("Extension: GRIT adaptation timeline for {} (% of L2-TLB misses)", app.abbr()),
-        vec!["on-touch".into(), "access-counter".into(), "duplication".into()],
+        format!(
+            "Extension: GRIT adaptation timeline for {} (% of L2-TLB misses)",
+            app.abbr()
+        ),
+        vec![
+            "on-touch".into(),
+            "access-counter".into(),
+            "duplication".into(),
+        ],
     );
     for (i, fr) in series.fractions().into_iter().enumerate() {
         table.push_row(
@@ -49,9 +59,22 @@ pub fn run_app(app: App, exp: &ExpConfig) -> Table {
     table
 }
 
+/// Runs the timeline for one application under GRIT.
+pub fn run_app(app: App, exp: &ExpConfig) -> Table {
+    // Scout for the run length, then rerun with the timeline observer.
+    let scout = CellSpec::new(app, PolicyKind::GRIT, exp).run();
+    let out = observed_cell(app, &scout, exp).run();
+    table_for(app, &out)
+}
+
 /// Runs the timeline for the two most adaptive applications.
 pub fn run(exp: &ExpConfig) -> Vec<Table> {
-    vec![run_app(App::Gemm, exp), run_app(App::St, exp)]
+    let apps = [App::Gemm, App::St];
+    let scouts = run_batch(&apps.map(|a| CellSpec::new(a, PolicyKind::GRIT, exp)));
+    let cells: Vec<CellSpec> =
+        apps.iter().zip(&scouts).map(|(&a, s)| observed_cell(a, s, exp)).collect();
+    let outs = run_batch(&cells);
+    apps.iter().zip(&outs).map(|(&a, o)| table_for(a, o)).collect()
 }
 
 #[cfg(test)]
@@ -65,7 +88,10 @@ mod tests {
             .map(|(_, r)| r)
             .filter(|r| r.iter().sum::<f64>() > 0.0)
             .collect();
-        (rows.first().unwrap().to_vec(), rows.last().unwrap().to_vec())
+        (
+            rows.first().unwrap().to_vec(),
+            rows.last().unwrap().to_vec(),
+        )
     }
 
     #[test]

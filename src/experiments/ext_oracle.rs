@@ -7,40 +7,53 @@
 //! online classification; GRIT or the oracle trading wins on the
 //! phase-changing apps (ST, BS) shows where adaptivity matters.
 
+use std::sync::Arc;
+
 use grit_baselines::OraclePolicy;
 use grit_metrics::Table;
-use grit_sim::{Scheme, SimConfig};
-use grit_workloads::WorkloadBuilder;
+use grit_sim::Scheme;
 
-use super::{run_cell, table2_apps, ExpConfig, PolicyKind};
-use crate::runner::Simulation;
+use super::{run_batch, run_grid, table2_apps, CellSpec, ExpConfig, PolicyKind, PolicySpec};
 
 /// Runs the extension: speedups over on-touch for GRIT, the static oracle
 /// and the Ideal.
 pub fn run(exp: &ExpConfig) -> Table {
     let mut table = Table::new(
         "Extension: GRIT vs profile-guided static oracle (speedup over on-touch)",
-        vec!["on-touch".into(), "grit".into(), "oracle".into(), "ideal".into()],
+        vec![
+            "on-touch".into(),
+            "grit".into(),
+            "oracle".into(),
+            "ideal".into(),
+        ],
     );
-    for app in table2_apps() {
-        // Profiling pass (the oracle gets a free run the online policies
-        // never see).
-        let profile = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp);
-        let base = profile.metrics.total_cycles;
-        let oracle_policy = OraclePolicy::from_profile(&profile.attrs);
-
-        let cfg = SimConfig::default();
-        let workload = WorkloadBuilder::new(app)
-            .num_gpus(cfg.num_gpus)
-            .scale(exp.scale)
-            .intensity(exp.intensity)
-            .seed(exp.seed)
-            .build();
-        let oracle =
-            Simulation::new(cfg, workload, Box::new(oracle_policy)).run().metrics.total_cycles;
-
-        let grit = run_cell(app, PolicyKind::GRIT, exp).metrics.total_cycles;
-        let ideal = run_cell(app, PolicyKind::Ideal, exp).metrics.total_cycles;
+    // Phase 1: the online policies. The on-touch run doubles as the
+    // profiling pass (the oracle gets whole-run knowledge the online
+    // policies never see).
+    let online = [
+        PolicyKind::Static(Scheme::OnTouch),
+        PolicyKind::GRIT,
+        PolicyKind::Ideal,
+    ];
+    let rows = run_grid(&table2_apps(), &online, exp);
+    // Phase 2: one oracle cell per app, seeded with that app's profile.
+    let oracle_cells: Vec<CellSpec> = table2_apps()
+        .into_iter()
+        .zip(&rows)
+        .map(|(app, runs)| {
+            let attrs = runs[0].attrs.clone();
+            let factory = PolicySpec::Factory(Arc::new(move |_, _| {
+                Box::new(OraclePolicy::from_profile(&attrs))
+            }));
+            CellSpec::new(app, factory, exp)
+        })
+        .collect();
+    let oracles = run_batch(&oracle_cells);
+    for ((app, runs), oracle_out) in table2_apps().into_iter().zip(&rows).zip(&oracles) {
+        let base = runs[0].metrics.total_cycles;
+        let grit = runs[1].metrics.total_cycles;
+        let ideal = runs[2].metrics.total_cycles;
+        let oracle = oracle_out.metrics.total_cycles;
         table.push_row(
             app.abbr(),
             vec![
@@ -69,7 +82,10 @@ mod tests {
             oracle >= 0.95 * grit,
             "perfect-profile placement must match or beat GRIT: {oracle} vs {grit}"
         );
-        assert!(ideal > oracle, "Ideal bounds the oracle: {ideal} vs {oracle}");
+        assert!(
+            ideal > oracle,
+            "Ideal bounds the oracle: {ideal} vs {oracle}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use grit_metrics::Table;
 use grit_sim::Scheme;
 
-use super::{run_cell, table2_apps, ExpConfig, PolicyKind};
+use super::{run_grid, table2_apps, ExpConfig, PolicyKind};
 
 /// PA-Cache capacities swept (entries; 4-way sets).
 pub const CAPACITIES: [usize; 4] = [16, 64, 256, 1024];
@@ -18,19 +18,24 @@ pub const CAPACITIES: [usize; 4] = [16, 64, 256, 1024];
 pub fn run(exp: &ExpConfig) -> Table {
     let mut cols: Vec<String> = vec!["no-cache".into()];
     cols.extend(CAPACITIES.iter().map(|c| format!("{c}e")));
-    let mut table =
-        Table::new("Extension: PA-Cache capacity sweep (speedup over on-touch)", cols);
-    for app in table2_apps() {
-        let base = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp)
-            .metrics
-            .total_cycles;
-        let mut row = Vec::new();
-        let no_cache = PolicyKind::Grit { threshold: 4, pa_cache: false, nap: true };
-        row.push(base as f64 / run_cell(app, no_cache, exp).metrics.total_cycles as f64);
-        for &entries in &CAPACITIES {
-            let p = PolicyKind::GritWithCache { entries };
-            row.push(base as f64 / run_cell(app, p, exp).metrics.total_cycles as f64);
-        }
+    let mut table = Table::new(
+        "Extension: PA-Cache capacity sweep (speedup over on-touch)",
+        cols,
+    );
+    let mut policies = vec![
+        PolicyKind::Static(Scheme::OnTouch),
+        PolicyKind::Grit {
+            threshold: 4,
+            pa_cache: false,
+            nap: true,
+        },
+    ];
+    policies.extend(CAPACITIES.iter().map(|&entries| PolicyKind::GritWithCache { entries }));
+    let rows = run_grid(&table2_apps(), &policies, exp);
+    for (app, runs) in table2_apps().into_iter().zip(&rows) {
+        let base = runs[0].metrics.total_cycles;
+        let row: Vec<f64> =
+            runs[1..].iter().map(|o| base as f64 / o.metrics.total_cycles as f64).collect();
         table.push_row(app.abbr(), row);
     }
     table.push_geomean_row();

@@ -12,7 +12,7 @@ use grit_metrics::Table;
 use grit_sim::{Scheme, SimConfig};
 use grit_workloads::App;
 
-use super::{run_cell_with, ExpConfig, PolicyKind};
+use super::{run_batch, CellSpec, ExpConfig, PolicyKind};
 
 /// Capacity ratios swept.
 pub const CAPACITIES: [f64; 4] = [0.4, 0.55, 0.7, 1.0];
@@ -26,79 +26,88 @@ fn sweep_apps() -> [App; 4] {
     [App::Bfs, App::Gemm, App::Fir, App::St]
 }
 
-fn grit_gain(app: App, cfg: &SimConfig, exp: &ExpConfig) -> f64 {
-    let ot = run_cell_with(app, PolicyKind::Static(Scheme::OnTouch), exp, cfg.clone(), None)
-        .metrics
-        .total_cycles;
-    let grit =
-        run_cell_with(app, PolicyKind::GRIT, exp, cfg.clone(), None).metrics.total_cycles;
-    ot as f64 / grit as f64
+/// Runs one sweep: for every `(app, cfg)` point, GRIT's speedup over
+/// on-touch under that system configuration.
+fn sweep(title: &str, cols: Vec<String>, cfgs: &[SimConfig], exp: &ExpConfig) -> Table {
+    let mut table = Table::new(title, cols);
+    let cells: Vec<CellSpec> = sweep_apps()
+        .into_iter()
+        .flat_map(|app| {
+            cfgs.iter().flat_map(move |cfg| {
+                [
+                    CellSpec::new(app, PolicyKind::Static(Scheme::OnTouch), exp)
+                        .with_cfg(cfg.clone()),
+                    CellSpec::new(app, PolicyKind::GRIT, exp).with_cfg(cfg.clone()),
+                ]
+            })
+        })
+        .collect();
+    let outputs = run_batch(&cells);
+    let per_app = 2 * cfgs.len();
+    for (app, chunk) in sweep_apps().into_iter().zip(outputs.chunks(per_app)) {
+        let row: Vec<f64> = chunk
+            .chunks(2)
+            .map(|pair| pair[0].metrics.total_cycles as f64 / pair[1].metrics.total_cycles as f64)
+            .collect();
+        table.push_row(app.abbr(), row);
+    }
+    table.push_geomean_row();
+    table
 }
 
 /// Sweep per-GPU memory capacity.
 pub fn run_capacity(exp: &ExpConfig) -> Table {
     let cols = CAPACITIES.iter().map(|c| format!("{:.0}%", 100.0 * c)).collect();
-    let mut table = Table::new(
+    let cfgs: Vec<SimConfig> = CAPACITIES
+        .iter()
+        .map(|&c| SimConfig {
+            capacity_ratio: c,
+            ..SimConfig::default()
+        })
+        .collect();
+    sweep(
         "Extension: GRIT gain over on-touch vs per-GPU memory capacity",
         cols,
-    );
-    for app in sweep_apps() {
-        let row = CAPACITIES
-            .iter()
-            .map(|&c| {
-                let mut cfg = SimConfig::default();
-                cfg.capacity_ratio = c;
-                grit_gain(app, &cfg, exp)
-            })
-            .collect();
-        table.push_row(app.abbr(), row);
-    }
-    table.push_geomean_row();
-    table
+        &cfgs,
+        exp,
+    )
 }
 
 /// Sweep the peer-request issue gap.
 pub fn run_remote_gap(exp: &ExpConfig) -> Table {
     let cols = REMOTE_GAPS.iter().map(|g| format!("gap={g}")).collect();
-    let mut table = Table::new(
+    let cfgs: Vec<SimConfig> = REMOTE_GAPS
+        .iter()
+        .map(|&g| {
+            let mut cfg = SimConfig::default();
+            cfg.lat.remote_issue_gap = g;
+            cfg
+        })
+        .collect();
+    sweep(
         "Extension: GRIT gain over on-touch vs remote-access throughput",
         cols,
-    );
-    for app in sweep_apps() {
-        let row = REMOTE_GAPS
-            .iter()
-            .map(|&g| {
-                let mut cfg = SimConfig::default();
-                cfg.lat.remote_issue_gap = g;
-                grit_gain(app, &cfg, exp)
-            })
-            .collect();
-        table.push_row(app.abbr(), row);
-    }
-    table.push_geomean_row();
-    table
+        &cfgs,
+        exp,
+    )
 }
 
 /// Sweep the per-GPU MLP window.
 pub fn run_mlp(exp: &ExpConfig) -> Table {
     let cols = MLP_WINDOWS.iter().map(|w| format!("mlp={w}")).collect();
-    let mut table = Table::new(
+    let cfgs: Vec<SimConfig> = MLP_WINDOWS
+        .iter()
+        .map(|&w| SimConfig {
+            mlp_window: w,
+            ..SimConfig::default()
+        })
+        .collect();
+    sweep(
         "Extension: GRIT gain over on-touch vs memory-level parallelism",
         cols,
-    );
-    for app in sweep_apps() {
-        let row = MLP_WINDOWS
-            .iter()
-            .map(|&w| {
-                let mut cfg = SimConfig::default();
-                cfg.mlp_window = w;
-                grit_gain(app, &cfg, exp)
-            })
-            .collect();
-        table.push_row(app.abbr(), row);
-    }
-    table.push_geomean_row();
-    table
+        &cfgs,
+        exp,
+    )
 }
 
 #[cfg(test)]
@@ -133,7 +142,10 @@ mod tests {
         let t = run_remote_gap(&ExpConfig::quick());
         let cheap = t.cell("ST", "gap=15").unwrap();
         let costly = t.cell("ST", "gap=180").unwrap();
-        assert!(cheap > 1.0 && costly > 1.0, "ST gain must persist: {cheap}/{costly}");
+        assert!(
+            cheap > 1.0 && costly > 1.0,
+            "ST gain must persist: {cheap}/{costly}"
+        );
         assert!(
             cheap >= costly,
             "remote-bound ST should benefit most from a cheap fabric: {cheap} vs {costly}"

@@ -5,7 +5,7 @@
 use grit_metrics::Table;
 use grit_sim::Scheme;
 
-use super::{run_cell, table2_apps, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
 
 /// Policies compared by Fig. 1, in plot order.
 pub fn policies() -> [PolicyKind; 4] {
@@ -24,11 +24,13 @@ pub fn run(exp: &ExpConfig) -> Table {
         "Fig 1: performance of each scheme relative to baseline on-touch migration",
         cols,
     );
-    for app in table2_apps() {
-        let cycles: Vec<u64> = policies()
-            .iter()
-            .map(|p| run_cell(app, *p, exp).metrics.total_cycles)
-            .collect();
+    let cells: Vec<CellSpec> = table2_apps()
+        .into_iter()
+        .flat_map(|app| policies().map(|p| CellSpec::new(app, p, exp)))
+        .collect();
+    let outputs = run_batch(&cells);
+    for (app, runs) in table2_apps().into_iter().zip(outputs.chunks(policies().len())) {
+        let cycles: Vec<u64> = runs.iter().map(|o| o.metrics.total_cycles).collect();
         let base = cycles[0];
         table.push_row(
             app.abbr(),

@@ -5,32 +5,30 @@
 use grit_metrics::{LatencyClass, Table};
 use grit_sim::Scheme;
 
-use super::{run_cell, table2_apps, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
 
 /// Runs the figure. Rows are `APP/SCHEME`, columns the six classes; values
 /// are fractions of that application's on-touch page-handling total, so a
 /// row summing above 1.0 spends more page-handling time than on-touch.
 pub fn run(exp: &ExpConfig) -> Table {
-    let mut cols: Vec<String> =
-        LatencyClass::ALL.iter().map(|c| c.label().to_string()).collect();
+    let mut cols: Vec<String> = LatencyClass::ALL.iter().map(|c| c.label().to_string()).collect();
     cols.push("total".into());
     let mut table = Table::new(
         "Fig 3: page-handling latency breakdown (normalized to on-touch total)",
         cols,
     );
-    let schemes =
-        [Scheme::OnTouch, Scheme::AccessCounter, Scheme::Duplication];
-    for app in table2_apps() {
-        let runs: Vec<_> = schemes
-            .iter()
-            .map(|s| run_cell(app, PolicyKind::Static(*s), exp).metrics.breakdown)
-            .collect();
+    let schemes = [Scheme::OnTouch, Scheme::AccessCounter, Scheme::Duplication];
+    let cells: Vec<CellSpec> = table2_apps()
+        .into_iter()
+        .flat_map(|app| schemes.map(|s| CellSpec::new(app, PolicyKind::Static(s), exp)))
+        .collect();
+    let outputs = run_batch(&cells);
+    for (app, chunk) in table2_apps().into_iter().zip(outputs.chunks(schemes.len())) {
+        let runs: Vec<_> = chunk.iter().map(|o| o.metrics.breakdown).collect();
         let base_total = runs[0].total().max(1) as f64;
         for (scheme, b) in schemes.iter().zip(&runs) {
-            let mut row: Vec<f64> = LatencyClass::ALL
-                .iter()
-                .map(|c| b.get(*c) as f64 / base_total)
-                .collect();
+            let mut row: Vec<f64> =
+                LatencyClass::ALL.iter().map(|c| b.get(*c) as f64 / base_total).collect();
             row.push(b.total() as f64 / base_total);
             table.push_row(format!("{}/{}", app.abbr(), scheme.label()), row);
         }
@@ -80,6 +78,9 @@ mod tests {
                 remote_heavy += 1;
             }
         }
-        assert!(remote_heavy >= 5, "AC must be remote-dominated: {remote_heavy}/8");
+        assert!(
+            remote_heavy >= 5,
+            "AC must be remote-dominated: {remote_heavy}/8"
+        );
     }
 }

@@ -4,7 +4,7 @@
 use grit_metrics::Table;
 use grit_sim::Scheme;
 
-use super::{run_cell, table2_apps, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
 
 /// Runs the figure (page attributes are policy-independent; the on-touch
 /// baseline run supplies them).
@@ -18,8 +18,12 @@ pub fn run(exp: &ExpConfig) -> Table {
             "acc-shared".into(),
         ],
     );
-    for app in table2_apps() {
-        let out = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp);
+    let cells: Vec<CellSpec> = table2_apps()
+        .into_iter()
+        .map(|app| CellSpec::new(app, PolicyKind::Static(Scheme::OnTouch), exp))
+        .collect();
+    let outputs = run_batch(&cells);
+    for (app, out) in table2_apps().into_iter().zip(&outputs) {
         let s = out.page_attrs;
         table.push_row(
             app.abbr(),

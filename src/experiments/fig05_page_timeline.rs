@@ -3,22 +3,20 @@
 //! off) vs all-shared in ST (every GPU throughout).
 
 use grit_metrics::Table;
-use grit_sim::{Scheme, SimConfig};
+use grit_sim::{PageId, Scheme, SimConfig};
 use grit_workloads::App;
 
-use super::{run_cell, run_cell_with, ExpConfig, PolicyKind};
-use crate::runner::ObserverConfig;
+use super::{run_batch, CellSpec, ExpConfig, PolicyKind};
+use crate::runner::{ObserverConfig, RunOutput};
 
-/// Per-interval GPU access fractions for the hottest shared page of `app`.
-pub fn run_app(app: App, exp: &ExpConfig) -> Table {
+fn scout_cell(app: App, exp: &ExpConfig) -> CellSpec {
     // Pass 1: find the page to track (the paper picks "a certain page"
     // with significant sharing).
-    let scout = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp);
-    let page = scout
-        .attrs
-        .hottest(2)
-        .expect("workload must have at least one shared page");
+    CellSpec::new(app, PolicyKind::Static(Scheme::OnTouch), exp)
+}
 
+fn tracked_cell(app: App, scout: &RunOutput, exp: &ExpConfig) -> (PageId, CellSpec) {
+    let page = scout.attrs.hottest(2).expect("workload must have at least one shared page");
     // Pass 2: rerun with the tracked-page observer. The interval shrinks
     // with the scaled runs so several intervals land inside the page's
     // active window (producer-consumer pages live in a narrow span).
@@ -28,15 +26,11 @@ pub fn run_app(app: App, exp: &ExpConfig) -> Table {
         interval_cycles: interval,
         ..Default::default()
     };
-    let out = run_cell_with(
-        app,
-        PolicyKind::Static(Scheme::OnTouch),
-        exp,
-        SimConfig::default(),
-        Some(obs),
-    );
-    let observer = out.observer.expect("observer configured");
+    (page, scout_cell(app, exp).observed(obs))
+}
 
+fn table_for(app: App, page: PageId, out: &RunOutput) -> Table {
+    let observer = out.observer.as_ref().expect("observer configured");
     let gpus = SimConfig::default().num_gpus;
     let cols: Vec<String> = (0..gpus).map(|g| format!("GPU{g}")).collect();
     let mut table = Table::new(
@@ -44,14 +38,38 @@ pub fn run_app(app: App, exp: &ExpConfig) -> Table {
         cols,
     );
     for (i, fracs) in observer.page_by_gpu.fractions().into_iter().enumerate() {
-        table.push_row(format!("interval{i}"), fracs.iter().map(|f| 100.0 * f).collect());
+        table.push_row(
+            format!("interval{i}"),
+            fracs.iter().map(|f| 100.0 * f).collect(),
+        );
     }
     table
 }
 
-/// Runs the figure for the paper's two exemplars, C2D and ST.
+/// Per-interval GPU access fractions for the hottest shared page of `app`.
+pub fn run_app(app: App, exp: &ExpConfig) -> Table {
+    let scout = scout_cell(app, exp).run();
+    let (page, cell) = tracked_cell(app, &scout, exp);
+    table_for(app, page, &cell.run())
+}
+
+/// Runs the figure for the paper's two exemplars, C2D and ST. Both
+/// scout passes run as one batch, then both observed passes.
 pub fn run(exp: &ExpConfig) -> Vec<Table> {
-    vec![run_app(App::C2d, exp), run_app(App::St, exp)]
+    let apps = [App::C2d, App::St];
+    let scouts = run_batch(&apps.map(|a| scout_cell(a, exp)));
+    let picked: Vec<(PageId, CellSpec)> = apps
+        .iter()
+        .zip(&scouts)
+        .map(|(app, scout)| tracked_cell(*app, scout, exp))
+        .collect();
+    let cells: Vec<CellSpec> = picked.iter().map(|(_, c)| c.clone()).collect();
+    let outputs = run_batch(&cells);
+    apps.iter()
+        .zip(&picked)
+        .zip(&outputs)
+        .map(|((app, (page, _)), out)| table_for(*app, *page, out))
+        .collect()
 }
 
 #[cfg(test)]

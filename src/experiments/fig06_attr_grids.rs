@@ -5,11 +5,11 @@
 //! horizontal neighbor-agreement of each grid.
 
 use grit_metrics::{AttrGrid, Table};
-use grit_sim::{Scheme, SimConfig};
+use grit_sim::Scheme;
 use grit_workloads::App;
 
-use super::{run_cell, run_cell_with, ExpConfig, PolicyKind};
-use crate::runner::ObserverConfig;
+use super::{run_batch, CellSpec, ExpConfig, PolicyKind};
+use crate::runner::{ObserverConfig, RunOutput};
 
 /// Grids for one application.
 pub struct AppGrids {
@@ -21,10 +21,12 @@ pub struct AppGrids {
     pub read_rw: AttrGrid,
 }
 
-/// Records the grids for `app` with `bins` page bins.
-pub fn grids_for(app: App, exp: &ExpConfig, bins: usize) -> AppGrids {
-    // Scout run sizes the 50 intervals to the execution length.
-    let scout = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp);
+fn scout_cell(app: App, exp: &ExpConfig) -> CellSpec {
+    CellSpec::new(app, PolicyKind::Static(Scheme::OnTouch), exp)
+}
+
+fn grid_cell(app: App, scout: &RunOutput, exp: &ExpConfig, bins: usize) -> CellSpec {
+    // The scout run sizes the 50 intervals to the execution length.
     let interval = (scout.metrics.total_cycles / 50).max(1);
     let obs = ObserverConfig {
         track_page: None,
@@ -33,23 +35,39 @@ pub fn grids_for(app: App, exp: &ExpConfig, bins: usize) -> AppGrids {
         grid_intervals: 50,
         scheme_timeline: false,
     };
-    let out = run_cell_with(
-        app,
-        PolicyKind::Static(Scheme::OnTouch),
-        exp,
-        SimConfig::default(),
-        Some(obs),
-    );
-    let observer = out.observer.expect("grids configured");
+    scout_cell(app, exp).observed(obs)
+}
+
+fn grids_from(app: App, out: &RunOutput) -> AppGrids {
+    let observer = out.observer.as_ref().expect("grids configured");
     AppGrids {
         app,
-        private_shared: observer.grid_private_shared.expect("ps grid"),
-        read_rw: observer.grid_read_rw.expect("rw grid"),
+        private_shared: observer.grid_private_shared.clone().expect("ps grid"),
+        read_rw: observer.grid_read_rw.clone().expect("rw grid"),
     }
 }
 
+/// Records the grids for `app` with `bins` page bins.
+pub fn grids_for(app: App, exp: &ExpConfig, bins: usize) -> AppGrids {
+    let scout = scout_cell(app, exp).run();
+    grids_from(app, &grid_cell(app, &scout, exp, bins).run())
+}
+
 /// Runs Figs. 6–8 and reports neighbor agreement plus attribute mix.
+/// Each distinct application records its grids once (Figs. 6 and 7 read
+/// the same GEMM run), and the scout/grid passes run batched.
 pub fn run(exp: &ExpConfig) -> Table {
+    let apps = [App::Gemm, App::St];
+    let scouts = run_batch(&apps.map(|a| scout_cell(a, exp)));
+    let cells: Vec<CellSpec> = apps
+        .iter()
+        .zip(&scouts)
+        .map(|(app, scout)| grid_cell(*app, scout, exp, 64))
+        .collect();
+    let outputs = run_batch(&cells);
+    let gemm = grids_from(App::Gemm, &outputs[0]);
+    let st = grids_from(App::St, &outputs[1]);
+
     let mut table = Table::new(
         "Figs 6-8: page-attribute grids (neighbor agreement & attribute mix)",
         vec![
@@ -59,13 +77,17 @@ pub fn run(exp: &ExpConfig) -> Table {
         ],
     );
     for (label, grid) in [
-        ("GEMM private/shared (Fig 6)", grids_for(App::Gemm, exp, 64).private_shared),
-        ("GEMM read/read-write (Fig 7)", grids_for(App::Gemm, exp, 64).read_rw),
-        ("ST private/shared (Fig 8)", grids_for(App::St, exp, 64).private_shared),
+        ("GEMM private/shared (Fig 6)", gemm.private_shared),
+        ("GEMM read/read-write (Fig 7)", gemm.read_rw),
+        ("ST private/shared (Fig 8)", st.private_shared),
     ] {
         table.push_row(
             label,
-            vec![grid.neighbor_agreement(), grid.frac_of_touched(1), grid.frac_of_touched(2)],
+            vec![
+                grid.neighbor_agreement(),
+                grid.frac_of_touched(1),
+                grid.frac_of_touched(2),
+            ],
         );
     }
     table
@@ -81,14 +103,24 @@ mod tests {
         // the same attributes the vast majority of the time.
         let t = run(&ExpConfig::quick());
         for (label, row) in t.rows() {
-            assert!(row[0] > 0.8, "{label}: neighbor agreement {} too low", row[0]);
+            assert!(
+                row[0] > 0.8,
+                "{label}: neighbor agreement {} too low",
+                row[0]
+            );
         }
     }
 
     #[test]
     fn gemm_has_both_attribute_classes() {
         let g = grids_for(App::Gemm, &ExpConfig::quick(), 64);
-        assert!(g.private_shared.frac_of_touched(1) > 0.05, "private pages exist");
-        assert!(g.private_shared.frac_of_touched(2) > 0.05, "shared pages exist");
+        assert!(
+            g.private_shared.frac_of_touched(1) > 0.05,
+            "private pages exist"
+        );
+        assert!(
+            g.private_shared.frac_of_touched(2) > 0.05,
+            "shared pages exist"
+        );
     }
 }

@@ -3,15 +3,16 @@
 //! variation that makes a static duplication decision wrong.
 
 use grit_metrics::Table;
-use grit_sim::{Scheme, SimConfig};
+use grit_sim::Scheme;
 use grit_workloads::App;
 
-use super::{run_cell, run_cell_with, ExpConfig, PolicyKind};
+use super::{CellSpec, ExpConfig, PolicyKind};
 use crate::runner::ObserverConfig;
 
 /// Runs the figure for `app` (the paper uses ST).
 pub fn run_app(app: App, exp: &ExpConfig) -> Table {
-    let scout = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp);
+    let base = CellSpec::new(app, PolicyKind::Static(Scheme::OnTouch), exp);
+    let scout = base.run();
     let page = scout
         .attrs
         .hottest_written(2)
@@ -22,20 +23,21 @@ pub fn run_app(app: App, exp: &ExpConfig) -> Table {
         interval_cycles: interval,
         ..Default::default()
     };
-    let out = run_cell_with(
-        app,
-        PolicyKind::Static(Scheme::OnTouch),
-        exp,
-        SimConfig::default(),
-        Some(obs),
-    );
+    let out = base.observed(obs).run();
     let observer = out.observer.expect("observer configured");
     let mut table = Table::new(
-        format!("Fig 10: read/write mix over time for {} of {}", page, app.abbr()),
+        format!(
+            "Fig 10: read/write mix over time for {} of {}",
+            page,
+            app.abbr()
+        ),
         vec!["reads%".into(), "writes%".into()],
     );
     for (i, fracs) in observer.page_rw.fractions().into_iter().enumerate() {
-        table.push_row(format!("interval{i}"), fracs.iter().map(|f| 100.0 * f).collect());
+        table.push_row(
+            format!("interval{i}"),
+            fracs.iter().map(|f| 100.0 * f).collect(),
+        );
     }
     table
 }
@@ -65,7 +67,13 @@ mod tests {
                 with_writes += 1;
             }
         }
-        assert!(read_only >= 1, "ST must have read-only intervals (Fig 10: 0-8)");
-        assert!(with_writes >= 1, "ST must have read-write intervals (Fig 10: 9-31)");
+        assert!(
+            read_only >= 1,
+            "ST must have read-only intervals (Fig 10: 0-8)"
+        );
+        assert!(
+            with_writes >= 1,
+            "ST must have read-write intervals (Fig 10: 9-31)"
+        );
     }
 }

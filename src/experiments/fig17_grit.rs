@@ -6,7 +6,7 @@
 use grit_metrics::Table;
 use grit_sim::Scheme;
 
-use super::{run_cell, table2_apps, ExpConfig, PolicyKind};
+use super::{run_grid, table2_apps, ExpConfig, PolicyKind};
 
 /// Policies compared by Fig. 17, in plot order.
 pub fn policies() -> [PolicyKind; 5] {
@@ -26,13 +26,14 @@ pub fn run(exp: &ExpConfig) -> Table {
         "Fig 17: GRIT vs uniform schemes (speedup over on-touch)",
         cols,
     );
-    for app in table2_apps() {
-        let cycles: Vec<u64> = policies()
-            .iter()
-            .map(|p| run_cell(app, *p, exp).metrics.total_cycles)
-            .collect();
+    let rows = run_grid(&table2_apps(), &policies(), exp);
+    for (app, runs) in table2_apps().into_iter().zip(&rows) {
+        let cycles: Vec<u64> = runs.iter().map(|o| o.metrics.total_cycles).collect();
         let base = cycles[0];
-        table.push_row(app.abbr(), cycles.iter().map(|&c| base as f64 / c as f64).collect());
+        table.push_row(
+            app.abbr(),
+            cycles.iter().map(|&c| base as f64 / c as f64).collect(),
+        );
     }
     table.push_geomean_row();
     table
@@ -58,10 +59,16 @@ mod tests {
         let t = run(&ExpConfig::quick());
         let (vs_ot, vs_ac, vs_d) = headline(&t);
         assert!(vs_ot > 0.0, "GRIT must beat on-touch on average: {vs_ot}");
-        assert!(vs_ac > 0.0, "GRIT must beat access-counter on average: {vs_ac}");
+        assert!(
+            vs_ac > 0.0,
+            "GRIT must beat access-counter on average: {vs_ac}"
+        );
         assert!(vs_d > 0.0, "GRIT must beat duplication on average: {vs_d}");
         // Same ordering as the paper's 60 % > 49 % > 29 %.
-        assert!(vs_ot > vs_d, "improvement over OT should exceed over duplication");
+        assert!(
+            vs_ot > vs_d,
+            "improvement over OT should exceed over duplication"
+        );
     }
 
     #[test]

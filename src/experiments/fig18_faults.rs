@@ -5,7 +5,7 @@
 use grit_metrics::Table;
 use grit_sim::Scheme;
 
-use super::{run_cell, table2_apps, ExpConfig, PolicyKind};
+use super::{run_grid, table2_apps, ExpConfig, PolicyKind};
 
 /// Policies compared (plot order).
 pub fn policies() -> [PolicyKind; 4] {
@@ -20,15 +20,16 @@ pub fn policies() -> [PolicyKind; 4] {
 /// Runs the figure: fault counts normalized to on-touch (lower is better).
 pub fn run(exp: &ExpConfig) -> Table {
     let cols: Vec<String> = policies().iter().map(|p| p.label()).collect();
-    let mut table =
-        Table::new("Fig 18: GPU page faults (normalized to on-touch)", cols);
-    for app in table2_apps() {
-        let faults: Vec<u64> = policies()
-            .iter()
-            .map(|p| run_cell(app, *p, exp).metrics.faults.total_faults().max(1))
-            .collect();
+    let mut table = Table::new("Fig 18: GPU page faults (normalized to on-touch)", cols);
+    let rows = run_grid(&table2_apps(), &policies(), exp);
+    for (app, runs) in table2_apps().into_iter().zip(&rows) {
+        let faults: Vec<u64> =
+            runs.iter().map(|o| o.metrics.faults.total_faults().max(1)).collect();
         let base = faults[0] as f64;
-        table.push_row(app.abbr(), faults.iter().map(|&f| f as f64 / base).collect());
+        table.push_row(
+            app.abbr(),
+            faults.iter().map(|&f| f as f64 / base).collect(),
+        );
     }
     table.push_geomean_row();
     table
@@ -42,7 +43,10 @@ mod tests {
     fn grit_reduces_faults_on_average() {
         let t = run(&ExpConfig::quick());
         let grit = t.cell("GEOMEAN", "grit").unwrap();
-        assert!(grit < 1.0, "GRIT must raise fewer faults than on-touch: {grit}");
+        assert!(
+            grit < 1.0,
+            "GRIT must raise fewer faults than on-touch: {grit}"
+        );
     }
 
     #[test]

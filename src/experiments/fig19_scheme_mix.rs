@@ -5,17 +5,21 @@
 
 use grit_metrics::Table;
 
-use super::{run_cell, table2_apps, ExpConfig, PolicyKind};
+use super::{run_grid, table2_apps, ExpConfig, PolicyKind};
 
 /// Runs the figure.
 pub fn run(exp: &ExpConfig) -> Table {
     let mut table = Table::new(
         "Fig 19: scheme mix at L2 TLB misses under GRIT (%)",
-        vec!["on-touch".into(), "access-counter".into(), "duplication".into()],
+        vec![
+            "on-touch".into(),
+            "access-counter".into(),
+            "duplication".into(),
+        ],
     );
-    for app in table2_apps() {
-        let out = run_cell(app, PolicyKind::GRIT, exp);
-        let (ot, ac, d) = out.metrics.scheme_mix.fractions();
+    let rows = run_grid(&table2_apps(), &[PolicyKind::GRIT], exp);
+    for (app, runs) in table2_apps().into_iter().zip(&rows) {
+        let (ot, ac, d) = runs[0].metrics.scheme_mix.fractions();
         table.push_row(app.abbr(), vec![100.0 * ot, 100.0 * ac, 100.0 * d]);
     }
     table
@@ -51,6 +55,9 @@ mod tests {
         }
         // BS leans on access-counter migration.
         let bs_ac = t.cell("BS", "access-counter").unwrap();
-        assert!(bs_ac > 25.0, "BS must use substantial access-counter, got {bs_ac}");
+        assert!(
+            bs_ac > 25.0,
+            "BS must use substantial access-counter, got {bs_ac}"
+        );
     }
 }

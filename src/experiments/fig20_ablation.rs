@@ -5,14 +5,35 @@
 use grit_metrics::Table;
 use grit_sim::Scheme;
 
-use super::{run_cell, table2_apps, ExpConfig, PolicyKind};
+use super::{run_grid, table2_apps, ExpConfig, PolicyKind};
 
 /// Ablation variants (plot order), ending with the full design.
 pub fn variants() -> [(&'static str, PolicyKind); 4] {
     [
-        ("pa-table", PolicyKind::Grit { threshold: 4, pa_cache: false, nap: false }),
-        ("pa-table+cache", PolicyKind::Grit { threshold: 4, pa_cache: true, nap: false }),
-        ("pa-table+nap", PolicyKind::Grit { threshold: 4, pa_cache: false, nap: true }),
+        (
+            "pa-table",
+            PolicyKind::Grit {
+                threshold: 4,
+                pa_cache: false,
+                nap: false,
+            },
+        ),
+        (
+            "pa-table+cache",
+            PolicyKind::Grit {
+                threshold: 4,
+                pa_cache: true,
+                nap: false,
+            },
+        ),
+        (
+            "pa-table+nap",
+            PolicyKind::Grit {
+                threshold: 4,
+                pa_cache: false,
+                nap: true,
+            },
+        ),
         ("grit-full", PolicyKind::GRIT),
     ]
 }
@@ -20,16 +41,17 @@ pub fn variants() -> [(&'static str, PolicyKind); 4] {
 /// Runs the figure.
 pub fn run(exp: &ExpConfig) -> Table {
     let cols: Vec<String> = variants().iter().map(|(n, _)| n.to_string()).collect();
-    let mut table =
-        Table::new("Fig 20: GRIT component ablation (speedup over on-touch)", cols);
-    for app in table2_apps() {
-        let base = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp)
-            .metrics
-            .total_cycles;
-        let row: Vec<f64> = variants()
-            .iter()
-            .map(|(_, p)| base as f64 / run_cell(app, *p, exp).metrics.total_cycles as f64)
-            .collect();
+    let mut table = Table::new(
+        "Fig 20: GRIT component ablation (speedup over on-touch)",
+        cols,
+    );
+    let mut policies = vec![PolicyKind::Static(Scheme::OnTouch)];
+    policies.extend(variants().iter().map(|(_, p)| *p));
+    let rows = run_grid(&table2_apps(), &policies, exp);
+    for (app, runs) in table2_apps().into_iter().zip(&rows) {
+        let base = runs[0].metrics.total_cycles;
+        let row: Vec<f64> =
+            runs[1..].iter().map(|o| base as f64 / o.metrics.total_cycles as f64).collect();
         table.push_row(app.abbr(), row);
     }
     table.push_geomean_row();
@@ -48,7 +70,10 @@ mod tests {
         let full = t.cell("GEOMEAN", "grit-full").unwrap();
         // The PA-Cache removes PA-Table memory latency from the fault
         // path: at least as fast on average.
-        assert!(with_cache >= table_only * 0.999, "{with_cache} vs {table_only}");
+        assert!(
+            with_cache >= table_only * 0.999,
+            "{with_cache} vs {table_only}"
+        );
         // The full design is the best variant on average.
         for (name, _) in variants() {
             let v = t.cell("GEOMEAN", name).unwrap();

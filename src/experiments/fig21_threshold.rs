@@ -5,7 +5,7 @@
 use grit_metrics::Table;
 use grit_sim::Scheme;
 
-use super::{run_cell, table2_apps, ExpConfig, PolicyKind};
+use super::{run_grid, table2_apps, ExpConfig, PolicyKind};
 
 /// Thresholds swept by the figure.
 pub const THRESHOLDS: [u8; 4] = [2, 4, 8, 16];
@@ -13,19 +13,21 @@ pub const THRESHOLDS: [u8; 4] = [2, 4, 8, 16];
 /// Runs the figure.
 pub fn run(exp: &ExpConfig) -> Table {
     let cols: Vec<String> = THRESHOLDS.iter().map(|t| format!("t={t}")).collect();
-    let mut table =
-        Table::new("Fig 21: fault-threshold sensitivity (speedup over on-touch)", cols);
-    for app in table2_apps() {
-        let base = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp)
-            .metrics
-            .total_cycles;
-        let row: Vec<f64> = THRESHOLDS
-            .iter()
-            .map(|&t| {
-                let p = PolicyKind::Grit { threshold: t, pa_cache: true, nap: true };
-                base as f64 / run_cell(app, p, exp).metrics.total_cycles as f64
-            })
-            .collect();
+    let mut table = Table::new(
+        "Fig 21: fault-threshold sensitivity (speedup over on-touch)",
+        cols,
+    );
+    let mut policies = vec![PolicyKind::Static(Scheme::OnTouch)];
+    policies.extend(THRESHOLDS.iter().map(|&t| PolicyKind::Grit {
+        threshold: t,
+        pa_cache: true,
+        nap: true,
+    }));
+    let rows = run_grid(&table2_apps(), &policies, exp);
+    for (app, runs) in table2_apps().into_iter().zip(&rows) {
+        let base = runs[0].metrics.total_cycles;
+        let row: Vec<f64> =
+            runs[1..].iter().map(|o| base as f64 / o.metrics.total_cycles as f64).collect();
         table.push_row(app.abbr(), row);
     }
     table.push_geomean_row();

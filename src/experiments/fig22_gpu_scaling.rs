@@ -5,7 +5,7 @@
 use grit_metrics::Table;
 use grit_sim::{Scheme, SimConfig};
 
-use super::{run_cell_with, table2_apps, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
 
 /// Policies compared per GPU count.
 fn policies() -> [PolicyKind; 4] {
@@ -28,13 +28,17 @@ pub fn run_gpus(num_gpus: usize, exp: &ExpConfig) -> (Table, Table) {
         format!("Figs 22-24: {num_gpus}-GPU page faults normalized to on-touch"),
         cols,
     );
-    for app in table2_apps() {
-        let outs: Vec<_> = policies()
-            .iter()
-            .map(|p| {
-                run_cell_with(app, *p, exp, SimConfig::with_gpus(num_gpus), None).metrics
-            })
-            .collect();
+    let cells: Vec<CellSpec> = table2_apps()
+        .into_iter()
+        .flat_map(|app| {
+            policies()
+                .into_iter()
+                .map(move |p| CellSpec::new(app, p, exp).with_cfg(SimConfig::with_gpus(num_gpus)))
+        })
+        .collect();
+    let outputs = run_batch(&cells);
+    for (app, chunk) in table2_apps().into_iter().zip(outputs.chunks(policies().len())) {
+        let outs: Vec<_> = chunk.iter().map(|o| &o.metrics).collect();
         let base_c = outs[0].total_cycles;
         let base_f = outs[0].faults.total_faults().max(1);
         perf.push_row(

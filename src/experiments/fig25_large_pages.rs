@@ -6,7 +6,7 @@
 use grit_metrics::Table;
 use grit_sim::{Scheme, SimConfig, PAGE_SIZE_2M};
 
-use super::{run_cell_with, table2_apps, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
 
 /// Input enlargement factor (the paper grows footprints to 0.5–3 GB to
 /// keep a meaningful number of 2 MB pages).
@@ -14,20 +14,32 @@ pub const INPUT_ENLARGEMENT: f64 = 16.0;
 
 /// Runs the figure.
 pub fn run(exp: &ExpConfig) -> Table {
-    let mut cfg = SimConfig::default();
-    cfg.page_size = PAGE_SIZE_2M;
-    let big = ExpConfig { scale: exp.scale * INPUT_ENLARGEMENT, ..*exp };
+    let cfg = SimConfig {
+        page_size: PAGE_SIZE_2M,
+        ..SimConfig::default()
+    };
+    let big = ExpConfig {
+        scale: exp.scale * INPUT_ENLARGEMENT,
+        ..*exp
+    };
     let mut table = Table::new(
         "Fig 25: 2MB pages with enlarged inputs (speedup over 2MB on-touch)",
         vec!["on-touch".into(), "grit".into()],
     );
-    for app in table2_apps() {
-        let base = run_cell_with(app, PolicyKind::Static(Scheme::OnTouch), &big, cfg.clone(), None)
-            .metrics
-            .total_cycles;
-        let grit = run_cell_with(app, PolicyKind::GRIT, &big, cfg.clone(), None)
-            .metrics
-            .total_cycles;
+    let policies = [PolicyKind::Static(Scheme::OnTouch), PolicyKind::GRIT];
+    let cells: Vec<CellSpec> = table2_apps()
+        .into_iter()
+        .flat_map(|app| {
+            let cfg = cfg.clone();
+            policies
+                .into_iter()
+                .map(move |p| CellSpec::new(app, p, &big).with_cfg(cfg.clone()))
+        })
+        .collect();
+    let outputs = run_batch(&cells);
+    for (app, chunk) in table2_apps().into_iter().zip(outputs.chunks(policies.len())) {
+        let base = chunk[0].metrics.total_cycles;
+        let grit = chunk[1].metrics.total_cycles;
         table.push_row(app.abbr(), vec![1.0, base as f64 / grit as f64]);
     }
     table.push_geomean_row();
@@ -37,17 +49,20 @@ pub fn run(exp: &ExpConfig) -> Table {
 /// Convenience: the 4 KB-page GRIT-vs-on-touch average for the same
 /// enlarged inputs, used to show the 2 MB edge is smaller.
 pub fn gain_4k(exp: &ExpConfig) -> f64 {
-    let big = ExpConfig { scale: exp.scale * INPUT_ENLARGEMENT / 8.0, ..*exp };
-    let mut speedups = Vec::new();
-    for app in table2_apps() {
-        let cfg = SimConfig::default();
-        let base =
-            run_cell_with(app, PolicyKind::Static(Scheme::OnTouch), &big, cfg.clone(), None)
-                .metrics
-                .total_cycles;
-        let grit = run_cell_with(app, PolicyKind::GRIT, &big, cfg, None).metrics.total_cycles;
-        speedups.push(base as f64 / grit as f64);
-    }
+    let big = ExpConfig {
+        scale: exp.scale * INPUT_ENLARGEMENT / 8.0,
+        ..*exp
+    };
+    let policies = [PolicyKind::Static(Scheme::OnTouch), PolicyKind::GRIT];
+    let cells: Vec<CellSpec> = table2_apps()
+        .into_iter()
+        .flat_map(|app| policies.into_iter().map(move |p| CellSpec::new(app, p, &big)))
+        .collect();
+    let outputs = run_batch(&cells);
+    let speedups: Vec<f64> = outputs
+        .chunks(policies.len())
+        .map(|chunk| chunk[0].metrics.total_cycles as f64 / chunk[1].metrics.total_cycles as f64)
+        .collect();
     grit_metrics::geomean(&speedups)
 }
 

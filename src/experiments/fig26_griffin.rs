@@ -6,7 +6,7 @@ use grit_baselines::apply_acud;
 use grit_metrics::Table;
 use grit_sim::SimConfig;
 
-use super::{run_cell_with, table2_apps, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
 
 /// Runs the figure.
 pub fn run(exp: &ExpConfig) -> Table {
@@ -19,17 +19,26 @@ pub fn run(exp: &ExpConfig) -> Table {
         ("grit+acud", PolicyKind::GRIT, acud_cfg),
     ];
     let cols: Vec<String> = variants.iter().map(|(n, _, _)| n.to_string()).collect();
-    let mut table =
-        Table::new("Fig 26: Griffin comparison (speedup over Griffin-DPC)", cols);
-    for app in table2_apps() {
-        let cycles: Vec<u64> = variants
-            .iter()
-            .map(|(_, p, cfg)| {
-                run_cell_with(app, *p, exp, cfg.clone(), None).metrics.total_cycles
-            })
-            .collect();
+    let mut table = Table::new(
+        "Fig 26: Griffin comparison (speedup over Griffin-DPC)",
+        cols,
+    );
+    let cells: Vec<CellSpec> = table2_apps()
+        .into_iter()
+        .flat_map(|app| {
+            variants
+                .iter()
+                .map(move |(_, p, cfg)| CellSpec::new(app, *p, exp).with_cfg(cfg.clone()))
+        })
+        .collect();
+    let outputs = run_batch(&cells);
+    for (app, chunk) in table2_apps().into_iter().zip(outputs.chunks(variants.len())) {
+        let cycles: Vec<u64> = chunk.iter().map(|o| o.metrics.total_cycles).collect();
         let base = cycles[0];
-        table.push_row(app.abbr(), cycles.iter().map(|&c| base as f64 / c as f64).collect());
+        table.push_row(
+            app.abbr(),
+            cycles.iter().map(|&c| base as f64 / c as f64).collect(),
+        );
     }
     table.push_geomean_row();
     table

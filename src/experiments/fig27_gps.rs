@@ -4,7 +4,7 @@
 
 use grit_metrics::Table;
 
-use super::{run_cell, table2_apps, ExpConfig, PolicyKind};
+use super::{run_grid, table2_apps, ExpConfig, PolicyKind};
 
 /// Runs the figure: speedups over GPS and both policies' oversubscription
 /// rates.
@@ -18,9 +18,9 @@ pub fn run(exp: &ExpConfig) -> Table {
             "grit-oversub".into(),
         ],
     );
-    for app in table2_apps() {
-        let gps = run_cell(app, PolicyKind::Gps, exp).metrics;
-        let grit = run_cell(app, PolicyKind::GRIT, exp).metrics;
+    let rows = run_grid(&table2_apps(), &[PolicyKind::Gps, PolicyKind::GRIT], exp);
+    for (app, runs) in table2_apps().into_iter().zip(&rows) {
+        let (gps, grit) = (&runs[0].metrics, &runs[1].metrics);
         table.push_row(
             app.abbr(),
             vec![
@@ -44,13 +44,15 @@ mod tests {
         // The comparison converges with run length; use the calibrated
         // default configuration rather than the CI-sized one.
         let t = run(&ExpConfig::default());
-        let speedups: Vec<f64> =
-            t.rows().iter().map(|(_, r)| r[1]).collect();
+        let speedups: Vec<f64> = t.rows().iter().map(|(_, r)| r[1]).collect();
         assert!(geomean(&speedups) > 1.0, "GRIT must beat GPS on average");
         // GPS replicates aggressively: its mean oversubscription rate must
         // exceed GRIT's (the paper's 34 % gap).
         let gps_os: f64 = t.rows().iter().map(|(_, r)| r[2]).sum::<f64>();
         let grit_os: f64 = t.rows().iter().map(|(_, r)| r[3]).sum::<f64>();
-        assert!(gps_os > grit_os, "GPS oversubscription {gps_os} vs GRIT {grit_os}");
+        assert!(
+            gps_os > grit_os,
+            "GPS oversubscription {gps_os} vs GRIT {grit_os}"
+        );
     }
 }

@@ -7,7 +7,7 @@ use grit_baselines::apply_transfw;
 use grit_metrics::Table;
 use grit_sim::SimConfig;
 
-use super::{run_cell_with, table2_apps, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
 
 /// Runs the figure.
 pub fn run(exp: &ExpConfig) -> Table {
@@ -17,14 +17,19 @@ pub fn run(exp: &ExpConfig) -> Table {
         "Fig 28: GRIT vs Griffin-DPC + Trans-FW (speedup over the combination)",
         vec!["dpc+transfw".into(), "grit".into()],
     );
-    for app in table2_apps() {
-        let combo =
-            run_cell_with(app, PolicyKind::GriffinDpc, exp, combo_cfg.clone(), None)
-                .metrics
-                .total_cycles;
-        let grit = run_cell_with(app, PolicyKind::GRIT, exp, SimConfig::default(), None)
-            .metrics
-            .total_cycles;
+    let cells: Vec<CellSpec> = table2_apps()
+        .into_iter()
+        .flat_map(|app| {
+            [
+                CellSpec::new(app, PolicyKind::GriffinDpc, exp).with_cfg(combo_cfg.clone()),
+                CellSpec::new(app, PolicyKind::GRIT, exp),
+            ]
+        })
+        .collect();
+    let outputs = run_batch(&cells);
+    for (app, chunk) in table2_apps().into_iter().zip(outputs.chunks(2)) {
+        let combo = chunk[0].metrics.total_cycles;
+        let grit = chunk[1].metrics.total_cycles;
         table.push_row(app.abbr(), vec![1.0, combo as f64 / grit as f64]);
     }
     table.push_geomean_row();

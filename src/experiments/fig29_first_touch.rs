@@ -4,7 +4,7 @@
 
 use grit_metrics::Table;
 
-use super::{run_cell, table2_apps, ExpConfig, PolicyKind};
+use super::{run_grid, table2_apps, ExpConfig, PolicyKind};
 
 /// Runs the figure.
 pub fn run(exp: &ExpConfig) -> Table {
@@ -12,9 +12,14 @@ pub fn run(exp: &ExpConfig) -> Table {
         "Fig 29: GRIT vs first-touch (speedup over first-touch)",
         vec!["first-touch".into(), "grit".into()],
     );
-    for app in table2_apps() {
-        let ft = run_cell(app, PolicyKind::FirstTouch, exp).metrics.total_cycles;
-        let grit = run_cell(app, PolicyKind::GRIT, exp).metrics.total_cycles;
+    let rows = run_grid(
+        &table2_apps(),
+        &[PolicyKind::FirstTouch, PolicyKind::GRIT],
+        exp,
+    );
+    for (app, runs) in table2_apps().into_iter().zip(&rows) {
+        let ft = runs[0].metrics.total_cycles;
+        let grit = runs[1].metrics.total_cycles;
         table.push_row(app.abbr(), vec![1.0, ft as f64 / grit as f64]);
     }
     table.push_geomean_row();

@@ -4,28 +4,12 @@
 
 use grit_baselines::TreePrefetcher;
 use grit_metrics::Table;
-use grit_sim::{Scheme, SimConfig};
-use grit_workloads::WorkloadBuilder;
+use grit_sim::Scheme;
 
-use super::{table2_apps, ExpConfig, PolicyKind};
-use crate::runner::Simulation;
+use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
 
-fn run_with_prefetch(
-    app: grit_workloads::App,
-    policy: PolicyKind,
-    exp: &ExpConfig,
-) -> u64 {
-    let cfg = SimConfig::default();
-    let workload = WorkloadBuilder::new(app)
-        .num_gpus(cfg.num_gpus)
-        .scale(exp.scale)
-        .intensity(exp.intensity)
-        .seed(exp.seed)
-        .build();
-    let p = policy.build(&cfg, workload.footprint_pages);
-    let mut sim = Simulation::new(cfg, workload, p);
-    sim.set_prefetcher(Box::new(TreePrefetcher::new()));
-    sim.run().metrics.total_cycles
+fn prefetch_cell(app: grit_workloads::App, policy: PolicyKind, exp: &ExpConfig) -> CellSpec {
+    CellSpec::new(app, policy, exp).with_prefetcher(|| Box::new(TreePrefetcher::new()))
 }
 
 /// Runs the figure.
@@ -34,9 +18,19 @@ pub fn run(exp: &ExpConfig) -> Table {
         "Fig 30: GRIT + prefetching vs on-touch + prefetching",
         vec!["on-touch+pf".into(), "grit+pf".into()],
     );
-    for app in table2_apps() {
-        let base = run_with_prefetch(app, PolicyKind::Static(Scheme::OnTouch), exp);
-        let grit = run_with_prefetch(app, PolicyKind::GRIT, exp);
+    let cells: Vec<CellSpec> = table2_apps()
+        .into_iter()
+        .flat_map(|app| {
+            [
+                prefetch_cell(app, PolicyKind::Static(Scheme::OnTouch), exp),
+                prefetch_cell(app, PolicyKind::GRIT, exp),
+            ]
+        })
+        .collect();
+    let outputs = run_batch(&cells);
+    for (app, chunk) in table2_apps().into_iter().zip(outputs.chunks(2)) {
+        let base = chunk[0].metrics.total_cycles;
+        let grit = chunk[1].metrics.total_cycles;
         table.push_row(app.abbr(), vec![1.0, base as f64 / grit as f64]);
     }
     table.push_geomean_row();
@@ -45,8 +39,8 @@ pub fn run(exp: &ExpConfig) -> Table {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::run_cell;
+    use super::*;
 
     #[test]
     fn grit_still_wins_with_prefetching() {
@@ -62,16 +56,11 @@ mod tests {
             .metrics
             .faults
             .local_faults;
-        let cfg = SimConfig::default();
-        let workload = WorkloadBuilder::new(app)
-            .scale(exp.scale)
-            .intensity(exp.intensity)
-            .seed(exp.seed)
-            .build();
-        let p = PolicyKind::Static(Scheme::OnTouch).build(&cfg, workload.footprint_pages);
-        let mut sim = Simulation::new(cfg, workload, p);
-        sim.set_prefetcher(Box::new(TreePrefetcher::new()));
-        let with = sim.run().metrics.faults.local_faults;
+        let with = prefetch_cell(app, PolicyKind::Static(Scheme::OnTouch), &exp)
+            .run()
+            .metrics
+            .faults
+            .local_faults;
         assert!(
             with < without,
             "prefetching must absorb faults: {with} vs {without}"

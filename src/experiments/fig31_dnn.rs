@@ -5,7 +5,7 @@ use grit_metrics::Table;
 use grit_sim::Scheme;
 use grit_workloads::App;
 
-use super::{run_cell, ExpConfig, PolicyKind};
+use super::{run_grid, ExpConfig, PolicyKind};
 
 /// Runs the figure.
 pub fn run(exp: &ExpConfig) -> Table {
@@ -13,11 +13,11 @@ pub fn run(exp: &ExpConfig) -> Table {
         "Fig 31: DNN model parallelism (speedup over on-touch)",
         vec!["on-touch".into(), "grit".into()],
     );
-    for app in App::DNN {
-        let base = run_cell(app, PolicyKind::Static(Scheme::OnTouch), exp)
-            .metrics
-            .total_cycles;
-        let grit = run_cell(app, PolicyKind::GRIT, exp).metrics.total_cycles;
+    let policies = [PolicyKind::Static(Scheme::OnTouch), PolicyKind::GRIT];
+    let rows = run_grid(&App::DNN, &policies, exp);
+    for (app, runs) in App::DNN.into_iter().zip(&rows) {
+        let base = runs[0].metrics.total_cycles;
+        let grit = runs[1].metrics.total_cycles;
         table.push_row(app.abbr(), vec![1.0, base as f64 / grit as f64]);
     }
     table
@@ -31,7 +31,11 @@ mod tests {
     fn grit_helps_dnn_training() {
         let t = run(&ExpConfig::quick());
         for (label, row) in t.rows() {
-            assert!(row[1] > 0.95, "{label}: GRIT must not hurt DNNs, got {}", row[1]);
+            assert!(
+                row[1] > 0.95,
+                "{label}: GRIT must not hurt DNNs, got {}",
+                row[1]
+            );
         }
         // At least one model shows a clear gain.
         assert!(t.rows().iter().any(|(_, r)| r[1] > 1.0));

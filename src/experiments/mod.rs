@@ -33,13 +33,20 @@ pub mod ext_pa_cache;
 pub mod ext_sweeps;
 pub mod ext_workloads;
 
+pub mod batch;
+pub mod workload_cache;
+
+pub use batch::{
+    effective_jobs, run_batch, run_batch_with_jobs, run_grid, set_jobs, CellSpec, PolicySpec,
+};
+
 use grit_baselines::{FirstTouchPolicy, GpsPolicy, GriffinDpcPolicy, IdealPolicy};
 use grit_core::{GritConfig, GritPolicy};
 use grit_sim::{Scheme, SimConfig};
 use grit_uvm::{PlacementPolicy, StaticPolicy};
-use grit_workloads::{App, WorkloadBuilder};
+use grit_workloads::App;
 
-use crate::runner::{ObserverConfig, RunOutput, Simulation};
+use crate::runner::{ObserverConfig, RunOutput};
 
 /// Which policy a run uses (a serializable recipe, since policies carry
 /// per-run state).
@@ -74,22 +81,38 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// The full GRIT design.
-    pub const GRIT: PolicyKind = PolicyKind::Grit { threshold: 4, pa_cache: true, nap: true };
+    pub const GRIT: PolicyKind = PolicyKind::Grit {
+        threshold: 4,
+        pa_cache: true,
+        nap: true,
+    };
 
     /// Builds the policy object for a run.
     pub fn build(self, cfg: &SimConfig, footprint_pages: u64) -> Box<dyn PlacementPolicy> {
         match self {
             PolicyKind::Static(s) => Box::new(StaticPolicy::new(s)),
             PolicyKind::Ideal => Box::new(IdealPolicy::new()),
-            PolicyKind::Grit { threshold, pa_cache, nap } => {
-                let gc = GritConfig { fault_threshold: threshold, pa_cache, nap, ..GritConfig::full(cfg) };
+            PolicyKind::Grit {
+                threshold,
+                pa_cache,
+                nap,
+            } => {
+                let gc = GritConfig {
+                    fault_threshold: threshold,
+                    pa_cache,
+                    nap,
+                    ..GritConfig::full(cfg)
+                };
                 Box::new(GritPolicy::new(gc, footprint_pages))
             }
             PolicyKind::FirstTouch => Box::new(FirstTouchPolicy::new()),
             PolicyKind::GriffinDpc => Box::new(GriffinDpcPolicy::new(cfg.num_gpus)),
             PolicyKind::Gps => Box::new(GpsPolicy::new()),
             PolicyKind::GritWithCache { entries } => {
-                let gc = GritConfig { pa_cache_entries: entries, ..GritConfig::full(cfg) };
+                let gc = GritConfig {
+                    pa_cache_entries: entries,
+                    ..GritConfig::full(cfg)
+                };
                 Box::new(GritPolicy::new(gc, footprint_pages))
             }
         }
@@ -100,8 +123,16 @@ impl PolicyKind {
         match self {
             PolicyKind::Static(s) => s.to_string(),
             PolicyKind::Ideal => "ideal".into(),
-            PolicyKind::Grit { threshold: 4, pa_cache: true, nap: true } => "grit".into(),
-            PolicyKind::Grit { threshold, pa_cache, nap } => {
+            PolicyKind::Grit {
+                threshold: 4,
+                pa_cache: true,
+                nap: true,
+            } => "grit".into(),
+            PolicyKind::Grit {
+                threshold,
+                pa_cache,
+                nap,
+            } => {
                 format!("grit(t={threshold},cache={pa_cache},nap={nap})")
             }
             PolicyKind::FirstTouch => "first-touch".into(),
@@ -128,20 +159,32 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { scale: 0.10, intensity: 2.0, seed: 0xBEEF }
+        ExpConfig {
+            scale: 0.10,
+            intensity: 2.0,
+            seed: 0xBEEF,
+        }
     }
 }
 
 impl ExpConfig {
     /// A fast configuration for CI/integration tests.
     pub fn quick() -> Self {
-        ExpConfig { scale: 0.04, intensity: 1.5, ..Default::default() }
+        ExpConfig {
+            scale: 0.04,
+            intensity: 1.5,
+            ..Default::default()
+        }
     }
 
     /// Full-footprint configuration (Table II sizes). Intensity stays at
     /// the calibrated default: trace length already scales with footprint.
     pub fn full() -> Self {
-        ExpConfig { scale: 1.0, intensity: 2.0, ..Default::default() }
+        ExpConfig {
+            scale: 1.0,
+            intensity: 2.0,
+            ..Default::default()
+        }
     }
 }
 
@@ -151,7 +194,8 @@ pub fn run_cell(app: App, policy: PolicyKind, exp: &ExpConfig) -> RunOutput {
 }
 
 /// Runs one cell with an explicit system configuration and optional
-/// observer instrumentation.
+/// observer instrumentation. The workload comes from the process-wide
+/// [`workload_cache`], so repeated cells on one trace build it once.
 pub fn run_cell_with(
     app: App,
     policy: PolicyKind,
@@ -159,19 +203,15 @@ pub fn run_cell_with(
     cfg: SimConfig,
     observer: Option<ObserverConfig>,
 ) -> RunOutput {
-    let workload = WorkloadBuilder::new(app)
-        .num_gpus(cfg.num_gpus)
-        .scale(exp.scale)
-        .intensity(exp.intensity)
-        .seed(exp.seed)
-        .page_size(cfg.page_size)
-        .build();
-    let policy = policy.build(&cfg, workload.footprint_pages);
-    let mut sim = Simulation::new(cfg, workload, policy);
-    if let Some(obs) = observer {
-        sim.set_observer(obs);
+    CellSpec {
+        app,
+        policy: PolicySpec::Kind(policy),
+        exp: *exp,
+        cfg,
+        observer,
+        prefetcher: None,
     }
-    sim.run()
+    .run()
 }
 
 /// The eight Table II applications, the row set of most figures.
@@ -188,14 +228,23 @@ mod tests {
         assert_eq!(PolicyKind::GRIT.label(), "grit");
         assert_eq!(PolicyKind::Static(Scheme::OnTouch).label(), "on-touch");
         assert_eq!(
-            PolicyKind::Grit { threshold: 8, pa_cache: true, nap: true }.label(),
+            PolicyKind::Grit {
+                threshold: 8,
+                pa_cache: true,
+                nap: true
+            }
+            .label(),
             "grit(t=8,cache=true,nap=true)"
         );
     }
 
     #[test]
     fn run_cell_smoke() {
-        let out = run_cell(App::Gemm, PolicyKind::Static(Scheme::OnTouch), &ExpConfig::quick());
+        let out = run_cell(
+            App::Gemm,
+            PolicyKind::Static(Scheme::OnTouch),
+            &ExpConfig::quick(),
+        );
         assert!(out.metrics.total_cycles > 0);
         assert!(out.metrics.accesses > 0);
         assert!(out.metrics.faults.local_faults > 0);

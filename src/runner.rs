@@ -6,17 +6,20 @@
 //! migrations, invalidation broadcasts, write collapses, counter trips —
 //! are globally ordered in simulated time.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use grit_mem::{CacheKey, Mapping, SetAssocCache, TlbHierarchy, TranslationLevel, WalkerPool};
 use grit_metrics::{
-    AttrGrid, IntervalSeries, LatencyClass, PageAttrSummary, PageAttrTracker, RunMetrics,
-    SchemeMix,
+    AttrGrid, IntervalSeries, LatencyClass, PageAttrSummary, PageAttrTracker, RunMetrics, SchemeMix,
 };
 use grit_sim::{
-    Access, AccessStream, Cycle, GpuId, MemLoc, MlpWindow, PageId, SimConfig, SliceStream,
+    Access, AccessStream, Cycle, FxHashMap, GpuId, MemLoc, MlpWindow, PageId, SimConfig,
+    SliceStream,
 };
-use grit_uvm::{DriverOutcome, FaultInfo, FaultKind, PlacementPolicy, Prefetcher, UvmDriver, WriteMode};
+use grit_uvm::{
+    DriverOutcome, FaultInfo, FaultKind, PlacementPolicy, Prefetcher, UvmDriver, WriteMode,
+};
 use grit_workloads::MultiGpuWorkload;
 
 /// L2 data-cache key: page + generation + line. Bumping a page's
@@ -50,7 +53,7 @@ struct GpuFrontend {
     walker: WalkerPool,
     l1: SetAssocCache<LineKey, ()>,
     l2: SetAssocCache<LineKey, ()>,
-    line_generation: HashMap<PageId, u32>,
+    line_generation: FxHashMap<PageId, u32>,
     finished: bool,
     last_done: Cycle,
 }
@@ -69,7 +72,7 @@ impl GpuFrontend {
             walker: WalkerPool::new(cfg.walk),
             l1: SetAssocCache::with_entries(cfg.l1_cache.entries, cfg.l1_cache.ways),
             l2: SetAssocCache::with_entries(cfg.l2_cache.entries, cfg.l2_cache.ways),
-            line_generation: HashMap::new(),
+            line_generation: FxHashMap::default(),
             finished: false,
             last_done: 0,
         }
@@ -169,6 +172,10 @@ pub struct RunOutput {
 pub struct Simulation {
     cfg: SimConfig,
     gpus: Vec<GpuFrontend>,
+    /// Min-heap of `(ready, gpu)` over runnable GPUs. Entries go stale when
+    /// a stall raises a GPU's ready cycle; [`Simulation::pop_next_gpu`]
+    /// refreshes them lazily, replacing the per-access O(num_gpus) scan.
+    ready_heap: BinaryHeap<Reverse<(Cycle, usize)>>,
     driver: UvmDriver,
     attrs: PageAttrTracker,
     scheme_mix: SchemeMix,
@@ -203,14 +210,16 @@ impl Simulation {
             "workload GPU count must match the configuration"
         );
         let driver = UvmDriver::new(cfg.clone(), workload.footprint_pages, policy);
-        let gpus = workload
+        let gpus: Vec<GpuFrontend> = workload
             .streams
             .into_iter()
             .zip(workload.barriers)
             .map(|(s, b)| GpuFrontend::new(&cfg, s, b))
             .collect();
+        let ready_heap = (0..gpus.len()).map(|i| Reverse((0, i))).collect();
         Simulation {
             gpus,
+            ready_heap,
             driver,
             attrs: PageAttrTracker::new(),
             scheme_mix: SchemeMix::default(),
@@ -245,8 +254,7 @@ impl Simulation {
             self.obs_grid_rw = Some(AttrGrid::new(cfg.grid_intervals, cfg.grid_page_bins));
         }
         if cfg.scheme_timeline {
-            self.obs_scheme_timeline =
-                Some(IntervalSeries::new(cfg.interval_cycles.max(1), 3));
+            self.obs_scheme_timeline = Some(IntervalSeries::new(cfg.interval_cycles.max(1), 3));
         }
         self.observer_cfg = cfg;
     }
@@ -259,7 +267,7 @@ impl Simulation {
     /// Runs the workload to completion and collects all metrics.
     pub fn run(mut self) -> RunOutput {
         loop {
-            let Some(g) = self.next_gpu() else {
+            let Some(g) = self.pop_next_gpu() else {
                 if self.gpus.iter().all(|g| g.finished) {
                     break;
                 }
@@ -272,6 +280,8 @@ impl Simulation {
                 self.apply_outcome(g, &out);
             }
             if self.gpus[g].at_barrier() {
+                // Not re-pushed: the GPU re-enters the heap when the
+                // barrier releases.
                 self.gpus[g].waiting = true;
                 continue;
             }
@@ -279,6 +289,7 @@ impl Simulation {
                 Some(acc) => {
                     self.gpus[g].consumed += 1;
                     self.process(g, acc);
+                    self.ready_heap.push(Reverse((self.gpus[g].ready, g)));
                 }
                 None => {
                     let drained = self.gpus[g].window.drain_time();
@@ -290,13 +301,26 @@ impl Simulation {
         self.finish()
     }
 
-    fn next_gpu(&self) -> Option<usize> {
-        self.gpus
-            .iter()
-            .enumerate()
-            .filter(|(_, g)| !g.finished && !g.waiting)
-            .min_by_key(|(_, g)| g.ready)
-            .map(|(i, _)| i)
+    /// Removes and returns the runnable GPU with the smallest ready cycle
+    /// (ties broken toward the lowest index, matching a linear scan).
+    ///
+    /// Ready cycles only ever advance, so a heap entry can be *below* its
+    /// GPU's current ready (a stall landed after the push) but never above;
+    /// stale entries are refreshed in place. Every runnable GPU has exactly
+    /// one entry; the caller re-pushes after advancing the GPU it popped.
+    fn pop_next_gpu(&mut self) -> Option<usize> {
+        while let Some(Reverse((ready, g))) = self.ready_heap.pop() {
+            let f = &self.gpus[g];
+            if f.finished || f.waiting {
+                continue;
+            }
+            if f.ready != ready {
+                self.ready_heap.push(Reverse((f.ready, g)));
+                continue;
+            }
+            return Some(g);
+        }
+        None
     }
 
     /// Releases all GPUs held at a kernel boundary once everyone arrived:
@@ -304,15 +328,20 @@ impl Simulation {
     fn release_barrier(&mut self) {
         let mut sync = 0;
         for g in &mut self.gpus {
-            let t = if g.finished { g.last_done } else { g.ready.max(g.window.drain_time()) };
+            let t = if g.finished {
+                g.last_done
+            } else {
+                g.ready.max(g.window.drain_time())
+            };
             sync = sync.max(t);
         }
-        for g in &mut self.gpus {
+        for (i, g) in self.gpus.iter_mut().enumerate() {
             if g.waiting {
                 g.waiting = false;
                 g.next_barrier += 1;
                 g.ready = sync;
                 g.last_done = g.last_done.max(sync);
+                self.ready_heap.push(Reverse((sync, i)));
             }
         }
     }
@@ -361,7 +390,9 @@ impl Simulation {
                 });
                 t = t.max(out.done_at);
                 self.apply_outcome(g, &out);
-                mapping = self.driver.translate(gpu, vpn);
+                // The outcome carries the mapping the mechanism installed,
+                // saving a second page-table lookup on the walk path.
+                mapping = out.mapping;
             }
             self.gpus[g].tlb.fill(vpn);
         }
@@ -386,10 +417,7 @@ impl Simulation {
             t = t.max(out.done_at);
             self.apply_outcome(g, &out);
             self.gpus[g].tlb.fill(vpn);
-            mapping = self
-                .driver
-                .translate(gpu, vpn)
-                .expect("collapse must leave the writer mapped");
+            mapping = out.mapping.expect("collapse must leave the writer mapped");
         }
 
         // Data access through the cache hierarchy.
@@ -454,8 +482,7 @@ impl Simulation {
             }
         }
         if let Some(grid) = &mut self.obs_grid_ps {
-            let interval =
-                ((now / self.observer_cfg.interval_cycles.max(1)) as usize).min(49);
+            let interval = ((now / self.observer_cfg.interval_cycles.max(1)) as usize).min(49);
             let bin = (acc.vpn.vpn() as usize * self.observer_cfg.grid_page_bins
                 / self.footprint_pages.max(1) as usize)
                 .min(self.observer_cfg.grid_page_bins - 1);
@@ -478,10 +505,8 @@ impl Simulation {
         }
         let total_cycles = self.gpus.iter().map(|g| g.last_done).max().unwrap_or(0);
         let fabric = self.driver.fabric_stats();
-        let per_gpu_finish: Vec<f64> =
-            self.gpus.iter().map(|g| g.last_done as f64).collect();
-        let per_gpu_accesses: Vec<f64> =
-            self.gpus.iter().map(|g| g.consumed as f64).collect();
+        let per_gpu_finish: Vec<f64> = self.gpus.iter().map(|g| g.last_done as f64).collect();
+        let per_gpu_accesses: Vec<f64> = self.gpus.iter().map(|g| g.consumed as f64).collect();
         let mut metrics = RunMetrics {
             total_cycles,
             accesses: self.accesses,
@@ -516,16 +541,19 @@ impl Simulation {
             || self.obs_grid_ps.is_some()
             || self.obs_scheme_timeline.is_some();
         let observer = any_observer.then(|| RunObserver {
-            page_by_gpu: self
-                .obs_page_by_gpu
-                .unwrap_or_else(|| IntervalSeries::new(1, 1)),
+            page_by_gpu: self.obs_page_by_gpu.unwrap_or_else(|| IntervalSeries::new(1, 1)),
             page_rw: self.obs_page_rw.unwrap_or_else(|| IntervalSeries::new(1, 2)),
             grid_private_shared: self.obs_grid_ps,
             grid_read_rw: self.obs_grid_rw,
             grid_interval_cycles: self.observer_cfg.interval_cycles,
             scheme_timeline: self.obs_scheme_timeline,
         });
-        RunOutput { metrics, page_attrs: self.attrs.summary(), attrs: self.attrs, observer }
+        RunOutput {
+            metrics,
+            page_attrs: self.attrs.summary(),
+            attrs: self.attrs,
+            observer,
+        }
     }
 }
 
@@ -551,9 +579,10 @@ mod tests {
     }
 
     fn two_gpu_cfg() -> SimConfig {
-        let mut cfg = SimConfig::default();
-        cfg.num_gpus = 2;
-        cfg
+        SimConfig {
+            num_gpus: 2,
+            ..SimConfig::default()
+        }
     }
 
     fn run(w: MultiGpuWorkload, cfg: SimConfig) -> RunOutput {
@@ -589,7 +618,10 @@ mod tests {
         let out = run(w, two_gpu_cfg());
         // One fault total: the other seven accesses hit the warm path.
         assert_eq!(out.metrics.faults.local_faults, 1);
-        assert_eq!(out.metrics.local_accesses, 1, "later touches hit the L1/L2 cache");
+        assert_eq!(
+            out.metrics.local_accesses, 1,
+            "later touches hit the L1/L2 cache"
+        );
     }
 
     #[test]

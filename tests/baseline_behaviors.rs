@@ -24,7 +24,10 @@ fn first_touch_never_migrates_a_page_twice() {
             out.metrics.faults.migrations,
             out.metrics.faults.evictions
         );
-        assert_eq!(out.metrics.faults.collapses, 0, "{app}: first-touch never collapses");
+        assert_eq!(
+            out.metrics.faults.collapses, 0,
+            "{app}: first-touch never collapses"
+        );
     }
 }
 
@@ -32,8 +35,14 @@ fn first_touch_never_migrates_a_page_twice() {
 fn gps_never_collapses_and_replicates_aggressively() {
     for app in [App::Bfs, App::Bs] {
         let out = run_cell(app, PolicyKind::Gps, &exp());
-        assert_eq!(out.metrics.faults.collapses, 0, "{app}: GPS broadcasts, never collapses");
-        assert_eq!(out.metrics.faults.protection_faults, 0, "{app}: replicas stay writable");
+        assert_eq!(
+            out.metrics.faults.collapses, 0,
+            "{app}: GPS broadcasts, never collapses"
+        );
+        assert_eq!(
+            out.metrics.faults.protection_faults, 0,
+            "{app}: replicas stay writable"
+        );
         assert!(
             out.metrics.faults.duplications > 0,
             "{app}: GPS must subscribe with replicas"
@@ -59,8 +68,14 @@ fn ideal_never_moves_pages() {
         assert_eq!(out.metrics.faults.migrations, 0, "{app}");
         assert_eq!(out.metrics.faults.duplications, 0, "{app}");
         assert_eq!(out.metrics.faults.collapses, 0, "{app}");
-        assert_eq!(out.metrics.remote_accesses, 0, "{app}: ideal reads are local");
-        assert_eq!(out.metrics.faults.evictions, 0, "{app}: ideal has no pressure");
+        assert_eq!(
+            out.metrics.remote_accesses, 0,
+            "{app}: ideal reads are local"
+        );
+        assert_eq!(
+            out.metrics.faults.evictions, 0,
+            "{app}: ideal has no pressure"
+        );
     }
 }
 
@@ -80,8 +95,7 @@ fn oracle_beats_every_uniform_scheme_on_static_apps() {
         .build();
     let oracle = Simulation::new(cfg, w, Box::new(oracle_policy)).run().metrics.total_cycles;
     for scheme in Scheme::ALL {
-        let uniform =
-            run_cell(App::Gemm, PolicyKind::Static(scheme), &exp()).metrics.total_cycles;
+        let uniform = run_cell(App::Gemm, PolicyKind::Static(scheme), &exp()).metrics.total_cycles;
         assert!(
             oracle <= uniform,
             "oracle {oracle} must beat uniform {scheme} {uniform}"

@@ -38,8 +38,10 @@ fn gps_oversubscribes_more_than_grit() {
 
 #[test]
 fn tighter_capacity_hurts_duplication() {
-    let mut tight = SimConfig::default();
-    tight.capacity_ratio = 0.35;
+    let tight = SimConfig {
+        capacity_ratio: 0.35,
+        ..SimConfig::default()
+    };
     let loose = run_cell(App::Gemm, PolicyKind::Static(Scheme::Duplication), &exp())
         .metrics
         .total_cycles;
@@ -119,23 +121,36 @@ fn more_gpus_mean_more_sharing() {
 
 #[test]
 fn large_pages_coarsen_the_footprint() {
-    let mut cfg = SimConfig::default();
-    cfg.page_size = PAGE_SIZE_2M;
-    let big = ExpConfig { scale: 0.8, ..exp() };
+    let cfg = SimConfig {
+        page_size: PAGE_SIZE_2M,
+        ..SimConfig::default()
+    };
+    let big = ExpConfig {
+        scale: 0.8,
+        ..exp()
+    };
     let out = run_cell_with(App::St, PolicyKind::GRIT, &big, cfg, None);
     // 33 MB x 0.8 at 2 MB pages = ~14 pages minimum footprint guard (64).
     assert!(out.metrics.total_cycles > 0);
-    assert!(out.page_attrs.total_pages <= 128, "2MB pages collapse the page count");
+    assert!(
+        out.page_attrs.total_pages <= 128,
+        "2MB pages collapse the page count"
+    );
 }
 
 #[test]
 fn large_pages_shrink_grits_edge() {
     // §VI-B3: 2 MB pages mix read and read-write data in one translation
     // unit; GRIT's relative gain over on-touch must shrink vs 4 KB pages.
-    let exp_big = ExpConfig { scale: 0.6, ..exp() };
+    let exp_big = ExpConfig {
+        scale: 0.6,
+        ..exp()
+    };
     let gain = |page_size: u64| {
-        let mut cfg = SimConfig::default();
-        cfg.page_size = page_size;
+        let cfg = SimConfig {
+            page_size,
+            ..SimConfig::default()
+        };
         let ot = run_cell_with(
             App::Gemm,
             PolicyKind::Static(Scheme::OnTouch),
@@ -145,8 +160,9 @@ fn large_pages_shrink_grits_edge() {
         )
         .metrics
         .total_cycles;
-        let grit =
-            run_cell_with(App::Gemm, PolicyKind::GRIT, &exp_big, cfg, None).metrics.total_cycles;
+        let grit = run_cell_with(App::Gemm, PolicyKind::GRIT, &exp_big, cfg, None)
+            .metrics
+            .total_cycles;
         ot as f64 / grit as f64
     };
     let gain_4k = gain(PAGE_SIZE_4K);
@@ -172,5 +188,8 @@ fn prefetching_cuts_cold_faults_without_breaking_invariants() {
         sim.set_prefetcher(Box::new(TreePrefetcher::new()));
         sim.run().metrics.faults.local_faults
     };
-    assert!(with_pf < base, "prefetching must absorb faults: {with_pf} vs {base}");
+    assert!(
+        with_pf < base,
+        "prefetching must absorb faults: {with_pf} vs {base}"
+    );
 }

@@ -6,7 +6,11 @@ use grit::experiments::{run_cell, ExpConfig, PolicyKind};
 use grit::prelude::*;
 
 fn tiny() -> ExpConfig {
-    ExpConfig { scale: 0.02, intensity: 0.5, seed: 0x5EED }
+    ExpConfig {
+        scale: 0.02,
+        intensity: 0.5,
+        seed: 0x5EED,
+    }
 }
 
 fn fingerprint(app: App, p: PolicyKind, exp: &ExpConfig) -> (u64, u64, u64, u64, u64, u64) {
@@ -44,7 +48,10 @@ fn different_seeds_change_random_apps() {
     let b = fingerprint(
         App::Bfs,
         PolicyKind::Static(Scheme::OnTouch),
-        &ExpConfig { seed: 0xFACE, ..tiny() },
+        &ExpConfig {
+            seed: 0xFACE,
+            ..tiny()
+        },
     );
     assert_ne!(a, b, "different seeds must change BFS's random trace");
 }
@@ -52,9 +59,7 @@ fn different_seeds_change_random_apps() {
 #[test]
 fn policies_share_the_same_trace() {
     // The access count is a property of the workload, not the policy.
-    let base = run_cell(App::Mm, PolicyKind::Static(Scheme::OnTouch), &tiny())
-        .metrics
-        .accesses;
+    let base = run_cell(App::Mm, PolicyKind::Static(Scheme::OnTouch), &tiny()).metrics.accesses;
     for p in [
         PolicyKind::Static(Scheme::AccessCounter),
         PolicyKind::Static(Scheme::Duplication),
@@ -63,7 +68,12 @@ fn policies_share_the_same_trace() {
         PolicyKind::FirstTouch,
     ] {
         let acc = run_cell(App::Mm, p, &tiny()).metrics.accesses;
-        assert_eq!(acc, base, "{}: trace must not depend on the policy", p.label());
+        assert_eq!(
+            acc,
+            base,
+            "{}: trace must not depend on the policy",
+            p.label()
+        );
     }
 }
 

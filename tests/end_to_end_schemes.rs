@@ -42,7 +42,10 @@ fn duplication_wins_read_shared_apps() {
         let ac = cycles(app, AC);
         let dup = cycles(app, DUP);
         assert!(dup < ot, "{app}: duplication {dup} must beat on-touch {ot}");
-        assert!(dup < ac, "{app}: duplication {dup} must beat access-counter {ac}");
+        assert!(
+            dup < ac,
+            "{app}: duplication {dup} must beat access-counter {ac}"
+        );
     }
 }
 
@@ -52,7 +55,10 @@ fn access_counter_wins_interleaved_read_write_bs() {
     let ac = cycles(App::Bs, AC);
     let dup = cycles(App::Bs, DUP);
     assert!(ac < ot, "BS: access-counter {ac} must beat on-touch {ot}");
-    assert!(ac < dup, "BS: access-counter {ac} must beat duplication {dup}");
+    assert!(
+        ac < dup,
+        "BS: access-counter {ac} must beat duplication {dup}"
+    );
 }
 
 #[test]
@@ -63,11 +69,17 @@ fn duplication_loses_on_write_heavy_shared_apps() {
     // for BS and behind access-counter for both.
     let bs_ot = cycles(App::Bs, OT);
     let bs_dup = cycles(App::Bs, DUP);
-    assert!(bs_dup > bs_ot, "BS: duplication {bs_dup} must lose to on-touch {bs_ot}");
+    assert!(
+        bs_dup > bs_ot,
+        "BS: duplication {bs_dup} must lose to on-touch {bs_ot}"
+    );
     for app in [App::Bs, App::St] {
         let ac = cycles(app, AC);
         let dup = cycles(app, DUP);
-        assert!(dup > ac, "{app}: duplication {dup} must lose to access-counter {ac}");
+        assert!(
+            dup > ac,
+            "{app}: duplication {dup} must lose to access-counter {ac}"
+        );
     }
 }
 
@@ -91,9 +103,18 @@ fn write_collapse_only_under_duplication_semantics() {
     for app in App::TABLE2 {
         let ot = run_cell(app, OT, &ExpConfig::quick()).metrics;
         let ac = run_cell(app, AC, &ExpConfig::quick()).metrics;
-        assert_eq!(ot.faults.collapses, 0, "{app}: on-touch must never collapse");
-        assert_eq!(ac.faults.collapses, 0, "{app}: access-counter must never collapse");
-        assert_eq!(ot.faults.duplications, 0, "{app}: on-touch must never duplicate");
+        assert_eq!(
+            ot.faults.collapses, 0,
+            "{app}: on-touch must never collapse"
+        );
+        assert_eq!(
+            ac.faults.collapses, 0,
+            "{app}: access-counter must never collapse"
+        );
+        assert_eq!(
+            ot.faults.duplications, 0,
+            "{app}: on-touch must never duplicate"
+        );
     }
 }
 
@@ -103,9 +124,18 @@ fn remote_traffic_only_under_counter_semantics() {
         let ot = run_cell(app, OT, &ExpConfig::quick()).metrics;
         let dup = run_cell(app, DUP, &ExpConfig::quick()).metrics;
         let ac = run_cell(app, AC, &ExpConfig::quick()).metrics;
-        assert_eq!(ot.remote_accesses, 0, "{app}: on-touch never reads remotely");
-        assert_eq!(dup.remote_accesses, 0, "{app}: duplication never reads remotely");
-        assert!(ac.remote_accesses > 0, "{app}: access-counter must read remotely");
+        assert_eq!(
+            ot.remote_accesses, 0,
+            "{app}: on-touch never reads remotely"
+        );
+        assert_eq!(
+            dup.remote_accesses, 0,
+            "{app}: duplication never reads remotely"
+        );
+        assert!(
+            ac.remote_accesses > 0,
+            "{app}: access-counter must read remotely"
+        );
     }
 }
 

@@ -8,7 +8,11 @@ use grit::experiments::ExpConfig;
 use grit_metrics::Table;
 
 fn tiny() -> ExpConfig {
-    ExpConfig { scale: 0.02, intensity: 0.5, seed: 0xABCD }
+    ExpConfig {
+        scale: 0.02,
+        intensity: 0.5,
+        seed: 0xABCD,
+    }
 }
 
 fn check(table: &Table, min_rows: usize) {

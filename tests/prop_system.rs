@@ -28,7 +28,11 @@ fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
         Just(PolicyKind::Static(Scheme::AccessCounter)),
         Just(PolicyKind::Static(Scheme::Duplication)),
         Just(PolicyKind::GRIT),
-        Just(PolicyKind::Grit { threshold: 2, pa_cache: false, nap: true }),
+        Just(PolicyKind::Grit {
+            threshold: 2,
+            pa_cache: false,
+            nap: true
+        }),
         Just(PolicyKind::FirstTouch),
         Just(PolicyKind::Gps),
         Just(PolicyKind::GriffinDpc),
