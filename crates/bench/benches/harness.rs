@@ -8,6 +8,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use grit::experiments::{run_batch_with_jobs, run_cell, CellSpec, ExpConfig, PolicyKind};
 use grit_sim::Scheme;
+use grit_trace::TraceConfig;
 use grit_workloads::App;
 
 fn quick() -> ExpConfig {
@@ -39,10 +40,18 @@ fn bench_harness(c: &mut Criterion) {
 
     // One cell through the shared workload cache (the trace is built on
     // the first iteration and reused afterwards, so this times the
-    // simulator, not the generator).
+    // simulator, not the generator). Tracing is off here; comparing
+    // against `run_cell_grit_bfs_traced` below bounds the tracer's
+    // overhead when enabled, and this bench itself bounds the disabled
+    // tracer's cost (the emit sites compile to a branch on `None`).
     g.bench_function("run_cell_grit_bfs", |b| {
         let exp = quick();
         b.iter(|| black_box(run_cell(App::Bfs, PolicyKind::GRIT, &exp)))
+    });
+    g.bench_function("run_cell_grit_bfs_traced", |b| {
+        let exp = quick();
+        let cell = CellSpec::new(App::Bfs, PolicyKind::GRIT, &exp).traced(TraceConfig::default());
+        b.iter(|| black_box(cell.run()))
     });
 
     // The same 12-cell grid, serial vs parallel.

@@ -1,6 +1,7 @@
 //! Node topology: all-to-all NVLink between GPUs, PCIe to the host.
 
-use grit_sim::{Cycle, GpuId, LinkConfig};
+use grit_sim::{Cycle, GpuId, LinkConfig, MemLoc};
+use grit_trace::{EventCategory, LinkKind, TraceEvent, Tracer};
 
 use crate::link::{Link, LinkStats};
 
@@ -31,6 +32,8 @@ pub struct Fabric {
     /// the data channel so control traffic is not serialized behind bulk
     /// transfers booked at future completion times.
     pcie_ctrl: Vec<Link>,
+    /// Event sink for link-transfer events; disabled by default.
+    tracer: Tracer,
 }
 
 impl Fabric {
@@ -53,7 +56,13 @@ impl Fabric {
             pcie_ctrl: (0..num_gpus)
                 .map(|_| Link::new(cfg.pcie_bytes_per_cycle, cfg.pcie_latency))
                 .collect(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches an event sink; link transfers are recorded through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn pair_index(&self, a: GpuId, b: GpuId) -> usize {
@@ -75,12 +84,30 @@ impl Fabric {
     pub fn gpu_to_gpu(&mut self, a: GpuId, b: GpuId, now: Cycle, bytes: u64) -> Cycle {
         assert!(a != b, "gpu_to_gpu requires distinct endpoints");
         let idx = self.pair_index(a, b);
-        self.nvlinks[idx].transfer(now, bytes)
+        let t = self.nvlinks[idx].transfer(now, bytes);
+        self.tracer.emit(EventCategory::LinkTransfer, || TraceEvent::LinkTransfer {
+            cycle: now,
+            link: LinkKind::Nvlink,
+            src: MemLoc::Gpu(a),
+            dst: MemLoc::Gpu(b),
+            bytes,
+            delivered: t,
+        });
+        t
     }
 
     /// Transfers `bytes` between a GPU and the host over its PCIe link.
     pub fn gpu_to_host(&mut self, g: GpuId, now: Cycle, bytes: u64) -> Cycle {
-        self.pcie[g.index()].transfer(now, bytes)
+        let t = self.pcie[g.index()].transfer(now, bytes);
+        self.tracer.emit(EventCategory::LinkTransfer, || TraceEvent::LinkTransfer {
+            cycle: now,
+            link: LinkKind::Pcie,
+            src: MemLoc::Gpu(g),
+            dst: MemLoc::Host,
+            bytes,
+            delivered: t,
+        });
+        t
     }
 
     /// Round trip between a GPU and the host (fault message + reply, no
@@ -89,7 +116,16 @@ impl Fabric {
     /// only the request occupies this link and the reply adds latency.
     pub fn host_round_trip(&mut self, g: GpuId, now: Cycle) -> Cycle {
         let there = self.pcie_ctrl[g.index()].transfer(now, 64);
-        there + self.pcie_ctrl[g.index()].latency() + 1
+        let t = there + self.pcie_ctrl[g.index()].latency() + 1;
+        self.tracer.emit(EventCategory::LinkTransfer, || TraceEvent::LinkTransfer {
+            cycle: now,
+            link: LinkKind::PcieCtrl,
+            src: MemLoc::Gpu(g),
+            dst: MemLoc::Host,
+            bytes: 64,
+            delivered: t,
+        });
+        t
     }
 
     /// One-way NVLink latency between two GPUs (control messages).
@@ -200,5 +236,29 @@ mod tests {
     fn single_gpu_fabric_supports_host_traffic() {
         let mut f = fabric(1);
         assert!(f.gpu_to_host(GpuId::new(0), 0, 64) > 0);
+    }
+
+    #[test]
+    fn tracer_records_every_link_class() {
+        use grit_trace::TraceConfig;
+        let mut f = fabric(2);
+        let t = Tracer::new(TraceConfig::default());
+        f.set_tracer(t.clone());
+        f.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 0, 4096);
+        f.gpu_to_host(GpuId::new(0), 0, 4096);
+        f.host_round_trip(GpuId::new(1), 0);
+        let events = t.take_events();
+        assert_eq!(events.len(), 3);
+        let kinds: Vec<LinkKind> = events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::LinkTransfer { link, .. } => *link,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![LinkKind::Nvlink, LinkKind::Pcie, LinkKind::PcieCtrl]
+        );
     }
 }

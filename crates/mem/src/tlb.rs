@@ -148,6 +148,11 @@ impl TlbHierarchy {
     pub fn l2(&self) -> &Tlb {
         &self.l2
     }
+
+    /// `(L1, L2)` hit/miss statistics, for per-GPU report series.
+    pub fn level_stats(&self) -> (CacheStats, CacheStats) {
+        (self.l1.stats(), self.l2.stats())
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +163,18 @@ mod tests {
     fn hierarchy() -> TlbHierarchy {
         let cfg = SimConfig::default();
         TlbHierarchy::new(cfg.l1_tlb, cfg.l2_tlb)
+    }
+
+    #[test]
+    fn level_stats_expose_both_levels() {
+        let mut t = hierarchy();
+        let _ = t.translate(PageId(7)); // miss in both levels
+        t.fill(PageId(7));
+        let _ = t.translate(PageId(7)); // L1 hit
+        let (l1, l2) = t.level_stats();
+        assert_eq!(l1.hits, 1);
+        assert_eq!(l1.misses, 1);
+        assert_eq!(l2.misses, 1);
     }
 
     #[test]

@@ -4,40 +4,37 @@
 /// Geometric mean of a slice of positive values ("average improvement"
 /// figures in the paper are computed over the eight applications).
 ///
-/// Returns 0.0 for an empty slice.
-///
-/// # Panics
-///
-/// Panics if any value is non-positive.
+/// Returns 0.0 for an empty slice or when any value is non-positive: a
+/// degenerate run (zero cycles, empty column) must surface as an obviously
+/// wrong summary value, not abort a whole batch mid-report.
 ///
 /// ```
 /// use grit_metrics::geomean;
 /// assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// assert_eq!(geomean(&[1.0, 0.0]), 0.0);
 /// ```
 pub fn geomean(values: &[f64]) -> f64 {
-    if values.is_empty() {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
         return 0.0;
     }
-    let mut acc = 0.0;
-    for &v in values {
-        assert!(v > 0.0, "geomean requires positive values, got {v}");
-        acc += v.ln();
-    }
+    let acc: f64 = values.iter().map(|&v| v.ln()).sum();
     (acc / values.len() as f64).exp()
 }
 
 /// Normalizes each value to a baseline: `baseline / value` (cycle counts
 /// become speedups, as every figure in the paper is plotted).
 ///
-/// # Panics
-///
-/// Panics if any value is zero.
+/// A zero value (a run that never completed) normalizes to 0.0 instead of
+/// dividing by zero, keeping report generation total.
 pub fn normalize_to(baseline: u64, values: &[u64]) -> Vec<f64> {
     values
         .iter()
         .map(|&v| {
-            assert!(v > 0, "cannot normalize a zero value");
-            baseline as f64 / v as f64
+            if v == 0 {
+                0.0
+            } else {
+                baseline as f64 / v as f64
+            }
         })
         .collect()
 }
@@ -85,11 +82,9 @@ impl Table {
         self.rows.push((label.into(), values));
     }
 
-    /// Appends a geometric-mean summary row over all current rows.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any column contains a non-positive value.
+    /// Appends a geometric-mean summary row over all current rows. A
+    /// column containing any non-positive value summarizes to 0.0 (see
+    /// [`geomean`]).
     pub fn push_geomean_row(&mut self) {
         let mut means = Vec::with_capacity(self.columns.len());
         for c in 0..self.columns.len() {
@@ -199,15 +194,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn geomean_rejects_zero() {
-        let _ = geomean(&[1.0, 0.0]);
+    fn geomean_degenerate_inputs_yield_zero() {
+        assert_eq!(geomean(&[1.0, 0.0]), 0.0);
+        assert_eq!(geomean(&[2.0, -1.0]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
     }
 
     #[test]
     fn normalize_makes_speedups() {
         let v = normalize_to(100, &[100, 50, 200]);
         assert_eq!(v, vec![1.0, 2.0, 0.5]);
+    }
+
+    #[test]
+    fn normalize_zero_value_yields_zero_not_infinity() {
+        assert_eq!(normalize_to(100, &[0, 50]), vec![0.0, 2.0]);
+        assert_eq!(normalize_to(0, &[10]), vec![0.0]);
+        assert_eq!(normalize_to(100, &[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn geomean_row_with_zero_column_does_not_panic() {
+        let mut t = Table::new("T", vec!["a".into()]);
+        t.push_row("x", vec![0.0]);
+        t.push_geomean_row();
+        assert_eq!(t.cell("GEOMEAN", "a"), Some(0.0));
     }
 
     #[test]

@@ -62,6 +62,11 @@ impl IntervalSeries {
         self.rows.len()
     }
 
+    /// The interval length in cycles this series was created with.
+    pub fn interval_cycles(&self) -> Cycle {
+        self.interval_cycles
+    }
+
     /// Counters of one interval.
     ///
     /// # Panics

@@ -358,6 +358,40 @@ impl SimConfig {
         }
         Ok(())
     }
+
+    /// The configuration flattened to `(name, value)` pairs, for embedding
+    /// the simulated-system description in machine-readable run reports.
+    pub fn describe(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("num_gpus", self.num_gpus as f64),
+            ("page_size", self.page_size as f64),
+            ("capacity_ratio", self.capacity_ratio),
+            ("l1_tlb_entries", self.l1_tlb.entries as f64),
+            ("l1_tlb_ways", self.l1_tlb.ways as f64),
+            ("l1_tlb_lookup_latency", self.l1_tlb.lookup_latency as f64),
+            ("l2_tlb_entries", self.l2_tlb.entries as f64),
+            ("l2_tlb_ways", self.l2_tlb.ways as f64),
+            ("l2_tlb_lookup_latency", self.l2_tlb.lookup_latency as f64),
+            ("walkers", self.walk.walkers as f64),
+            ("walk_queue_capacity", self.walk.queue_capacity as f64),
+            ("walk_levels", f64::from(self.walk.levels)),
+            ("walk_cycles_per_level", self.walk.cycles_per_level as f64),
+            ("walk_cache_entries", self.walk.walk_cache_entries as f64),
+            ("l1_cache_entries", self.l1_cache.entries as f64),
+            ("l1_cache_ways", self.l1_cache.ways as f64),
+            ("l2_cache_entries", self.l2_cache.entries as f64),
+            ("l2_cache_ways", self.l2_cache.ways as f64),
+            (
+                "access_counter_threshold",
+                f64::from(self.access_counter_threshold),
+            ),
+            ("nvlink_bytes_per_cycle", self.links.nvlink_bytes_per_cycle),
+            ("nvlink_latency", self.links.nvlink_latency as f64),
+            ("pcie_bytes_per_cycle", self.links.pcie_bytes_per_cycle),
+            ("pcie_latency", self.links.pcie_latency as f64),
+            ("mlp_window", self.mlp_window as f64),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +415,21 @@ mod tests {
         assert!((c.links.nvlink_bytes_per_cycle - 300.0).abs() < 1e-9);
         assert!((c.links.pcie_bytes_per_cycle - 32.0).abs() < 1e-9);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn describe_covers_the_headline_parameters() {
+        let d = SimConfig::default().describe();
+        let get = |name: &str| d.iter().find(|(n, _)| *n == name).map(|(_, v)| *v);
+        assert_eq!(get("num_gpus"), Some(4.0));
+        assert_eq!(get("page_size"), Some(4096.0));
+        assert_eq!(get("access_counter_threshold"), Some(256.0));
+        assert_eq!(get("nvlink_bytes_per_cycle"), Some(300.0));
+        // Names are unique so reports can treat the list as a map.
+        let mut names: Vec<&str> = d.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), d.len());
     }
 
     #[test]

@@ -1,0 +1,555 @@
+//! The event taxonomy: one enum variant per virtual-memory action, plus
+//! category names and filter masks.
+//!
+//! Events are emitted at the exact sites the corresponding
+//! `grit_metrics::FaultCounters` fields increment, so with an unfiltered,
+//! unsampled tracer the per-category event counts equal the printed
+//! counters. The JSONL encoding is one compact object per line with a
+//! `"type"` discriminant; see `tests/golden_jsonl.rs` for the frozen schema.
+
+use crate::json::Json;
+use grit_sim::{Cycle, GpuId, MemLoc, PageId, Scheme};
+
+/// One structured, cycle-stamped simulator event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A GPU took a far-fault (local) or protection fault on `vpn`.
+    Fault {
+        /// Cycle the fault reached the UVM driver.
+        cycle: Cycle,
+        /// Faulting GPU.
+        gpu: GpuId,
+        /// Faulting virtual page.
+        vpn: PageId,
+        /// Local (far) fault vs. write-protection fault.
+        kind: FaultClass,
+        /// Whether the faulting access was a write.
+        write: bool,
+    },
+    /// `vpn` migrated into `gpu`'s memory from `from`.
+    Migration {
+        /// Cycle the migration was initiated.
+        cycle: Cycle,
+        /// Destination GPU.
+        gpu: GpuId,
+        /// Migrated page.
+        vpn: PageId,
+        /// Previous owner (a GPU or the host).
+        from: MemLoc,
+    },
+    /// A read-shared replica of `vpn` was created in `gpu`'s memory.
+    Duplication {
+        /// Cycle the duplication was initiated.
+        cycle: Cycle,
+        /// GPU receiving the replica.
+        gpu: GpuId,
+        /// Duplicated page.
+        vpn: PageId,
+        /// Source copy the replica was filled from.
+        from: MemLoc,
+    },
+    /// A write collapsed `vpn`'s replicas back to a single exclusive copy.
+    Collapse {
+        /// Cycle of the collapsing write fault.
+        cycle: Cycle,
+        /// GPU that keeps the exclusive copy.
+        gpu: GpuId,
+        /// Collapsed page.
+        vpn: PageId,
+        /// Number of replica holders invalidated (excluding the writer).
+        holders: u8,
+    },
+    /// Inserting a page evicted a victim from `gpu`'s memory.
+    Eviction {
+        /// Cycle of the insertion that caused the eviction.
+        cycle: Cycle,
+        /// GPU whose memory overflowed.
+        gpu: GpuId,
+        /// Evicted victim page.
+        vpn: PageId,
+    },
+    /// GRIT re-classified `vpn` under a different placement scheme.
+    SchemeChange {
+        /// Cycle of the fault that triggered the change.
+        cycle: Cycle,
+        /// Faulting GPU that triggered the re-classification.
+        gpu: GpuId,
+        /// Re-classified page.
+        vpn: PageId,
+        /// The scheme now in effect for the page.
+        scheme: Scheme,
+    },
+    /// `bytes` moved over an interconnect link.
+    LinkTransfer {
+        /// Cycle the transfer was requested.
+        cycle: Cycle,
+        /// Which link class carried it.
+        link: LinkKind,
+        /// Source endpoint.
+        src: MemLoc,
+        /// Destination endpoint.
+        dst: MemLoc,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Cycle the last byte arrives (after queueing + serialization).
+        delivered: Cycle,
+    },
+}
+
+/// Fault classification mirroring `grit_uvm::FaultKind`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Far fault: the page was not mapped locally.
+    Local,
+    /// Write-protection fault on a read-duplicated page.
+    Protection,
+}
+
+impl FaultClass {
+    /// Stable JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Local => "local",
+            FaultClass::Protection => "protection",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "local" => Some(FaultClass::Local),
+            "protection" => Some(FaultClass::Protection),
+            _ => None,
+        }
+    }
+}
+
+/// Which interconnect link class carried a transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkKind {
+    /// GPU↔GPU NVLink.
+    Nvlink,
+    /// GPU↔host PCIe data path.
+    Pcie,
+    /// GPU↔host PCIe control path (fault messages, invalidations).
+    PcieCtrl,
+}
+
+impl LinkKind {
+    /// Stable JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkKind::Nvlink => "nvlink",
+            LinkKind::Pcie => "pcie",
+            LinkKind::PcieCtrl => "pcie-ctrl",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "nvlink" => Some(LinkKind::Nvlink),
+            "pcie" => Some(LinkKind::Pcie),
+            "pcie-ctrl" => Some(LinkKind::PcieCtrl),
+            _ => None,
+        }
+    }
+}
+
+/// Event category, used for filtering and as the JSON `"type"` value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventCategory {
+    /// [`TraceEvent::Fault`].
+    Fault,
+    /// [`TraceEvent::Migration`].
+    Migration,
+    /// [`TraceEvent::Duplication`].
+    Duplication,
+    /// [`TraceEvent::Collapse`].
+    Collapse,
+    /// [`TraceEvent::Eviction`].
+    Eviction,
+    /// [`TraceEvent::SchemeChange`].
+    SchemeChange,
+    /// [`TraceEvent::LinkTransfer`].
+    LinkTransfer,
+}
+
+impl EventCategory {
+    /// All categories, in bit order.
+    pub const ALL: [EventCategory; 7] = [
+        EventCategory::Fault,
+        EventCategory::Migration,
+        EventCategory::Duplication,
+        EventCategory::Collapse,
+        EventCategory::Eviction,
+        EventCategory::SchemeChange,
+        EventCategory::LinkTransfer,
+    ];
+
+    /// Stable name used in JSON `"type"` fields and `--trace-filter` lists.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventCategory::Fault => "fault",
+            EventCategory::Migration => "migration",
+            EventCategory::Duplication => "duplication",
+            EventCategory::Collapse => "collapse",
+            EventCategory::Eviction => "eviction",
+            EventCategory::SchemeChange => "scheme-change",
+            EventCategory::LinkTransfer => "link-transfer",
+        }
+    }
+
+    /// Parses a category name (the inverse of [`EventCategory::name`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        EventCategory::ALL.into_iter().find(|c| c.name() == s)
+    }
+
+    /// Index of this category's bit in a [`CategoryMask`] (also the slot in
+    /// per-category counter arrays).
+    pub fn bit(self) -> usize {
+        EventCategory::ALL.iter().position(|c| *c == self).expect("category in ALL")
+    }
+}
+
+/// A set of [`EventCategory`] values, used to filter emission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CategoryMask(u8);
+
+impl CategoryMask {
+    /// Every category enabled.
+    pub const ALL: CategoryMask = CategoryMask(0x7f);
+    /// No category enabled.
+    pub const NONE: CategoryMask = CategoryMask(0);
+
+    /// This mask with `cat` also enabled.
+    pub fn with(self, cat: EventCategory) -> CategoryMask {
+        CategoryMask(self.0 | 1 << cat.bit())
+    }
+
+    /// Whether `cat` is enabled.
+    pub fn contains(self, cat: EventCategory) -> bool {
+        self.0 & (1 << cat.bit()) != 0
+    }
+
+    /// Parses a comma-separated category list, e.g.
+    /// `"fault,migration,link-transfer"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unknown name.
+    pub fn parse(list: &str) -> Result<CategoryMask, String> {
+        let mut mask = CategoryMask::NONE;
+        for part in list.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let cat = EventCategory::parse(part)
+                .ok_or_else(|| format!("unknown trace category: {part:?}"))?;
+            mask = mask.with(cat);
+        }
+        Ok(mask)
+    }
+}
+
+impl Default for CategoryMask {
+    fn default() -> Self {
+        CategoryMask::ALL
+    }
+}
+
+fn loc_to_json(loc: MemLoc) -> Json {
+    match loc {
+        MemLoc::Gpu(g) => Json::UInt(g.index() as u64),
+        MemLoc::Host => Json::Str("host".into()),
+    }
+}
+
+fn loc_from_json(v: &Json) -> Result<MemLoc, String> {
+    if let Some(g) = v.as_u64() {
+        Ok(MemLoc::Gpu(GpuId::new(g as u8)))
+    } else if v.as_str() == Some("host") {
+        Ok(MemLoc::Host)
+    } else {
+        Err(format!("invalid memory location: {v}"))
+    }
+}
+
+fn scheme_from_json(s: &str) -> Result<Scheme, String> {
+    Scheme::ALL
+        .into_iter()
+        .find(|sch| sch.to_string() == s)
+        .ok_or_else(|| format!("unknown scheme: {s:?}"))
+}
+
+impl TraceEvent {
+    /// The category this event belongs to.
+    pub fn category(&self) -> EventCategory {
+        match self {
+            TraceEvent::Fault { .. } => EventCategory::Fault,
+            TraceEvent::Migration { .. } => EventCategory::Migration,
+            TraceEvent::Duplication { .. } => EventCategory::Duplication,
+            TraceEvent::Collapse { .. } => EventCategory::Collapse,
+            TraceEvent::Eviction { .. } => EventCategory::Eviction,
+            TraceEvent::SchemeChange { .. } => EventCategory::SchemeChange,
+            TraceEvent::LinkTransfer { .. } => EventCategory::LinkTransfer,
+        }
+    }
+
+    /// The event's cycle stamp.
+    pub fn cycle(&self) -> Cycle {
+        match *self {
+            TraceEvent::Fault { cycle, .. }
+            | TraceEvent::Migration { cycle, .. }
+            | TraceEvent::Duplication { cycle, .. }
+            | TraceEvent::Collapse { cycle, .. }
+            | TraceEvent::Eviction { cycle, .. }
+            | TraceEvent::SchemeChange { cycle, .. }
+            | TraceEvent::LinkTransfer { cycle, .. } => cycle,
+        }
+    }
+
+    /// Encodes the event as one compact JSON object (the JSONL line format).
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("type".into(), Json::Str(self.category().name().into())),
+            ("cycle".into(), Json::UInt(self.cycle())),
+        ];
+        match *self {
+            TraceEvent::Fault {
+                gpu,
+                vpn,
+                kind,
+                write,
+                ..
+            } => {
+                fields.push(("gpu".into(), Json::UInt(gpu.index() as u64)));
+                fields.push(("vpn".into(), Json::UInt(vpn.vpn())));
+                fields.push(("kind".into(), Json::Str(kind.name().into())));
+                fields.push(("write".into(), Json::Bool(write)));
+            }
+            TraceEvent::Migration { gpu, vpn, from, .. } => {
+                fields.push(("gpu".into(), Json::UInt(gpu.index() as u64)));
+                fields.push(("vpn".into(), Json::UInt(vpn.vpn())));
+                fields.push(("from".into(), loc_to_json(from)));
+            }
+            TraceEvent::Duplication { gpu, vpn, from, .. } => {
+                fields.push(("gpu".into(), Json::UInt(gpu.index() as u64)));
+                fields.push(("vpn".into(), Json::UInt(vpn.vpn())));
+                fields.push(("from".into(), loc_to_json(from)));
+            }
+            TraceEvent::Collapse {
+                gpu, vpn, holders, ..
+            } => {
+                fields.push(("gpu".into(), Json::UInt(gpu.index() as u64)));
+                fields.push(("vpn".into(), Json::UInt(vpn.vpn())));
+                fields.push(("holders".into(), Json::UInt(u64::from(holders))));
+            }
+            TraceEvent::Eviction { gpu, vpn, .. } => {
+                fields.push(("gpu".into(), Json::UInt(gpu.index() as u64)));
+                fields.push(("vpn".into(), Json::UInt(vpn.vpn())));
+            }
+            TraceEvent::SchemeChange {
+                gpu, vpn, scheme, ..
+            } => {
+                fields.push(("gpu".into(), Json::UInt(gpu.index() as u64)));
+                fields.push(("vpn".into(), Json::UInt(vpn.vpn())));
+                fields.push(("scheme".into(), Json::Str(scheme.to_string())));
+            }
+            TraceEvent::LinkTransfer {
+                link,
+                src,
+                dst,
+                bytes,
+                delivered,
+                ..
+            } => {
+                fields.push(("link".into(), Json::Str(link.name().into())));
+                fields.push(("src".into(), loc_to_json(src)));
+                fields.push(("dst".into(), loc_to_json(dst)));
+                fields.push(("bytes".into(), Json::UInt(bytes)));
+                fields.push(("delivered".into(), Json::UInt(delivered)));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    /// Decodes an event from its JSON object form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<TraceEvent, String> {
+        let ty = v.get("type").and_then(Json::as_str).ok_or("event missing \"type\"")?;
+        let cat = EventCategory::parse(ty).ok_or_else(|| format!("unknown event type: {ty:?}"))?;
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{ty} event missing integer {key:?}"))
+        };
+        let cycle = u("cycle")?;
+        let gpu = || u("gpu").map(|g| GpuId::new(g as u8));
+        Ok(match cat {
+            EventCategory::Fault => TraceEvent::Fault {
+                cycle,
+                gpu: gpu()?,
+                vpn: PageId(u("vpn")?),
+                kind: v
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .and_then(FaultClass::parse)
+                    .ok_or("fault event missing \"kind\"")?,
+                write: v
+                    .get("write")
+                    .and_then(Json::as_bool)
+                    .ok_or("fault event missing \"write\"")?,
+            },
+            EventCategory::Migration => TraceEvent::Migration {
+                cycle,
+                gpu: gpu()?,
+                vpn: PageId(u("vpn")?),
+                from: loc_from_json(v.get("from").ok_or("migration event missing \"from\"")?)?,
+            },
+            EventCategory::Duplication => TraceEvent::Duplication {
+                cycle,
+                gpu: gpu()?,
+                vpn: PageId(u("vpn")?),
+                from: loc_from_json(v.get("from").ok_or("duplication event missing \"from\"")?)?,
+            },
+            EventCategory::Collapse => TraceEvent::Collapse {
+                cycle,
+                gpu: gpu()?,
+                vpn: PageId(u("vpn")?),
+                holders: u("holders")? as u8,
+            },
+            EventCategory::Eviction => TraceEvent::Eviction {
+                cycle,
+                gpu: gpu()?,
+                vpn: PageId(u("vpn")?),
+            },
+            EventCategory::SchemeChange => TraceEvent::SchemeChange {
+                cycle,
+                gpu: gpu()?,
+                vpn: PageId(u("vpn")?),
+                scheme: scheme_from_json(
+                    v.get("scheme")
+                        .and_then(Json::as_str)
+                        .ok_or("scheme-change event missing \"scheme\"")?,
+                )?,
+            },
+            EventCategory::LinkTransfer => TraceEvent::LinkTransfer {
+                cycle,
+                link: v
+                    .get("link")
+                    .and_then(Json::as_str)
+                    .and_then(LinkKind::parse)
+                    .ok_or("link-transfer event missing \"link\"")?,
+                src: loc_from_json(v.get("src").ok_or("link-transfer event missing \"src\"")?)?,
+                dst: loc_from_json(v.get("dst").ok_or("link-transfer event missing \"dst\"")?)?,
+                bytes: u("bytes")?,
+                delivered: u("delivered")?,
+            },
+        })
+    }
+}
+
+/// Renders events as JSONL: one compact object per line, trailing newline.
+pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_json().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_names_round_trip() {
+        for cat in EventCategory::ALL {
+            assert_eq!(EventCategory::parse(cat.name()), Some(cat));
+        }
+        assert_eq!(EventCategory::parse("bogus"), None);
+    }
+
+    #[test]
+    fn mask_parse_and_contains() {
+        let m = CategoryMask::parse("fault, link-transfer").unwrap();
+        assert!(m.contains(EventCategory::Fault));
+        assert!(m.contains(EventCategory::LinkTransfer));
+        assert!(!m.contains(EventCategory::Migration));
+        assert!(CategoryMask::parse("fault,nope").is_err());
+        assert_eq!(CategoryMask::parse("").unwrap(), CategoryMask::NONE);
+        for cat in EventCategory::ALL {
+            assert!(CategoryMask::ALL.contains(cat));
+            assert!(!CategoryMask::NONE.contains(cat));
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = [
+            TraceEvent::Fault {
+                cycle: 1,
+                gpu: GpuId::new(0),
+                vpn: PageId(7),
+                kind: FaultClass::Protection,
+                write: true,
+            },
+            TraceEvent::Migration {
+                cycle: 2,
+                gpu: GpuId::new(1),
+                vpn: PageId(8),
+                from: MemLoc::Host,
+            },
+            TraceEvent::Duplication {
+                cycle: 3,
+                gpu: GpuId::new(2),
+                vpn: PageId(9),
+                from: MemLoc::Gpu(GpuId::new(0)),
+            },
+            TraceEvent::Collapse {
+                cycle: 4,
+                gpu: GpuId::new(3),
+                vpn: PageId(10),
+                holders: 2,
+            },
+            TraceEvent::Eviction {
+                cycle: 5,
+                gpu: GpuId::new(0),
+                vpn: PageId(11),
+            },
+            TraceEvent::SchemeChange {
+                cycle: 6,
+                gpu: GpuId::new(1),
+                vpn: PageId(12),
+                scheme: Scheme::Duplication,
+            },
+            TraceEvent::LinkTransfer {
+                cycle: 7,
+                link: LinkKind::PcieCtrl,
+                src: MemLoc::Host,
+                dst: MemLoc::Gpu(GpuId::new(3)),
+                bytes: 64,
+                delivered: 99,
+            },
+        ];
+        for ev in events {
+            let back = TraceEvent::from_json(&ev.to_json()).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_event() {
+        let events = [TraceEvent::Eviction {
+            cycle: 5,
+            gpu: GpuId::new(0),
+            vpn: PageId(11),
+        }; 3];
+        let text = events_to_jsonl(&events);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.ends_with('\n'));
+        for line in text.lines() {
+            TraceEvent::from_json(&Json::parse(line).unwrap()).unwrap();
+        }
+    }
+}

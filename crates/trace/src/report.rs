@@ -1,0 +1,818 @@
+//! Machine-readable run reports.
+//!
+//! Two artifacts: [`RunReport`] (`run_report.json`, the full per-cell
+//! record — metrics, timing, interval series) and [`BenchSummary`]
+//! (`BENCH_run.json`, the compact perf/fidelity baseline: per-target
+//! wall-clock, headline geomean speedups, fault totals). Both serialize to
+//! and parse from [`Json`] with exact round-tripping, so regressions can be
+//! diffed across commits.
+
+use grit_metrics::{FaultCounters, IntervalSeries, LatencyBreakdown, LatencyClass, RunMetrics};
+use grit_sim::Cycle;
+
+use crate::json::Json;
+
+/// Schema tag written into every [`RunReport`].
+pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v1";
+/// Schema tag written into every [`BenchSummary`].
+pub const BENCH_SCHEMA: &str = "grit-bench/v1";
+
+fn req<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    req(v, key)?.as_u64().ok_or_else(|| format!("field {key:?} is not an integer"))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
+    req(v, key)?.as_f64().ok_or_else(|| format!("field {key:?} is not a number"))
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    Ok(req(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field {key:?} is not a string"))?
+        .to_string())
+}
+
+fn req_bool(v: &Json, key: &str) -> Result<bool, String> {
+    req(v, key)?.as_bool().ok_or_else(|| format!("field {key:?} is not a bool"))
+}
+
+fn req_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    req(v, key)?.as_arr().ok_or_else(|| format!("field {key:?} is not an array"))
+}
+
+fn faults_to_json(f: &FaultCounters) -> Json {
+    Json::Obj(vec![
+        ("local_faults".into(), Json::UInt(f.local_faults)),
+        ("protection_faults".into(), Json::UInt(f.protection_faults)),
+        ("migrations".into(), Json::UInt(f.migrations)),
+        ("duplications".into(), Json::UInt(f.duplications)),
+        ("collapses".into(), Json::UInt(f.collapses)),
+        ("evictions".into(), Json::UInt(f.evictions)),
+        ("scheme_changes".into(), Json::UInt(f.scheme_changes)),
+        // Derived, for human readers; ignored when parsing.
+        ("total_faults".into(), Json::UInt(f.total_faults())),
+    ])
+}
+
+fn faults_from_json(v: &Json) -> Result<FaultCounters, String> {
+    Ok(FaultCounters {
+        local_faults: req_u64(v, "local_faults")?,
+        protection_faults: req_u64(v, "protection_faults")?,
+        migrations: req_u64(v, "migrations")?,
+        duplications: req_u64(v, "duplications")?,
+        collapses: req_u64(v, "collapses")?,
+        evictions: req_u64(v, "evictions")?,
+        scheme_changes: req_u64(v, "scheme_changes")?,
+    })
+}
+
+/// Wall-clock timing of one cell, split into workload build and simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CellTiming {
+    /// Seconds spent obtaining the workload (≈0 on a cache hit).
+    pub build_seconds: f64,
+    /// Seconds spent inside `Simulation::run`.
+    pub sim_seconds: f64,
+    /// Whether the workload came from the process-wide cache.
+    pub workload_cache_hit: bool,
+}
+
+/// A `RunMetrics` snapshot in plain-data form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsReport {
+    /// Simulated execution time in cycles.
+    pub total_cycles: u64,
+    /// Total accesses replayed.
+    pub accesses: u64,
+    /// Accesses satisfied locally.
+    pub local_accesses: u64,
+    /// Accesses that crossed to a peer.
+    pub remote_accesses: u64,
+    /// Latency attribution in [`LatencyClass::ALL`] order.
+    pub breakdown: [u64; 6],
+    /// Fault/event counters.
+    pub faults: FaultCounters,
+    /// Scheme usage at L2 TLB misses: `[on_touch, access_counter,
+    /// duplication]`.
+    pub scheme_mix: [u64; 3],
+    /// NVLink payload bytes.
+    pub nvlink_bytes: u64,
+    /// PCIe payload bytes.
+    pub pcie_bytes: u64,
+    /// Peak page-oversubscription ratio.
+    pub oversubscription_rate: f64,
+    /// Auxiliary named series, sorted by name for deterministic output.
+    pub aux: Vec<(String, Vec<f64>)>,
+}
+
+impl MetricsReport {
+    /// Snapshots live run metrics (aux series are sorted by name so two
+    /// identical runs serialize identically).
+    pub fn from_metrics(m: &RunMetrics) -> Self {
+        let mut breakdown = [0u64; 6];
+        for (slot, class) in breakdown.iter_mut().zip(LatencyClass::ALL) {
+            *slot = m.breakdown.get(class);
+        }
+        let mut aux: Vec<(String, Vec<f64>)> =
+            m.aux.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        aux.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsReport {
+            total_cycles: m.total_cycles,
+            accesses: m.accesses,
+            local_accesses: m.local_accesses,
+            remote_accesses: m.remote_accesses,
+            breakdown,
+            faults: m.faults,
+            scheme_mix: [
+                m.scheme_mix.on_touch,
+                m.scheme_mix.access_counter,
+                m.scheme_mix.duplication,
+            ],
+            nvlink_bytes: m.nvlink_bytes,
+            pcie_bytes: m.pcie_bytes,
+            oversubscription_rate: m.oversubscription_rate,
+            aux,
+        }
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        let breakdown = Json::Obj(
+            LatencyClass::ALL
+                .iter()
+                .zip(self.breakdown)
+                .map(|(c, v)| (c.label().to_string(), Json::UInt(v)))
+                .collect(),
+        );
+        let scheme_mix = Json::Obj(vec![
+            ("on_touch".into(), Json::UInt(self.scheme_mix[0])),
+            ("access_counter".into(), Json::UInt(self.scheme_mix[1])),
+            ("duplication".into(), Json::UInt(self.scheme_mix[2])),
+        ]);
+        let aux = Json::Obj(
+            self.aux
+                .iter()
+                .map(|(k, vs)| {
+                    (
+                        k.clone(),
+                        Json::Arr(vs.iter().map(|&v| Json::Float(v)).collect()),
+                    )
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("total_cycles".into(), Json::UInt(self.total_cycles)),
+            ("accesses".into(), Json::UInt(self.accesses)),
+            ("local_accesses".into(), Json::UInt(self.local_accesses)),
+            ("remote_accesses".into(), Json::UInt(self.remote_accesses)),
+            ("breakdown".into(), breakdown),
+            ("faults".into(), faults_to_json(&self.faults)),
+            ("scheme_mix".into(), scheme_mix),
+            ("nvlink_bytes".into(), Json::UInt(self.nvlink_bytes)),
+            ("pcie_bytes".into(), Json::UInt(self.pcie_bytes)),
+            (
+                "oversubscription_rate".into(),
+                Json::Float(self.oversubscription_rate),
+            ),
+            ("aux".into(), aux),
+        ])
+    }
+
+    /// Parses the object form produced by [`MetricsReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let bd = req(v, "breakdown")?;
+        let mut breakdown = [0u64; 6];
+        for (slot, class) in breakdown.iter_mut().zip(LatencyClass::ALL) {
+            *slot = req_u64(bd, class.label())?;
+        }
+        let sm = req(v, "scheme_mix")?;
+        let aux_obj = req(v, "aux")?.as_obj().ok_or("field \"aux\" is not an object")?;
+        let mut aux = Vec::with_capacity(aux_obj.len());
+        for (k, vs) in aux_obj {
+            let vs = vs.as_arr().ok_or_else(|| format!("aux series {k:?} is not an array"))?;
+            let series: Result<Vec<f64>, String> = vs
+                .iter()
+                .map(|x| x.as_f64().ok_or_else(|| format!("aux series {k:?} has a non-number")))
+                .collect();
+            aux.push((k.clone(), series?));
+        }
+        Ok(MetricsReport {
+            total_cycles: req_u64(v, "total_cycles")?,
+            accesses: req_u64(v, "accesses")?,
+            local_accesses: req_u64(v, "local_accesses")?,
+            remote_accesses: req_u64(v, "remote_accesses")?,
+            breakdown,
+            faults: faults_from_json(req(v, "faults")?)?,
+            scheme_mix: [
+                req_u64(sm, "on_touch")?,
+                req_u64(sm, "access_counter")?,
+                req_u64(sm, "duplication")?,
+            ],
+            nvlink_bytes: req_u64(v, "nvlink_bytes")?,
+            pcie_bytes: req_u64(v, "pcie_bytes")?,
+            oversubscription_rate: req_f64(v, "oversubscription_rate")?,
+            aux,
+        })
+    }
+
+    /// Rebuilds the latency breakdown accumulator from the snapshot.
+    pub fn breakdown_struct(&self) -> LatencyBreakdown {
+        let mut b = LatencyBreakdown::default();
+        for (class, &v) in LatencyClass::ALL.iter().zip(&self.breakdown) {
+            b.record(*class, v);
+        }
+        b
+    }
+}
+
+/// A named interval time series in plain-data form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesReport {
+    /// Series name, e.g. `"page_by_gpu"`.
+    pub name: String,
+    /// Interval length in cycles.
+    pub interval_cycles: Cycle,
+    /// One row of bucket counters per interval.
+    pub rows: Vec<Vec<u64>>,
+}
+
+impl SeriesReport {
+    /// Snapshots a live [`IntervalSeries`] under `name`.
+    pub fn from_series(name: &str, s: &IntervalSeries) -> Self {
+        SeriesReport {
+            name: name.to_string(),
+            interval_cycles: s.interval_cycles(),
+            rows: s.iter().map(|(_, row)| row.to_vec()).collect(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("interval_cycles".into(), Json::UInt(self.interval_cycles)),
+            (
+                "rows".into(),
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::Arr(r.iter().map(|&v| Json::UInt(v)).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let mut rows = Vec::new();
+        for row in req_arr(v, "rows")? {
+            let row = row.as_arr().ok_or("series row is not an array")?;
+            let counts: Result<Vec<u64>, String> = row
+                .iter()
+                .map(|x| x.as_u64().ok_or_else(|| "series row has a non-integer".to_string()))
+                .collect();
+            rows.push(counts?);
+        }
+        Ok(SeriesReport {
+            name: req_str(v, "name")?,
+            interval_cycles: req_u64(v, "interval_cycles")?,
+            rows,
+        })
+    }
+}
+
+/// Everything recorded about one executed cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellReport {
+    /// Position in batch declaration order (also the trace `"seq"`).
+    pub seq: u64,
+    /// Application name.
+    pub app: String,
+    /// Policy label.
+    pub policy: String,
+    /// GPUs simulated.
+    pub num_gpus: u64,
+    /// Page size in bytes.
+    pub page_size: u64,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Workload intensity factor.
+    pub intensity: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Seconds spent obtaining the workload.
+    pub build_seconds: f64,
+    /// Seconds spent simulating.
+    pub sim_seconds: f64,
+    /// Whether the workload came from the cache.
+    pub workload_cache_hit: bool,
+    /// Events captured by the tracer for this cell (0 when tracing is off).
+    pub events_recorded: u64,
+    /// Full metrics snapshot.
+    pub metrics: MetricsReport,
+    /// Observer time series, when an observer was attached.
+    pub series: Vec<SeriesReport>,
+}
+
+impl CellReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("seq".into(), Json::UInt(self.seq)),
+            ("app".into(), Json::Str(self.app.clone())),
+            ("policy".into(), Json::Str(self.policy.clone())),
+            ("num_gpus".into(), Json::UInt(self.num_gpus)),
+            ("page_size".into(), Json::UInt(self.page_size)),
+            ("scale".into(), Json::Float(self.scale)),
+            ("intensity".into(), Json::Float(self.intensity)),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("build_seconds".into(), Json::Float(self.build_seconds)),
+            ("sim_seconds".into(), Json::Float(self.sim_seconds)),
+            (
+                "workload_cache_hit".into(),
+                Json::Bool(self.workload_cache_hit),
+            ),
+            ("events_recorded".into(), Json::UInt(self.events_recorded)),
+            ("metrics".into(), self.metrics.to_json()),
+            (
+                "series".into(),
+                Json::Arr(self.series.iter().map(SeriesReport::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let series: Result<Vec<SeriesReport>, String> =
+            req_arr(v, "series")?.iter().map(SeriesReport::from_json).collect();
+        Ok(CellReport {
+            seq: req_u64(v, "seq")?,
+            app: req_str(v, "app")?,
+            policy: req_str(v, "policy")?,
+            num_gpus: req_u64(v, "num_gpus")?,
+            page_size: req_u64(v, "page_size")?,
+            scale: req_f64(v, "scale")?,
+            intensity: req_f64(v, "intensity")?,
+            seed: req_u64(v, "seed")?,
+            build_seconds: req_f64(v, "build_seconds")?,
+            sim_seconds: req_f64(v, "sim_seconds")?,
+            workload_cache_hit: req_bool(v, "workload_cache_hit")?,
+            events_recorded: req_u64(v, "events_recorded")?,
+            metrics: MetricsReport::from_json(req(v, "metrics")?)?,
+            series: series?,
+        })
+    }
+}
+
+/// Profile of one `run_batch` invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BatchProfile {
+    /// Cells the batch executed.
+    pub cells: u64,
+    /// Worker threads used.
+    pub jobs: u64,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Workload-cache hits during the batch.
+    pub workload_cache_hits: u64,
+    /// Workload-cache misses (builds) during the batch.
+    pub workload_cache_misses: u64,
+}
+
+impl BatchProfile {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("cells".into(), Json::UInt(self.cells)),
+            ("jobs".into(), Json::UInt(self.jobs)),
+            ("wall_seconds".into(), Json::Float(self.wall_seconds)),
+            (
+                "workload_cache_hits".into(),
+                Json::UInt(self.workload_cache_hits),
+            ),
+            (
+                "workload_cache_misses".into(),
+                Json::UInt(self.workload_cache_misses),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(BatchProfile {
+            cells: req_u64(v, "cells")?,
+            jobs: req_u64(v, "jobs")?,
+            wall_seconds: req_f64(v, "wall_seconds")?,
+            workload_cache_hits: req_u64(v, "workload_cache_hits")?,
+            workload_cache_misses: req_u64(v, "workload_cache_misses")?,
+        })
+    }
+}
+
+/// Wall-clock of one `repro` target (the `time:` lines, made durable).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TargetTiming {
+    /// Target name, e.g. `"fig18"`.
+    pub name: String,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl TargetTiming {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("seconds".into(), Json::Float(self.seconds)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(TargetTiming {
+            name: req_str(v, "name")?,
+            seconds: req_f64(v, "seconds")?,
+        })
+    }
+}
+
+/// The full machine-readable record of one `repro` invocation
+/// (`run_report.json`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Workload scale factor of the run.
+    pub scale: f64,
+    /// Workload intensity factor of the run.
+    pub intensity: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Worker threads (`--jobs`).
+    pub jobs: u64,
+    /// Total wall-clock seconds across all targets.
+    pub total_seconds: f64,
+    /// Simulated-system configuration as `(name, value)` pairs.
+    pub system: Vec<(String, f64)>,
+    /// Per-target wall-clock timings.
+    pub targets: Vec<TargetTiming>,
+    /// Per-batch execution profiles.
+    pub batches: Vec<BatchProfile>,
+    /// Every cell executed, in execution order.
+    pub cells: Vec<CellReport>,
+}
+
+impl RunReport {
+    /// Serializes to the `run_report.json` document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(RUN_REPORT_SCHEMA.into())),
+            ("scale".into(), Json::Float(self.scale)),
+            ("intensity".into(), Json::Float(self.intensity)),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("jobs".into(), Json::UInt(self.jobs)),
+            ("total_seconds".into(), Json::Float(self.total_seconds)),
+            (
+                "system".into(),
+                Json::Obj(self.system.iter().map(|(k, v)| (k.clone(), Json::Float(*v))).collect()),
+            ),
+            (
+                "targets".into(),
+                Json::Arr(self.targets.iter().map(TargetTiming::to_json).collect()),
+            ),
+            (
+                "batches".into(),
+                Json::Arr(self.batches.iter().map(|b| b.to_json()).collect()),
+            ),
+            (
+                "cells".into(),
+                Json::Arr(self.cells.iter().map(CellReport::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a `run_report.json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first schema violation.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let schema = req_str(v, "schema")?;
+        if schema != RUN_REPORT_SCHEMA {
+            return Err(format!("unsupported run-report schema: {schema:?}"));
+        }
+        let system_obj = req(v, "system")?.as_obj().ok_or("field \"system\" is not an object")?;
+        let mut system = Vec::with_capacity(system_obj.len());
+        for (k, val) in system_obj {
+            let val = val.as_f64().ok_or_else(|| format!("system entry {k:?} is not a number"))?;
+            system.push((k.clone(), val));
+        }
+        let targets: Result<Vec<TargetTiming>, String> =
+            req_arr(v, "targets")?.iter().map(TargetTiming::from_json).collect();
+        let batches: Result<Vec<BatchProfile>, String> =
+            req_arr(v, "batches")?.iter().map(BatchProfile::from_json).collect();
+        let cells: Result<Vec<CellReport>, String> =
+            req_arr(v, "cells")?.iter().map(CellReport::from_json).collect();
+        Ok(RunReport {
+            scale: req_f64(v, "scale")?,
+            intensity: req_f64(v, "intensity")?,
+            seed: req_u64(v, "seed")?,
+            jobs: req_u64(v, "jobs")?,
+            total_seconds: req_f64(v, "total_seconds")?,
+            system,
+            targets: targets?,
+            batches: batches?,
+            cells: cells?,
+        })
+    }
+}
+
+/// The Fig. 17 headline speedups of GRIT over the three static schemes.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HeadlineSpeedups {
+    /// Geomean speedup vs. on-touch migration.
+    pub vs_on_touch: f64,
+    /// Geomean speedup vs. access-counter migration.
+    pub vs_access_counter: f64,
+    /// Geomean speedup vs. duplication.
+    pub vs_duplication: f64,
+}
+
+impl HeadlineSpeedups {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("vs_on_touch".into(), Json::Float(self.vs_on_touch)),
+            (
+                "vs_access_counter".into(),
+                Json::Float(self.vs_access_counter),
+            ),
+            ("vs_duplication".into(), Json::Float(self.vs_duplication)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(HeadlineSpeedups {
+            vs_on_touch: req_f64(v, "vs_on_touch")?,
+            vs_access_counter: req_f64(v, "vs_access_counter")?,
+            vs_duplication: req_f64(v, "vs_duplication")?,
+        })
+    }
+}
+
+/// The compact perf/fidelity baseline (`BENCH_run.json`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchSummary {
+    /// Workload scale factor of the run.
+    pub scale: f64,
+    /// Workload intensity factor of the run.
+    pub intensity: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Worker threads (`--jobs`).
+    pub jobs: u64,
+    /// Total wall-clock seconds across all targets.
+    pub total_seconds: f64,
+    /// Cells executed across all targets.
+    pub cells_run: u64,
+    /// Fault counters summed over every executed cell.
+    pub fault_totals: FaultCounters,
+    /// Per-target wall-clock timings.
+    pub targets: Vec<TargetTiming>,
+    /// Fig. 17 geomean speedups, when fig17 (or `run_summary`) ran.
+    pub headline: Option<HeadlineSpeedups>,
+    /// Fig. 18 geomean of GRIT's normalized fault count, when fig18 ran.
+    pub fig18_fault_geomean: Option<f64>,
+}
+
+impl BenchSummary {
+    /// Serializes to the `BENCH_run.json` document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(BENCH_SCHEMA.into())),
+            ("scale".into(), Json::Float(self.scale)),
+            ("intensity".into(), Json::Float(self.intensity)),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("jobs".into(), Json::UInt(self.jobs)),
+            ("total_seconds".into(), Json::Float(self.total_seconds)),
+            ("cells_run".into(), Json::UInt(self.cells_run)),
+            ("fault_totals".into(), faults_to_json(&self.fault_totals)),
+            (
+                "targets".into(),
+                Json::Arr(self.targets.iter().map(TargetTiming::to_json).collect()),
+            ),
+            (
+                "headline".into(),
+                match &self.headline {
+                    Some(h) => h.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "fig18_fault_geomean".into(),
+                match self.fig18_fault_geomean {
+                    Some(g) => Json::Float(g),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Parses a `BENCH_run.json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first schema violation.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let schema = req_str(v, "schema")?;
+        if schema != BENCH_SCHEMA {
+            return Err(format!("unsupported bench schema: {schema:?}"));
+        }
+        let targets: Result<Vec<TargetTiming>, String> =
+            req_arr(v, "targets")?.iter().map(TargetTiming::from_json).collect();
+        let headline = match req(v, "headline")? {
+            Json::Null => None,
+            h => Some(HeadlineSpeedups::from_json(h)?),
+        };
+        let fig18 = match req(v, "fig18_fault_geomean")? {
+            Json::Null => None,
+            g => Some(g.as_f64().ok_or("field \"fig18_fault_geomean\" is not a number")?),
+        };
+        Ok(BenchSummary {
+            scale: req_f64(v, "scale")?,
+            intensity: req_f64(v, "intensity")?,
+            seed: req_u64(v, "seed")?,
+            jobs: req_u64(v, "jobs")?,
+            total_seconds: req_f64(v, "total_seconds")?,
+            cells_run: req_u64(v, "cells_run")?,
+            fault_totals: faults_from_json(req(v, "fault_totals")?)?,
+            targets: targets?,
+            headline,
+            fig18_fault_geomean: fig18,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grit_metrics::SchemeMix;
+
+    fn sample_metrics() -> RunMetrics {
+        let mut m = RunMetrics {
+            total_cycles: 1000,
+            accesses: 500,
+            local_accesses: 400,
+            remote_accesses: 100,
+            faults: FaultCounters {
+                local_faults: 10,
+                protection_faults: 2,
+                migrations: 6,
+                duplications: 3,
+                collapses: 1,
+                evictions: 4,
+                scheme_changes: 5,
+            },
+            scheme_mix: SchemeMix {
+                on_touch: 7,
+                access_counter: 8,
+                duplication: 9,
+            },
+            nvlink_bytes: 4096,
+            pcie_bytes: 64,
+            oversubscription_rate: 1.25,
+            ..Default::default()
+        };
+        m.breakdown.record(LatencyClass::Host, 123);
+        m.breakdown.record(LatencyClass::PageMigration, 45);
+        m.set_aux("per_gpu_faults", vec![3.0, 7.0]);
+        m.set_aux("a_sorted_first", vec![1.5]);
+        m
+    }
+
+    fn sample_cell(seq: u64) -> CellReport {
+        CellReport {
+            seq,
+            app: "BFS".into(),
+            policy: "grit".into(),
+            num_gpus: 4,
+            page_size: 4096,
+            scale: 0.04,
+            intensity: 1.5,
+            seed: 0xBEEF,
+            build_seconds: 0.25,
+            sim_seconds: 1.75,
+            workload_cache_hit: seq > 0,
+            events_recorded: 31,
+            metrics: MetricsReport::from_metrics(&sample_metrics()),
+            series: vec![SeriesReport {
+                name: "page_by_gpu".into(),
+                interval_cycles: 1_000_000,
+                rows: vec![vec![1, 2], vec![0, 3]],
+            }],
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_sorts_aux_and_keeps_breakdown_order() {
+        let r = MetricsReport::from_metrics(&sample_metrics());
+        assert_eq!(r.aux[0].0, "a_sorted_first");
+        assert_eq!(r.breakdown[1], 123); // Host is slot 1 in ALL order
+        assert_eq!(r.breakdown_struct().get(LatencyClass::PageMigration), 45);
+    }
+
+    #[test]
+    fn metrics_report_round_trips() {
+        let r = MetricsReport::from_metrics(&sample_metrics());
+        let back = MetricsReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn run_report_round_trips() {
+        let report = RunReport {
+            scale: 0.04,
+            intensity: 1.5,
+            seed: 0xBEEF,
+            jobs: 4,
+            total_seconds: 12.5,
+            system: vec![("num_gpus".into(), 4.0), ("page_size".into(), 4096.0)],
+            targets: vec![
+                TargetTiming {
+                    name: "fig17".into(),
+                    seconds: 5.5,
+                },
+                TargetTiming {
+                    name: "fig18".into(),
+                    seconds: 7.0,
+                },
+            ],
+            batches: vec![BatchProfile {
+                cells: 12,
+                jobs: 4,
+                wall_seconds: 5.25,
+                workload_cache_hits: 9,
+                workload_cache_misses: 3,
+            }],
+            cells: vec![sample_cell(0), sample_cell(1)],
+        };
+        let text = report.to_json().to_string();
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn bench_summary_round_trips_with_and_without_options() {
+        let mut bench = BenchSummary {
+            scale: 1.0,
+            intensity: 1.0,
+            seed: 1,
+            jobs: 2,
+            total_seconds: 3.5,
+            cells_run: 24,
+            fault_totals: FaultCounters {
+                local_faults: 100,
+                migrations: 40,
+                ..Default::default()
+            },
+            targets: vec![TargetTiming {
+                name: "fig18".into(),
+                seconds: 3.5,
+            }],
+            headline: Some(HeadlineSpeedups {
+                vs_on_touch: 2.27,
+                vs_access_counter: 1.34,
+                vs_duplication: 1.86,
+            }),
+            fig18_fault_geomean: Some(0.45),
+        };
+        let back =
+            BenchSummary::from_json(&Json::parse(&bench.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, bench);
+
+        bench.headline = None;
+        bench.fig18_fault_geomean = None;
+        let back =
+            BenchSummary::from_json(&Json::parse(&bench.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, bench);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut j = RunReport::default().to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields[0].1 = Json::Str("grit-run-report/v999".into());
+        }
+        assert!(RunReport::from_json(&j).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn fault_counters_ignore_derived_total_on_parse() {
+        let f = FaultCounters {
+            local_faults: 1,
+            protection_faults: 2,
+            ..Default::default()
+        };
+        let j = faults_to_json(&f);
+        assert_eq!(j.get("total_faults").unwrap().as_u64(), Some(3));
+        assert_eq!(faults_from_json(&j).unwrap(), f);
+    }
+}

@@ -1,0 +1,102 @@
+//! Golden-file test freezing the JSONL event schema.
+//!
+//! `golden_events.jsonl` holds one exemplar line per event shape. If this
+//! test fails, the wire format changed: every consumer of `--trace` output
+//! breaks, so either fix the regression or consciously update the golden
+//! file (and bump the schema note in DESIGN.md §10).
+
+use grit_sim::{GpuId, MemLoc, PageId, Scheme};
+use grit_trace::{events_to_jsonl, FaultClass, Json, LinkKind, TraceEvent};
+
+fn golden_events() -> Vec<TraceEvent> {
+    let g = GpuId::new;
+    vec![
+        TraceEvent::Fault {
+            cycle: 100,
+            gpu: g(0),
+            vpn: PageId(7),
+            kind: FaultClass::Local,
+            write: false,
+        },
+        TraceEvent::Fault {
+            cycle: 150,
+            gpu: g(1),
+            vpn: PageId(7),
+            kind: FaultClass::Protection,
+            write: true,
+        },
+        TraceEvent::Migration {
+            cycle: 200,
+            gpu: g(1),
+            vpn: PageId(7),
+            from: MemLoc::Host,
+        },
+        TraceEvent::Duplication {
+            cycle: 300,
+            gpu: g(2),
+            vpn: PageId(8),
+            from: MemLoc::Gpu(g(0)),
+        },
+        TraceEvent::Collapse {
+            cycle: 400,
+            gpu: g(3),
+            vpn: PageId(8),
+            holders: 2,
+        },
+        TraceEvent::Eviction {
+            cycle: 500,
+            gpu: g(0),
+            vpn: PageId(9),
+        },
+        TraceEvent::SchemeChange {
+            cycle: 600,
+            gpu: g(1),
+            vpn: PageId(10),
+            scheme: Scheme::AccessCounter,
+        },
+        TraceEvent::LinkTransfer {
+            cycle: 700,
+            link: LinkKind::Nvlink,
+            src: MemLoc::Gpu(g(0)),
+            dst: MemLoc::Gpu(g(1)),
+            bytes: 4096,
+            delivered: 950,
+        },
+        TraceEvent::LinkTransfer {
+            cycle: 800,
+            link: LinkKind::Pcie,
+            src: MemLoc::Gpu(g(2)),
+            dst: MemLoc::Host,
+            bytes: 64,
+            delivered: 1312,
+        },
+        TraceEvent::LinkTransfer {
+            cycle: 900,
+            link: LinkKind::PcieCtrl,
+            src: MemLoc::Host,
+            dst: MemLoc::Gpu(g(3)),
+            bytes: 64,
+            delivered: 1960,
+        },
+    ]
+}
+
+const GOLDEN: &str = include_str!("golden_events.jsonl");
+
+#[test]
+fn serialization_matches_golden_file_byte_for_byte() {
+    assert_eq!(
+        events_to_jsonl(&golden_events()),
+        GOLDEN,
+        "JSONL event schema drifted from golden_events.jsonl"
+    );
+}
+
+#[test]
+fn golden_lines_parse_back_to_the_same_events() {
+    let parsed: Vec<TraceEvent> = GOLDEN
+        .lines()
+        .map(|line| TraceEvent::from_json(&Json::parse(line).unwrap()).unwrap())
+        .collect();
+    assert_eq!(parsed, golden_events());
+}

@@ -15,6 +15,7 @@ use grit_interconnect::Fabric;
 use grit_mem::{GpuMemory, LocalPageTable, Mapping};
 use grit_metrics::{FaultCounters, LatencyBreakdown, LatencyClass, LatencyHistogram};
 use grit_sim::{AccessKind, Cycle, GpuId, MemLoc, PageId, Scheme, SimConfig, CACHE_LINE_BYTES};
+use grit_trace::{EventCategory, FaultClass, TraceEvent, Tracer};
 
 use crate::central::CentralPageTable;
 use crate::counters::AccessCounters;
@@ -80,6 +81,10 @@ pub struct UvmDriver {
     fault_service_free: Cycle,
     /// Per-GPU earliest cycle the next peer request may issue.
     remote_port_free: Vec<Cycle>,
+    /// Event sink for placement events; disabled by default. Emission
+    /// sites coincide with [`FaultCounters`] increments so per-category
+    /// event counts equal the counters when unfiltered and unsampled.
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for UvmDriver {
@@ -125,8 +130,16 @@ impl UvmDriver {
             fault_latency: LatencyHistogram::new(),
             fault_service_free: 0,
             remote_port_free: vec![0; cfg.num_gpus],
+            tracer: Tracer::disabled(),
             cfg,
         }
+    }
+
+    /// Attaches an event sink; placement events and the fabric's link
+    /// transfers are recorded through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.fabric.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Attaches a prefetcher (Fig. 30).
@@ -356,6 +369,16 @@ impl UvmDriver {
             FaultKind::Protection => self.faults.protection_faults += 1,
         }
         self.faults_per_gpu[fault.gpu.index()] += 1;
+        self.tracer.emit(EventCategory::Fault, || TraceEvent::Fault {
+            cycle: fault.now,
+            gpu: fault.gpu,
+            vpn: fault.vpn,
+            kind: match fault.fault {
+                FaultKind::Local => FaultClass::Local,
+                FaultKind::Protection => FaultClass::Protection,
+            },
+            write: fault.kind.is_write(),
+        });
 
         let was_touched = self.central.page(fault.vpn).touched;
         let page = self.central.note_fault(fault.gpu, fault.vpn, fault.kind.is_write());
@@ -389,6 +412,14 @@ impl UvmDriver {
 
         if decision.scheme_changed {
             self.faults.scheme_changes += 1;
+            if let Some(scheme) = self.central.scheme_of(fault.vpn) {
+                self.tracer.emit(EventCategory::SchemeChange, || TraceEvent::SchemeChange {
+                    cycle: fault.now,
+                    gpu: fault.gpu,
+                    vpn: fault.vpn,
+                    scheme,
+                });
+            }
             self.breakdown.record(LatencyClass::Host, lat.scheme_change);
             t += lat.scheme_change;
             // Resetting away from duplication must tear replicas down for
@@ -572,6 +603,11 @@ impl UvmDriver {
         self.page_insertions += 1;
         if let Some(victim) = self.memories[gpu.index()].insert(vpn) {
             self.faults.evictions += 1;
+            self.tracer.emit(EventCategory::Eviction, || TraceEvent::Eviction {
+                cycle: now,
+                gpu,
+                vpn: victim,
+            });
             let o = self.evict_page(gpu, victim, now, class);
             out.merge(o);
         }
@@ -644,6 +680,12 @@ impl UvmDriver {
         }
 
         self.faults.migrations += 1;
+        self.tracer.emit(EventCategory::Migration, || TraceEvent::Migration {
+            cycle: now,
+            gpu: dst,
+            vpn,
+            from: state.owner,
+        });
         let mut t = now;
 
         // 1. Flush/drain the source GPU that owns the page.
@@ -804,6 +846,12 @@ impl UvmDriver {
         }
 
         self.faults.duplications += 1;
+        self.tracer.emit(EventCategory::Duplication, || TraceEvent::Duplication {
+            cycle: now,
+            gpu,
+            vpn,
+            from: state.owner,
+        });
         // Copy from the authoritative owner; the driver mediates the
         // replica creation (dup_overhead).
         let now = now + self.cfg.lat.dup_overhead;
@@ -841,6 +889,12 @@ impl UvmDriver {
         let mut t = now;
         if !others.is_empty() {
             self.faults.collapses += 1;
+            self.tracer.emit(EventCategory::Collapse, || TraceEvent::Collapse {
+                cycle: now,
+                gpu: writer,
+                vpn,
+                holders: others.len() as u8,
+            });
             // Two-step handling: the driver walks the centralized table
             // for the replica set and the writer waits for every
             // invalidation acknowledgement.

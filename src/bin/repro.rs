@@ -12,6 +12,15 @@
 //! Experiment cells fan out across a worker pool sized by `--jobs`, the
 //! `GRIT_JOBS` environment variable, or the machine's core count; tables
 //! are byte-identical to a serial run regardless of the worker count.
+//!
+//! Observability flags:
+//!
+//! ```text
+//! repro fig18 --trace t.jsonl          # structured event stream (JSONL)
+//! repro fig18 --trace t.jsonl --trace-filter fault,migration --trace-sample 16
+//! repro all --metrics-out out/         # out/run_report.json + BENCH_run.json
+//! repro all --emit-bench-json          # BENCH_run.json in the cwd
+//! ```
 
 use std::env;
 use std::fs;
@@ -19,8 +28,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use grit::experiments::{self as ex, ExpConfig};
+use grit::experiments::{self as ex, report_sink, ExpConfig};
 use grit_metrics::Table;
+use grit_trace::{writer as trace_writer, CategoryMask, TraceConfig};
 
 const FIGURES: &[(&str, &str)] = &[
     ("fig1", "Uniform schemes + Ideal vs on-touch (motivation)"),
@@ -70,6 +80,10 @@ fn run_summary(exp: &ExpConfig, cache: &mut TableCache) {
     let t17 = cache.fig17.get_or_insert_with(|| fig17_grit::run(exp));
     let (ot, ac, d) = fig17_grit::headline(t17);
     let t18 = cache.fig18.get_or_insert_with(|| fig18_faults::run(exp));
+    report_sink::record_headline(ot, ac, d);
+    if let Some(g) = t18.cell("GEOMEAN", "grit") {
+        report_sink::record_fig18_geomean(g);
+    }
     println!("== GRIT reproduction digest ==");
     println!(
         "performance: GRIT vs on-touch {:+.0}%, vs access-counter {:+.0}%, vs duplication {:+.0}%",
@@ -191,7 +205,7 @@ fn trace_info(path: &str) -> bool {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <figN|all|tables|list> [--quick|--full] [--jobs N] [--scale X] [--intensity X] [--seed N] [--csv DIR]"
+        "usage: repro <figN|all|tables|list> [--quick|--full] [--jobs N] [--scale X] [--intensity X] [--seed N] [--csv DIR] [--trace PATH] [--metrics-out DIR] [--emit-bench-json]"
     );
     eprintln!("figures:");
     for (name, desc) in FIGURES {
@@ -204,6 +218,11 @@ fn print_usage() {
     eprintln!(
         "  --jobs N  worker threads for experiment cells (also GRIT_JOBS; default: all cores)"
     );
+    eprintln!("  --trace PATH        write a structured JSONL event stream");
+    eprintln!("  --trace-filter L    comma-separated event categories (default: all)");
+    eprintln!("  --trace-sample N    keep every Nth event per category (default: 1)");
+    eprintln!("  --metrics-out DIR   write run_report.json + BENCH_run.json");
+    eprintln!("  --emit-bench-json   write BENCH_run.json (cwd unless --metrics-out)");
 }
 
 /// Prints a table and optionally appends its CSV rendering to `csv_dir`.
@@ -376,6 +395,7 @@ fn run_figure(
             let t = ex::fig17_grit::run(exp);
             emit(&t, "fig17", csv_dir);
             let (ot, ac, d) = ex::fig17_grit::headline(&t);
+            report_sink::record_headline(ot, ac, d);
             println!(
                 "headline: GRIT vs on-touch +{:.0}%  vs access-counter +{:.0}%  vs duplication +{:.0}%",
                 100.0 * ot,
@@ -390,6 +410,9 @@ fn run_figure(
         "fig18" => {
             let t = ex::fig18_faults::run(exp);
             emit(&t, "fig18", csv_dir);
+            if let Some(g) = t.cell("GEOMEAN", "grit") {
+                report_sink::record_fig18_geomean(g);
+            }
             cache.fig18 = Some(t);
         }
         "fig19" => emit(&ex::fig19_scheme_mix::run(exp), "fig19", csv_dir),
@@ -445,6 +468,11 @@ fn main() -> ExitCode {
     let mut exp = ExpConfig::default();
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut trace_mask = CategoryMask::ALL;
+    let mut trace_sample: u64 = 1;
+    let mut metrics_dir: Option<PathBuf> = None;
+    let mut emit_bench = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -496,6 +524,51 @@ fn main() -> ExitCode {
                 }
                 csv_dir = Some(dir);
             }
+            "--trace" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--trace needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                trace_path = Some(PathBuf::from(path));
+            }
+            "--trace-filter" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    eprintln!("--trace-filter needs a comma-separated category list");
+                    return ExitCode::FAILURE;
+                };
+                match CategoryMask::parse(list) {
+                    Ok(mask) => trace_mask = mask,
+                    Err(e) => {
+                        eprintln!("--trace-filter: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--trace-sample" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse::<u64>().ok()).filter(|&n| n > 0)
+                else {
+                    eprintln!("--trace-sample needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                trace_sample = n;
+            }
+            "--metrics-out" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--metrics-out needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                let dir = PathBuf::from(dir);
+                if let Err(e) = fs::create_dir_all(&dir) {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+                metrics_dir = Some(dir);
+            }
+            "--emit-bench-json" => emit_bench = true,
             "list" | "--list" | "-l" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -540,6 +613,20 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if let Some(path) = &trace_path {
+        let cfg = TraceConfig {
+            categories: trace_mask,
+            sample_every: trace_sample,
+        };
+        if let Err(e) = trace_writer::install_global(cfg, path) {
+            eprintln!("cannot create trace file {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if metrics_dir.is_some() || emit_bench {
+        report_sink::enable();
+    }
+
     eprintln!(
         "[repro] scale={} intensity={} seed={:#x} jobs={}",
         exp.scale,
@@ -557,13 +644,48 @@ fn main() -> ExitCode {
             print_usage();
             return ExitCode::FAILURE;
         }
-        eprintln!("[repro] {t} time: {:.2}s", started.elapsed().as_secs_f64());
+        let seconds = started.elapsed().as_secs_f64();
+        report_sink::record_target(t, seconds);
+        eprintln!("[repro] {t} time: {seconds:.2}s");
     }
+    let total_seconds = t0.elapsed().as_secs_f64();
     eprintln!(
-        "[repro] total time: {:.2}s ({} targets, {} jobs)",
-        t0.elapsed().as_secs_f64(),
+        "[repro] total time: {total_seconds:.2}s ({} targets, {} jobs)",
         targets.len(),
         ex::effective_jobs()
     );
+
+    if trace_path.is_some() {
+        if let Err(e) = trace_writer::flush_global() {
+            eprintln!("trace: flush failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let jobs = ex::effective_jobs();
+    if let Some(dir) = &metrics_dir {
+        let report = report_sink::build_report(&exp, jobs, total_seconds);
+        let path = dir.join("run_report.json");
+        if let Err(e) = fs::write(&path, format!("{}\n", report.to_json())) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[repro] wrote {} ({} cells)",
+            path.display(),
+            report.cells.len()
+        );
+    }
+    if emit_bench || metrics_dir.is_some() {
+        let bench = report_sink::build_bench_summary(&exp, jobs, total_seconds);
+        let path = metrics_dir
+            .as_deref()
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .join("BENCH_run.json");
+        if let Err(e) = fs::write(&path, format!("{}\n", bench.to_json())) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[repro] wrote {}", path.display());
+    }
     ExitCode::SUCCESS
 }

@@ -17,14 +17,16 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use grit_sim::SimConfig;
+use grit_trace::{writer as trace_writer, BatchProfile, CellMeta, CellTiming, TraceConfig, Tracer};
 use grit_uvm::{PlacementPolicy, Prefetcher};
 use grit_workloads::App;
 
 use crate::runner::{ObserverConfig, RunOutput, Simulation};
 
-use super::{workload_cache, ExpConfig, PolicyKind};
+use super::{report_sink, workload_cache, ExpConfig, PolicyKind};
 
 /// Constructor for [`PolicySpec::Factory`] cells: receives the run's
 /// `SimConfig` and footprint pages, returns the policy object.
@@ -72,6 +74,10 @@ pub struct CellSpec {
     /// Optional prefetcher constructor (prefetchers are stateful, so each
     /// cell builds its own instance).
     pub prefetcher: Option<Arc<dyn Fn() -> Box<dyn Prefetcher> + Send + Sync>>,
+    /// Per-cell trace configuration. `None` falls back to the process-wide
+    /// writer's configuration (installed by `repro --trace`); tracing is
+    /// fully disabled when neither is present.
+    pub trace: Option<TraceConfig>,
 }
 
 impl std::fmt::Debug for CellSpec {
@@ -96,6 +102,7 @@ impl CellSpec {
             cfg: SimConfig::default(),
             observer: None,
             prefetcher: None,
+            trace: None,
         }
     }
 
@@ -120,9 +127,47 @@ impl CellSpec {
         self
     }
 
-    /// Runs this cell (workload via the shared cache).
+    /// Attaches an explicit trace configuration (overrides the
+    /// process-wide writer's configuration for this cell).
+    pub fn traced(mut self, cfg: TraceConfig) -> Self {
+        self.trace = Some(cfg);
+        self
+    }
+
+    /// Label for the policy column in reports.
+    pub fn policy_label(&self) -> String {
+        match &self.policy {
+            PolicySpec::Kind(kind) => kind.label(),
+            PolicySpec::Factory(_) => "factory".into(),
+        }
+    }
+
+    /// Trace-stream cell header metadata.
+    pub fn meta(&self) -> CellMeta {
+        CellMeta {
+            app: self.app.to_string(),
+            policy: self.policy_label(),
+            gpus: self.cfg.num_gpus,
+        }
+    }
+
+    /// Runs this cell (workload via the shared cache) and submits its
+    /// trace events and report record to the process-wide sinks.
     pub fn run(&self) -> RunOutput {
-        let workload = workload_cache::shared_workload(self.app, &self.exp, &self.cfg);
+        let out = self.run_inner();
+        self.submit(&out);
+        out
+    }
+
+    /// Runs the cell without submitting to the global sinks. The parallel
+    /// executor uses this so it can submit results in declaration order
+    /// after the whole batch finishes, keeping the trace stream
+    /// byte-identical at any worker count.
+    fn run_inner(&self) -> RunOutput {
+        let build_start = Instant::now();
+        let (workload, cache_hit) =
+            workload_cache::shared_workload_tracked(self.app, &self.exp, &self.cfg);
+        let build_seconds = build_start.elapsed().as_secs_f64();
         let policy = match &self.policy {
             PolicySpec::Kind(kind) => kind.build(&self.cfg, workload.footprint_pages),
             PolicySpec::Factory(make) => make(&self.cfg, workload.footprint_pages),
@@ -134,7 +179,31 @@ impl CellSpec {
         if let Some(make) = &self.prefetcher {
             sim.set_prefetcher(make());
         }
-        sim.run()
+        let tracer = self.trace.or_else(trace_writer::global_config).map(|cfg| {
+            let t = Tracer::new(cfg);
+            sim.set_tracer(t.clone());
+            t
+        });
+        let sim_start = Instant::now();
+        let mut out = sim.run();
+        out.timing = CellTiming {
+            build_seconds,
+            sim_seconds: sim_start.elapsed().as_secs_f64(),
+            workload_cache_hit: cache_hit,
+        };
+        out.events = tracer.map(|t| t.take_events());
+        out
+    }
+
+    /// Submits a finished run to the global JSONL writer and the report
+    /// collector. No-ops when neither sink is active.
+    fn submit(&self, out: &RunOutput) {
+        if let Some(events) = &out.events {
+            if let Err(e) = trace_writer::submit_global(&self.meta(), events) {
+                eprintln!("trace: failed to write events for {}: {e}", self.app);
+            }
+        }
+        report_sink::record_cell(self, out);
     }
 }
 
@@ -174,30 +243,51 @@ pub fn run_batch(cells: &[CellSpec]) -> Vec<RunOutput> {
 /// serially on the calling thread; either way, outputs are returned in
 /// declaration order and are identical to a serial run.
 pub fn run_batch_with_jobs(cells: &[CellSpec], jobs: usize) -> Vec<RunOutput> {
+    let profile = report_sink::enabled() && !cells.is_empty();
+    let cache_before = workload_cache::global().stats();
+    let start = Instant::now();
     let jobs = jobs.clamp(1, cells.len().max(1));
-    if jobs <= 1 {
-        return cells.iter().map(CellSpec::run).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunOutput>>> = cells.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(cell) = cells.get(i) else { break };
-                let out = cell.run();
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
-            });
+    let outputs = if jobs <= 1 {
+        cells.iter().map(CellSpec::run).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunOutput>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let out = cell.run_inner();
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+        let outputs: Vec<RunOutput> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every cell ran to completion")
+            })
+            .collect();
+        // Submit in declaration order, after the parallel barrier: the
+        // trace stream and report are independent of the worker count.
+        for (cell, out) in cells.iter().zip(&outputs) {
+            cell.submit(out);
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every cell ran to completion")
-        })
-        .collect()
+        outputs
+    };
+    if profile {
+        let cache_after = workload_cache::global().stats();
+        report_sink::record_batch(BatchProfile {
+            cells: cells.len() as u64,
+            jobs: jobs as u64,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            workload_cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
+            workload_cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
+        });
+    }
+    outputs
 }
 
 /// Runs an `apps x policies` grid — the shape of most figures — and
@@ -261,6 +351,7 @@ mod tests {
             cfg: SimConfig::default(),
             observer: None,
             prefetcher: None,
+            trace: None,
         };
         let by_factory = cell.run();
         let by_kind = CellSpec::new(App::Fir, PolicyKind::Static(Scheme::OnTouch), &exp()).run();

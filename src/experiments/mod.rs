@@ -34,6 +34,7 @@ pub mod ext_sweeps;
 pub mod ext_workloads;
 
 pub mod batch;
+pub mod report_sink;
 pub mod workload_cache;
 
 pub use batch::{
@@ -210,6 +211,7 @@ pub fn run_cell_with(
         cfg,
         observer,
         prefetcher: None,
+        trace: None,
     }
     .run()
 }

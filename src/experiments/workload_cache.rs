@@ -14,6 +14,7 @@
 //! byte-identical traces.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use grit_sim::SimConfig;
@@ -54,6 +55,19 @@ struct Slot {
     builds: Mutex<u64>,
 }
 
+/// Lifetime hit/miss totals of a cache, for batch profiling reports.
+///
+/// A "hit" is a request whose workload was already built when the request
+/// arrived; requests that race the first build are counted as misses even
+/// though only one of them runs the builder.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheCounters {
+    /// Requests served from an already-built entry.
+    pub hits: u64,
+    /// Requests that found the entry absent (or still building).
+    pub misses: u64,
+}
+
 /// The cache proper. A `Mutex`-guarded map hands out per-key [`Slot`]s;
 /// the slot's `OnceLock` serializes the (expensive) build outside the map
 /// lock, so two threads wanting *different* workloads build concurrently
@@ -61,6 +75,8 @@ struct Slot {
 #[derive(Default)]
 pub struct WorkloadCache {
     slots: Mutex<HashMap<WorkloadKey, Arc<Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl WorkloadCache {
@@ -78,7 +94,19 @@ impl WorkloadCache {
     /// value shares trace storage with the cached copy but has private
     /// stream cursors, so callers can consume it freely.
     pub fn get_or_build(&self, key: WorkloadKey) -> MultiGpuWorkload {
+        self.get_or_build_tracked(key).0
+    }
+
+    /// Like [`WorkloadCache::get_or_build`], also reporting whether the
+    /// request was a cache hit (the entry was already built on arrival).
+    pub fn get_or_build_tracked(&self, key: WorkloadKey) -> (MultiGpuWorkload, bool) {
         let slot = self.slot(key);
+        let hit = slot.cell.get().is_some();
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
         let shared = slot.cell.get_or_init(|| {
             *slot.builds.lock().expect("build counter poisoned") += 1;
             let w = WorkloadBuilder::new(key.app)
@@ -90,7 +118,15 @@ impl WorkloadCache {
                 .build();
             Arc::new(w)
         });
-        MultiGpuWorkload::clone(shared)
+        (MultiGpuWorkload::clone(shared), hit)
+    }
+
+    /// Lifetime hit/miss totals across every key.
+    pub fn stats(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// How many times the builder ran for `key` (0 or 1 after any number
@@ -128,6 +164,15 @@ pub fn global() -> &'static WorkloadCache {
 /// process-wide cache.
 pub fn shared_workload(app: App, exp: &ExpConfig, cfg: &SimConfig) -> MultiGpuWorkload {
     global().get_or_build(WorkloadKey::new(app, exp, cfg))
+}
+
+/// [`shared_workload`], also reporting whether the request hit the cache.
+pub fn shared_workload_tracked(
+    app: App,
+    exp: &ExpConfig,
+    cfg: &SimConfig,
+) -> (MultiGpuWorkload, bool) {
+    global().get_or_build_tracked(WorkloadKey::new(app, exp, cfg))
 }
 
 #[cfg(test)]
@@ -206,6 +251,18 @@ mod tests {
             }
         });
         assert_eq!(cache.build_count(key), 1);
+    }
+
+    #[test]
+    fn tracked_requests_count_hits_and_misses() {
+        let cache = WorkloadCache::new();
+        let key = WorkloadKey::new(App::Bfs, &exp(17), &SimConfig::default());
+        let (_, hit) = cache.get_or_build_tracked(key);
+        assert!(!hit, "first request must miss");
+        let (_, hit) = cache.get_or_build_tracked(key);
+        assert!(hit, "second request must hit");
+        let stats = cache.stats();
+        assert_eq!(stats, CacheCounters { hits: 1, misses: 1 });
     }
 
     #[test]

@@ -17,6 +17,7 @@ use grit_sim::{
     Access, AccessStream, Cycle, FxHashMap, GpuId, MemLoc, MlpWindow, PageId, SimConfig,
     SliceStream,
 };
+use grit_trace::{CellTiming, TraceEvent, Tracer};
 use grit_uvm::{
     DriverOutcome, FaultInfo, FaultKind, PlacementPolicy, Prefetcher, UvmDriver, WriteMode,
 };
@@ -166,6 +167,12 @@ pub struct RunOutput {
     pub attrs: PageAttrTracker,
     /// Time-series instrumentation, when configured.
     pub observer: Option<RunObserver>,
+    /// Wall-clock profile of the cell; filled in by the batch executor
+    /// (the simulation itself has no wall-clock view of workload builds).
+    pub timing: CellTiming,
+    /// Events captured by an attached tracer, drained after the run;
+    /// `None` when tracing was disabled.
+    pub events: Option<Vec<TraceEvent>>,
 }
 
 /// The assembled multi-GPU system.
@@ -240,6 +247,12 @@ impl Simulation {
     /// Attaches a prefetcher to the UVM driver (Fig. 30).
     pub fn set_prefetcher(&mut self, p: Box<dyn Prefetcher>) {
         self.driver.set_prefetcher(p);
+    }
+
+    /// Attaches an event sink to the UVM driver (and its fabric); the
+    /// caller keeps a clone to drain events after the run.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.driver.set_tracer(tracer);
     }
 
     /// Enables time-series instrumentation.
@@ -537,6 +550,16 @@ impl Simulation {
                 h.max() as f64,
             ],
         );
+        let (l1_rates, l2_rates): (Vec<f64>, Vec<f64>) = self
+            .gpus
+            .iter()
+            .map(|g| {
+                let (l1, l2) = g.tlb.level_stats();
+                (l1.hit_rate(), l2.hit_rate())
+            })
+            .unzip();
+        metrics.set_aux("tlb_l1_hit_rate", l1_rates);
+        metrics.set_aux("tlb_l2_hit_rate", l2_rates);
         let any_observer = self.obs_page_by_gpu.is_some()
             || self.obs_grid_ps.is_some()
             || self.obs_scheme_timeline.is_some();
@@ -553,6 +576,8 @@ impl Simulation {
             page_attrs: self.attrs.summary(),
             attrs: self.attrs,
             observer,
+            timing: CellTiming::default(),
+            events: None,
         }
     }
 }

@@ -1,0 +1,133 @@
+//! End-to-end check of the `repro` observability flags: the trace stream,
+//! `run_report.json`, and `BENCH_run.json` must be valid and agree with
+//! each other.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use grit_trace::{BenchSummary, EventCategory, Json, RunReport, TraceEvent};
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grit-repro-cli-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn trace_and_reports_agree() {
+    let dir = scratch_dir();
+    let trace = dir.join("trace.jsonl");
+    let metrics = dir.join("metrics");
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "fig18",
+            "--quick",
+            "--jobs",
+            "2",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--emit-bench-json",
+        ])
+        .output()
+        .expect("repro runs");
+    assert!(
+        status.status.success(),
+        "repro failed: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+
+    // Every trace line parses; events are grouped under cell headers.
+    let text = fs::read_to_string(&trace).expect("trace file written");
+    let mut per_cell: Vec<HashMap<EventCategory, u64>> = Vec::new();
+    let mut declared_events: Vec<u64> = Vec::new();
+    let mut seen_in_cell = 0u64;
+    for line in text.lines() {
+        let v = Json::parse(line).expect("trace line is valid JSON");
+        let ty = v.get("type").and_then(Json::as_str).expect("line has a type");
+        if ty == "cell" {
+            if let Some(expected) = declared_events.last() {
+                assert_eq!(seen_in_cell, *expected, "cell header event count");
+            }
+            let seq = v.get("seq").and_then(Json::as_u64).expect("cell seq");
+            assert_eq!(
+                seq,
+                per_cell.len() as u64,
+                "cell sequence numbers are dense"
+            );
+            declared_events.push(v.get("events").and_then(Json::as_u64).expect("cell events"));
+            per_cell.push(HashMap::new());
+            seen_in_cell = 0;
+        } else {
+            let event = TraceEvent::from_json(&v).expect("event line round-trips");
+            *per_cell
+                .last_mut()
+                .expect("events follow a header")
+                .entry(event.category())
+                .or_insert(0) += 1;
+            seen_in_cell += 1;
+        }
+    }
+    if let Some(expected) = declared_events.last() {
+        assert_eq!(seen_in_cell, *expected, "last cell header event count");
+    }
+    assert!(!per_cell.is_empty(), "trace holds at least one cell");
+
+    // The run report agrees with the trace, cell by cell.
+    let report_text = fs::read_to_string(metrics.join("run_report.json")).expect("run report");
+    let report = RunReport::from_json(&Json::parse(&report_text).expect("report is valid JSON"))
+        .expect("report matches schema");
+    assert_eq!(
+        report.cells.len(),
+        per_cell.len(),
+        "report and trace cell counts"
+    );
+    assert_eq!(report.jobs, 2);
+    assert!(
+        !report.targets.is_empty(),
+        "per-target time: lines recorded"
+    );
+    assert!(!report.batches.is_empty(), "batch profiles recorded");
+    assert!(!report.system.is_empty(), "system parameters recorded");
+    for (cell, counts) in report.cells.iter().zip(&per_cell) {
+        let f = &cell.metrics.faults;
+        let get = |c: EventCategory| counts.get(&c).copied().unwrap_or(0);
+        assert_eq!(
+            get(EventCategory::Fault),
+            f.total_faults(),
+            "cell {} faults",
+            cell.seq
+        );
+        assert_eq!(
+            get(EventCategory::Migration),
+            f.migrations,
+            "cell {} migrations",
+            cell.seq
+        );
+        assert_eq!(get(EventCategory::Duplication), f.duplications);
+        assert_eq!(get(EventCategory::Collapse), f.collapses);
+        assert_eq!(get(EventCategory::Eviction), f.evictions);
+        assert_eq!(get(EventCategory::SchemeChange), f.scheme_changes);
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, cell.events_recorded, "cell {} event total", cell.seq);
+    }
+
+    // The bench summary parses and its totals line up with the report.
+    let bench_text = fs::read_to_string(metrics.join("BENCH_run.json")).expect("bench json");
+    let bench = BenchSummary::from_json(&Json::parse(&bench_text).expect("bench is valid JSON"))
+        .expect("bench matches schema");
+    assert_eq!(bench.cells_run, report.cells.len() as u64);
+    assert!(
+        bench.fig18_fault_geomean.is_some(),
+        "fig18 ran, so its geomean is recorded"
+    );
+    let report_faults: u64 = report.cells.iter().map(|c| c.metrics.faults.total_faults()).sum();
+    assert_eq!(bench.fault_totals.total_faults(), report_faults);
+    assert!(bench.total_seconds > 0.0);
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,42 @@
+//! The trace stream must be independent of the worker count: the parallel
+//! batch executor submits events in declaration order after the barrier,
+//! so `--jobs 1` and `--jobs 4` produce byte-identical streams.
+
+use grit::experiments::{run_batch_with_jobs, CellSpec, ExpConfig, PolicyKind};
+use grit_sim::Scheme;
+use grit_trace::{events_to_jsonl, TraceConfig};
+use grit_workloads::App;
+
+fn grid() -> Vec<CellSpec> {
+    let exp = ExpConfig {
+        scale: 0.02,
+        intensity: 0.5,
+        seed: 0xD37,
+    };
+    [App::Bfs, App::Fir]
+        .into_iter()
+        .flat_map(|app| {
+            [PolicyKind::Static(Scheme::OnTouch), PolicyKind::GRIT]
+                .map(|p| CellSpec::new(app, p, &exp).traced(TraceConfig::default()))
+        })
+        .collect()
+}
+
+/// Concatenated JSONL of the whole batch, in declaration order.
+fn stream(jobs: usize) -> String {
+    run_batch_with_jobs(&grid(), jobs)
+        .iter()
+        .map(|out| events_to_jsonl(out.events.as_deref().expect("tracing was enabled")))
+        .collect()
+}
+
+#[test]
+fn event_stream_is_byte_identical_across_worker_counts() {
+    let serial = stream(1);
+    assert!(!serial.is_empty(), "the grid must emit events");
+    let parallel = stream(4);
+    assert_eq!(
+        serial, parallel,
+        "trace streams diverge between --jobs 1 and --jobs 4"
+    );
+}

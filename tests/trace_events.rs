@@ -1,0 +1,84 @@
+//! The tracer's event stream must agree exactly with the printed
+//! `FaultCounters`: every counter increment has exactly one event emitted
+//! at the same site, so the two can never drift.
+
+use grit::experiments::{CellSpec, ExpConfig, PolicyKind};
+use grit_sim::Scheme;
+use grit_trace::{events_to_jsonl, EventCategory, Json, TraceConfig, TraceEvent};
+use grit_workloads::App;
+
+fn count(events: &[TraceEvent], cat: EventCategory) -> u64 {
+    events.iter().filter(|e| e.category() == cat).count() as u64
+}
+
+#[test]
+fn event_counts_match_fault_counters() {
+    let exp = ExpConfig {
+        scale: 0.03,
+        intensity: 1.0,
+        seed: 0x7A11,
+    };
+    let policies = [
+        PolicyKind::Static(Scheme::OnTouch),
+        PolicyKind::Static(Scheme::Duplication),
+        PolicyKind::GRIT,
+    ];
+    for app in [App::Bfs, App::St] {
+        for policy in policies {
+            let out = CellSpec::new(app, policy, &exp).traced(TraceConfig::default()).run();
+            let events = out.events.as_deref().expect("tracing was enabled");
+            let f = &out.metrics.faults;
+            assert_eq!(
+                count(events, EventCategory::Fault),
+                f.total_faults(),
+                "{app:?}/{policy:?}: fault events vs counters"
+            );
+            assert_eq!(count(events, EventCategory::Migration), f.migrations);
+            assert_eq!(count(events, EventCategory::Duplication), f.duplications);
+            assert_eq!(count(events, EventCategory::Collapse), f.collapses);
+            assert_eq!(count(events, EventCategory::Eviction), f.evictions);
+            assert_eq!(count(events, EventCategory::SchemeChange), f.scheme_changes);
+        }
+    }
+}
+
+#[test]
+fn every_emitted_event_serializes_and_parses() {
+    let exp = ExpConfig {
+        scale: 0.02,
+        intensity: 0.5,
+        seed: 0x7A12,
+    };
+    let out = CellSpec::new(App::Fir, PolicyKind::GRIT, &exp)
+        .traced(TraceConfig::default())
+        .run();
+    let events = out.events.as_deref().expect("tracing was enabled");
+    assert!(!events.is_empty(), "a GRIT run must emit events");
+    let jsonl = events_to_jsonl(events);
+    for (line, event) in jsonl.lines().zip(events) {
+        let v = Json::parse(line).expect("every line is valid JSON");
+        let back = TraceEvent::from_json(&v).expect("every line round-trips");
+        assert_eq!(back, *event);
+    }
+}
+
+#[test]
+fn filtered_trace_keeps_only_requested_categories() {
+    let exp = ExpConfig {
+        scale: 0.02,
+        intensity: 0.5,
+        seed: 0x7A13,
+    };
+    let mask = grit_trace::CategoryMask::NONE
+        .with(EventCategory::Fault)
+        .with(EventCategory::Migration);
+    let out = CellSpec::new(App::Bfs, PolicyKind::Static(Scheme::OnTouch), &exp)
+        .traced(TraceConfig::filtered(mask))
+        .run();
+    let events = out.events.as_deref().expect("tracing was enabled");
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| matches!(
+        e.category(),
+        EventCategory::Fault | EventCategory::Migration
+    )));
+}
