@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use grit::experiments::{run_batch_with_jobs, run_cell, CellSpec, ExpConfig, PolicyKind};
+use grit::experiments::{run_batch_with, run_cell, BatchOptions, CellSpec, ExpConfig, PolicyKind};
 use grit_sim::Scheme;
 use grit_trace::TraceConfig;
 use grit_workloads::App;
@@ -57,12 +57,12 @@ fn bench_harness(c: &mut Criterion) {
     // The same 12-cell grid, serial vs parallel.
     g.bench_function("grid_12_cells_serial", |b| {
         let cells = grid();
-        b.iter(|| black_box(run_batch_with_jobs(&cells, 1)))
+        b.iter(|| black_box(run_batch_with(&cells, &BatchOptions::new().jobs(1))))
     });
     let jobs = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
     g.bench_function("grid_12_cells_parallel", |b| {
         let cells = grid();
-        b.iter(|| black_box(run_batch_with_jobs(&cells, jobs)))
+        b.iter(|| black_box(run_batch_with(&cells, &BatchOptions::new().jobs(jobs))))
     });
 
     g.finish();

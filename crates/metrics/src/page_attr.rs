@@ -157,6 +157,35 @@ impl PageAttrTracker {
             .map(|(vpn, r)| (*vpn, r.accessors.len(), r.written, r.accesses))
     }
 
+    /// Exports every page record as `(vpn, accessor bitmask, written,
+    /// accesses)`, sorted by VPN — a stable wire form for on-disk result
+    /// stores. [`PageAttrTracker::from_exported`] inverts it exactly.
+    pub fn export_pages(&self) -> Vec<(u64, u16, bool, u64)> {
+        let mut rows: Vec<_> = self
+            .pages
+            .iter()
+            .map(|(vpn, r)| (vpn.vpn(), r.accessors.bits(), r.written, r.accesses))
+            .collect();
+        rows.sort_unstable_by_key(|&(vpn, ..)| vpn);
+        rows
+    }
+
+    /// Rebuilds a tracker from [`PageAttrTracker::export_pages`] rows.
+    pub fn from_exported(rows: &[(u64, u16, bool, u64)]) -> Self {
+        let mut t = PageAttrTracker::new();
+        for &(vpn, bits, written, accesses) in rows {
+            t.pages.insert(
+                PageId(vpn),
+                PageRecord {
+                    accessors: GpuSet::from_bits(bits),
+                    written,
+                    accesses,
+                },
+            );
+        }
+        t
+    }
+
     /// Aggregates the whole-run summary.
     pub fn summary(&self) -> PageAttrSummary {
         let mut s = PageAttrSummary::default();
@@ -241,6 +270,24 @@ mod tests {
         let s = t.summary();
         assert_eq!(s.shared_read_write_pages, 1);
         assert!((s.shared_read_write_frac() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut t = PageAttrTracker::new();
+        t.record(g(0), PageId(7), AccessKind::Write);
+        t.record(g(1), PageId(7), AccessKind::Read);
+        t.record(g(2), PageId(3), AccessKind::Read);
+        t.record(g(2), PageId(3), AccessKind::Read);
+        let rows = t.export_pages();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 3); // sorted by vpn
+        let back = PageAttrTracker::from_exported(&rows);
+        assert_eq!(back.summary(), t.summary());
+        assert_eq!(back.export_pages(), rows);
+        assert!(back.is_shared(PageId(7)));
+        assert!(back.is_written(PageId(7)));
+        assert_eq!(back.hottest(1), t.hottest(1));
     }
 
     #[test]

@@ -8,17 +8,28 @@
 /// degenerate run (zero cycles, empty column) must surface as an obviously
 /// wrong summary value, not abort a whole batch mid-report.
 ///
+/// Non-finite values (NaN / infinity) mark *failed* cells — a panicked or
+/// timed-out run in a Result-first batch — and are skipped so the mean
+/// summarizes the cells that completed. A column where *every* value is
+/// non-finite yields NaN, which renders as an error marker.
+///
 /// ```
 /// use grit_metrics::geomean;
 /// assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
 /// assert_eq!(geomean(&[1.0, 0.0]), 0.0);
+/// assert!((geomean(&[1.0, f64::NAN, 4.0]) - 2.0).abs() < 1e-12);
+/// assert!(geomean(&[f64::NAN]).is_nan());
 /// ```
 pub fn geomean(values: &[f64]) -> f64 {
-    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return if values.is_empty() { 0.0 } else { f64::NAN };
+    }
+    if finite.iter().any(|&v| v <= 0.0) {
         return 0.0;
     }
-    let acc: f64 = values.iter().map(|&v| v.ln()).sum();
-    (acc / values.len() as f64).exp()
+    let acc: f64 = finite.iter().map(|&v| v.ln()).sum();
+    (acc / finite.len() as f64).exp()
 }
 
 /// Normalizes each value to a baseline: `baseline / value` (cycle counts
@@ -116,6 +127,10 @@ impl Table {
         r.1.get(c).copied()
     }
 
+    /// How a non-finite (failed-cell) value renders in every output
+    /// format.
+    pub const ERROR_MARKER: &'static str = "err!";
+
     /// Renders as aligned monospace text with a title line.
     pub fn to_text(&self) -> String {
         let label_w = self
@@ -135,7 +150,11 @@ impl Table {
         for (label, values) in &self.rows {
             out.push_str(&format!("{label:<label_w$}"));
             for (v, w) in values.iter().zip(&col_w) {
-                out.push_str(&format!("  {v:>w$.3}"));
+                if v.is_finite() {
+                    out.push_str(&format!("  {v:>w$.3}"));
+                } else {
+                    out.push_str(&format!("  {:>w$}", Table::ERROR_MARKER));
+                }
             }
             out.push('\n');
         }
@@ -153,7 +172,12 @@ impl Table {
         for (label, values) in &self.rows {
             out.push_str(label);
             for v in values {
-                out.push_str(&format!(",{v:.6}"));
+                if v.is_finite() {
+                    out.push_str(&format!(",{v:.6}"));
+                } else {
+                    out.push(',');
+                    out.push_str(Table::ERROR_MARKER);
+                }
             }
             out.push('\n');
         }
@@ -174,7 +198,11 @@ impl Table {
         for (label, values) in &self.rows {
             out.push_str(&format!("| {label} |"));
             for v in values {
-                out.push_str(&format!(" {v:.3} |"));
+                if v.is_finite() {
+                    out.push_str(&format!(" {v:.3} |"));
+                } else {
+                    out.push_str(&format!(" {} |", Table::ERROR_MARKER));
+                }
             }
             out.push('\n');
         }
@@ -235,6 +263,22 @@ mod tests {
         assert!(t.to_markdown().contains("| x | 1.000 | 2.000 |"));
         let csv = t.to_csv();
         assert!(csv.lines().count() == 4);
+    }
+
+    #[test]
+    fn failed_cells_render_as_error_marker() {
+        let mut t = Table::new("T", vec!["a".into(), "b".into()]);
+        t.push_row("ok", vec![1.5, 2.0]);
+        t.push_row("bad", vec![f64::NAN, 4.0]);
+        t.push_geomean_row();
+        // Geomean skips the NaN cell but keeps the finite one.
+        assert!((t.cell("GEOMEAN", "a").unwrap() - 1.5).abs() < 1e-12);
+        assert!((t.cell("GEOMEAN", "b").unwrap() - 8.0f64.sqrt()).abs() < 1e-12);
+        assert!(t.to_text().contains(Table::ERROR_MARKER));
+        assert!(t.to_csv().contains(",err!"));
+        assert!(t.to_markdown().contains("| err! |"));
+        // Finite cells are untouched.
+        assert!(t.to_text().contains("1.500"));
     }
 
     #[test]

@@ -43,6 +43,30 @@ impl IntervalSeries {
         }
     }
 
+    /// Rebuilds a series from previously exported rows (see
+    /// [`IntervalSeries::iter`]); used by on-disk result stores. Rows
+    /// shorter or longer than `buckets` are truncated / zero-padded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_rows(interval_cycles: Cycle, buckets: usize, rows: Vec<Vec<u64>>) -> Self {
+        let mut s = IntervalSeries::new(interval_cycles, buckets);
+        s.rows = rows
+            .into_iter()
+            .map(|mut r| {
+                r.resize(buckets, 0);
+                r
+            })
+            .collect();
+        s
+    }
+
+    /// Number of counters per interval row.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
     /// Increments `bucket` in the interval containing cycle `now`.
     ///
     /// # Panics

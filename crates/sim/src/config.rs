@@ -22,7 +22,10 @@ pub struct ConfigError {
 }
 
 impl ConfigError {
-    fn new(field: &'static str, reason: impl Into<String>) -> Self {
+    /// Builds a configuration error for `field` with a human-readable
+    /// `reason`. Public so higher layers (runner, UVM driver) can report
+    /// structural preconditions through the same type.
+    pub fn new(field: &'static str, reason: impl Into<String>) -> Self {
         ConfigError {
             field,
             reason: reason.into(),

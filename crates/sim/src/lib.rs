@@ -32,6 +32,7 @@
 
 pub mod access;
 pub mod config;
+pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod mlp;
@@ -44,6 +45,7 @@ pub use config::{
     CacheGeometry, ConfigError, LatencyConfig, LinkConfig, SimConfig, TlbGeometry, WalkConfig,
     ACCESS_COUNTER_THRESHOLD_DEFAULT, CACHE_LINE_BYTES, PAGE_SIZE_2M, PAGE_SIZE_4K,
 };
+pub use error::{CancelState, CancelToken, CellError, GritError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{GpuId, GpuSet, MemLoc, PageId};
 pub use mlp::MlpWindow;

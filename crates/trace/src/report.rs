@@ -7,13 +7,16 @@
 //! and parse from [`Json`] with exact round-tripping, so regressions can be
 //! diffed across commits.
 
-use grit_metrics::{FaultCounters, IntervalSeries, LatencyBreakdown, LatencyClass, RunMetrics};
+use grit_metrics::{
+    FaultCounters, IntervalSeries, LatencyBreakdown, LatencyClass, RunMetrics, SchemeMix,
+};
 use grit_sim::Cycle;
 
 use crate::json::Json;
 
-/// Schema tag written into every [`RunReport`].
-pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v1";
+/// Schema tag written into every [`RunReport`]. Bumped to v2 when cells
+/// gained `status` / `error` fields (resilient batch execution).
+pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v2";
 /// Schema tag written into every [`BenchSummary`].
 pub const BENCH_SCHEMA: &str = "grit-bench/v1";
 
@@ -79,10 +82,13 @@ pub struct CellTiming {
     pub sim_seconds: f64,
     /// Whether the workload came from the process-wide cache.
     pub workload_cache_hit: bool,
+    /// Whether the cell was loaded from an on-disk resume store rather
+    /// than simulated in this process.
+    pub resumed: bool,
 }
 
 /// A `RunMetrics` snapshot in plain-data form.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsReport {
     /// Simulated execution time in cycles.
     pub total_cycles: u64,
@@ -223,6 +229,29 @@ impl MetricsReport {
         })
     }
 
+    /// Rebuilds a live [`RunMetrics`] from the snapshot — the exact
+    /// inverse of [`MetricsReport::from_metrics`] up to aux-map ordering
+    /// (which `from_metrics` canonicalizes by sorting).
+    pub fn to_metrics(&self) -> RunMetrics {
+        RunMetrics {
+            total_cycles: self.total_cycles,
+            accesses: self.accesses,
+            local_accesses: self.local_accesses,
+            remote_accesses: self.remote_accesses,
+            breakdown: self.breakdown_struct(),
+            faults: self.faults,
+            scheme_mix: SchemeMix {
+                on_touch: self.scheme_mix[0],
+                access_counter: self.scheme_mix[1],
+                duplication: self.scheme_mix[2],
+            },
+            nvlink_bytes: self.nvlink_bytes,
+            pcie_bytes: self.pcie_bytes,
+            oversubscription_rate: self.oversubscription_rate,
+            aux: self.aux.iter().cloned().collect(),
+        }
+    }
+
     /// Rebuilds the latency breakdown accumulator from the snapshot.
     pub fn breakdown_struct(&self) -> LatencyBreakdown {
         let mut b = LatencyBreakdown::default();
@@ -315,7 +344,14 @@ pub struct CellReport {
     pub workload_cache_hit: bool,
     /// Events captured by the tracer for this cell (0 when tracing is off).
     pub events_recorded: u64,
-    /// Full metrics snapshot.
+    /// Cell outcome: `"ok"`, `"resumed"`, or a [`CellError`] status label
+    /// (`"panicked"`, `"timed-out"`, `"cancelled"`, ...).
+    ///
+    /// [`CellError`]: grit_sim::CellError
+    pub status: String,
+    /// Human-readable failure description when the cell failed.
+    pub error: Option<String>,
+    /// Full metrics snapshot (all-zero for failed cells).
     pub metrics: MetricsReport,
     /// Observer time series, when an observer was attached.
     pub series: Vec<SeriesReport>,
@@ -339,6 +375,14 @@ impl CellReport {
                 Json::Bool(self.workload_cache_hit),
             ),
             ("events_recorded".into(), Json::UInt(self.events_recorded)),
+            ("status".into(), Json::Str(self.status.clone())),
+            (
+                "error".into(),
+                match &self.error {
+                    Some(e) => Json::Str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
             ("metrics".into(), self.metrics.to_json()),
             (
                 "series".into(),
@@ -363,6 +407,11 @@ impl CellReport {
             sim_seconds: req_f64(v, "sim_seconds")?,
             workload_cache_hit: req_bool(v, "workload_cache_hit")?,
             events_recorded: req_u64(v, "events_recorded")?,
+            status: req_str(v, "status")?,
+            error: match req(v, "error")? {
+                Json::Null => None,
+                e => Some(e.as_str().ok_or("field \"error\" is not a string or null")?.to_string()),
+            },
             metrics: MetricsReport::from_json(req(v, "metrics")?)?,
             series: series?,
         })
@@ -702,6 +751,8 @@ mod tests {
             sim_seconds: 1.75,
             workload_cache_hit: seq > 0,
             events_recorded: 31,
+            status: "ok".into(),
+            error: None,
             metrics: MetricsReport::from_metrics(&sample_metrics()),
             series: vec![SeriesReport {
                 name: "page_by_gpu".into(),
@@ -724,6 +775,29 @@ mod tests {
         let r = MetricsReport::from_metrics(&sample_metrics());
         let back = MetricsReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn metrics_report_inverts_to_live_metrics() {
+        let m = sample_metrics();
+        let r = MetricsReport::from_metrics(&m);
+        let live = r.to_metrics();
+        assert_eq!(live.total_cycles, m.total_cycles);
+        assert_eq!(live.faults, m.faults);
+        assert_eq!(live.scheme_mix, m.scheme_mix);
+        assert_eq!(live.aux.len(), m.aux.len());
+        assert_eq!(live.aux.get("per_gpu_faults"), m.aux.get("per_gpu_faults"));
+        // Snapshotting the rebuilt metrics is a fixed point.
+        assert_eq!(MetricsReport::from_metrics(&live), r);
+    }
+
+    #[test]
+    fn failed_cell_report_round_trips() {
+        let mut c = sample_cell(3);
+        c.status = "panicked".into();
+        c.error = Some("cell panicked: boom".into());
+        let back = CellReport::from_json(&Json::parse(&c.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

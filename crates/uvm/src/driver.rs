@@ -14,7 +14,9 @@
 use grit_interconnect::Fabric;
 use grit_mem::{GpuMemory, LocalPageTable, Mapping};
 use grit_metrics::{FaultCounters, LatencyBreakdown, LatencyClass, LatencyHistogram};
-use grit_sim::{AccessKind, Cycle, GpuId, MemLoc, PageId, Scheme, SimConfig, CACHE_LINE_BYTES};
+use grit_sim::{
+    AccessKind, ConfigError, Cycle, GpuId, MemLoc, PageId, Scheme, SimConfig, CACHE_LINE_BYTES,
+};
 use grit_trace::{EventCategory, FaultClass, TraceEvent, Tracer};
 
 use crate::central::CentralPageTable;
@@ -109,11 +111,27 @@ impl UvmDriver {
     /// Panics if the configuration fails [`SimConfig::validate`] or the
     /// footprint is zero.
     pub fn new(cfg: SimConfig, footprint_pages: u64, policy: Box<dyn PlacementPolicy>) -> Self {
-        cfg.validate().expect("invalid simulation configuration");
-        assert!(footprint_pages > 0, "footprint must be non-zero");
+        UvmDriver::try_new(cfg, footprint_pages, policy).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`UvmDriver::new`]: validates the configuration
+    /// and the footprint and returns a [`ConfigError`] instead of
+    /// panicking.
+    pub fn try_new(
+        cfg: SimConfig,
+        footprint_pages: u64,
+        policy: Box<dyn PlacementPolicy>,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if footprint_pages == 0 {
+            return Err(ConfigError::new(
+                "footprint_pages",
+                "footprint must be non-zero",
+            ));
+        }
         let cap = ((footprint_pages as f64 * cfg.capacity_ratio).ceil() as usize).max(1);
         let next_epoch = policy.epoch_len();
-        UvmDriver {
+        Ok(UvmDriver {
             central: CentralPageTable::new(),
             local_pts: (0..cfg.num_gpus).map(|_| LocalPageTable::new()).collect(),
             memories: (0..cfg.num_gpus).map(|_| GpuMemory::new(cap)).collect(),
@@ -132,7 +150,7 @@ impl UvmDriver {
             remote_port_free: vec![0; cfg.num_gpus],
             tracer: Tracer::disabled(),
             cfg,
-        }
+        })
     }
 
     /// Attaches an event sink; placement events and the fabric's link

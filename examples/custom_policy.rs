@@ -43,14 +43,16 @@ impl PlacementPolicy for ReadDupWriteMigrate {
 fn run(app: App, policy: Box<dyn PlacementPolicy>) -> u64 {
     let cfg = SimConfig::default();
     let workload = WorkloadBuilder::new(app).scale(0.08).intensity(2.0).seed(7).build();
-    Simulation::new(cfg, workload, policy).run().metrics.total_cycles
+    let sim = Simulation::try_new(cfg, workload, policy).expect("valid configuration");
+    sim.run().metrics.total_cycles
 }
 
 fn grit(app: App) -> u64 {
     let cfg = SimConfig::default();
     let workload = WorkloadBuilder::new(app).scale(0.08).intensity(2.0).seed(7).build();
     let p = PolicyKind::GRIT.build(&cfg, workload.footprint_pages);
-    Simulation::new(cfg, workload, p).run().metrics.total_cycles
+    let sim = Simulation::try_new(cfg, workload, p).expect("valid configuration");
+    sim.run().metrics.total_cycles
 }
 
 fn main() {

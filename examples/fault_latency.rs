@@ -38,7 +38,8 @@ fn main() {
         let cfg = SimConfig::default();
         let w = WorkloadBuilder::new(app).scale(0.08).intensity(2.0).seed(5).build();
         let p = policy.build(&cfg, w.footprint_pages);
-        let out = Simulation::new(cfg, w, p).run();
+        let sim = Simulation::try_new(cfg, w, p).expect("valid configuration");
+        let out = sim.run();
         let fl = out
             .metrics
             .aux("fault_latency_summary")

@@ -43,7 +43,8 @@ fn main() {
     ] {
         let workload = build();
         let p = policy.build(&cfg, workload.footprint_pages);
-        let out = Simulation::new(cfg.clone(), workload, p).run();
+        let sim = Simulation::try_new(cfg.clone(), workload, p).expect("valid configuration");
+        let out = sim.run();
         let m = &out.metrics;
         if baseline == 0 {
             baseline = m.total_cycles;

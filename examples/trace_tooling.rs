@@ -42,7 +42,8 @@ fn main() {
     let cfg = SimConfig::default();
     let run = |w: grit_workloads::MultiGpuWorkload| {
         let p = PolicyKind::GRIT.build(&cfg, w.footprint_pages);
-        Simulation::new(cfg.clone(), w, p).run().metrics
+        let sim = Simulation::try_new(cfg.clone(), w, p).expect("valid configuration");
+        sim.run().metrics
     };
     let direct = run(build());
     let replayed = run(read_trace(buf.as_slice()).expect("round trip"));

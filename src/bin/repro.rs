@@ -13,6 +13,22 @@
 //! `GRIT_JOBS` environment variable, or the machine's core count; tables
 //! are byte-identical to a serial run regardless of the worker count.
 //!
+//! Resilience flags:
+//!
+//! ```text
+//! repro all --cell-timeout 120     # budget each cell; expired cells become err! rows
+//! repro all --resume               # persist finished cells under .grit-resume/
+//! repro all --resume-dir DIR       # ... under an explicit store directory
+//! repro all --fail-fast            # abort the campaign on the first failed cell
+//! repro all --keep-going           # (default) failed cells become rows, exit 0
+//! ```
+//!
+//! A failed cell — panic, timeout, invariant violation — renders as an
+//! `err!` row in the affected tables and as a structured error record in
+//! `run_report.json`; the process exits nonzero only under `--fail-fast`.
+//! Interrupting a `--resume` run and re-invoking it completes the
+//! remaining cells and prints byte-identical tables at any `--jobs`.
+//!
 //! Observability flags:
 //!
 //! ```text
@@ -205,7 +221,7 @@ fn trace_info(path: &str) -> bool {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <figN|all|tables|list> [--quick|--full] [--jobs N] [--scale X] [--intensity X] [--seed N] [--csv DIR] [--trace PATH] [--metrics-out DIR] [--emit-bench-json]"
+        "usage: repro <figN|all|tables|list> [--quick|--full] [--jobs N] [--scale X] [--intensity X] [--seed N] [--csv DIR] [--trace PATH] [--metrics-out DIR] [--emit-bench-json] [--cell-timeout SECS] [--resume|--resume-dir DIR] [--fail-fast|--keep-going]"
     );
     eprintln!("figures:");
     for (name, desc) in FIGURES {
@@ -223,6 +239,13 @@ fn print_usage() {
     eprintln!("  --trace-sample N    keep every Nth event per category (default: 1)");
     eprintln!("  --metrics-out DIR   write run_report.json + BENCH_run.json");
     eprintln!("  --emit-bench-json   write BENCH_run.json (cwd unless --metrics-out)");
+    eprintln!("  --cell-timeout SECS wall-clock budget per cell (expired cells become err! rows)");
+    eprintln!(
+        "  --resume            store finished cells under .grit-resume/ and skip them on re-run"
+    );
+    eprintln!("  --resume-dir DIR    like --resume, with an explicit store directory");
+    eprintln!("  --fail-fast         abort the campaign (exit nonzero) on the first failed cell");
+    eprintln!("  --keep-going        render failed cells as rows and keep running (default)");
 }
 
 /// Prints a table and optionally appends its CSV rendering to `csv_dir`.
@@ -569,6 +592,26 @@ fn main() -> ExitCode {
                 metrics_dir = Some(dir);
             }
             "--emit-bench-json" => emit_bench = true,
+            "--cell-timeout" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<f64>().ok()).filter(|v| *v >= 0.0)
+                else {
+                    eprintln!("--cell-timeout needs a non-negative number of seconds");
+                    return ExitCode::FAILURE;
+                };
+                ex::set_cell_timeout(Some(std::time::Duration::from_secs_f64(v)));
+            }
+            "--resume" => ex::set_resume_dir(Some(PathBuf::from(".grit-resume"))),
+            "--resume-dir" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--resume-dir needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                ex::set_resume_dir(Some(PathBuf::from(dir)));
+            }
+            "--fail-fast" => ex::set_fail_fast(true),
+            "--keep-going" => ex::set_fail_fast(false),
             "list" | "--list" | "-l" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -647,6 +690,10 @@ fn main() -> ExitCode {
         let seconds = started.elapsed().as_secs_f64();
         report_sink::record_target(t, seconds);
         eprintln!("[repro] {t} time: {seconds:.2}s");
+        if ex::fail_fast_triggered() {
+            eprintln!("[repro] fail-fast: a cell failed during {t}; skipping remaining targets");
+            break;
+        }
     }
     let total_seconds = t0.elapsed().as_secs_f64();
     eprintln!(
@@ -686,6 +733,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("[repro] wrote {}", path.display());
+    }
+    if ex::fail_fast_triggered() {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

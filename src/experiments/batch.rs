@@ -1,10 +1,31 @@
-//! Parallel experiment execution.
+//! Resilient parallel experiment execution.
 //!
 //! A figure driver declares its grid as [`CellSpec`] recipes — plain data
 //! describing *what* to run — and [`run_batch`] fans the cells across a
 //! scoped worker pool. Results come back in declaration order, so drivers
 //! assemble tables exactly as the serial loops did and the printed output
 //! is byte-identical regardless of the worker count.
+//!
+//! The API is **Result-first**: every cell yields a
+//! `Result<RunOutput, CellError>`, so one poisoned cell — a panic inside
+//! the simulator, an expired wall-clock budget, a violated invariant —
+//! becomes a marked row in the tables and `run_report.json` instead of
+//! aborting the whole campaign. Execution knobs travel in a
+//! [`BatchOptions`] struct (worker count, per-cell timeout, resume
+//! directory, fail-fast), replacing the old positional
+//! `run_batch_with_jobs(cells, jobs)` signature.
+//!
+//! Fault isolation is three-layered:
+//! 1. `catch_unwind` around each cell converts panics into
+//!    [`CellError::Panicked`] rows;
+//! 2. a [`CancelToken`] threaded into the simulation loop enforces
+//!    per-cell soft timeouts ([`CellError::TimedOut`], with partial
+//!    progress counters) and batch-wide fail-fast aborts
+//!    ([`CellError::Cancelled`]);
+//! 3. an optional content-addressed [`ResultStore`] makes campaigns
+//!    resumable: completed cells are persisted under a
+//!    `(app, exp, config, policy, code-version)` key, and a re-run with
+//!    the same store skips them.
 //!
 //! Workers pull cells from a shared index, so a long cell (e.g. a full
 //! GRIT run) never blocks the queue behind it. Workloads come from the
@@ -15,17 +36,20 @@
 //! override ([`set_jobs`], wired to `repro --jobs N`), the `GRIT_JOBS`
 //! environment variable, and the machine's available parallelism.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use grit_sim::SimConfig;
+use grit_sim::{CancelState, CancelToken, CellError, SimConfig};
 use grit_trace::{writer as trace_writer, BatchProfile, CellMeta, CellTiming, TraceConfig, Tracer};
 use grit_uvm::{PlacementPolicy, Prefetcher};
 use grit_workloads::App;
 
-use crate::runner::{ObserverConfig, RunOutput, Simulation};
+use crate::runner::{ObserverConfig, RunOutput, SimulationBuilder};
 
+use super::result_store::{ResultStore, STORE_SCHEMA};
 use super::{report_sink, workload_cache, ExpConfig, PolicyKind};
 
 /// Constructor for [`PolicySpec::Factory`] cells: receives the run's
@@ -151,19 +175,54 @@ impl CellSpec {
         }
     }
 
+    /// The cell's content-address in a [`ResultStore`], or `None` when the
+    /// cell is ineligible for resumption: opaque policy factories can't be
+    /// keyed, and prefetchers / per-cell tracing produce outputs the store
+    /// can't fully reconstruct.
+    ///
+    /// The key embeds the crate version, so results never survive a code
+    /// change, and the `Debug` forms of every knob that shapes the
+    /// simulation (f64s print in exact round-trip form).
+    pub fn resume_key(&self) -> Option<String> {
+        if self.prefetcher.is_some() || self.trace.is_some() {
+            return None;
+        }
+        let kind = match &self.policy {
+            PolicySpec::Kind(kind) => kind,
+            PolicySpec::Factory(_) => return None,
+        };
+        Some(format!(
+            "store={STORE_SCHEMA};code={};app={:?};exp={:?};cfg={:?};policy={kind:?};observer={:?}",
+            env!("CARGO_PKG_VERSION"),
+            self.app,
+            self.exp,
+            self.cfg,
+            self.observer,
+        ))
+    }
+
     /// Runs this cell (workload via the shared cache) and submits its
     /// trace events and report record to the process-wide sinks.
+    ///
+    /// This is the *infallible* entry point for callers outside the batch
+    /// executor (single-cell drivers, tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any simulation failure; batch execution goes through
+    /// [`run_batch`], which isolates failures as [`CellError`] values.
     pub fn run(&self) -> RunOutput {
-        let out = self.run_inner();
+        let out = self.run_inner(&CancelToken::new()).unwrap_or_else(|e| panic!("{e}"));
         self.submit(&out);
         out
     }
 
-    /// Runs the cell without submitting to the global sinks. The parallel
-    /// executor uses this so it can submit results in declaration order
-    /// after the whole batch finishes, keeping the trace stream
-    /// byte-identical at any worker count.
-    fn run_inner(&self) -> RunOutput {
+    /// Runs the cell without submitting to the global sinks, threading a
+    /// cancellation token into the simulation loop. The batch executor
+    /// uses this so it can submit results in declaration order after the
+    /// whole batch finishes, keeping the trace stream byte-identical at
+    /// any worker count.
+    fn run_inner(&self, cancel: &CancelToken) -> Result<RunOutput, CellError> {
         let build_start = Instant::now();
         let (workload, cache_hit) =
             workload_cache::shared_workload_tracked(self.app, &self.exp, &self.cfg);
@@ -172,27 +231,29 @@ impl CellSpec {
             PolicySpec::Kind(kind) => kind.build(&self.cfg, workload.footprint_pages),
             PolicySpec::Factory(make) => make(&self.cfg, workload.footprint_pages),
         };
-        let mut sim = Simulation::new(self.cfg.clone(), workload, policy);
+        let mut builder =
+            SimulationBuilder::new(self.cfg.clone(), workload, policy).cancel(cancel.clone());
         if let Some(obs) = &self.observer {
-            sim.set_observer(obs.clone());
+            builder = builder.observer(obs.clone());
         }
         if let Some(make) = &self.prefetcher {
-            sim.set_prefetcher(make());
+            builder = builder.prefetcher(make());
         }
-        let tracer = self.trace.or_else(trace_writer::global_config).map(|cfg| {
-            let t = Tracer::new(cfg);
-            sim.set_tracer(t.clone());
-            t
-        });
+        let tracer = self.trace.or_else(trace_writer::global_config).map(Tracer::new);
+        if let Some(t) = &tracer {
+            builder = builder.tracer(t.clone());
+        }
+        let sim = builder.build().map_err(CellError::Config)?;
         let sim_start = Instant::now();
-        let mut out = sim.run();
+        let mut out = sim.try_run().map_err(CellError::from)?;
         out.timing = CellTiming {
             build_seconds,
             sim_seconds: sim_start.elapsed().as_secs_f64(),
             workload_cache_hit: cache_hit,
+            resumed: false,
         };
         out.events = tracer.map(|t| t.take_events());
-        out
+        Ok(out)
     }
 
     /// Submits a finished run to the global JSONL writer and the report
@@ -207,13 +268,156 @@ impl CellSpec {
     }
 }
 
+/// Convenience accessors for one batch result, so drivers can build
+/// tables without matching on every cell: failed cells read as NaN, which
+/// [`grit_metrics::Table`] renders as an error marker and
+/// [`grit_metrics::geomean`] skips.
+pub trait CellResultExt {
+    /// The output, when the cell completed.
+    fn output(&self) -> Option<&RunOutput>;
+    /// Simulated total cycles, or NaN when the cell failed.
+    fn cycles(&self) -> f64;
+    /// An arbitrary metric projection, or NaN when the cell failed.
+    fn metric(&self, f: impl FnOnce(&RunOutput) -> f64) -> f64;
+}
+
+impl CellResultExt for Result<RunOutput, CellError> {
+    fn output(&self) -> Option<&RunOutput> {
+        self.as_ref().ok()
+    }
+
+    fn cycles(&self) -> f64 {
+        self.metric(|o| o.metrics.total_cycles as f64)
+    }
+
+    fn metric(&self, f: impl FnOnce(&RunOutput) -> f64) -> f64 {
+        self.as_ref().map_or(f64::NAN, f)
+    }
+}
+
+/// Execution knobs for one [`run_batch_with`] call.
+///
+/// The defaults ([`BatchOptions::default`]) run every cell with
+/// [`effective_jobs`] workers, no timeout, no resume store, and
+/// keep-going semantics; [`BatchOptions::from_defaults`] additionally
+/// picks up the process-wide settings installed by the `repro` CLI flags
+/// (`--cell-timeout`, `--resume`, `--fail-fast`).
+#[derive(Clone, Debug, Default)]
+pub struct BatchOptions {
+    /// Worker threads; `None` resolves via [`effective_jobs`].
+    pub jobs: Option<usize>,
+    /// Per-cell wall-clock budget; `None` disables timeouts.
+    pub timeout: Option<Duration>,
+    /// Directory of the on-disk [`ResultStore`]; `None` disables
+    /// resumption.
+    pub resume_dir: Option<PathBuf>,
+    /// Abort the batch on the first failed cell (remaining cells report
+    /// [`CellError::Cancelled`]) instead of running everything.
+    pub fail_fast: bool,
+}
+
+impl BatchOptions {
+    /// All-default options (every field off / auto).
+    pub fn new() -> Self {
+        BatchOptions::default()
+    }
+
+    /// Options seeded from the process-wide defaults installed by
+    /// [`set_cell_timeout`], [`set_resume_dir`] and [`set_fail_fast`].
+    pub fn from_defaults() -> Self {
+        BatchOptions {
+            jobs: None,
+            timeout: default_timeout(),
+            resume_dir: default_resume_dir(),
+            fail_fast: FAIL_FAST_DEFAULT.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sets an explicit worker count.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Sets a per-cell wall-clock budget.
+    pub fn timeout(mut self, budget: Duration) -> Self {
+        self.timeout = Some(budget);
+        self
+    }
+
+    /// Enables the on-disk result store rooted at `dir`.
+    pub fn resume_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.resume_dir = Some(dir.into());
+        self
+    }
+
+    /// Aborts the batch on the first failure.
+    pub fn fail_fast(mut self, yes: bool) -> Self {
+        self.fail_fast = yes;
+        self
+    }
+}
+
 /// Explicit worker-count override; 0 means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// Process-wide per-cell timeout in milliseconds; 0 means "not set",
+/// `u64::MAX` marks an explicit zero budget (used by tests/CLI).
+static CELL_TIMEOUT_MS: AtomicUsize = AtomicUsize::new(0);
+/// Process-wide fail-fast default (the `repro --fail-fast` flag).
+static FAIL_FAST_DEFAULT: AtomicBool = AtomicBool::new(false);
+/// Latched when any batch aborts due to fail-fast; the CLI exit code.
+static FAIL_FAST_TRIGGERED: AtomicBool = AtomicBool::new(false);
+/// Process-wide resume directory (the `repro --resume` flag).
+static RESUME_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 
 /// Sets the worker count for subsequent [`run_batch`] calls (0 clears the
 /// override). The `repro --jobs N` flag lands here.
 pub fn set_jobs(jobs: usize) {
     JOBS_OVERRIDE.store(jobs, Ordering::Relaxed);
+}
+
+/// Sets the process-wide per-cell timeout default picked up by
+/// [`BatchOptions::from_defaults`]. The `repro --cell-timeout SECS` flag
+/// lands here; `None` clears it.
+pub fn set_cell_timeout(budget: Option<Duration>) {
+    let encoded = match budget {
+        None => 0,
+        Some(d) if d.as_millis() == 0 => usize::MAX,
+        Some(d) => usize::try_from(d.as_millis()).unwrap_or(usize::MAX - 1),
+    };
+    CELL_TIMEOUT_MS.store(encoded, Ordering::Relaxed);
+}
+
+fn default_timeout() -> Option<Duration> {
+    match CELL_TIMEOUT_MS.load(Ordering::Relaxed) {
+        0 => None,
+        usize::MAX => Some(Duration::ZERO),
+        ms => Some(Duration::from_millis(ms as u64)),
+    }
+}
+
+/// Sets the process-wide resume-store directory picked up by
+/// [`BatchOptions::from_defaults`]. The `repro --resume` flag lands here;
+/// `None` clears it.
+pub fn set_resume_dir(dir: Option<PathBuf>) {
+    *RESUME_DIR.lock().expect("resume dir lock poisoned") = dir;
+}
+
+fn default_resume_dir() -> Option<PathBuf> {
+    RESUME_DIR.lock().expect("resume dir lock poisoned").clone()
+}
+
+/// Sets the process-wide fail-fast default picked up by
+/// [`BatchOptions::from_defaults`]. The `repro --fail-fast` flag lands
+/// here.
+pub fn set_fail_fast(yes: bool) {
+    FAIL_FAST_DEFAULT.store(yes, Ordering::Relaxed);
+}
+
+/// Whether any batch in this process aborted due to fail-fast; `repro`
+/// exits nonzero exactly when this is set.
+pub fn fail_fast_triggered() -> bool {
+    FAIL_FAST_TRIGGERED.load(Ordering::Relaxed)
 }
 
 /// The worker count [`run_batch`] will use: the [`set_jobs`] override,
@@ -233,50 +437,131 @@ pub fn effective_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Runs every cell and returns outputs in declaration order, using
-/// [`effective_jobs`] workers.
-pub fn run_batch(cells: &[CellSpec]) -> Vec<RunOutput> {
-    run_batch_with_jobs(cells, effective_jobs())
+/// Runs every cell under [`BatchOptions::from_defaults`] and returns
+/// per-cell results in declaration order.
+pub fn run_batch(cells: &[CellSpec]) -> Vec<Result<RunOutput, CellError>> {
+    run_batch_with(cells, &BatchOptions::from_defaults())
 }
 
-/// Runs every cell with an explicit worker count. `jobs <= 1` runs
-/// serially on the calling thread; either way, outputs are returned in
-/// declaration order and are identical to a serial run.
-pub fn run_batch_with_jobs(cells: &[CellSpec], jobs: usize) -> Vec<RunOutput> {
+/// Runs every cell under explicit options. `jobs <= 1` runs serially on
+/// the calling thread; either way, results come back in declaration order
+/// and successful outputs are identical to a serial run's.
+///
+/// Failed cells are reported to the process-wide report sink as
+/// structured error rows and logged to stderr; they never abort the batch
+/// unless `fail_fast` is set, in which case the shared abort flag stops
+/// in-flight cells at the next cancellation poll and unstarted cells
+/// yield [`CellError::Cancelled`].
+pub fn run_batch_with(
+    cells: &[CellSpec],
+    opts: &BatchOptions,
+) -> Vec<Result<RunOutput, CellError>> {
     let profile = report_sink::enabled() && !cells.is_empty();
     let cache_before = workload_cache::global().stats();
     let start = Instant::now();
-    let jobs = jobs.clamp(1, cells.len().max(1));
-    let outputs = if jobs <= 1 {
-        cells.iter().map(CellSpec::run).collect()
+    let jobs = opts.jobs.unwrap_or_else(effective_jobs).clamp(1, cells.len().max(1));
+    // The store cannot reproduce trace events, so resumption is disabled
+    // batch-wide while a global trace writer is active: a resumed run must
+    // never silently drop cells from the event stream.
+    let store = opts
+        .resume_dir
+        .as_ref()
+        .filter(|_| trace_writer::global_config().is_none())
+        .and_then(|dir| match ResultStore::open(dir) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("resume: cannot open store at {}: {e}", dir.display());
+                None
+            }
+        });
+    // The abort flag exists only under fail-fast, so keep-going batches
+    // run with inert (zero-cost) tokens unless a timeout is configured.
+    let batch_token = if opts.fail_fast {
+        CancelToken::shared()
+    } else {
+        CancelToken::new()
+    };
+    let run_guarded = |cell: &CellSpec| -> Result<RunOutput, CellError> {
+        if batch_token.poll() == CancelState::Cancelled {
+            return Err(CellError::Cancelled);
+        }
+        let key = store.as_ref().and_then(|_| cell.resume_key());
+        if let (Some(store), Some(key)) = (&store, &key) {
+            if let Some(out) = store.load(key) {
+                return Ok(out);
+            }
+        }
+        let token = batch_token.child(opts.timeout);
+        let result =
+            catch_unwind(AssertUnwindSafe(|| cell.run_inner(&token))).unwrap_or_else(|payload| {
+                let message = if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(CellError::Panicked { message })
+            });
+        match &result {
+            Ok(out) => {
+                if let (Some(store), Some(key)) = (&store, &key) {
+                    if let Err(e) = store.save(key, out) {
+                        eprintln!("resume: failed to store cell result: {e}");
+                    }
+                }
+            }
+            Err(_) if opts.fail_fast => {
+                FAIL_FAST_TRIGGERED.store(true, Ordering::Relaxed);
+                batch_token.cancel();
+            }
+            Err(_) => {}
+        }
+        result
+    };
+    let results: Vec<Result<RunOutput, CellError>> = if jobs <= 1 {
+        cells.iter().map(run_guarded).collect()
     } else {
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunOutput>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Result<RunOutput, CellError>>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..jobs {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
-                    let out = cell.run_inner();
+                    let out = run_guarded(cell);
                     *slots[i].lock().expect("result slot poisoned") = Some(out);
                 });
             }
         });
-        let outputs: Vec<RunOutput> = slots
+        slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .expect("result slot poisoned")
                     .expect("every cell ran to completion")
             })
-            .collect();
-        // Submit in declaration order, after the parallel barrier: the
-        // trace stream and report are independent of the worker count.
-        for (cell, out) in cells.iter().zip(&outputs) {
-            cell.submit(out);
-        }
-        outputs
+            .collect()
     };
+    // Submit in declaration order, after all workers finished: the trace
+    // stream and report are independent of the worker count (the serial
+    // path is already in declaration order, but flows through the same
+    // code so error accounting is uniform).
+    for (cell, result) in cells.iter().zip(&results) {
+        match result {
+            Ok(out) => cell.submit(out),
+            Err(e) => {
+                eprintln!(
+                    "cell failed [{}]: app={} policy={}: {e}",
+                    e.status(),
+                    cell.app,
+                    cell.policy_label()
+                );
+                report_sink::record_cell_error(cell, e);
+            }
+        }
+    }
     if profile {
         let cache_after = workload_cache::global().stats();
         report_sink::record_batch(BatchProfile {
@@ -287,18 +572,28 @@ pub fn run_batch_with_jobs(cells: &[CellSpec], jobs: usize) -> Vec<RunOutput> {
             workload_cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
         });
     }
-    outputs
+    results
 }
 
 /// Runs an `apps x policies` grid — the shape of most figures — and
-/// returns one row of outputs per app, in declaration order.
-pub fn run_grid(apps: &[App], policies: &[PolicyKind], exp: &ExpConfig) -> Vec<Vec<RunOutput>> {
+/// returns one row of results per app, in declaration order.
+pub fn run_grid(
+    apps: &[App],
+    policies: &[PolicyKind],
+    exp: &ExpConfig,
+) -> Vec<Vec<Result<RunOutput, CellError>>> {
     let cells: Vec<CellSpec> = apps
         .iter()
         .flat_map(|&app| policies.iter().map(move |&p| CellSpec::new(app, p, exp)))
         .collect();
-    let outputs = run_batch(&cells);
-    outputs.chunks(policies.len().max(1)).map(<[RunOutput]>::to_vec).collect()
+    let mut results = run_batch(&cells);
+    let width = policies.len().max(1);
+    let mut rows = Vec::with_capacity(apps.len());
+    while !results.is_empty() {
+        let rest = results.split_off(width.min(results.len()));
+        rows.push(std::mem::replace(&mut results, rest));
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -329,10 +624,11 @@ mod tests {
     #[test]
     fn parallel_matches_serial_in_order() {
         let cells = grid();
-        let serial = run_batch_with_jobs(&cells, 1);
-        let parallel = run_batch_with_jobs(&cells, 4);
+        let serial = run_batch_with(&cells, &BatchOptions::new().jobs(1));
+        let parallel = run_batch_with(&cells, &BatchOptions::new().jobs(4));
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(parallel.iter()) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
             assert_eq!(s.metrics.total_cycles, p.metrics.total_cycles);
             assert_eq!(s.metrics.accesses, p.metrics.accesses);
             assert_eq!(s.metrics.faults.local_faults, p.metrics.faults.local_faults);
@@ -353,6 +649,7 @@ mod tests {
             prefetcher: None,
             trace: None,
         };
+        assert!(cell.resume_key().is_none(), "factories are not resumable");
         let by_factory = cell.run();
         let by_kind = CellSpec::new(App::Fir, PolicyKind::Static(Scheme::OnTouch), &exp()).run();
         assert_eq!(
@@ -374,5 +671,26 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn cell_result_ext_maps_failures_to_nan() {
+        let err: Result<RunOutput, CellError> = Err(CellError::Cancelled);
+        assert!(err.output().is_none());
+        assert!(err.cycles().is_nan());
+        assert!(err.metric(|_| 1.0).is_nan());
+    }
+
+    #[test]
+    fn resume_keys_distinguish_cells_and_versions() {
+        let a = CellSpec::new(App::Bfs, PolicyKind::GRIT, &exp()).resume_key().unwrap();
+        let b = CellSpec::new(App::Fir, PolicyKind::GRIT, &exp()).resume_key().unwrap();
+        let c = CellSpec::new(App::Bfs, PolicyKind::FirstTouch, &exp()).resume_key().unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert!(a.contains(env!("CARGO_PKG_VERSION")));
+        let observed = CellSpec::new(App::Bfs, PolicyKind::GRIT, &exp())
+            .observed(ObserverConfig::default().with_grids(50));
+        assert_ne!(observed.resume_key().unwrap(), a);
     }
 }

@@ -10,7 +10,7 @@
 use grit_metrics::Table;
 use grit_workloads::App;
 
-use super::{run_batch, CellSpec, ExpConfig, PolicyKind};
+use super::{run_batch, CellResultExt, CellSpec, ExpConfig, PolicyKind};
 use crate::runner::{ObserverConfig, RunOutput};
 
 /// Number of timeline rows reported.
@@ -67,14 +67,40 @@ pub fn run_app(app: App, exp: &ExpConfig) -> Table {
     table_for(app, &out)
 }
 
-/// Runs the timeline for the two most adaptive applications.
+fn failed_table(app: App) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Extension: GRIT adaptation timeline for {} (cell failed)",
+            app.abbr()
+        ),
+        vec!["error".into()],
+    );
+    t.push_row("cell", vec![f64::NAN]);
+    t
+}
+
+/// Runs the timeline for the two most adaptive applications. An app whose
+/// scout or observed run failed yields a one-cell error table.
 pub fn run(exp: &ExpConfig) -> Vec<Table> {
     let apps = [App::Gemm, App::St];
     let scouts = run_batch(&apps.map(|a| CellSpec::new(a, PolicyKind::GRIT, exp)));
-    let cells: Vec<CellSpec> =
-        apps.iter().zip(&scouts).map(|(&a, s)| observed_cell(a, s, exp)).collect();
+    let picked: Vec<Option<CellSpec>> = apps
+        .iter()
+        .zip(&scouts)
+        .map(|(&a, s)| s.output().map(|scout| observed_cell(a, scout, exp)))
+        .collect();
+    let cells: Vec<CellSpec> = picked.iter().flatten().cloned().collect();
     let outs = run_batch(&cells);
-    apps.iter().zip(&outs).map(|(&a, o)| table_for(a, o)).collect()
+    let mut out_iter = outs.iter();
+    apps.iter()
+        .zip(&picked)
+        .map(|(&a, pick)| {
+            pick.as_ref()
+                .and_then(|_| out_iter.next())
+                .and_then(CellResultExt::output)
+                .map_or_else(|| failed_table(a), |o| table_for(a, o))
+        })
+        .collect()
 }
 
 #[cfg(test)]

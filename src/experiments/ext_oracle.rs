@@ -13,7 +13,9 @@ use grit_baselines::OraclePolicy;
 use grit_metrics::Table;
 use grit_sim::Scheme;
 
-use super::{run_batch, run_grid, table2_apps, CellSpec, ExpConfig, PolicyKind, PolicySpec};
+use super::{
+    run_batch, run_grid, table2_apps, CellResultExt, CellSpec, ExpConfig, PolicyKind, PolicySpec,
+};
 
 /// Runs the extension: speedups over on-touch for GRIT, the static oracle
 /// and the Ideal.
@@ -36,31 +38,37 @@ pub fn run(exp: &ExpConfig) -> Table {
         PolicyKind::Ideal,
     ];
     let rows = run_grid(&table2_apps(), &online, exp);
-    // Phase 2: one oracle cell per app, seeded with that app's profile.
-    let oracle_cells: Vec<CellSpec> = table2_apps()
+    // Phase 2: one oracle cell per app, seeded with that app's profile (an
+    // app whose profiling pass failed gets no oracle cell and NaN columns).
+    let oracle_cells: Vec<Option<CellSpec>> = table2_apps()
         .into_iter()
         .zip(&rows)
         .map(|(app, runs)| {
-            let attrs = runs[0].attrs.clone();
-            let factory = PolicySpec::Factory(Arc::new(move |_, _| {
-                Box::new(OraclePolicy::from_profile(&attrs))
-            }));
-            CellSpec::new(app, factory, exp)
+            runs[0].output().map(|profile| {
+                let attrs = profile.attrs.clone();
+                let factory = PolicySpec::Factory(Arc::new(move |_, _| {
+                    Box::new(OraclePolicy::from_profile(&attrs))
+                }));
+                CellSpec::new(app, factory, exp)
+            })
         })
         .collect();
-    let oracles = run_batch(&oracle_cells);
-    for ((app, runs), oracle_out) in table2_apps().into_iter().zip(&rows).zip(&oracles) {
-        let base = runs[0].metrics.total_cycles;
-        let grit = runs[1].metrics.total_cycles;
-        let ideal = runs[2].metrics.total_cycles;
-        let oracle = oracle_out.metrics.total_cycles;
+    let flat: Vec<CellSpec> = oracle_cells.iter().flatten().cloned().collect();
+    let oracles = run_batch(&flat);
+    let mut oracle_iter = oracles.iter();
+    for ((app, runs), pick) in table2_apps().into_iter().zip(&rows).zip(&oracle_cells) {
+        let base = runs[0].cycles();
+        let oracle = pick
+            .as_ref()
+            .and_then(|_| oracle_iter.next())
+            .map_or(f64::NAN, CellResultExt::cycles);
         table.push_row(
             app.abbr(),
             vec![
-                1.0,
-                base as f64 / grit as f64,
-                base as f64 / oracle as f64,
-                base as f64 / ideal as f64,
+                runs[0].metric(|_| 1.0),
+                base / runs[1].cycles(),
+                base / oracle,
+                base / runs[2].cycles(),
             ],
         );
     }

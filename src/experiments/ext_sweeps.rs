@@ -12,7 +12,7 @@ use grit_metrics::Table;
 use grit_sim::{Scheme, SimConfig};
 use grit_workloads::App;
 
-use super::{run_batch, CellSpec, ExpConfig, PolicyKind};
+use super::{run_batch, CellResultExt, CellSpec, ExpConfig, PolicyKind};
 
 /// Capacity ratios swept.
 pub const CAPACITIES: [f64; 4] = [0.4, 0.55, 0.7, 1.0];
@@ -45,10 +45,8 @@ fn sweep(title: &str, cols: Vec<String>, cfgs: &[SimConfig], exp: &ExpConfig) ->
     let outputs = run_batch(&cells);
     let per_app = 2 * cfgs.len();
     for (app, chunk) in sweep_apps().into_iter().zip(outputs.chunks(per_app)) {
-        let row: Vec<f64> = chunk
-            .chunks(2)
-            .map(|pair| pair[0].metrics.total_cycles as f64 / pair[1].metrics.total_cycles as f64)
-            .collect();
+        let row: Vec<f64> =
+            chunk.chunks(2).map(|pair| pair[0].cycles() / pair[1].cycles()).collect();
         table.push_row(app.abbr(), row);
     }
     table.push_geomean_row();

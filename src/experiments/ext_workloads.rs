@@ -14,7 +14,7 @@ use grit_metrics::Table;
 use grit_sim::Scheme;
 use grit_workloads::App;
 
-use super::{run_grid, ExpConfig, PolicyKind};
+use super::{run_grid, CellResultExt, ExpConfig, PolicyKind};
 
 /// Runs the extension: the Fig. 17 policy set on the extra workloads.
 pub fn run(exp: &ExpConfig) -> Table {
@@ -32,12 +32,9 @@ pub fn run(exp: &ExpConfig) -> Table {
     );
     let rows = run_grid(&App::EXTRA, &policies, exp);
     for (app, runs) in App::EXTRA.into_iter().zip(&rows) {
-        let cycles: Vec<u64> = runs.iter().map(|o| o.metrics.total_cycles).collect();
+        let cycles: Vec<f64> = runs.iter().map(CellResultExt::cycles).collect();
         let base = cycles[0];
-        table.push_row(
-            app.abbr(),
-            cycles.iter().map(|&c| base as f64 / c as f64).collect(),
-        );
+        table.push_row(app.abbr(), cycles.iter().map(|&c| base / c).collect());
     }
     table
 }

@@ -5,7 +5,7 @@
 use grit_metrics::Table;
 use grit_sim::Scheme;
 
-use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellResultExt, CellSpec, ExpConfig, PolicyKind};
 
 /// Policies compared by Fig. 1, in plot order.
 pub fn policies() -> [PolicyKind; 4] {
@@ -30,12 +30,9 @@ pub fn run(exp: &ExpConfig) -> Table {
         .collect();
     let outputs = run_batch(&cells);
     for (app, runs) in table2_apps().into_iter().zip(outputs.chunks(policies().len())) {
-        let cycles: Vec<u64> = runs.iter().map(|o| o.metrics.total_cycles).collect();
+        let cycles: Vec<f64> = runs.iter().map(CellResultExt::cycles).collect();
         let base = cycles[0];
-        table.push_row(
-            app.abbr(),
-            cycles.iter().map(|&c| base as f64 / c as f64).collect(),
-        );
+        table.push_row(app.abbr(), cycles.iter().map(|&c| base / c).collect());
     }
     table.push_geomean_row();
     table

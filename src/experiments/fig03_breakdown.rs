@@ -5,7 +5,7 @@
 use grit_metrics::{LatencyClass, Table};
 use grit_sim::Scheme;
 
-use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellResultExt, CellSpec, ExpConfig, PolicyKind};
 
 /// Runs the figure. Rows are `APP/SCHEME`, columns the six classes; values
 /// are fractions of that application's on-touch page-handling total, so a
@@ -24,12 +24,18 @@ pub fn run(exp: &ExpConfig) -> Table {
         .collect();
     let outputs = run_batch(&cells);
     for (app, chunk) in table2_apps().into_iter().zip(outputs.chunks(schemes.len())) {
-        let runs: Vec<_> = chunk.iter().map(|o| o.metrics.breakdown).collect();
-        let base_total = runs[0].total().max(1) as f64;
-        for (scheme, b) in schemes.iter().zip(&runs) {
-            let mut row: Vec<f64> =
-                LatencyClass::ALL.iter().map(|c| b.get(*c) as f64 / base_total).collect();
-            row.push(b.total() as f64 / base_total);
+        let base_total = chunk[0].metric(|o| o.metrics.breakdown.total().max(1) as f64);
+        for (scheme, r) in schemes.iter().zip(chunk) {
+            let row = match r.output() {
+                Some(o) => {
+                    let b = o.metrics.breakdown;
+                    let mut row: Vec<f64> =
+                        LatencyClass::ALL.iter().map(|c| b.get(*c) as f64 / base_total).collect();
+                    row.push(b.total() as f64 / base_total);
+                    row
+                }
+                None => vec![f64::NAN; LatencyClass::ALL.len() + 1],
+            };
             table.push_row(format!("{}/{}", app.abbr(), scheme.label()), row);
         }
     }

@@ -4,7 +4,7 @@
 use grit_metrics::Table;
 use grit_sim::Scheme;
 
-use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellResultExt, CellSpec, ExpConfig, PolicyKind};
 
 /// Runs the figure (page attributes are policy-independent; the on-touch
 /// baseline run supplies them).
@@ -24,16 +24,19 @@ pub fn run(exp: &ExpConfig) -> Table {
         .collect();
     let outputs = run_batch(&cells);
     for (app, out) in table2_apps().into_iter().zip(&outputs) {
-        let s = out.page_attrs;
-        table.push_row(
-            app.abbr(),
-            vec![
-                100.0 * (1.0 - s.shared_page_frac()),
-                100.0 * s.shared_page_frac(),
-                100.0 * (1.0 - s.shared_access_frac()),
-                100.0 * s.shared_access_frac(),
-            ],
-        );
+        let row = match out.output() {
+            Some(o) => {
+                let s = o.page_attrs;
+                vec![
+                    100.0 * (1.0 - s.shared_page_frac()),
+                    100.0 * s.shared_page_frac(),
+                    100.0 * (1.0 - s.shared_access_frac()),
+                    100.0 * s.shared_access_frac(),
+                ]
+            }
+            None => vec![f64::NAN; 4],
+        };
+        table.push_row(app.abbr(), row);
     }
     table
 }

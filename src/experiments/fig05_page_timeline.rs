@@ -6,7 +6,7 @@ use grit_metrics::Table;
 use grit_sim::{PageId, Scheme, SimConfig};
 use grit_workloads::App;
 
-use super::{run_batch, CellSpec, ExpConfig, PolicyKind};
+use super::{run_batch, CellResultExt, CellSpec, ExpConfig, PolicyKind};
 use crate::runner::{ObserverConfig, RunOutput};
 
 fn scout_cell(app: App, exp: &ExpConfig) -> CellSpec {
@@ -53,22 +53,42 @@ pub fn run_app(app: App, exp: &ExpConfig) -> Table {
     table_for(app, page, &cell.run())
 }
 
+fn failed_table(app: App) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fig 5: access mix over time for {} (cell failed)",
+            app.abbr()
+        ),
+        vec!["error".into()],
+    );
+    t.push_row("cell", vec![f64::NAN]);
+    t
+}
+
 /// Runs the figure for the paper's two exemplars, C2D and ST. Both
-/// scout passes run as one batch, then both observed passes.
+/// scout passes run as one batch, then both observed passes. An app whose
+/// scout or observed run failed yields a one-cell error table instead of
+/// aborting the figure.
 pub fn run(exp: &ExpConfig) -> Vec<Table> {
     let apps = [App::C2d, App::St];
     let scouts = run_batch(&apps.map(|a| scout_cell(a, exp)));
-    let picked: Vec<(PageId, CellSpec)> = apps
+    let picked: Vec<Option<(PageId, CellSpec)>> = apps
         .iter()
         .zip(&scouts)
-        .map(|(app, scout)| tracked_cell(*app, scout, exp))
+        .map(|(app, scout)| scout.output().map(|s| tracked_cell(*app, s, exp)))
         .collect();
-    let cells: Vec<CellSpec> = picked.iter().map(|(_, c)| c.clone()).collect();
+    let cells: Vec<CellSpec> = picked.iter().flatten().map(|(_, c)| c.clone()).collect();
     let outputs = run_batch(&cells);
+    let mut out_iter = outputs.iter();
     apps.iter()
         .zip(&picked)
-        .zip(&outputs)
-        .map(|((app, (page, _)), out)| table_for(*app, *page, out))
+        .map(|(app, pick)| match pick {
+            Some((page, _)) => match out_iter.next().and_then(CellResultExt::output) {
+                Some(out) => table_for(*app, *page, out),
+                None => failed_table(*app),
+            },
+            None => failed_table(*app),
+        })
         .collect()
 }
 

@@ -8,7 +8,7 @@ use grit_metrics::{AttrGrid, Table};
 use grit_sim::Scheme;
 use grit_workloads::App;
 
-use super::{run_batch, CellSpec, ExpConfig, PolicyKind};
+use super::{run_batch, CellResultExt, CellSpec, ExpConfig, PolicyKind};
 use crate::runner::{ObserverConfig, RunOutput};
 
 /// Grids for one application.
@@ -59,14 +59,22 @@ pub fn grids_for(app: App, exp: &ExpConfig, bins: usize) -> AppGrids {
 pub fn run(exp: &ExpConfig) -> Table {
     let apps = [App::Gemm, App::St];
     let scouts = run_batch(&apps.map(|a| scout_cell(a, exp)));
-    let cells: Vec<CellSpec> = apps
+    let picked: Vec<Option<CellSpec>> = apps
         .iter()
         .zip(&scouts)
-        .map(|(app, scout)| grid_cell(*app, scout, exp, 64))
+        .map(|(app, scout)| scout.output().map(|s| grid_cell(*app, s, exp, 64)))
         .collect();
+    let cells: Vec<CellSpec> = picked.iter().flatten().cloned().collect();
     let outputs = run_batch(&cells);
-    let gemm = grids_from(App::Gemm, &outputs[0]);
-    let st = grids_from(App::St, &outputs[1]);
+    let mut out_iter = outputs.iter();
+    let mut grids = apps.iter().zip(&picked).map(|(app, pick)| {
+        pick.as_ref()
+            .and_then(|_| out_iter.next())
+            .and_then(CellResultExt::output)
+            .map(|o| grids_from(*app, o))
+    });
+    let gemm = grids.next().flatten();
+    let st = grids.next().flatten();
 
     let mut table = Table::new(
         "Figs 6-8: page-attribute grids (neighbor agreement & attribute mix)",
@@ -77,18 +85,28 @@ pub fn run(exp: &ExpConfig) -> Table {
         ],
     );
     for (label, grid) in [
-        ("GEMM private/shared (Fig 6)", gemm.private_shared),
-        ("GEMM read/read-write (Fig 7)", gemm.read_rw),
-        ("ST private/shared (Fig 8)", st.private_shared),
+        (
+            "GEMM private/shared (Fig 6)",
+            gemm.as_ref().map(|g| &g.private_shared),
+        ),
+        (
+            "GEMM read/read-write (Fig 7)",
+            gemm.as_ref().map(|g| &g.read_rw),
+        ),
+        (
+            "ST private/shared (Fig 8)",
+            st.as_ref().map(|g| &g.private_shared),
+        ),
     ] {
-        table.push_row(
-            label,
-            vec![
-                grid.neighbor_agreement(),
-                grid.frac_of_touched(1),
-                grid.frac_of_touched(2),
+        let row = match grid {
+            Some(g) => vec![
+                g.neighbor_agreement(),
+                g.frac_of_touched(1),
+                g.frac_of_touched(2),
             ],
-        );
+            None => vec![f64::NAN; 3],
+        };
+        table.push_row(label, row);
     }
     table
 }

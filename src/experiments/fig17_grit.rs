@@ -6,7 +6,7 @@
 use grit_metrics::Table;
 use grit_sim::Scheme;
 
-use super::{run_grid, table2_apps, ExpConfig, PolicyKind};
+use super::{run_grid, table2_apps, CellResultExt, ExpConfig, PolicyKind};
 
 /// Policies compared by Fig. 17, in plot order.
 pub fn policies() -> [PolicyKind; 5] {
@@ -28,12 +28,9 @@ pub fn run(exp: &ExpConfig) -> Table {
     );
     let rows = run_grid(&table2_apps(), &policies(), exp);
     for (app, runs) in table2_apps().into_iter().zip(&rows) {
-        let cycles: Vec<u64> = runs.iter().map(|o| o.metrics.total_cycles).collect();
+        let cycles: Vec<f64> = runs.iter().map(CellResultExt::cycles).collect();
         let base = cycles[0];
-        table.push_row(
-            app.abbr(),
-            cycles.iter().map(|&c| base as f64 / c as f64).collect(),
-        );
+        table.push_row(app.abbr(), cycles.iter().map(|&c| base / c).collect());
     }
     table.push_geomean_row();
     table

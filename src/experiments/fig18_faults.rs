@@ -5,7 +5,7 @@
 use grit_metrics::Table;
 use grit_sim::Scheme;
 
-use super::{run_grid, table2_apps, ExpConfig, PolicyKind};
+use super::{run_grid, table2_apps, CellResultExt, ExpConfig, PolicyKind};
 
 /// Policies compared (plot order).
 pub fn policies() -> [PolicyKind; 4] {
@@ -23,13 +23,12 @@ pub fn run(exp: &ExpConfig) -> Table {
     let mut table = Table::new("Fig 18: GPU page faults (normalized to on-touch)", cols);
     let rows = run_grid(&table2_apps(), &policies(), exp);
     for (app, runs) in table2_apps().into_iter().zip(&rows) {
-        let faults: Vec<u64> =
-            runs.iter().map(|o| o.metrics.faults.total_faults().max(1)).collect();
-        let base = faults[0] as f64;
-        table.push_row(
-            app.abbr(),
-            faults.iter().map(|&f| f as f64 / base).collect(),
-        );
+        let faults: Vec<f64> = runs
+            .iter()
+            .map(|r| r.metric(|o| o.metrics.faults.total_faults().max(1) as f64))
+            .collect();
+        let base = faults[0];
+        table.push_row(app.abbr(), faults.iter().map(|&f| f / base).collect());
     }
     table.push_geomean_row();
     table

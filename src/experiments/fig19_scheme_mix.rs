@@ -5,7 +5,7 @@
 
 use grit_metrics::Table;
 
-use super::{run_grid, table2_apps, ExpConfig, PolicyKind};
+use super::{run_grid, table2_apps, CellResultExt, ExpConfig, PolicyKind};
 
 /// Runs the figure.
 pub fn run(exp: &ExpConfig) -> Table {
@@ -19,8 +19,14 @@ pub fn run(exp: &ExpConfig) -> Table {
     );
     let rows = run_grid(&table2_apps(), &[PolicyKind::GRIT], exp);
     for (app, runs) in table2_apps().into_iter().zip(&rows) {
-        let (ot, ac, d) = runs[0].metrics.scheme_mix.fractions();
-        table.push_row(app.abbr(), vec![100.0 * ot, 100.0 * ac, 100.0 * d]);
+        let row = match runs[0].output() {
+            Some(o) => {
+                let (ot, ac, d) = o.metrics.scheme_mix.fractions();
+                vec![100.0 * ot, 100.0 * ac, 100.0 * d]
+            }
+            None => vec![f64::NAN; 3],
+        };
+        table.push_row(app.abbr(), row);
     }
     table
 }

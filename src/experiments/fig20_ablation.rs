@@ -5,7 +5,7 @@
 use grit_metrics::Table;
 use grit_sim::Scheme;
 
-use super::{run_grid, table2_apps, ExpConfig, PolicyKind};
+use super::{run_grid, table2_apps, CellResultExt, ExpConfig, PolicyKind};
 
 /// Ablation variants (plot order), ending with the full design.
 pub fn variants() -> [(&'static str, PolicyKind); 4] {
@@ -49,9 +49,8 @@ pub fn run(exp: &ExpConfig) -> Table {
     policies.extend(variants().iter().map(|(_, p)| *p));
     let rows = run_grid(&table2_apps(), &policies, exp);
     for (app, runs) in table2_apps().into_iter().zip(&rows) {
-        let base = runs[0].metrics.total_cycles;
-        let row: Vec<f64> =
-            runs[1..].iter().map(|o| base as f64 / o.metrics.total_cycles as f64).collect();
+        let base = runs[0].cycles();
+        let row: Vec<f64> = runs[1..].iter().map(|r| base / r.cycles()).collect();
         table.push_row(app.abbr(), row);
     }
     table.push_geomean_row();

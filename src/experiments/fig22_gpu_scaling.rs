@@ -5,7 +5,7 @@
 use grit_metrics::Table;
 use grit_sim::{Scheme, SimConfig};
 
-use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellResultExt, CellSpec, ExpConfig, PolicyKind};
 
 /// Policies compared per GPU count.
 fn policies() -> [PolicyKind; 4] {
@@ -38,17 +38,17 @@ pub fn run_gpus(num_gpus: usize, exp: &ExpConfig) -> (Table, Table) {
         .collect();
     let outputs = run_batch(&cells);
     for (app, chunk) in table2_apps().into_iter().zip(outputs.chunks(policies().len())) {
-        let outs: Vec<_> = chunk.iter().map(|o| &o.metrics).collect();
-        let base_c = outs[0].total_cycles;
-        let base_f = outs[0].faults.total_faults().max(1);
+        let base_c = chunk[0].cycles();
+        let base_f = chunk[0].metric(|o| o.metrics.faults.total_faults().max(1) as f64);
         perf.push_row(
             app.abbr(),
-            outs.iter().map(|m| base_c as f64 / m.total_cycles as f64).collect(),
+            chunk.iter().map(|r| base_c / r.cycles()).collect(),
         );
         faults.push_row(
             app.abbr(),
-            outs.iter()
-                .map(|m| m.faults.total_faults().max(1) as f64 / base_f as f64)
+            chunk
+                .iter()
+                .map(|r| r.metric(|o| o.metrics.faults.total_faults().max(1) as f64) / base_f)
                 .collect(),
         );
     }

@@ -6,7 +6,7 @@
 use grit_metrics::Table;
 use grit_sim::{Scheme, SimConfig, PAGE_SIZE_2M};
 
-use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellResultExt, CellSpec, ExpConfig, PolicyKind};
 
 /// Input enlargement factor (the paper grows footprints to 0.5–3 GB to
 /// keep a meaningful number of 2 MB pages).
@@ -38,9 +38,11 @@ pub fn run(exp: &ExpConfig) -> Table {
         .collect();
     let outputs = run_batch(&cells);
     for (app, chunk) in table2_apps().into_iter().zip(outputs.chunks(policies.len())) {
-        let base = chunk[0].metrics.total_cycles;
-        let grit = chunk[1].metrics.total_cycles;
-        table.push_row(app.abbr(), vec![1.0, base as f64 / grit as f64]);
+        let base = chunk[0].cycles();
+        table.push_row(
+            app.abbr(),
+            vec![chunk[0].metric(|_| 1.0), base / chunk[1].cycles()],
+        );
     }
     table.push_geomean_row();
     table
@@ -61,7 +63,7 @@ pub fn gain_4k(exp: &ExpConfig) -> f64 {
     let outputs = run_batch(&cells);
     let speedups: Vec<f64> = outputs
         .chunks(policies.len())
-        .map(|chunk| chunk[0].metrics.total_cycles as f64 / chunk[1].metrics.total_cycles as f64)
+        .map(|chunk| chunk[0].cycles() / chunk[1].cycles())
         .collect();
     grit_metrics::geomean(&speedups)
 }

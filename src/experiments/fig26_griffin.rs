@@ -6,7 +6,7 @@ use grit_baselines::apply_acud;
 use grit_metrics::Table;
 use grit_sim::SimConfig;
 
-use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellResultExt, CellSpec, ExpConfig, PolicyKind};
 
 /// Runs the figure.
 pub fn run(exp: &ExpConfig) -> Table {
@@ -33,12 +33,9 @@ pub fn run(exp: &ExpConfig) -> Table {
         .collect();
     let outputs = run_batch(&cells);
     for (app, chunk) in table2_apps().into_iter().zip(outputs.chunks(variants.len())) {
-        let cycles: Vec<u64> = chunk.iter().map(|o| o.metrics.total_cycles).collect();
+        let cycles: Vec<f64> = chunk.iter().map(CellResultExt::cycles).collect();
         let base = cycles[0];
-        table.push_row(
-            app.abbr(),
-            cycles.iter().map(|&c| base as f64 / c as f64).collect(),
-        );
+        table.push_row(app.abbr(), cycles.iter().map(|&c| base / c).collect());
     }
     table.push_geomean_row();
     table

@@ -4,7 +4,7 @@
 
 use grit_metrics::Table;
 
-use super::{run_grid, table2_apps, ExpConfig, PolicyKind};
+use super::{run_grid, table2_apps, CellResultExt, ExpConfig, PolicyKind};
 
 /// Runs the figure: speedups over GPS and both policies' oversubscription
 /// rates.
@@ -20,14 +20,14 @@ pub fn run(exp: &ExpConfig) -> Table {
     );
     let rows = run_grid(&table2_apps(), &[PolicyKind::Gps, PolicyKind::GRIT], exp);
     for (app, runs) in table2_apps().into_iter().zip(&rows) {
-        let (gps, grit) = (&runs[0].metrics, &runs[1].metrics);
+        let (gps, grit) = (&runs[0], &runs[1]);
         table.push_row(
             app.abbr(),
             vec![
-                1.0,
-                gps.total_cycles as f64 / grit.total_cycles as f64,
-                gps.oversubscription_rate,
-                grit.oversubscription_rate,
+                gps.metric(|_| 1.0),
+                gps.cycles() / grit.cycles(),
+                gps.metric(|o| o.metrics.oversubscription_rate),
+                grit.metric(|o| o.metrics.oversubscription_rate),
             ],
         );
     }

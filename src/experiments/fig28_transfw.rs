@@ -7,7 +7,7 @@ use grit_baselines::apply_transfw;
 use grit_metrics::Table;
 use grit_sim::SimConfig;
 
-use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellResultExt, CellSpec, ExpConfig, PolicyKind};
 
 /// Runs the figure.
 pub fn run(exp: &ExpConfig) -> Table {
@@ -28,9 +28,13 @@ pub fn run(exp: &ExpConfig) -> Table {
         .collect();
     let outputs = run_batch(&cells);
     for (app, chunk) in table2_apps().into_iter().zip(outputs.chunks(2)) {
-        let combo = chunk[0].metrics.total_cycles;
-        let grit = chunk[1].metrics.total_cycles;
-        table.push_row(app.abbr(), vec![1.0, combo as f64 / grit as f64]);
+        table.push_row(
+            app.abbr(),
+            vec![
+                chunk[0].metric(|_| 1.0),
+                chunk[0].cycles() / chunk[1].cycles(),
+            ],
+        );
     }
     table.push_geomean_row();
     table

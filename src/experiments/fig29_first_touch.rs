@@ -4,7 +4,7 @@
 
 use grit_metrics::Table;
 
-use super::{run_grid, table2_apps, ExpConfig, PolicyKind};
+use super::{run_grid, table2_apps, CellResultExt, ExpConfig, PolicyKind};
 
 /// Runs the figure.
 pub fn run(exp: &ExpConfig) -> Table {
@@ -18,9 +18,10 @@ pub fn run(exp: &ExpConfig) -> Table {
         exp,
     );
     for (app, runs) in table2_apps().into_iter().zip(&rows) {
-        let ft = runs[0].metrics.total_cycles;
-        let grit = runs[1].metrics.total_cycles;
-        table.push_row(app.abbr(), vec![1.0, ft as f64 / grit as f64]);
+        table.push_row(
+            app.abbr(),
+            vec![runs[0].metric(|_| 1.0), runs[0].cycles() / runs[1].cycles()],
+        );
     }
     table.push_geomean_row();
     table

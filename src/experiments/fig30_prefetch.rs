@@ -6,7 +6,7 @@ use grit_baselines::TreePrefetcher;
 use grit_metrics::Table;
 use grit_sim::Scheme;
 
-use super::{run_batch, table2_apps, CellSpec, ExpConfig, PolicyKind};
+use super::{run_batch, table2_apps, CellResultExt, CellSpec, ExpConfig, PolicyKind};
 
 fn prefetch_cell(app: grit_workloads::App, policy: PolicyKind, exp: &ExpConfig) -> CellSpec {
     CellSpec::new(app, policy, exp).with_prefetcher(|| Box::new(TreePrefetcher::new()))
@@ -29,9 +29,13 @@ pub fn run(exp: &ExpConfig) -> Table {
         .collect();
     let outputs = run_batch(&cells);
     for (app, chunk) in table2_apps().into_iter().zip(outputs.chunks(2)) {
-        let base = chunk[0].metrics.total_cycles;
-        let grit = chunk[1].metrics.total_cycles;
-        table.push_row(app.abbr(), vec![1.0, base as f64 / grit as f64]);
+        table.push_row(
+            app.abbr(),
+            vec![
+                chunk[0].metric(|_| 1.0),
+                chunk[0].cycles() / chunk[1].cycles(),
+            ],
+        );
     }
     table.push_geomean_row();
     table

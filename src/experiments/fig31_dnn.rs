@@ -5,7 +5,7 @@ use grit_metrics::Table;
 use grit_sim::Scheme;
 use grit_workloads::App;
 
-use super::{run_grid, ExpConfig, PolicyKind};
+use super::{run_grid, CellResultExt, ExpConfig, PolicyKind};
 
 /// Runs the figure.
 pub fn run(exp: &ExpConfig) -> Table {
@@ -16,9 +16,10 @@ pub fn run(exp: &ExpConfig) -> Table {
     let policies = [PolicyKind::Static(Scheme::OnTouch), PolicyKind::GRIT];
     let rows = run_grid(&App::DNN, &policies, exp);
     for (app, runs) in App::DNN.into_iter().zip(&rows) {
-        let base = runs[0].metrics.total_cycles;
-        let grit = runs[1].metrics.total_cycles;
-        table.push_row(app.abbr(), vec![1.0, base as f64 / grit as f64]);
+        table.push_row(
+            app.abbr(),
+            vec![runs[0].metric(|_| 1.0), runs[0].cycles() / runs[1].cycles()],
+        );
     }
     table
 }

@@ -35,10 +35,12 @@ pub mod ext_workloads;
 
 pub mod batch;
 pub mod report_sink;
+pub mod result_store;
 pub mod workload_cache;
 
 pub use batch::{
-    effective_jobs, run_batch, run_batch_with_jobs, run_grid, set_jobs, CellSpec, PolicySpec,
+    effective_jobs, fail_fast_triggered, run_batch, run_batch_with, run_grid, set_cell_timeout,
+    set_fail_fast, set_jobs, set_resume_dir, BatchOptions, CellResultExt, CellSpec, PolicySpec,
 };
 
 use grit_baselines::{FirstTouchPolicy, GpsPolicy, GriffinDpcPolicy, IdealPolicy};

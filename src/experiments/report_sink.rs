@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
+use grit_sim::CellError;
 use grit_trace::{
     BatchProfile, BenchSummary, CellReport, HeadlineSpeedups, MetricsReport, RunReport,
     SeriesReport, TargetTiming,
@@ -82,8 +83,40 @@ pub fn record_cell(spec: &CellSpec, out: &RunOutput) {
         sim_seconds: out.timing.sim_seconds,
         workload_cache_hit: out.timing.workload_cache_hit,
         events_recorded: out.events.as_ref().map_or(0, |e| e.len() as u64),
+        status: if out.timing.resumed { "resumed" } else { "ok" }.into(),
+        error: None,
         metrics: MetricsReport::from_metrics(&out.metrics),
         series,
+    });
+}
+
+/// Records a failed cell as a structured error row: zeroed metrics, a
+/// machine-readable `status` label and the human-readable error message.
+/// Called by the batch executor in declaration order alongside
+/// [`record_cell`], so failed cells keep their sequence slot.
+pub fn record_cell_error(spec: &CellSpec, err: &CellError) {
+    if !enabled() {
+        return;
+    }
+    let mut st = state();
+    let seq = st.cells.len() as u64;
+    st.cells.push(CellReport {
+        seq,
+        app: spec.app.to_string(),
+        policy: spec.policy_label(),
+        num_gpus: spec.cfg.num_gpus as u64,
+        page_size: spec.cfg.page_size,
+        scale: spec.exp.scale,
+        intensity: spec.exp.intensity,
+        seed: spec.exp.seed,
+        build_seconds: 0.0,
+        sim_seconds: 0.0,
+        workload_cache_hit: false,
+        events_recorded: 0,
+        status: err.status().into(),
+        error: Some(err.to_string()),
+        metrics: MetricsReport::default(),
+        series: Vec::new(),
     });
 }
 

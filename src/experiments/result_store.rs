@@ -1,0 +1,337 @@
+//! Content-addressed on-disk result store for resumable campaigns.
+//!
+//! Each completed cell is stored as one JSON file named by the FNV-1a hash
+//! of the cell's *resume key* — a canonical string derived from
+//! `(app, exp-config, system config, policy, observer, code version)`.
+//! An interrupted `repro ... --resume` run loads completed cells from the
+//! store instead of re-simulating them; because the simulator is
+//! deterministic, the loaded output is exactly what a fresh run would have
+//! produced, so resumed and uninterrupted runs render byte-identical
+//! tables at any `--jobs`.
+//!
+//! Eligibility is decided by [`super::batch::CellSpec::resume_key`]:
+//! cells with opaque policy factories, prefetchers, or per-cell tracing
+//! are never stored (their outputs can't be keyed or fully reconstructed),
+//! and the batch executor disables the store entirely while a global
+//! trace writer is active (trace events are not persisted).
+//!
+//! Robustness: writes are atomic (temp file + rename), loads verify the
+//! schema *and* the full key (hash collisions degrade to a re-run, never a
+//! wrong result), and any unreadable or mistyped file is treated as a
+//! cache miss.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use grit_metrics::{AttrGrid, IntervalSeries, PageAttrTracker};
+use grit_trace::{CellTiming, Json, MetricsReport};
+
+use crate::runner::{RunObserver, RunOutput};
+
+/// Schema tag of every store file; bump when the layout changes so stale
+/// files are re-run instead of misparsed.
+pub const STORE_SCHEMA: &str = "grit-result-store/v1";
+
+/// FNV-1a 64-bit hash of the key string; the store's file name.
+fn fnv1a64(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A directory of completed cell results, keyed by resume-key hash.
+#[derive(Clone, Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(ResultStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", fnv1a64(key)))
+    }
+
+    /// Loads the stored output for `key`, or `None` when absent,
+    /// unreadable, schema-mismatched, or keyed by a colliding-but-different
+    /// cell. Every failure mode degrades to "re-run the cell".
+    pub fn load(&self, key: &str) -> Option<RunOutput> {
+        let text = fs::read_to_string(self.path_for(key)).ok()?;
+        let json = Json::parse(&text).ok()?;
+        if json.get("schema")?.as_str()? != STORE_SCHEMA {
+            return None;
+        }
+        if json.get("key")?.as_str()? != key {
+            return None; // hash collision: treat as a miss
+        }
+        decode_output(&json)
+    }
+
+    /// Atomically persists a completed cell under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures (callers log and continue; a failed
+    /// save only costs a future re-run).
+    pub fn save(&self, key: &str, out: &RunOutput) -> io::Result<()> {
+        let final_path = self.path_for(key);
+        let tmp_path = final_path.with_extension(format!("tmp-{}", std::process::id()));
+        fs::write(&tmp_path, encode_output(key, out).to_string())?;
+        fs::rename(&tmp_path, &final_path)
+    }
+}
+
+fn series_to_json(s: &IntervalSeries) -> Json {
+    Json::Obj(vec![
+        ("interval_cycles".into(), Json::UInt(s.interval_cycles())),
+        ("buckets".into(), Json::UInt(s.buckets() as u64)),
+        (
+            "rows".into(),
+            Json::Arr(
+                s.iter()
+                    .map(|(_, row)| Json::Arr(row.iter().map(|&v| Json::UInt(v)).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn series_from_json(v: &Json) -> Option<IntervalSeries> {
+    let interval = v.get("interval_cycles")?.as_u64()?;
+    let buckets = v.get("buckets")?.as_u64()? as usize;
+    if interval == 0 || buckets == 0 {
+        return None;
+    }
+    let mut rows = Vec::new();
+    for row in v.get("rows")?.as_arr()? {
+        let counts: Option<Vec<u64>> = row.as_arr()?.iter().map(Json::as_u64).collect();
+        rows.push(counts?);
+    }
+    Some(IntervalSeries::from_rows(interval, buckets, rows))
+}
+
+fn grid_to_json(g: &AttrGrid) -> Json {
+    let cells = (0..g.intervals())
+        .map(|i| {
+            Json::Arr((0..g.page_bins()).map(|b| Json::UInt(u64::from(g.get(i, b)))).collect())
+        })
+        .collect();
+    Json::Obj(vec![
+        ("intervals".into(), Json::UInt(g.intervals() as u64)),
+        ("page_bins".into(), Json::UInt(g.page_bins() as u64)),
+        ("cells".into(), Json::Arr(cells)),
+    ])
+}
+
+fn grid_from_json(v: &Json) -> Option<AttrGrid> {
+    let intervals = v.get("intervals")?.as_u64()? as usize;
+    let page_bins = v.get("page_bins")?.as_u64()? as usize;
+    if intervals == 0 || page_bins == 0 {
+        return None;
+    }
+    let mut g = AttrGrid::new(intervals, page_bins);
+    for (i, row) in v.get("cells")?.as_arr()?.iter().enumerate() {
+        for (b, code) in row.as_arr()?.iter().enumerate() {
+            g.mark(i, b, u8::try_from(code.as_u64()?).ok()?);
+        }
+    }
+    Some(g)
+}
+
+fn opt_to_json<T>(v: &Option<T>, f: impl Fn(&T) -> Json) -> Json {
+    match v {
+        Some(x) => f(x),
+        None => Json::Null,
+    }
+}
+
+fn encode_output(key: &str, out: &RunOutput) -> Json {
+    let pages = Json::Arr(
+        out.attrs
+            .export_pages()
+            .into_iter()
+            .map(|(vpn, bits, written, accesses)| {
+                Json::Arr(vec![
+                    Json::UInt(vpn),
+                    Json::UInt(u64::from(bits)),
+                    Json::Bool(written),
+                    Json::UInt(accesses),
+                ])
+            })
+            .collect(),
+    );
+    let observer = opt_to_json(&out.observer, |obs| {
+        Json::Obj(vec![
+            ("page_by_gpu".into(), series_to_json(&obs.page_by_gpu)),
+            ("page_rw".into(), series_to_json(&obs.page_rw)),
+            (
+                "grid_private_shared".into(),
+                opt_to_json(&obs.grid_private_shared, grid_to_json),
+            ),
+            (
+                "grid_read_rw".into(),
+                opt_to_json(&obs.grid_read_rw, grid_to_json),
+            ),
+            (
+                "grid_interval_cycles".into(),
+                Json::UInt(obs.grid_interval_cycles),
+            ),
+            (
+                "scheme_timeline".into(),
+                opt_to_json(&obs.scheme_timeline, series_to_json),
+            ),
+        ])
+    });
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(STORE_SCHEMA.into())),
+        ("key".into(), Json::Str(key.into())),
+        (
+            "timing".into(),
+            Json::Obj(vec![
+                (
+                    "build_seconds".into(),
+                    Json::Float(out.timing.build_seconds),
+                ),
+                ("sim_seconds".into(), Json::Float(out.timing.sim_seconds)),
+                (
+                    "workload_cache_hit".into(),
+                    Json::Bool(out.timing.workload_cache_hit),
+                ),
+            ]),
+        ),
+        (
+            "metrics".into(),
+            MetricsReport::from_metrics(&out.metrics).to_json(),
+        ),
+        ("pages".into(), pages),
+        ("observer".into(), observer),
+    ])
+}
+
+fn decode_output(v: &Json) -> Option<RunOutput> {
+    let metrics = MetricsReport::from_json(v.get("metrics")?).ok()?.to_metrics();
+    let mut pages = Vec::new();
+    for row in v.get("pages")?.as_arr()? {
+        let row = row.as_arr()?;
+        if row.len() != 4 {
+            return None;
+        }
+        pages.push((
+            row[0].as_u64()?,
+            u16::try_from(row[1].as_u64()?).ok()?,
+            row[2].as_bool()?,
+            row[3].as_u64()?,
+        ));
+    }
+    let attrs = PageAttrTracker::from_exported(&pages);
+    let observer = match v.get("observer")? {
+        Json::Null => None,
+        obs => Some(RunObserver {
+            page_by_gpu: series_from_json(obs.get("page_by_gpu")?)?,
+            page_rw: series_from_json(obs.get("page_rw")?)?,
+            grid_private_shared: match obs.get("grid_private_shared")? {
+                Json::Null => None,
+                g => Some(grid_from_json(g)?),
+            },
+            grid_read_rw: match obs.get("grid_read_rw")? {
+                Json::Null => None,
+                g => Some(grid_from_json(g)?),
+            },
+            grid_interval_cycles: obs.get("grid_interval_cycles")?.as_u64()?,
+            scheme_timeline: match obs.get("scheme_timeline")? {
+                Json::Null => None,
+                s => Some(series_from_json(s)?),
+            },
+        }),
+    };
+    let timing = v.get("timing")?;
+    Some(RunOutput {
+        page_attrs: attrs.summary(),
+        attrs,
+        metrics,
+        observer,
+        timing: CellTiming {
+            build_seconds: timing.get("build_seconds")?.as_f64()?,
+            sim_seconds: timing.get("sim_seconds")?.as_f64()?,
+            workload_cache_hit: timing.get("workload_cache_hit")?.as_bool()?,
+            resumed: true,
+        },
+        events: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{run_cell, ExpConfig, PolicyKind};
+    use grit_workloads::App;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("grit-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_round_trips_a_real_run() {
+        let exp = ExpConfig {
+            scale: 0.02,
+            intensity: 0.5,
+            seed: 0x7E57,
+        };
+        let out = run_cell(App::Bfs, PolicyKind::FirstTouch, &exp);
+        let dir = tmp_dir("rt");
+        let store = ResultStore::open(&dir).unwrap();
+        store.save("some-key", &out).unwrap();
+        let back = store.load("some-key").expect("stored result loads");
+        assert_eq!(back.metrics.total_cycles, out.metrics.total_cycles);
+        assert_eq!(back.metrics.faults, out.metrics.faults);
+        assert_eq!(back.page_attrs, out.page_attrs);
+        assert_eq!(back.attrs.export_pages(), out.attrs.export_pages());
+        assert!(back.timing.resumed);
+        assert!(back.events.is_none());
+        // A different key misses even though the hash file exists for the
+        // first one.
+        assert!(store.load("другой-key").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_files_degrade_to_miss() {
+        let dir = tmp_dir("corrupt");
+        let store = ResultStore::open(&dir).unwrap();
+        fs::write(
+            store.dir().join(format!("{:016x}.json", fnv1a64("k"))),
+            "{ not json",
+        )
+        .unwrap();
+        assert!(store.load("k").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        // FNV-1a reference value: hash("") = offset basis.
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64("a"), fnv1a64("b"));
+    }
+}

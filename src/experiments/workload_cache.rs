@@ -68,7 +68,7 @@ pub struct CacheCounters {
     pub misses: u64,
 }
 
-/// The cache proper. A `Mutex`-guarded map hands out per-key [`Slot`]s;
+/// The cache proper. A `Mutex`-guarded map hands out per-key `Slot`s;
 /// the slot's `OnceLock` serializes the (expensive) build outside the map
 /// lock, so two threads wanting *different* workloads build concurrently
 /// while two threads wanting the *same* workload build it once.

@@ -26,16 +26,22 @@
 //! let cfg = SimConfig::default();
 //! let workload = WorkloadBuilder::new(App::Gemm).scale(0.02).build();
 //! let policy = GritPolicy::new(GritConfig::full(&cfg), workload.footprint_pages);
-//! let out = Simulation::new(cfg, workload, Box::new(policy)).run();
+//! let sim = Simulation::try_new(cfg, workload, Box::new(policy)).unwrap();
+//! let out = sim.try_run().unwrap();
 //! assert!(out.metrics.total_cycles > 0);
 //! ```
+//!
+//! Batches of cells run through the Result-first [`experiments::run_batch`]
+//! API: each cell yields `Result<RunOutput, CellError>`, so a panicking or
+//! timed-out cell becomes a marked table row instead of aborting the
+//! campaign (see `DESIGN.md` §11).
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod runner;
 
-pub use runner::{ObserverConfig, RunObserver, RunOutput, Simulation};
+pub use runner::{ObserverConfig, RunObserver, RunOutput, Simulation, SimulationBuilder};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -46,10 +52,15 @@ pub mod prelude {
     pub use grit_core::{GritConfig, GritPolicy};
     pub use grit_metrics::{geomean, LatencyClass, Table};
     pub use grit_sim::{
-        Access, AccessKind, Cycle, GpuId, PageId, Scheme, SimConfig, PAGE_SIZE_2M, PAGE_SIZE_4K,
+        Access, AccessKind, CancelToken, CellError, ConfigError, Cycle, GpuId, GritError, PageId,
+        Scheme, SimConfig, PAGE_SIZE_2M, PAGE_SIZE_4K,
     };
     pub use grit_uvm::{PlacementPolicy, StaticPolicy, UvmDriver};
     pub use grit_workloads::{App, MultiGpuWorkload, WorkloadBuilder};
 
-    pub use crate::runner::{ObserverConfig, RunOutput, Simulation};
+    pub use crate::experiments::{
+        run_batch, run_batch_with, run_grid, BatchOptions, CellResultExt, CellSpec, ExpConfig,
+        PolicyKind, PolicySpec,
+    };
+    pub use crate::runner::{ObserverConfig, RunOutput, Simulation, SimulationBuilder};
 }

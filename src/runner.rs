@@ -14,8 +14,8 @@ use grit_metrics::{
     AttrGrid, IntervalSeries, LatencyClass, PageAttrSummary, PageAttrTracker, RunMetrics, SchemeMix,
 };
 use grit_sim::{
-    Access, AccessStream, Cycle, FxHashMap, GpuId, MemLoc, MlpWindow, PageId, SimConfig,
-    SliceStream,
+    Access, AccessStream, CancelState, CancelToken, CellError, ConfigError, Cycle, FxHashMap,
+    GpuId, GritError, MemLoc, MlpWindow, PageId, SimConfig, SliceStream,
 };
 use grit_trace::{CellTiming, TraceEvent, Tracer};
 use grit_uvm::{
@@ -196,6 +196,98 @@ pub struct Simulation {
     obs_grid_ps: Option<AttrGrid>,
     obs_grid_rw: Option<AttrGrid>,
     obs_scheme_timeline: Option<IntervalSeries>,
+    cancel: CancelToken,
+}
+
+/// Fluent constructor for [`Simulation`], absorbing the old
+/// `set_prefetcher` / `set_tracer` / `set_observer` mutators.
+///
+/// ```no_run
+/// use grit::prelude::*;
+/// use grit_uvm::StaticPolicy;
+/// use grit_workloads::WorkloadBuilder;
+///
+/// let cfg = SimConfig::default();
+/// let w = WorkloadBuilder::new(App::Bfs).num_gpus(cfg.num_gpus).scale(0.02).build();
+/// let sim = SimulationBuilder::new(cfg, w, Box::new(StaticPolicy::new(grit_sim::Scheme::OnTouch)))
+///     .observer(ObserverConfig::default().with_grids(50))
+///     .build()
+///     .expect("valid configuration");
+/// let out = sim.run();
+/// ```
+pub struct SimulationBuilder {
+    cfg: SimConfig,
+    workload: MultiGpuWorkload,
+    policy: Box<dyn PlacementPolicy>,
+    observer: Option<ObserverConfig>,
+    prefetcher: Option<Box<dyn Prefetcher>>,
+    tracer: Option<Tracer>,
+    cancel: CancelToken,
+}
+
+impl SimulationBuilder {
+    /// Starts a builder from the three mandatory ingredients.
+    pub fn new(
+        cfg: SimConfig,
+        workload: MultiGpuWorkload,
+        policy: Box<dyn PlacementPolicy>,
+    ) -> Self {
+        SimulationBuilder {
+            cfg,
+            workload,
+            policy,
+            observer: None,
+            prefetcher: None,
+            tracer: None,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Enables time-series instrumentation.
+    pub fn observer(mut self, cfg: ObserverConfig) -> Self {
+        self.observer = Some(cfg);
+        self
+    }
+
+    /// Attaches a prefetcher to the UVM driver (Fig. 30).
+    pub fn prefetcher(mut self, p: Box<dyn Prefetcher>) -> Self {
+        self.prefetcher = Some(p);
+        self
+    }
+
+    /// Attaches an event sink to the UVM driver (and its fabric); the
+    /// caller keeps a clone to drain events after the run.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Threads a cancellation token (abort flag and/or wall-clock budget)
+    /// into the run loop; see [`Simulation::try_run`].
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Validates and assembles the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated configuration constraint.
+    pub fn build(self) -> Result<Simulation, ConfigError> {
+        let mut sim = Simulation::try_new(self.cfg, self.workload, self.policy)?;
+        if let Some(obs) = self.observer {
+            sim.set_observer(obs);
+        }
+        if let Some(p) = self.prefetcher {
+            sim.driver.set_prefetcher(p);
+        }
+        if let Some(t) = self.tracer {
+            sim.driver.set_tracer(t);
+        }
+        sim.cancel = self.cancel;
+        Ok(sim)
+    }
 }
 
 impl Simulation {
@@ -205,18 +297,40 @@ impl Simulation {
     ///
     /// Panics if the workload GPU count differs from the configuration or
     /// the configuration is invalid.
+    #[deprecated(note = "use Simulation::try_new or SimulationBuilder")]
     pub fn new(
         cfg: SimConfig,
         workload: MultiGpuWorkload,
         policy: Box<dyn PlacementPolicy>,
     ) -> Self {
-        cfg.validate().expect("invalid simulation configuration");
-        assert_eq!(
-            workload.streams.len(),
-            cfg.num_gpus,
-            "workload GPU count must match the configuration"
-        );
-        let driver = UvmDriver::new(cfg.clone(), workload.footprint_pages, policy);
+        Simulation::try_new(cfg, workload, policy).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Wires a workload and a policy into a runnable system, reporting
+    /// invalid configurations (including a workload whose GPU count differs
+    /// from the configuration's) as values.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn try_new(
+        cfg: SimConfig,
+        workload: MultiGpuWorkload,
+        policy: Box<dyn PlacementPolicy>,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if workload.streams.len() != cfg.num_gpus {
+            return Err(ConfigError::new(
+                "workload",
+                format!(
+                    "workload GPU count must match the configuration \
+                     (workload has {}, configuration expects {})",
+                    workload.streams.len(),
+                    cfg.num_gpus
+                ),
+            ));
+        }
+        let driver = UvmDriver::try_new(cfg.clone(), workload.footprint_pages, policy)?;
         let gpus: Vec<GpuFrontend> = workload
             .streams
             .into_iter()
@@ -224,7 +338,7 @@ impl Simulation {
             .map(|(s, b)| GpuFrontend::new(&cfg, s, b))
             .collect();
         let ready_heap = (0..gpus.len()).map(|i| Reverse((0, i))).collect();
-        Simulation {
+        Ok(Simulation {
             gpus,
             ready_heap,
             driver,
@@ -240,23 +354,14 @@ impl Simulation {
             obs_grid_ps: None,
             obs_grid_rw: None,
             obs_scheme_timeline: None,
+            cancel: CancelToken::new(),
             cfg,
-        }
+        })
     }
 
-    /// Attaches a prefetcher to the UVM driver (Fig. 30).
-    pub fn set_prefetcher(&mut self, p: Box<dyn Prefetcher>) {
-        self.driver.set_prefetcher(p);
-    }
-
-    /// Attaches an event sink to the UVM driver (and its fabric); the
-    /// caller keeps a clone to drain events after the run.
-    pub fn set_tracer(&mut self, tracer: Tracer) {
-        self.driver.set_tracer(tracer);
-    }
-
-    /// Enables time-series instrumentation.
-    pub fn set_observer(&mut self, cfg: ObserverConfig) {
+    /// Enables time-series instrumentation (builder-internal; external
+    /// callers configure this through [`SimulationBuilder::observer`]).
+    fn set_observer(&mut self, cfg: ObserverConfig) {
         if cfg.track_page.is_some() {
             let interval = cfg.interval_cycles.max(1);
             self.obs_page_by_gpu = Some(IntervalSeries::new(interval, self.cfg.num_gpus));
@@ -278,8 +383,48 @@ impl Simulation {
     }
 
     /// Runs the workload to completion and collects all metrics.
-    pub fn run(mut self) -> RunOutput {
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`Simulation::try_run`] error (invariant violation,
+    /// timeout, cancellation).
+    pub fn run(self) -> RunOutput {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the workload to completion and collects all metrics,
+    /// reporting failures as values.
+    ///
+    /// The cancellation token installed via [`SimulationBuilder::cancel`]
+    /// is polled every 4096 processed accesses (and before the first), so
+    /// a raised abort flag or an expired wall-clock budget stops the run
+    /// within a bounded amount of simulated work — including a zero
+    /// budget, which fires before any access is replayed.
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::TimedOut`] (with partial progress counters) when the
+    /// budget expires, [`CellError::Cancelled`] when the shared abort flag
+    /// is raised, and [`CellError::Invariant`] when post-run VM-state
+    /// checks fail.
+    pub fn try_run(mut self) -> Result<RunOutput, GritError> {
+        let cancel_active = self.cancel.is_active();
         loop {
+            if cancel_active && self.accesses & 0xFFF == 0 {
+                match self.cancel.poll() {
+                    CancelState::Running => {}
+                    CancelState::Cancelled => return Err(CellError::Cancelled.into()),
+                    CancelState::TimedOut => {
+                        let cycles = self.gpus.iter().map(|g| g.last_done).max().unwrap_or(0);
+                        return Err(CellError::TimedOut {
+                            budget_seconds: self.cancel.budget_seconds(),
+                            cycles,
+                            accesses: self.accesses,
+                        }
+                        .into());
+                    }
+                }
+            }
             let Some(g) = self.pop_next_gpu() else {
                 if self.gpus.iter().all(|g| g.finished) {
                     break;
@@ -301,7 +446,7 @@ impl Simulation {
             match self.gpus[g].stream.next_access() {
                 Some(acc) => {
                     self.gpus[g].consumed += 1;
-                    self.process(g, acc);
+                    self.process(g, acc)?;
                     self.ready_heap.push(Reverse((self.gpus[g].ready, g)));
                 }
                 None => {
@@ -359,7 +504,7 @@ impl Simulation {
         }
     }
 
-    fn process(&mut self, g: usize, acc: Access) {
+    fn process(&mut self, g: usize, acc: Access) -> Result<(), GritError> {
         let gpu = GpuId::new(g as u8);
         let vpn = acc.vpn;
         let issue_base = self.gpus[g].ready + acc.think as Cycle;
@@ -409,7 +554,11 @@ impl Simulation {
             }
             self.gpus[g].tlb.fill(vpn);
         }
-        let mut mapping = mapping.expect("fault handling must establish a mapping");
+        let mut mapping = mapping.ok_or_else(|| {
+            GritError::Cell(CellError::Invariant(
+                "fault handling must establish a mapping".into(),
+            ))
+        })?;
 
         // Writes to read-only replicas: protection fault (collapse) or GPS
         // store broadcast.
@@ -418,7 +567,7 @@ impl Simulation {
                 let done = self.driver.broadcast_store(t, gpu, vpn);
                 self.local_accesses += 1;
                 self.complete(g, done);
-                return;
+                return Ok(());
             }
             let out = self.driver.handle_fault(FaultInfo {
                 now: t,
@@ -430,7 +579,11 @@ impl Simulation {
             t = t.max(out.done_at);
             self.apply_outcome(g, &out);
             self.gpus[g].tlb.fill(vpn);
-            mapping = out.mapping.expect("collapse must leave the writer mapped");
+            mapping = out.mapping.ok_or_else(|| {
+                GritError::Cell(CellError::Invariant(
+                    "collapse must leave the writer mapped".into(),
+                ))
+            })?;
         }
 
         // Data access through the cache hierarchy.
@@ -468,6 +621,7 @@ impl Simulation {
             self.gpus[g].l1.insert(key, ());
         }
         self.complete(g, t);
+        Ok(())
     }
 
     fn complete(&mut self, g: usize, done: Cycle) {
@@ -508,12 +662,14 @@ impl Simulation {
         }
     }
 
-    fn finish(self) -> RunOutput {
+    fn finish(self) -> Result<RunOutput, GritError> {
         // The Ideal upper bound deliberately fakes local mappings on every
         // GPU; its state is exempt from the consistency invariants.
         if !self.driver.is_ideal() {
             if let Err(e) = self.driver.check_invariants() {
-                panic!("VM state invariant violated after run: {e}");
+                return Err(GritError::Cell(CellError::Invariant(format!(
+                    "VM state invariant violated after run: {e}"
+                ))));
             }
         }
         let total_cycles = self.gpus.iter().map(|g| g.last_done).max().unwrap_or(0);
@@ -571,14 +727,14 @@ impl Simulation {
             grid_interval_cycles: self.observer_cfg.interval_cycles,
             scheme_timeline: self.obs_scheme_timeline,
         });
-        RunOutput {
+        Ok(RunOutput {
             metrics,
             page_attrs: self.attrs.summary(),
             attrs: self.attrs,
             observer,
             timing: CellTiming::default(),
             events: None,
-        }
+        })
     }
 }
 
@@ -612,7 +768,7 @@ mod tests {
 
     fn run(w: MultiGpuWorkload, cfg: SimConfig) -> RunOutput {
         let policy = Box::new(StaticPolicy::new(Scheme::OnTouch));
-        Simulation::new(cfg, w, policy).run()
+        Simulation::try_new(cfg, w, policy).unwrap().run()
     }
 
     #[test]
@@ -705,7 +861,7 @@ mod tests {
             4,
         );
         let policy = Box::new(StaticPolicy::new(Scheme::Duplication));
-        let out = Simulation::new(cfg, w, policy).run();
+        let out = Simulation::try_new(cfg, w, policy).unwrap().run();
         assert_eq!(out.metrics.faults.protection_faults, 1);
         assert_eq!(out.metrics.faults.collapses, 1);
     }
@@ -721,8 +877,10 @@ mod tests {
             4,
         );
         let policy = Box::new(StaticPolicy::new(Scheme::OnTouch));
-        let mut sim = Simulation::new(two_gpu_cfg(), w, policy);
-        sim.set_observer(ObserverConfig::tracking(PageId(1)));
+        let sim = SimulationBuilder::new(two_gpu_cfg(), w, policy)
+            .observer(ObserverConfig::tracking(PageId(1)))
+            .build()
+            .unwrap();
         let out = sim.run();
         let obs = out.observer.expect("observer configured");
         let total: u64 = obs.page_by_gpu.iter().map(|(_, r)| r.iter().sum::<u64>()).sum();
@@ -745,7 +903,7 @@ mod tests {
         let cfg = SimConfig::with_gpus(8);
         let w = WorkloadBuilder::new(App::Gemm).num_gpus(8).scale(0.02).build();
         let policy = Box::new(StaticPolicy::new(Scheme::OnTouch));
-        let out = Simulation::new(cfg, w, policy).run();
+        let out = Simulation::try_new(cfg, w, policy).unwrap().run();
         assert!(out.metrics.total_cycles > 0);
         let finish = out.metrics.aux("per_gpu_finish_cycles").unwrap();
         assert_eq!(finish.len(), 8);
@@ -753,11 +911,66 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "GPU count must match")]
     fn gpu_count_mismatch_rejected() {
         let w = WorkloadBuilder::new(App::Gemm).num_gpus(2).scale(0.02).build();
         let policy = Box::new(StaticPolicy::new(Scheme::OnTouch));
+        let err = match Simulation::try_new(SimConfig::default(), w, policy) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched GPU count must be rejected"),
+        };
+        assert_eq!(err.field, "workload");
+        assert!(err.to_string().contains("GPU count must match"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "GPU count must match")]
+    fn deprecated_new_still_panics_on_mismatch() {
+        let w = WorkloadBuilder::new(App::Gemm).num_gpus(2).scale(0.02).build();
+        let policy = Box::new(StaticPolicy::new(Scheme::OnTouch));
         let _ = Simulation::new(SimConfig::default(), w, policy);
+    }
+
+    #[test]
+    fn zero_budget_run_times_out_with_partial_counters() {
+        let w = tiny_workload(
+            vec![vec![Access::read(PageId(1), 0)], vec![]],
+            vec![vec![], vec![]],
+            4,
+        );
+        let policy = Box::new(StaticPolicy::new(Scheme::OnTouch));
+        let sim = SimulationBuilder::new(two_gpu_cfg(), w, policy)
+            .cancel(CancelToken::new().with_budget(std::time::Duration::ZERO))
+            .build()
+            .unwrap();
+        match sim.try_run() {
+            Err(GritError::Cell(CellError::TimedOut {
+                budget_seconds,
+                accesses,
+                ..
+            })) => {
+                assert_eq!(budget_seconds, 0.0);
+                assert_eq!(accesses, 0, "zero budget fires before the first access");
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_aborts_run() {
+        let w = tiny_workload(
+            vec![vec![Access::read(PageId(1), 0)], vec![]],
+            vec![vec![], vec![]],
+            4,
+        );
+        let policy = Box::new(StaticPolicy::new(Scheme::OnTouch));
+        let token = CancelToken::shared();
+        token.cancel();
+        let sim = SimulationBuilder::new(two_gpu_cfg(), w, policy).cancel(token).build().unwrap();
+        assert!(matches!(
+            sim.try_run(),
+            Err(GritError::Cell(CellError::Cancelled))
+        ));
     }
 
     #[test]
@@ -784,7 +997,7 @@ mod tests {
             4,
         );
         let policy = Box::new(StaticPolicy::new(Scheme::OnTouch));
-        let out = Simulation::new(two_gpu_cfg(), w, policy).run();
+        let out = Simulation::try_new(two_gpu_cfg(), w, policy).unwrap().run();
         assert_eq!(out.metrics.faults.local_faults, 1);
         assert!(out.attrs.is_written(PageId(3)));
         let _ = AccessKind::Write; // silence unused import in some cfgs

@@ -93,7 +93,11 @@ fn oracle_beats_every_uniform_scheme_on_static_apps() {
         .intensity(e.intensity)
         .seed(e.seed)
         .build();
-    let oracle = Simulation::new(cfg, w, Box::new(oracle_policy)).run().metrics.total_cycles;
+    let oracle = Simulation::try_new(cfg, w, Box::new(oracle_policy))
+        .unwrap()
+        .run()
+        .metrics
+        .total_cycles;
     for scheme in Scheme::ALL {
         let uniform = run_cell(App::Gemm, PolicyKind::Static(scheme), &exp()).metrics.total_cycles;
         assert!(
@@ -164,11 +168,13 @@ fn prefetcher_is_neutral_or_better_for_every_policy() {
         };
         let w = build();
         let p = policy.build(&cfg, w.footprint_pages);
-        let plain = Simulation::new(cfg.clone(), w, p).run().metrics;
+        let plain = Simulation::try_new(cfg.clone(), w, p).unwrap().run().metrics;
         let w = build();
         let p = policy.build(&cfg, w.footprint_pages);
-        let mut sim = Simulation::new(cfg.clone(), w, p);
-        sim.set_prefetcher(Box::new(TreePrefetcher::new()));
+        let sim = SimulationBuilder::new(cfg.clone(), w, p)
+            .prefetcher(Box::new(TreePrefetcher::new()))
+            .build()
+            .unwrap();
         let fetched = sim.run().metrics;
         assert!(
             fetched.faults.local_faults < plain.faults.local_faults,

@@ -179,13 +179,20 @@ fn prefetching_cuts_cold_faults_without_breaking_invariants() {
     let base = {
         let w = WorkloadBuilder::new(App::Sc).scale(0.04).intensity(1.5).build();
         let p = PolicyKind::Static(Scheme::OnTouch).build(&cfg, w.footprint_pages);
-        Simulation::new(cfg.clone(), w, p).run().metrics.faults.local_faults
+        Simulation::try_new(cfg.clone(), w, p)
+            .unwrap()
+            .run()
+            .metrics
+            .faults
+            .local_faults
     };
     let with_pf = {
         let w = WorkloadBuilder::new(App::Sc).scale(0.04).intensity(1.5).build();
         let p = PolicyKind::Static(Scheme::OnTouch).build(&cfg, w.footprint_pages);
-        let mut sim = Simulation::new(cfg.clone(), w, p);
-        sim.set_prefetcher(Box::new(TreePrefetcher::new()));
+        let sim = SimulationBuilder::new(cfg.clone(), w, p)
+            .prefetcher(Box::new(TreePrefetcher::new()))
+            .build()
+            .unwrap();
         sim.run().metrics.faults.local_faults
     };
     assert!(

@@ -167,7 +167,8 @@ fn pa_cache_absorbs_table_traffic() {
     // Drive through the full system, then inspect the policy indirectly:
     // a second, identical run with the PA-Cache disabled must charge more
     // decision latency, visible as extra host-class cycles.
-    let with_cache = Simulation::new(cfg.clone(), workload, Box::new(policy))
+    let with_cache = Simulation::try_new(cfg.clone(), workload, Box::new(policy))
+        .unwrap()
         .run()
         .metrics
         .breakdown
@@ -177,7 +178,8 @@ fn pa_cache_absorbs_table_traffic() {
         grit_core::GritConfig::table_only(&cfg),
         workload.footprint_pages,
     );
-    let without_cache = Simulation::new(cfg, workload, Box::new(no_cache))
+    let without_cache = Simulation::try_new(cfg, workload, Box::new(no_cache))
+        .unwrap()
         .run()
         .metrics
         .breakdown

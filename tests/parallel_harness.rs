@@ -4,8 +4,8 @@
 //! trace exactly once however many cells request it.
 
 use grit::experiments::{
-    fig17_grit, run_batch_with_jobs, set_jobs, table2_apps, workload_cache, CellSpec, ExpConfig,
-    PolicyKind,
+    fig17_grit, run_batch_with, set_jobs, table2_apps, workload_cache, BatchOptions, CellSpec,
+    ExpConfig, PolicyKind,
 };
 use grit_sim::SimConfig;
 
@@ -59,9 +59,11 @@ fn batch_outputs_preserve_declaration_order() {
     ];
     let cells: Vec<CellSpec> =
         apps.iter().map(|&a| CellSpec::new(a, PolicyKind::GRIT, &exp)).collect();
-    let serial = run_batch_with_jobs(&cells, 1);
-    let parallel = run_batch_with_jobs(&cells, 3);
+    let serial = run_batch_with(&cells, &BatchOptions::new().jobs(1));
+    let parallel = run_batch_with(&cells, &BatchOptions::new().jobs(3));
     for ((s, p), app) in serial.iter().zip(&parallel).zip(apps) {
+        let s = s.as_ref().expect("cell must succeed");
+        let p = p.as_ref().expect("cell must succeed");
         assert_eq!(s.metrics.accesses, p.metrics.accesses, "{app:?}");
         assert_eq!(s.metrics.total_cycles, p.metrics.total_cycles, "{app:?}");
     }

@@ -2,7 +2,7 @@
 //! batch executor submits events in declaration order after the barrier,
 //! so `--jobs 1` and `--jobs 4` produce byte-identical streams.
 
-use grit::experiments::{run_batch_with_jobs, CellSpec, ExpConfig, PolicyKind};
+use grit::experiments::{run_batch_with, BatchOptions, CellSpec, ExpConfig, PolicyKind};
 use grit_sim::Scheme;
 use grit_trace::{events_to_jsonl, TraceConfig};
 use grit_workloads::App;
@@ -24,9 +24,12 @@ fn grid() -> Vec<CellSpec> {
 
 /// Concatenated JSONL of the whole batch, in declaration order.
 fn stream(jobs: usize) -> String {
-    run_batch_with_jobs(&grid(), jobs)
+    run_batch_with(&grid(), &BatchOptions::new().jobs(jobs))
         .iter()
-        .map(|out| events_to_jsonl(out.events.as_deref().expect("tracing was enabled")))
+        .map(|out| {
+            let out = out.as_ref().expect("cell must succeed");
+            events_to_jsonl(out.events.as_deref().expect("tracing was enabled"))
+        })
         .collect()
 }
 
