@@ -150,6 +150,54 @@ fn bench_system(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fabric(c: &mut Criterion) {
+    use grit_interconnect::Fabric;
+    use grit_sim::{GpuId, LinkConfig, TopologyConfig, TopologyKind};
+    let mut g = c.benchmark_group("components/fabric");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    // The routed-transfer hot path: one gpu_to_gpu booking per iteration,
+    // cycling through every GPU pair of an 8-GPU fabric. Single-hop on
+    // the default all-to-all; multi-hop (route walk + per-hop booking) on
+    // the shared-wire topologies.
+    for kind in [
+        TopologyKind::AllToAll,
+        TopologyKind::NvSwitch,
+        TopologyKind::Ring,
+        TopologyKind::Hierarchical,
+    ] {
+        g.bench_function(
+            format!("gpu_to_gpu_{}", TopologyConfig::of(kind).name()),
+            |b| {
+                let mut f =
+                    Fabric::with_topology(8, LinkConfig::default(), TopologyConfig::of(kind));
+                let pairs: Vec<(GpuId, GpuId)> = (0..8u8)
+                    .flat_map(|a| ((a + 1)..8).map(move |b| (GpuId::new(a), GpuId::new(b))))
+                    .collect();
+                let mut i = 0usize;
+                let mut now = 0u64;
+                b.iter(|| {
+                    let (src, dst) = pairs[i % pairs.len()];
+                    i += 1;
+                    now += 200;
+                    black_box(f.gpu_to_gpu(src, dst, now, 4096));
+                })
+            },
+        );
+    }
+    g.bench_function("fabric_build_nvswitch_16", |b| {
+        b.iter(|| {
+            black_box(Fabric::with_topology(
+                16,
+                LinkConfig::default(),
+                TopologyConfig::of(TopologyKind::NvSwitch),
+            ))
+        })
+    });
+    g.finish();
+}
+
 fn bench_grit_policy_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("components/policy");
     g.sample_size(10);
@@ -191,6 +239,7 @@ criterion_group! {
         bench_grit_structures,
         bench_workloads,
         bench_system,
+        bench_fabric,
         bench_grit_policy_end_to_end
 }
 criterion_main!(components);

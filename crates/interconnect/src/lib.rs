@@ -1,11 +1,14 @@
 //! # grit-interconnect
 //!
-//! Interconnect model for the multi-GPU node: point-to-point NVLink-v2
-//! links between every GPU pair and a PCIe-v4 link from each GPU to the
-//! host (Table I: 300 GB/s NVLink, 32 GB/s PCIe). Links model both fixed
-//! latency and serial bandwidth occupancy, so heavy migration or remote
-//! traffic queues behind itself — the mechanism that makes "ping-pong"
-//! migration and counter-based remote storms expensive in the paper.
+//! Interconnect model for the multi-GPU node: a routed GPU↔GPU fabric
+//! wired by a pluggable topology (`grit-topo`) and a PCIe-v4 link from
+//! each GPU to the host (Table I: 300 GB/s NVLink, 32 GB/s PCIe). The
+//! default topology is the paper's all-to-all node — a dedicated NVLink-v2
+//! wire per GPU pair. Links model both fixed latency and serial bandwidth
+//! occupancy, and multi-hop routes book every hop, so heavy migration or
+//! remote traffic queues behind itself — the mechanism that makes
+//! "ping-pong" migration and counter-based remote storms expensive in the
+//! paper — and shared switch trunks congest across unrelated GPU pairs.
 //!
 //! # Example
 //!

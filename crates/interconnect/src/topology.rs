@@ -1,31 +1,83 @@
-//! Node topology: all-to-all NVLink between GPUs, PCIe to the host.
+//! Topology-driven fabric: routed GPU↔GPU transfers over a pluggable link
+//! graph, PCIe to the host.
+//!
+//! The GPU-side wire layout comes from `grit-topo`: a [`Fabric`] builds the
+//! configured topology's link graph once, precomputes shortest-path routes,
+//! and books every transfer hop-by-hop on per-link occupancy, so congestion
+//! composes across hops (a saturated switch trunk delays every route that
+//! crosses it). The default [`grit_sim::TopologyKind::AllToAll`] lays its
+//! links out in the legacy triangular pair order and routes every pair in
+//! one hop, reproducing the pre-topology fabric cycle-for-cycle.
 
-use grit_sim::{Cycle, GpuId, LinkConfig, MemLoc};
+use grit_sim::{Cycle, GpuId, LinkConfig, MemLoc, TopologyConfig};
+use grit_topo::{build_topology, HopClass, Routing};
 use grit_trace::{EventCategory, LinkKind, TraceEvent, Tracer};
 
 use crate::link::{Link, LinkStats};
 
-/// Aggregate fabric traffic, split by link class.
+/// Aggregate fabric traffic, split by wire class.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct FabricStats {
-    /// Bytes moved GPU-to-GPU over NVLink.
+    /// Bytes moved over direct GPU↔GPU NVLinks.
     pub nvlink_bytes: u64,
-    /// Bytes moved to/from the host over PCIe.
+    /// Bytes moved over switch uplinks and inter-switch trunks.
+    pub switch_bytes: u64,
+    /// Bytes moved over the hierarchical inter-node bottleneck.
+    pub inter_node_bytes: u64,
+    /// Bytes moved to/from the host over PCIe (data + control).
     pub pcie_bytes: u64,
-    /// Total congestion cycles across all links.
-    pub queue_cycles: u64,
+    /// Congestion cycles on NVLink hops.
+    pub nvlink_queue_cycles: u64,
+    /// Congestion cycles on switch hops.
+    pub switch_queue_cycles: u64,
+    /// Congestion cycles on inter-node hops.
+    pub inter_node_queue_cycles: u64,
+    /// Congestion cycles on PCIe links.
+    pub pcie_queue_cycles: u64,
+}
+
+impl FabricStats {
+    /// Total congestion cycles across every wire class.
+    pub fn queue_cycles(&self) -> u64 {
+        self.nvlink_queue_cycles
+            + self.switch_queue_cycles
+            + self.inter_node_queue_cycles
+            + self.pcie_queue_cycles
+    }
+
+    /// GPU-side wire bytes (every class except host PCIe). Multi-hop
+    /// routes count the payload once per hop crossed.
+    pub fn wire_bytes(&self) -> u64 {
+        self.nvlink_bytes + self.switch_bytes + self.inter_node_bytes
+    }
+}
+
+fn hop_kind(class: HopClass) -> LinkKind {
+    match class {
+        HopClass::Nvlink => LinkKind::Nvlink,
+        HopClass::Switch => LinkKind::Switch,
+        HopClass::InterNode => LinkKind::InterNode,
+    }
 }
 
 /// The interconnect of one multi-GPU node.
 ///
-/// GPU pairs get a dedicated duplex NVLink (DGX-style fully connected for
-/// the 2–16 GPU range the paper sweeps); each GPU shares one PCIe link with
-/// the host for fault handling and host-sourced fills.
+/// GPU↔GPU traffic crosses the configured topology's link graph along
+/// precomputed shortest paths (store-and-forward: hop `i + 1` is submitted
+/// at hop `i`'s delivery cycle); each GPU shares one PCIe link with the
+/// host for fault handling and host-sourced fills.
 #[derive(Clone, Debug)]
 pub struct Fabric {
     num_gpus: usize,
-    /// Upper-triangular pair links, indexed via [`Fabric::pair_index`].
-    nvlinks: Vec<Link>,
+    /// Stable topology name, for diagnostics.
+    topology: &'static str,
+    /// One wire per topology link, indexed by link id. For the default
+    /// all-to-all this is the legacy upper-triangular pair layout.
+    links: Vec<Link>,
+    /// Wire class of each link (parallel to `links`).
+    classes: Vec<HopClass>,
+    /// Shortest-path routes between every GPU pair.
+    routing: Routing,
     /// Bulk-data PCIe channel per GPU (page transfers).
     pcie: Vec<Link>,
     /// Control PCIe channel per GPU (fault messages/replies). Split from
@@ -37,19 +89,30 @@ pub struct Fabric {
 }
 
 impl Fabric {
-    /// Builds the fabric for `num_gpus` GPUs.
+    /// Builds the default all-to-all fabric for `num_gpus` GPUs.
     ///
     /// # Panics
     ///
     /// Panics if `num_gpus` is zero.
     pub fn new(num_gpus: usize, cfg: LinkConfig) -> Self {
+        Fabric::with_topology(num_gpus, cfg, TopologyConfig::default())
+    }
+
+    /// Builds the fabric for `num_gpus` GPUs wired as `topo` describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus` is zero.
+    pub fn with_topology(num_gpus: usize, cfg: LinkConfig, topo: TopologyConfig) -> Self {
         assert!(num_gpus > 0, "fabric needs at least one GPU");
-        let pairs = num_gpus * num_gpus.saturating_sub(1) / 2;
+        let graph = build_topology(num_gpus, cfg, topo).graph();
+        let routing = Routing::compute(&graph);
         Fabric {
             num_gpus,
-            nvlinks: (0..pairs.max(1))
-                .map(|_| Link::new(cfg.nvlink_bytes_per_cycle, cfg.nvlink_latency))
-                .collect(),
+            topology: topo.name(),
+            links: graph.links.iter().map(|l| Link::new(l.bytes_per_cycle, l.latency)).collect(),
+            classes: graph.links.iter().map(|l| l.class).collect(),
+            routing,
             pcie: (0..num_gpus)
                 .map(|_| Link::new(cfg.pcie_bytes_per_cycle, cfg.pcie_latency))
                 .collect(),
@@ -65,34 +128,36 @@ impl Fabric {
         self.tracer = tracer;
     }
 
-    fn pair_index(&self, a: GpuId, b: GpuId) -> usize {
-        let (lo, hi) = if a.index() < b.index() {
-            (a.index(), b.index())
-        } else {
-            (b.index(), a.index())
-        };
-        debug_assert!(lo < hi, "pair link requires distinct GPUs");
-        // Index into the upper triangle laid out row by row.
-        lo * self.num_gpus - lo * (lo + 1) / 2 + (hi - lo - 1)
-    }
-
-    /// Transfers `bytes` between two distinct GPUs; returns delivery cycle.
+    /// Transfers `bytes` between two distinct GPUs along the routed path;
+    /// returns the final delivery cycle. Each hop books its wire at the
+    /// previous hop's delivery cycle and emits one trace event.
     ///
     /// # Panics
     ///
     /// Panics if `a == b` (local copies never cross the fabric).
     pub fn gpu_to_gpu(&mut self, a: GpuId, b: GpuId, now: Cycle, bytes: u64) -> Cycle {
         assert!(a != b, "gpu_to_gpu requires distinct endpoints");
-        let idx = self.pair_index(a, b);
-        let t = self.nvlinks[idx].transfer(now, bytes);
-        self.tracer.emit(EventCategory::LinkTransfer, || TraceEvent::LinkTransfer {
-            cycle: now,
-            link: LinkKind::Nvlink,
-            src: MemLoc::Gpu(a),
-            dst: MemLoc::Gpu(b),
-            bytes,
-            delivered: t,
-        });
+        let path = self.routing.route(a.index(), b.index());
+        let hops = path.len() as u8;
+        let forward = a.index() < b.index();
+        let mut t = now;
+        for hop in 0..path.len() {
+            let step = if forward { hop } else { path.len() - 1 - hop };
+            let wire = path[step] as usize;
+            let submitted = t;
+            t = self.links[wire].transfer(submitted, bytes);
+            let link = hop_kind(self.classes[wire]);
+            self.tracer.emit(EventCategory::LinkTransfer, || TraceEvent::LinkTransfer {
+                cycle: submitted,
+                link,
+                src: MemLoc::Gpu(a),
+                dst: MemLoc::Gpu(b),
+                bytes,
+                delivered: t,
+                hop: hop as u8,
+                hops,
+            });
+        }
         t
     }
 
@@ -106,6 +171,8 @@ impl Fabric {
             dst: MemLoc::Host,
             bytes,
             delivered: t,
+            hop: 0,
+            hops: 1,
         });
         t
     }
@@ -124,14 +191,21 @@ impl Fabric {
             dst: MemLoc::Host,
             bytes: 64,
             delivered: t,
+            hop: 0,
+            hops: 1,
         });
         t
     }
 
-    /// One-way NVLink latency between two GPUs (control messages).
+    /// One-way fabric latency between two GPUs (control messages): the sum
+    /// of per-hop wire latencies along the routed path.
     pub fn nvlink_latency(&self, a: GpuId, b: GpuId) -> Cycle {
         assert!(a != b, "nvlink latency requires distinct endpoints");
-        self.nvlinks[self.pair_index(a, b)].latency()
+        self.routing
+            .route(a.index(), b.index())
+            .iter()
+            .map(|&wire| self.links[wire as usize].latency())
+            .sum()
     }
 
     /// Number of GPUs in the fabric.
@@ -139,21 +213,47 @@ impl Fabric {
         self.num_gpus
     }
 
-    /// Per-link statistics for one GPU pair.
-    pub fn nvlink_stats(&self, a: GpuId, b: GpuId) -> LinkStats {
-        self.nvlinks[self.pair_index(a, b)].stats()
+    /// Stable name of the wired topology (e.g. `"all-to-all"`).
+    pub fn topology_name(&self) -> &'static str {
+        self.topology
     }
 
-    /// Aggregate traffic across the fabric.
+    /// Number of GPU-side wires in the topology graph (excludes host PCIe).
+    pub fn num_wire_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The link-id path between two distinct GPUs, ordered from the
+    /// lower-numbered GPU to the higher one.
+    pub fn route(&self, a: GpuId, b: GpuId) -> &[u32] {
+        self.routing.route(a.index(), b.index())
+    }
+
+    /// Traffic counters of one GPU-side wire, by link id.
+    pub fn wire_stats(&self, link: u32) -> LinkStats {
+        self.links[link as usize].stats()
+    }
+
+    /// Wire class of one GPU-side link, by link id.
+    pub fn wire_class(&self, link: u32) -> HopClass {
+        self.classes[link as usize]
+    }
+
+    /// Aggregate traffic across the fabric, split by wire class.
     pub fn stats(&self) -> FabricStats {
         let mut s = FabricStats::default();
-        for l in &self.nvlinks {
-            s.nvlink_bytes += l.stats().bytes;
-            s.queue_cycles += l.stats().queue_cycles;
+        for (l, class) in self.links.iter().zip(&self.classes) {
+            let (bytes, queue) = match class {
+                HopClass::Nvlink => (&mut s.nvlink_bytes, &mut s.nvlink_queue_cycles),
+                HopClass::Switch => (&mut s.switch_bytes, &mut s.switch_queue_cycles),
+                HopClass::InterNode => (&mut s.inter_node_bytes, &mut s.inter_node_queue_cycles),
+            };
+            *bytes += l.stats().bytes;
+            *queue += l.stats().queue_cycles;
         }
         for l in self.pcie.iter().chain(&self.pcie_ctrl) {
             s.pcie_bytes += l.stats().bytes;
-            s.queue_cycles += l.stats().queue_cycles;
+            s.pcie_queue_cycles += l.stats().queue_cycles;
         }
         s
     }
@@ -162,31 +262,37 @@ impl Fabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use grit_sim::TopologyKind;
 
     fn fabric(n: usize) -> Fabric {
         Fabric::new(n, LinkConfig::default())
     }
 
+    fn fabric_of(kind: TopologyKind, n: usize) -> Fabric {
+        Fabric::with_topology(n, LinkConfig::default(), TopologyConfig::of(kind))
+    }
+
     #[test]
-    fn pair_index_is_unique_and_total() {
+    fn all_to_all_routes_every_pair_in_one_hop() {
         let f = fabric(4);
         let mut seen = std::collections::HashSet::new();
         for a in 0..4u8 {
             for b in (a + 1)..4u8 {
-                let idx = f.pair_index(GpuId::new(a), GpuId::new(b));
-                assert!(seen.insert(idx), "duplicate index {idx}");
-                assert!(idx < 6);
+                let route = f.route(GpuId::new(a), GpuId::new(b));
+                assert_eq!(route.len(), 1);
+                assert!(seen.insert(route[0]), "duplicate wire {}", route[0]);
             }
         }
         assert_eq!(seen.len(), 6);
+        assert_eq!(f.num_wire_links(), 6);
     }
 
     #[test]
-    fn pair_index_symmetric() {
-        let f = fabric(8);
-        let i1 = f.pair_index(GpuId::new(2), GpuId::new(5));
-        let i2 = f.pair_index(GpuId::new(5), GpuId::new(2));
-        assert_eq!(i1, i2);
+    fn routes_are_direction_symmetric() {
+        let f = fabric_of(TopologyKind::Ring, 8);
+        let r1 = f.route(GpuId::new(2), GpuId::new(5)).to_vec();
+        let r2 = f.route(GpuId::new(5), GpuId::new(2)).to_vec();
+        assert_eq!(r1, r2);
     }
 
     #[test]
@@ -223,6 +329,8 @@ mod tests {
         let s = f.stats();
         assert_eq!(s.nvlink_bytes, 100);
         assert_eq!(s.pcie_bytes, 200);
+        assert_eq!(s.switch_bytes, 0);
+        assert_eq!(s.inter_node_bytes, 0);
     }
 
     #[test]
@@ -236,6 +344,96 @@ mod tests {
     fn single_gpu_fabric_supports_host_traffic() {
         let mut f = fabric(1);
         assert!(f.gpu_to_host(GpuId::new(0), 0, 64) > 0);
+    }
+
+    #[test]
+    fn single_gpu_fabric_has_no_phantom_pair_links() {
+        // Regression: the legacy fabric allocated `pairs.max(1)` NVLinks,
+        // leaving one phantom pair link in a 1-GPU fabric.
+        for kind in TopologyKind::ALL {
+            let f = Fabric::with_topology(1, LinkConfig::default(), TopologyConfig::of(kind));
+            assert_eq!(
+                f.stats().wire_bytes(),
+                0,
+                "{kind:?} has wire traffic at n=1"
+            );
+        }
+        assert_eq!(fabric(1).num_wire_links(), 0);
+    }
+
+    #[test]
+    fn multi_hop_transfer_books_every_hop() {
+        let mut f = fabric_of(TopologyKind::Ring, 8);
+        // 0 -> 4 is antipodal on an 8-ring: 4 hops.
+        assert_eq!(f.route(GpuId::new(0), GpuId::new(4)).len(), 4);
+        let direct =
+            fabric_of(TopologyKind::Ring, 8).gpu_to_gpu(GpuId::new(0), GpuId::new(1), 0, 4096);
+        let routed = f.gpu_to_gpu(GpuId::new(0), GpuId::new(4), 0, 4096);
+        // Store-and-forward: four hops cost four single-hop delays.
+        assert_eq!(routed, 4 * direct);
+        // Every hop carries the full payload once.
+        assert_eq!(f.stats().wire_bytes(), 4 * 4096);
+    }
+
+    #[test]
+    fn reverse_direction_books_the_same_wires() {
+        let mut fwd = fabric_of(TopologyKind::Mesh2d, 8);
+        let mut rev = fabric_of(TopologyKind::Mesh2d, 8);
+        fwd.gpu_to_gpu(GpuId::new(1), GpuId::new(6), 0, 4096);
+        rev.gpu_to_gpu(GpuId::new(6), GpuId::new(1), 0, 4096);
+        for wire in 0..fwd.num_wire_links() as u32 {
+            assert_eq!(fwd.wire_stats(wire), rev.wire_stats(wire));
+        }
+    }
+
+    #[test]
+    fn hierarchical_bottleneck_queues_cross_node_traffic() {
+        let mut f = fabric_of(TopologyKind::Hierarchical, 8);
+        // Two simultaneous cross-node transfers from different sources
+        // serialize on the single inter-node link.
+        f.gpu_to_gpu(GpuId::new(0), GpuId::new(4), 0, 1_000_000);
+        f.gpu_to_gpu(GpuId::new(1), GpuId::new(5), 0, 1_000_000);
+        let s = f.stats();
+        assert_eq!(s.inter_node_bytes, 2_000_000);
+        assert!(s.inter_node_queue_cycles > 0, "bottleneck never queued");
+        // Intra-node pairs ride direct NVLinks and never touch it.
+        let mut intra = fabric_of(TopologyKind::Hierarchical, 8);
+        intra.gpu_to_gpu(GpuId::new(0), GpuId::new(3), 0, 1_000_000);
+        intra.gpu_to_gpu(GpuId::new(1), GpuId::new(2), 0, 1_000_000);
+        assert_eq!(intra.stats().inter_node_bytes, 0);
+        assert_eq!(intra.stats().queue_cycles(), 0);
+    }
+
+    #[test]
+    fn shared_wires_queue_harder_than_all_to_all() {
+        // Acceptance: the same traffic pattern shows measurably different
+        // queueing on shared-wire topologies than on dedicated pair links.
+        let hammer = |mut f: Fabric| -> u64 {
+            for round in 0..4 {
+                for a in 0..8u8 {
+                    for b in (a + 1)..8u8 {
+                        f.gpu_to_gpu(GpuId::new(a), GpuId::new(b), round * 1000, 64 * 1024);
+                    }
+                }
+            }
+            f.stats().queue_cycles()
+        };
+        let all_to_all = hammer(fabric(8));
+        let ring = hammer(fabric_of(TopologyKind::Ring, 8));
+        let switched = hammer(fabric_of(TopologyKind::NvSwitch, 8));
+        assert!(
+            ring > all_to_all && switched > all_to_all,
+            "expected shared wires to queue harder: all-to-all={all_to_all} \
+             ring={ring} nvswitch={switched}"
+        );
+    }
+
+    #[test]
+    fn nvlink_latency_sums_over_hops() {
+        let f = fabric_of(TopologyKind::Ring, 8);
+        let one = f.nvlink_latency(GpuId::new(0), GpuId::new(1));
+        assert_eq!(one, LinkConfig::default().nvlink_latency);
+        assert_eq!(f.nvlink_latency(GpuId::new(0), GpuId::new(4)), 4 * one);
     }
 
     #[test]
@@ -260,5 +458,49 @@ mod tests {
             kinds,
             vec![LinkKind::Nvlink, LinkKind::Pcie, LinkKind::PcieCtrl]
         );
+    }
+
+    #[test]
+    fn tracer_emits_one_event_per_hop_with_route_info() {
+        use grit_trace::TraceConfig;
+        let mut f = fabric_of(TopologyKind::Hierarchical, 8);
+        let t = Tracer::new(TraceConfig::default());
+        f.set_tracer(t.clone());
+        let delivered = f.gpu_to_gpu(GpuId::new(0), GpuId::new(4), 0, 4096);
+        let events = t.take_events();
+        assert_eq!(events.len(), 3); // gpu -> router -> router -> gpu
+        for (i, e) in events.iter().enumerate() {
+            match e {
+                TraceEvent::LinkTransfer {
+                    src,
+                    dst,
+                    hop,
+                    hops,
+                    ..
+                } => {
+                    // Per-hop events keep the overall endpoints.
+                    assert_eq!(*src, MemLoc::Gpu(GpuId::new(0)));
+                    assert_eq!(*dst, MemLoc::Gpu(GpuId::new(4)));
+                    assert_eq!(*hop, i as u8);
+                    assert_eq!(*hops, 3);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        let kinds: Vec<LinkKind> = events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::LinkTransfer { link, .. } => *link,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![LinkKind::Switch, LinkKind::InterNode, LinkKind::Switch]
+        );
+        match events.last() {
+            Some(TraceEvent::LinkTransfer { delivered: d, .. }) => assert_eq!(*d, delivered),
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 }

@@ -1,0 +1,81 @@
+//! Property tests for the routed fabric: per-hop byte conservation on
+//! every topology, and exact equivalence between the default all-to-all
+//! fabric and a hand-built replica of the legacy per-pair-link model.
+
+use proptest::prelude::*;
+
+use grit_interconnect::{Fabric, Link};
+use grit_sim::{GpuId, LinkConfig, TopologyConfig, TopologyKind};
+
+fn kind_strategy() -> impl Strategy<Value = TopologyKind> {
+    (0usize..TopologyKind::ALL.len()).prop_map(|i| TopologyKind::ALL[i])
+}
+
+/// `(src, dst, submit cycle, bytes)` with endpoints reduced modulo the
+/// fabric's GPU count at use time.
+fn ops_strategy() -> impl Strategy<Value = Vec<(u8, u8, u64, u64)>> {
+    prop::collection::vec(
+        (any::<u8>(), any::<u8>(), 0u64..100_000, 0u64..1 << 16),
+        1..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn every_hop_books_the_transfer_bytes(
+        kind in kind_strategy(),
+        n in 2usize..=16,
+        ops in ops_strategy(),
+    ) {
+        let mut f = Fabric::with_topology(n, LinkConfig::default(), TopologyConfig::of(kind));
+        let mut expected_wire_bytes = 0u64;
+        for (a, b, now, bytes) in ops {
+            let (a, b) = (a as usize % n, b as usize % n);
+            if a == b {
+                continue;
+            }
+            let (a, b) = (GpuId::new(a as u8), GpuId::new(b as u8));
+            // A k-hop route carries the payload over k wires.
+            expected_wire_bytes += f.route(a, b).len() as u64 * bytes;
+            f.gpu_to_gpu(a, b, now, bytes);
+        }
+        prop_assert_eq!(f.stats().wire_bytes(), expected_wire_bytes);
+        // The same conservation holds wire by wire: summing per-wire
+        // counters reproduces the aggregate.
+        let per_wire: u64 = (0..f.num_wire_links() as u32).map(|w| f.wire_stats(w).bytes).sum();
+        prop_assert_eq!(per_wire, expected_wire_bytes);
+    }
+
+    #[test]
+    fn default_fabric_is_cycle_exact_with_the_legacy_pair_link_model(
+        n in 2usize..=16,
+        ops in ops_strategy(),
+    ) {
+        let cfg = LinkConfig::default();
+        let mut fabric = Fabric::new(n, cfg);
+        // The pre-topology model: one dedicated duplex Link per GPU pair
+        // in upper-triangular order, booked directly.
+        let mut pair_links: Vec<Link> = (0..n * (n - 1) / 2)
+            .map(|_| Link::new(cfg.nvlink_bytes_per_cycle, cfg.nvlink_latency))
+            .collect();
+        let pair_index = |a: usize, b: usize| {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            lo * n - lo * (lo + 1) / 2 + (hi - lo - 1)
+        };
+        for (a, b, now, bytes) in ops {
+            let (a, b) = (a as usize % n, b as usize % n);
+            if a == b {
+                continue;
+            }
+            let legacy = pair_links[pair_index(a, b)].transfer(now, bytes);
+            let routed =
+                fabric.gpu_to_gpu(GpuId::new(a as u8), GpuId::new(b as u8), now, bytes);
+            prop_assert_eq!(routed, legacy, "pair ({a},{b}) at {now} x{bytes}");
+        }
+        let legacy_bytes: u64 = pair_links.iter().map(|l| l.stats().bytes).sum();
+        let legacy_queue: u64 = pair_links.iter().map(|l| l.stats().queue_cycles).sum();
+        let s = fabric.stats();
+        prop_assert_eq!(s.nvlink_bytes, legacy_bytes);
+        prop_assert_eq!(s.nvlink_queue_cycles, legacy_queue);
+    }
+}

@@ -142,6 +142,151 @@ impl Default for LinkConfig {
     }
 }
 
+/// Which interconnect topology the fabric instantiates.
+///
+/// The descriptor lives here (rather than in `grit-topo`, which turns it
+/// into a routed link graph) so that [`SimConfig`] — the foundation type
+/// every layer shares — can carry it without a dependency cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TopologyKind {
+    /// Dedicated duplex NVLink per GPU pair (DGX-style, today's default).
+    AllToAll,
+    /// Switched fabric: GPUs uplink to NvSwitch planes of a given radix;
+    /// switches are fully interconnected by trunk links.
+    NvSwitch,
+    /// Unidirectional neighbour links closed into a ring; transfers route
+    /// the shorter way around.
+    Ring,
+    /// 2-D mesh without wraparound, near-square factorization of the GPU
+    /// count.
+    Mesh2d,
+    /// Two-node hierarchical fabric: all-to-all NVLink inside each node,
+    /// one bottleneck link between the node routers.
+    Hierarchical,
+}
+
+impl TopologyKind {
+    /// Every kind, in stable order (also the order `describe()` encodes).
+    pub const ALL: [TopologyKind; 5] = [
+        TopologyKind::AllToAll,
+        TopologyKind::NvSwitch,
+        TopologyKind::Ring,
+        TopologyKind::Mesh2d,
+        TopologyKind::Hierarchical,
+    ];
+
+    /// Stable name used by `--topology` and report labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::AllToAll => "all-to-all",
+            TopologyKind::NvSwitch => "nvswitch",
+            TopologyKind::Ring => "ring",
+            TopologyKind::Mesh2d => "mesh2d",
+            TopologyKind::Hierarchical => "hierarchical",
+        }
+    }
+}
+
+/// Interconnect topology descriptor threaded through [`SimConfig`].
+///
+/// Bandwidths are bytes per cycle, latencies are one-way cycles, matching
+/// [`LinkConfig`] conventions. The switch parameters only apply to
+/// [`TopologyKind::NvSwitch`] and [`TopologyKind::Hierarchical`] (GPU ↔
+/// router uplinks); the inter-node parameters only apply to
+/// [`TopologyKind::Hierarchical`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TopologyConfig {
+    /// Which topology shape to instantiate.
+    pub kind: TopologyKind,
+    /// GPU ports per NvSwitch plane.
+    pub switch_radix: usize,
+    /// Bandwidth of each GPU↔switch uplink and switch↔switch trunk.
+    pub switch_bytes_per_cycle: f64,
+    /// One-way latency of each switch hop (half an NVLink latency by
+    /// default, so a two-hop switched path costs about one direct link).
+    pub switch_latency: u64,
+    /// Bandwidth of the single inter-node bottleneck link.
+    pub inter_node_bytes_per_cycle: f64,
+    /// One-way latency of the inter-node link.
+    pub inter_node_latency: u64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            kind: TopologyKind::AllToAll,
+            switch_radix: 8,
+            switch_bytes_per_cycle: 300.0,
+            switch_latency: 175,
+            inter_node_bytes_per_cycle: 75.0,
+            inter_node_latency: 700,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// A default-parameter descriptor of the given kind.
+    pub fn of(kind: TopologyKind) -> Self {
+        TopologyConfig {
+            kind,
+            ..TopologyConfig::default()
+        }
+    }
+
+    /// Stable name of the configured kind.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Parses a `--topology` argument: a kind name (`all-to-all`,
+    /// `nvswitch`, `ring`, `mesh2d`, `hierarchical`), optionally suffixed
+    /// with `:<radix>` for `nvswitch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (name, param) = match s.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (s, None),
+        };
+        let kind = TopologyKind::ALL.into_iter().find(|k| k.name() == name).ok_or_else(|| {
+            let names: Vec<&str> = TopologyKind::ALL.iter().map(|k| k.name()).collect();
+            format!(
+                "unknown topology {name:?} (expected one of {})",
+                names.join(", ")
+            )
+        })?;
+        let mut cfg = TopologyConfig::of(kind);
+        if let Some(p) = param {
+            if kind != TopologyKind::NvSwitch {
+                return Err(format!("topology {name:?} takes no :<radix> parameter"));
+            }
+            cfg.switch_radix =
+                p.parse::<usize>().map_err(|_| format!("invalid nvswitch radix {p:?}"))?;
+        }
+        Ok(cfg)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.switch_radix < 2 {
+            return Err(ConfigError::new(
+                "topology",
+                format!("switch radix {} must be at least 2", self.switch_radix),
+            ));
+        }
+        if self.switch_bytes_per_cycle <= 0.0 || self.inter_node_bytes_per_cycle <= 0.0 {
+            return Err(ConfigError::new("topology", "bandwidths must be positive"));
+        }
+        Ok(())
+    }
+}
+
 /// Fixed latencies charged by the UVM driver model and memory system.
 ///
 /// These are the calibration knobs of the reproduction: the paper inherits
@@ -254,6 +399,8 @@ pub struct SimConfig {
     pub access_counter_threshold: u32,
     /// Interconnect parameters.
     pub links: LinkConfig,
+    /// Interconnect topology (all-to-all by default; see `grit-topo`).
+    pub topology: TopologyConfig,
     /// Latency model.
     pub lat: LatencyConfig,
     /// Maximum outstanding memory operations per GPU (memory-level
@@ -290,6 +437,7 @@ impl Default for SimConfig {
             },
             access_counter_threshold: ACCESS_COUNTER_THRESHOLD_DEFAULT,
             links: LinkConfig::default(),
+            topology: TopologyConfig::default(),
             lat: LatencyConfig::default(),
             mlp_window: 48,
             seed: 0xD1CE_BEEF,
@@ -359,6 +507,7 @@ impl SimConfig {
         if self.links.nvlink_bytes_per_cycle <= 0.0 || self.links.pcie_bytes_per_cycle <= 0.0 {
             return Err(ConfigError::new("links", "bandwidths must be positive"));
         }
+        self.topology.validate()?;
         Ok(())
     }
 
@@ -392,6 +541,27 @@ impl SimConfig {
             ("nvlink_latency", self.links.nvlink_latency as f64),
             ("pcie_bytes_per_cycle", self.links.pcie_bytes_per_cycle),
             ("pcie_latency", self.links.pcie_latency as f64),
+            (
+                "topology",
+                TopologyKind::ALL
+                    .iter()
+                    .position(|k| *k == self.topology.kind)
+                    .expect("kind in ALL") as f64,
+            ),
+            ("switch_radix", self.topology.switch_radix as f64),
+            (
+                "switch_bytes_per_cycle",
+                self.topology.switch_bytes_per_cycle,
+            ),
+            ("switch_latency", self.topology.switch_latency as f64),
+            (
+                "inter_node_bytes_per_cycle",
+                self.topology.inter_node_bytes_per_cycle,
+            ),
+            (
+                "inter_node_latency",
+                self.topology.inter_node_latency as f64,
+            ),
             ("mlp_window", self.mlp_window as f64),
         ]
     }
@@ -493,6 +663,55 @@ mod tests {
         );
         // It is a std error.
         let _: &dyn std::error::Error = &e;
+    }
+
+    #[test]
+    fn topology_parse_round_trips_names() {
+        for kind in TopologyKind::ALL {
+            let cfg = TopologyConfig::parse(kind.name()).unwrap();
+            assert_eq!(cfg.kind, kind);
+            assert_eq!(cfg.name(), kind.name());
+        }
+        assert!(TopologyConfig::parse("torus").is_err());
+    }
+
+    #[test]
+    fn topology_parse_nvswitch_radix() {
+        let cfg = TopologyConfig::parse("nvswitch:4").unwrap();
+        assert_eq!(cfg.kind, TopologyKind::NvSwitch);
+        assert_eq!(cfg.switch_radix, 4);
+        assert!(TopologyConfig::parse("ring:4").is_err());
+        assert!(TopologyConfig::parse("nvswitch:zero").is_err());
+    }
+
+    #[test]
+    fn topology_validate_rejects_degenerate_parameters() {
+        let bad_radix = TopologyConfig {
+            switch_radix: 1,
+            ..TopologyConfig::default()
+        };
+        assert!(bad_radix.validate().is_err());
+        let cfg = TopologyConfig {
+            inter_node_bytes_per_cycle: 0.0,
+            ..TopologyConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        // An invalid topology fails the whole SimConfig.
+        let bad = SimConfig {
+            topology: cfg,
+            ..SimConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn default_topology_is_all_to_all() {
+        let c = SimConfig::default();
+        assert_eq!(c.topology.kind, TopologyKind::AllToAll);
+        let d = c.describe();
+        let get = |name: &str| d.iter().find(|(n, _)| *n == name).map(|(_, v)| *v);
+        assert_eq!(get("topology"), Some(0.0));
+        assert_eq!(get("switch_radix"), Some(8.0));
     }
 
     #[test]

@@ -42,8 +42,9 @@ pub mod stream;
 
 pub use access::{Access, AccessKind};
 pub use config::{
-    CacheGeometry, ConfigError, LatencyConfig, LinkConfig, SimConfig, TlbGeometry, WalkConfig,
-    ACCESS_COUNTER_THRESHOLD_DEFAULT, CACHE_LINE_BYTES, PAGE_SIZE_2M, PAGE_SIZE_4K,
+    CacheGeometry, ConfigError, LatencyConfig, LinkConfig, SimConfig, TlbGeometry, TopologyConfig,
+    TopologyKind, WalkConfig, ACCESS_COUNTER_THRESHOLD_DEFAULT, CACHE_LINE_BYTES, PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
 };
 pub use error::{CancelState, CancelToken, CellError, GritError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -1,0 +1,36 @@
+//! # grit-topo
+//!
+//! Pluggable interconnect topologies for the GRIT multi-GPU simulator.
+//!
+//! The crate turns a [`grit_sim::TopologyConfig`] descriptor into a routed
+//! link graph: concrete [`Topology`] shapes ([`AllToAll`], [`NvSwitch`],
+//! [`Ring`], [`Mesh2d`], [`Hierarchical`]) lay out duplex [`LinkSpec`]
+//! wires — including internal switch/router nodes — and [`Routing`]
+//! precomputes deterministic shortest paths between every GPU pair. The
+//! fabric in `grit-interconnect` books multi-hop transfers hop-by-hop on
+//! per-link occupancy, so congestion composes across hops.
+//!
+//! ```
+//! use grit_sim::{LinkConfig, TopologyConfig, TopologyKind};
+//! use grit_topo::{build_topology, Routing};
+//!
+//! let topo = build_topology(
+//!     8,
+//!     LinkConfig::default(),
+//!     TopologyConfig::of(TopologyKind::Ring),
+//! );
+//! let routing = Routing::compute(&topo.graph());
+//! assert_eq!(routing.hops(0, 4), 4); // antipodal pair on an 8-ring
+//! assert!(routing.diameter() <= topo.diameter_bound());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod routing;
+
+pub use graph::{
+    build_topology, mesh_dims, AllToAll, Hierarchical, HopClass, LinkSpec, Mesh2d, NvSwitch, Ring,
+    TopoGraph, Topology,
+};
+pub use routing::Routing;

@@ -10,6 +10,15 @@
 use crate::json::Json;
 use grit_sim::{Cycle, GpuId, MemLoc, PageId, Scheme};
 
+/// Version tag of the JSONL event schema.
+///
+/// `v1` (implicit, pre-topology) had single-hop link transfers only.
+/// `v2` adds the optional `hop`/`hops` route fields on `link-transfer`
+/// lines and the `switch`/`inter-node` link classes; both are emitted only
+/// for multi-hop routed fabrics, so a default all-to-all trace is
+/// byte-identical to `v1` and `v1` readers keep working on it.
+pub const TRACE_SCHEMA: &str = "grit-trace/v2";
+
 /// One structured, cycle-stamped simulator event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -79,20 +88,29 @@ pub enum TraceEvent {
         /// The scheme now in effect for the page.
         scheme: Scheme,
     },
-    /// `bytes` moved over an interconnect link.
+    /// `bytes` moved over an interconnect link — one event per hop of the
+    /// route (a direct transfer is a single hop).
     LinkTransfer {
-        /// Cycle the transfer was requested.
+        /// Cycle this hop was submitted to its wire (for hop 0, the cycle
+        /// the transfer was requested).
         cycle: Cycle,
-        /// Which link class carried it.
+        /// Which link class carried this hop.
         link: LinkKind,
-        /// Source endpoint.
+        /// Source endpoint of the whole transfer.
         src: MemLoc,
-        /// Destination endpoint.
+        /// Destination endpoint of the whole transfer.
         dst: MemLoc,
         /// Payload size in bytes.
         bytes: u64,
-        /// Cycle the last byte arrives (after queueing + serialization).
+        /// Cycle the last byte arrives at this hop's far end (after
+        /// queueing + serialization).
         delivered: Cycle,
+        /// Zero-based hop index within the route (`0` for direct links).
+        hop: u8,
+        /// Total hops in the route (`1` for direct links). The JSON form
+        /// omits `hop`/`hops` when `hops == 1`, keeping single-hop lines
+        /// identical to the pre-topology schema.
+        hops: u8,
     },
 }
 
@@ -128,6 +146,10 @@ impl FaultClass {
 pub enum LinkKind {
     /// GPU↔GPU NVLink.
     Nvlink,
+    /// GPU↔switch uplink or switch↔switch trunk of a routed fabric.
+    Switch,
+    /// Inter-node bottleneck link of a hierarchical fabric.
+    InterNode,
     /// GPU↔host PCIe data path.
     Pcie,
     /// GPU↔host PCIe control path (fault messages, invalidations).
@@ -139,6 +161,8 @@ impl LinkKind {
     pub fn name(self) -> &'static str {
         match self {
             LinkKind::Nvlink => "nvlink",
+            LinkKind::Switch => "switch",
+            LinkKind::InterNode => "inter-node",
             LinkKind::Pcie => "pcie",
             LinkKind::PcieCtrl => "pcie-ctrl",
         }
@@ -147,6 +171,8 @@ impl LinkKind {
     fn parse(s: &str) -> Option<Self> {
         match s {
             "nvlink" => Some(LinkKind::Nvlink),
+            "switch" => Some(LinkKind::Switch),
+            "inter-node" => Some(LinkKind::InterNode),
             "pcie" => Some(LinkKind::Pcie),
             "pcie-ctrl" => Some(LinkKind::PcieCtrl),
             _ => None,
@@ -357,6 +383,8 @@ impl TraceEvent {
                 dst,
                 bytes,
                 delivered,
+                hop,
+                hops,
                 ..
             } => {
                 fields.push(("link".into(), Json::Str(link.name().into())));
@@ -364,6 +392,12 @@ impl TraceEvent {
                 fields.push(("dst".into(), loc_to_json(dst)));
                 fields.push(("bytes".into(), Json::UInt(bytes)));
                 fields.push(("delivered".into(), Json::UInt(delivered)));
+                // Route fields appear only on multi-hop fabrics so the
+                // default single-hop schema stays byte-identical to v1.
+                if hops > 1 {
+                    fields.push(("hop".into(), Json::UInt(u64::from(hop))));
+                    fields.push(("hops".into(), Json::UInt(u64::from(hops))));
+                }
             }
         }
         Json::Obj(fields)
@@ -443,6 +477,9 @@ impl TraceEvent {
                 dst: loc_from_json(v.get("dst").ok_or("link-transfer event missing \"dst\"")?)?,
                 bytes: u("bytes")?,
                 delivered: u("delivered")?,
+                // Optional v2 route fields; v1 lines are single-hop.
+                hop: v.get("hop").and_then(Json::as_u64).unwrap_or(0) as u8,
+                hops: v.get("hops").and_then(Json::as_u64).unwrap_or(1) as u8,
             },
         })
     }
@@ -530,12 +567,55 @@ mod tests {
                 dst: MemLoc::Gpu(GpuId::new(3)),
                 bytes: 64,
                 delivered: 99,
+                hop: 0,
+                hops: 1,
+            },
+            TraceEvent::LinkTransfer {
+                cycle: 8,
+                link: LinkKind::Switch,
+                src: MemLoc::Gpu(GpuId::new(0)),
+                dst: MemLoc::Gpu(GpuId::new(5)),
+                bytes: 4096,
+                delivered: 120,
+                hop: 1,
+                hops: 3,
+            },
+            TraceEvent::LinkTransfer {
+                cycle: 9,
+                link: LinkKind::InterNode,
+                src: MemLoc::Gpu(GpuId::new(1)),
+                dst: MemLoc::Gpu(GpuId::new(6)),
+                bytes: 4096,
+                delivered: 300,
+                hop: 1,
+                hops: 3,
             },
         ];
         for ev in events {
             let back = TraceEvent::from_json(&ev.to_json()).unwrap();
             assert_eq!(back, ev);
         }
+    }
+
+    #[test]
+    fn single_hop_link_transfer_omits_route_fields() {
+        let ev = TraceEvent::LinkTransfer {
+            cycle: 7,
+            link: LinkKind::Nvlink,
+            src: MemLoc::Gpu(GpuId::new(0)),
+            dst: MemLoc::Gpu(GpuId::new(1)),
+            bytes: 64,
+            delivered: 99,
+            hop: 0,
+            hops: 1,
+        };
+        let text = ev.to_json().to_string();
+        assert!(!text.contains("\"hop\""), "v1 compatibility broken: {text}");
+        // And a v1 line (no hop/hops) parses back to the same event.
+        assert_eq!(
+            TraceEvent::from_json(&Json::parse(&text).unwrap()).unwrap(),
+            ev
+        );
     }
 
     #[test]

@@ -29,11 +29,13 @@ pub mod report;
 pub mod sink;
 pub mod writer;
 
-pub use event::{events_to_jsonl, CategoryMask, EventCategory, FaultClass, LinkKind, TraceEvent};
+pub use event::{
+    events_to_jsonl, CategoryMask, EventCategory, FaultClass, LinkKind, TraceEvent, TRACE_SCHEMA,
+};
 pub use json::Json;
 pub use report::{
-    BatchProfile, BenchSummary, CellReport, CellTiming, HeadlineSpeedups, MetricsReport, RunReport,
-    SeriesReport, TargetTiming,
+    BatchProfile, BenchSummary, CellReport, CellTiming, FabricReport, HeadlineSpeedups,
+    MetricsReport, RunReport, SeriesReport, TargetTiming,
 };
 pub use sink::{TraceConfig, Tracer};
 pub use writer::CellMeta;

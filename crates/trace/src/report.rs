@@ -15,8 +15,13 @@ use grit_sim::Cycle;
 use crate::json::Json;
 
 /// Schema tag written into every [`RunReport`]. Bumped to v2 when cells
-/// gained `status` / `error` fields (resilient batch execution).
-pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v2";
+/// gained `status` / `error` fields (resilient batch execution), and to v3
+/// when cell metrics gained the per-class `fabric` traffic object
+/// (topology-driven interconnect). v2 documents still parse: the `fabric`
+/// field defaults to zeros.
+pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v3";
+/// Previous run-report schema tag, still accepted by [`RunReport::from_json`].
+pub const RUN_REPORT_SCHEMA_V2: &str = "grit-run-report/v2";
 /// Schema tag written into every [`BenchSummary`].
 pub const BENCH_SCHEMA: &str = "grit-bench/v1";
 
@@ -87,6 +92,105 @@ pub struct CellTiming {
     pub resumed: bool,
 }
 
+/// Per-class fabric traffic of one cell (grit-run-report/v3): how many
+/// payload bytes crossed each wire class and how long transfers queued
+/// behind busy wires, accumulated hop by hop on routed topologies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricReport {
+    /// Bytes over direct GPU↔GPU NVLinks.
+    pub nvlink_bytes: u64,
+    /// Bytes over switch uplinks/trunks (NvSwitch, hierarchical routers).
+    pub switch_bytes: u64,
+    /// Bytes over the hierarchical inter-node bottleneck.
+    pub inter_node_bytes: u64,
+    /// Bytes over host PCIe (data + control).
+    pub pcie_bytes: u64,
+    /// Queueing cycles on NVLink hops.
+    pub nvlink_queue_cycles: u64,
+    /// Queueing cycles on switch hops.
+    pub switch_queue_cycles: u64,
+    /// Queueing cycles on inter-node hops.
+    pub inter_node_queue_cycles: u64,
+    /// Queueing cycles on PCIe links.
+    pub pcie_queue_cycles: u64,
+}
+
+impl FabricReport {
+    /// Extracts the snapshot from the `fabric_class_bytes` /
+    /// `fabric_queue_cycles` aux series the runner records (class order:
+    /// nvlink, switch, inter-node, pcie); zeros when the series are absent
+    /// (e.g. pre-topology reports or synthetic metrics).
+    pub fn from_aux(aux: &[(String, Vec<f64>)]) -> Self {
+        let series = |name: &str| -> [u64; 4] {
+            let mut out = [0u64; 4];
+            if let Some((_, vs)) = aux.iter().find(|(k, _)| k == name) {
+                for (slot, v) in out.iter_mut().zip(vs) {
+                    *slot = *v as u64;
+                }
+            }
+            out
+        };
+        let bytes = series("fabric_class_bytes");
+        let queue = series("fabric_queue_cycles");
+        FabricReport {
+            nvlink_bytes: bytes[0],
+            switch_bytes: bytes[1],
+            inter_node_bytes: bytes[2],
+            pcie_bytes: bytes[3],
+            nvlink_queue_cycles: queue[0],
+            switch_queue_cycles: queue[1],
+            inter_node_queue_cycles: queue[2],
+            pcie_queue_cycles: queue[3],
+        }
+    }
+
+    /// Total queueing cycles across every wire class.
+    pub fn total_queue_cycles(&self) -> u64 {
+        self.nvlink_queue_cycles
+            + self.switch_queue_cycles
+            + self.inter_node_queue_cycles
+            + self.pcie_queue_cycles
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("nvlink_bytes".into(), Json::UInt(self.nvlink_bytes)),
+            ("switch_bytes".into(), Json::UInt(self.switch_bytes)),
+            ("inter_node_bytes".into(), Json::UInt(self.inter_node_bytes)),
+            ("pcie_bytes".into(), Json::UInt(self.pcie_bytes)),
+            (
+                "nvlink_queue_cycles".into(),
+                Json::UInt(self.nvlink_queue_cycles),
+            ),
+            (
+                "switch_queue_cycles".into(),
+                Json::UInt(self.switch_queue_cycles),
+            ),
+            (
+                "inter_node_queue_cycles".into(),
+                Json::UInt(self.inter_node_queue_cycles),
+            ),
+            (
+                "pcie_queue_cycles".into(),
+                Json::UInt(self.pcie_queue_cycles),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(FabricReport {
+            nvlink_bytes: req_u64(v, "nvlink_bytes")?,
+            switch_bytes: req_u64(v, "switch_bytes")?,
+            inter_node_bytes: req_u64(v, "inter_node_bytes")?,
+            pcie_bytes: req_u64(v, "pcie_bytes")?,
+            nvlink_queue_cycles: req_u64(v, "nvlink_queue_cycles")?,
+            switch_queue_cycles: req_u64(v, "switch_queue_cycles")?,
+            inter_node_queue_cycles: req_u64(v, "inter_node_queue_cycles")?,
+            pcie_queue_cycles: req_u64(v, "pcie_queue_cycles")?,
+        })
+    }
+}
+
 /// A `RunMetrics` snapshot in plain-data form.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsReport {
@@ -111,6 +215,8 @@ pub struct MetricsReport {
     pub pcie_bytes: u64,
     /// Peak page-oversubscription ratio.
     pub oversubscription_rate: f64,
+    /// Per-class fabric traffic (v3; zeros when absent from older reports).
+    pub fabric: FabricReport,
     /// Auxiliary named series, sorted by name for deterministic output.
     pub aux: Vec<(String, Vec<f64>)>,
 }
@@ -141,6 +247,7 @@ impl MetricsReport {
             nvlink_bytes: m.nvlink_bytes,
             pcie_bytes: m.pcie_bytes,
             oversubscription_rate: m.oversubscription_rate,
+            fabric: FabricReport::from_aux(&aux),
             aux,
         }
     }
@@ -184,6 +291,7 @@ impl MetricsReport {
                 "oversubscription_rate".into(),
                 Json::Float(self.oversubscription_rate),
             ),
+            ("fabric".into(), self.fabric.to_json()),
             ("aux".into(), aux),
         ])
     }
@@ -225,6 +333,11 @@ impl MetricsReport {
             nvlink_bytes: req_u64(v, "nvlink_bytes")?,
             pcie_bytes: req_u64(v, "pcie_bytes")?,
             oversubscription_rate: req_f64(v, "oversubscription_rate")?,
+            // v2 documents predate the fabric object; default to zeros.
+            fabric: match v.get("fabric") {
+                Some(f) => FabricReport::from_json(f)?,
+                None => FabricReport::default(),
+            },
             aux,
         })
     }
@@ -546,7 +659,7 @@ impl RunReport {
     /// Returns a description of the first schema violation.
     pub fn from_json(v: &Json) -> Result<Self, String> {
         let schema = req_str(v, "schema")?;
-        if schema != RUN_REPORT_SCHEMA {
+        if schema != RUN_REPORT_SCHEMA && schema != RUN_REPORT_SCHEMA_V2 {
             return Err(format!("unsupported run-report schema: {schema:?}"));
         }
         let system_obj = req(v, "system")?.as_obj().ok_or("field \"system\" is not an object")?;
@@ -734,6 +847,8 @@ mod tests {
         m.breakdown.record(LatencyClass::PageMigration, 45);
         m.set_aux("per_gpu_faults", vec![3.0, 7.0]);
         m.set_aux("a_sorted_first", vec![1.5]);
+        m.set_aux("fabric_class_bytes", vec![4096.0, 512.0, 128.0, 64.0]);
+        m.set_aux("fabric_queue_cycles", vec![20.0, 9.0, 3.0, 1.0]);
         m
     }
 
@@ -867,6 +982,49 @@ mod tests {
         let back =
             BenchSummary::from_json(&Json::parse(&bench.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(back, bench);
+    }
+
+    #[test]
+    fn fabric_report_is_extracted_from_aux_series() {
+        let r = MetricsReport::from_metrics(&sample_metrics());
+        assert_eq!(
+            r.fabric,
+            FabricReport {
+                nvlink_bytes: 4096,
+                switch_bytes: 512,
+                inter_node_bytes: 128,
+                pcie_bytes: 64,
+                nvlink_queue_cycles: 20,
+                switch_queue_cycles: 9,
+                inter_node_queue_cycles: 3,
+                pcie_queue_cycles: 1,
+            }
+        );
+        assert_eq!(r.fabric.total_queue_cycles(), 33);
+    }
+
+    #[test]
+    fn v2_run_report_without_fabric_still_parses() {
+        // Replay a v2 document: v2 schema tag, and no `fabric` object on
+        // any cell metrics. Both differences must be tolerated.
+        let mut report = RunReport {
+            cells: vec![sample_cell(0)],
+            ..RunReport::default()
+        };
+        let mut j = report.to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields[0].1 = Json::Str(RUN_REPORT_SCHEMA_V2.into());
+        }
+        let mut text = j.to_string();
+        let needle = "\"fabric\":";
+        let start = text.find(needle).unwrap();
+        let end = text[start..].find(",\"aux\"").unwrap() + start;
+        text.replace_range(start..end + 1, "");
+        assert!(!text.contains(needle));
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        // The absent fabric object parses as zeros; everything else matches.
+        report.cells[0].metrics.fabric = FabricReport::default();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -61,6 +61,8 @@ fn golden_events() -> Vec<TraceEvent> {
             dst: MemLoc::Gpu(g(1)),
             bytes: 4096,
             delivered: 950,
+            hop: 0,
+            hops: 1,
         },
         TraceEvent::LinkTransfer {
             cycle: 800,
@@ -69,6 +71,8 @@ fn golden_events() -> Vec<TraceEvent> {
             dst: MemLoc::Host,
             bytes: 64,
             delivered: 1312,
+            hop: 0,
+            hops: 1,
         },
         TraceEvent::LinkTransfer {
             cycle: 900,
@@ -77,6 +81,29 @@ fn golden_events() -> Vec<TraceEvent> {
             dst: MemLoc::Gpu(g(3)),
             bytes: 64,
             delivered: 1960,
+            hop: 0,
+            hops: 1,
+        },
+        // grit-trace/v2: routed multi-hop transfers carry hop/route info.
+        TraceEvent::LinkTransfer {
+            cycle: 1000,
+            link: LinkKind::Switch,
+            src: MemLoc::Gpu(g(0)),
+            dst: MemLoc::Gpu(g(5)),
+            bytes: 4096,
+            delivered: 1200,
+            hop: 0,
+            hops: 2,
+        },
+        TraceEvent::LinkTransfer {
+            cycle: 1100,
+            link: LinkKind::InterNode,
+            src: MemLoc::Gpu(g(1)),
+            dst: MemLoc::Gpu(g(6)),
+            bytes: 4096,
+            delivered: 1900,
+            hop: 1,
+            hops: 3,
         },
     ]
 }

@@ -135,7 +135,7 @@ impl UvmDriver {
             central: CentralPageTable::new(),
             local_pts: (0..cfg.num_gpus).map(|_| LocalPageTable::new()).collect(),
             memories: (0..cfg.num_gpus).map(|_| GpuMemory::new(cap)).collect(),
-            fabric: Fabric::new(cfg.num_gpus, cfg.links),
+            fabric: Fabric::with_topology(cfg.num_gpus, cfg.links, cfg.topology),
             counters: AccessCounters::new(cfg.access_counter_threshold, cfg.page_size),
             policy,
             prefetcher: None,

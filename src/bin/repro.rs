@@ -80,6 +80,10 @@ const FIGURES: &[(&str, &str)] = &[
         "EXT: GRIT adaptation timeline (scheme mix over time)",
     ),
     ("extra", "EXT: GRIT on SpMV and PageRank"),
+    (
+        "ext-topology",
+        "EXT: topology x GPU-count sweep (GRIT vs on-touch, fabric queueing)",
+    ),
 ];
 
 /// Tables that later targets can reuse — `repro all` runs fig17/fig18
@@ -233,6 +237,9 @@ fn print_usage() {
     eprintln!("  dump-trace <APP> <PATH> / trace-info <PATH>  trace tooling");
     eprintln!(
         "  --jobs N  worker threads for experiment cells (also GRIT_JOBS; default: all cores)"
+    );
+    eprintln!(
+        "  --topology T        interconnect for every cell: all-to-all (default), nvswitch[:RADIX], ring, mesh2d, hierarchical"
     );
     eprintln!("  --trace PATH        write a structured JSONL event stream");
     eprintln!("  --trace-filter L    comma-separated event categories (default: all)");
@@ -476,6 +483,11 @@ fn run_figure(
             );
             emit(&ex::ext_sweeps::run_mlp(exp), "sweep_mlp", csv_dir);
         }
+        "ext-topology" | "topology" => {
+            let study = ex::ext_topology::run(exp);
+            emit(&study.speedup, "ext_topology_speedup", csv_dir);
+            emit(&study.queue, "ext_topology_queue", csv_dir);
+        }
         _ => return false,
     }
     true
@@ -612,6 +624,20 @@ fn main() -> ExitCode {
             }
             "--fail-fast" => ex::set_fail_fast(true),
             "--keep-going" => ex::set_fail_fast(false),
+            "--topology" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    eprintln!("--topology needs a name (all-to-all, nvswitch[:RADIX], ring, mesh2d, hierarchical)");
+                    return ExitCode::FAILURE;
+                };
+                match grit_sim::TopologyConfig::parse(spec) {
+                    Ok(topo) => ex::set_topology(Some(topo)),
+                    Err(e) => {
+                        eprintln!("--topology: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "list" | "--list" | "-l" => {
                 print_usage();
                 return ExitCode::SUCCESS;

@@ -42,7 +42,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use grit_sim::{CancelState, CancelToken, CellError, SimConfig};
+use grit_sim::{CancelState, CancelToken, CellError, SimConfig, TopologyConfig};
 use grit_trace::{writer as trace_writer, BatchProfile, CellMeta, CellTiming, TraceConfig, Tracer};
 use grit_uvm::{PlacementPolicy, Prefetcher};
 use grit_workloads::App;
@@ -117,22 +117,27 @@ impl std::fmt::Debug for CellSpec {
 }
 
 impl CellSpec {
-    /// A cell with the baseline system configuration.
+    /// A cell with the baseline system configuration (under the
+    /// process-wide topology override installed by [`set_topology`], so
+    /// `repro --topology` reshapes every figure driver).
     pub fn new(app: App, policy: impl Into<PolicySpec>, exp: &ExpConfig) -> Self {
         CellSpec {
             app,
             policy: policy.into(),
             exp: *exp,
-            cfg: SimConfig::default(),
+            cfg: apply_topology_override(SimConfig::default()),
             observer: None,
             prefetcher: None,
             trace: None,
         }
     }
 
-    /// Replaces the system configuration.
+    /// Replaces the system configuration. The process-wide topology
+    /// override still applies on top (drivers that must pin an explicit
+    /// per-cell topology — e.g. `ext_topology` — construct the `CellSpec`
+    /// struct literally instead).
     pub fn with_cfg(mut self, cfg: SimConfig) -> Self {
-        self.cfg = cfg;
+        self.cfg = apply_topology_override(cfg);
         self
     }
 
@@ -369,6 +374,24 @@ static FAIL_FAST_DEFAULT: AtomicBool = AtomicBool::new(false);
 static FAIL_FAST_TRIGGERED: AtomicBool = AtomicBool::new(false);
 /// Process-wide resume directory (the `repro --resume` flag).
 static RESUME_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+/// Process-wide topology override (the `repro --topology` flag).
+static TOPOLOGY_OVERRIDE: Mutex<Option<TopologyConfig>> = Mutex::new(None);
+
+/// Sets the interconnect topology for every subsequently declared
+/// [`CellSpec`] (`None` restores the default all-to-all). The
+/// `repro --topology` flag lands here; it flows into each cell's
+/// `SimConfig`, so resume keys and run reports distinguish topologies
+/// automatically.
+pub fn set_topology(topo: Option<TopologyConfig>) {
+    *TOPOLOGY_OVERRIDE.lock().expect("topology override lock poisoned") = topo;
+}
+
+fn apply_topology_override(mut cfg: SimConfig) -> SimConfig {
+    if let Some(topo) = *TOPOLOGY_OVERRIDE.lock().expect("topology override lock poisoned") {
+        cfg.topology = topo;
+    }
+    cfg
+}
 
 /// Sets the worker count for subsequent [`run_batch`] calls (0 clears the
 /// override). The `repro --jobs N` flag lands here.

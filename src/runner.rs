@@ -15,7 +15,7 @@ use grit_metrics::{
 };
 use grit_sim::{
     Access, AccessStream, CancelState, CancelToken, CellError, ConfigError, Cycle, FxHashMap,
-    GpuId, GritError, MemLoc, MlpWindow, PageId, SimConfig, SliceStream,
+    GpuId, GritError, MemLoc, MlpWindow, PageId, SimConfig, SliceStream, TopologyConfig,
 };
 use grit_trace::{CellTiming, TraceEvent, Tracer};
 use grit_uvm::{
@@ -241,6 +241,12 @@ impl SimulationBuilder {
             tracer: None,
             cancel: CancelToken::new(),
         }
+    }
+
+    /// Wires the interconnect as `topo` describes (default: all-to-all).
+    pub fn topology(mut self, topo: TopologyConfig) -> Self {
+        self.cfg.topology = topo;
+        self
     }
 
     /// Enables time-series instrumentation.
@@ -684,13 +690,36 @@ impl Simulation {
             breakdown: self.driver.breakdown(),
             faults: self.driver.fault_counters(),
             scheme_mix: self.scheme_mix,
-            nvlink_bytes: fabric.nvlink_bytes,
+            // GPU-side wire bytes across every class, so the headline
+            // column stays comparable between topologies (identical to
+            // plain NVLink bytes on the default all-to-all).
+            nvlink_bytes: fabric.wire_bytes(),
             pcie_bytes: fabric.pcie_bytes,
             oversubscription_rate: self.driver.oversubscription_rate(),
             aux: HashMap::new(),
         };
         metrics.set_aux("per_gpu_finish_cycles", per_gpu_finish);
         metrics.set_aux("per_gpu_accesses", per_gpu_accesses);
+        // Per-class fabric traffic (class order: nvlink, switch,
+        // inter-node, pcie) — the source of the report's `fabric` object.
+        metrics.set_aux(
+            "fabric_class_bytes",
+            vec![
+                fabric.nvlink_bytes as f64,
+                fabric.switch_bytes as f64,
+                fabric.inter_node_bytes as f64,
+                fabric.pcie_bytes as f64,
+            ],
+        );
+        metrics.set_aux(
+            "fabric_queue_cycles",
+            vec![
+                fabric.nvlink_queue_cycles as f64,
+                fabric.switch_queue_cycles as f64,
+                fabric.inter_node_queue_cycles as f64,
+                fabric.pcie_queue_cycles as f64,
+            ],
+        );
         metrics.set_aux(
             "per_gpu_faults",
             self.driver.faults_per_gpu().iter().map(|&f| f as f64).collect(),
