@@ -55,8 +55,22 @@ impl Link {
     /// Schedules a transfer of `bytes` submitted at `now`; returns the
     /// delivery cycle.
     pub fn transfer(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        self.transfer_scaled(now, bytes, 1.0)
+    }
+
+    /// Like [`Link::transfer`], with the wire's bandwidth scaled by
+    /// `bw_scale` for this transfer (injected link degradation). A scale
+    /// of exactly 1.0 is byte-identical to [`Link::transfer`]:
+    /// multiplying an IEEE double by 1.0 is the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bw_scale` is not positive (a dead wire is an outage,
+    /// handled by routing, not a zero bandwidth).
+    pub fn transfer_scaled(&mut self, now: Cycle, bytes: u64, bw_scale: f64) -> Cycle {
+        assert!(bw_scale > 0.0, "bandwidth scale must be positive");
         let start = now.max(self.free_at);
-        let occupancy = (bytes as f64 / self.bytes_per_cycle).ceil() as Cycle;
+        let occupancy = (bytes as f64 / (self.bytes_per_cycle * bw_scale)).ceil() as Cycle;
         // Minimum one cycle on the wire for any nonzero payload.
         let occupancy = if bytes > 0 { occupancy.max(1) } else { 0 };
         self.free_at = start + occupancy;

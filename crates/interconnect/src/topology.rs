@@ -9,8 +9,8 @@
 //! links out in the legacy triangular pair order and routes every pair in
 //! one hop, reproducing the pre-topology fabric cycle-for-cycle.
 
-use grit_sim::{Cycle, GpuId, LinkConfig, MemLoc, TopologyConfig};
-use grit_topo::{build_topology, HopClass, Routing};
+use grit_sim::{Cycle, FaultPlan, GpuId, LinkConfig, MemLoc, TopologyConfig};
+use grit_topo::{build_topology, HopClass, Routing, TopoGraph};
 use grit_trace::{EventCategory, LinkKind, TraceEvent, Tracer};
 
 use crate::link::{Link, LinkStats};
@@ -78,6 +78,16 @@ pub struct Fabric {
     classes: Vec<HopClass>,
     /// Shortest-path routes between every GPU pair.
     routing: Routing,
+    /// Saved link graph, kept so failover routes can be computed when a
+    /// fault plan with outage windows is installed.
+    graph: TopoGraph,
+    /// Installed fault plan; empty by default, in which case every code
+    /// path below is arithmetically identical to the fault-free fabric.
+    plan: FaultPlan,
+    /// Failover routing per outage epoch, parallel to
+    /// `plan.outage_epochs()`. `None` entries reuse the base routing
+    /// (epochs during which every wire is up).
+    epoch_routes: Vec<Option<Routing>>,
     /// Bulk-data PCIe channel per GPU (page transfers).
     pcie: Vec<Link>,
     /// Control PCIe channel per GPU (fault messages/replies). Split from
@@ -113,6 +123,9 @@ impl Fabric {
             links: graph.links.iter().map(|l| Link::new(l.bytes_per_cycle, l.latency)).collect(),
             classes: graph.links.iter().map(|l| l.class).collect(),
             routing,
+            graph,
+            plan: FaultPlan::empty(),
+            epoch_routes: Vec::new(),
             pcie: (0..num_gpus)
                 .map(|_| Link::new(cfg.pcie_bytes_per_cycle, cfg.pcie_latency))
                 .collect(),
@@ -128,6 +141,67 @@ impl Fabric {
         self.tracer = tracer;
     }
 
+    /// Installs a compiled fault plan. Failover routing tables for every
+    /// outage epoch are precomputed here, once, so the per-transfer hot
+    /// path only indexes by epoch; pairs an epoch's down-set disconnects
+    /// keep an empty route and get staged through host memory. Installing
+    /// an empty plan restores fault-free behavior.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.epoch_routes = plan
+            .outage_epochs()
+            .iter()
+            .map(|(_, down)| {
+                if down.is_empty() {
+                    None
+                } else {
+                    Some(Routing::compute_avoiding(&self.graph, down))
+                }
+            })
+            .collect();
+        self.plan = plan;
+    }
+
+    /// The installed fault plan (empty unless injection is configured).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The routing table active at cycle `now`: the base table, unless an
+    /// injected outage epoch replaced it with a failover table.
+    fn routing_at(&self, now: Cycle) -> &Routing {
+        if self.epoch_routes.is_empty() {
+            return &self.routing;
+        }
+        match &self.epoch_routes[self.plan.epoch_at(now)] {
+            Some(r) => r,
+            None => &self.routing,
+        }
+    }
+
+    /// Whether the routing active at `now` has no GPU↔GPU path between
+    /// distinct `a` and `b` (an injected outage disconnected the pair).
+    /// Transfers submitted while blocked are staged through the host.
+    pub fn route_blocked(&self, a: GpuId, b: GpuId, now: Cycle) -> bool {
+        a != b && !self.routing_at(now).has_route(a.index(), b.index())
+    }
+
+    /// Whether the route between `a` and `b` active at `now` is blocked or
+    /// crosses a wire that is currently degraded — placement policies
+    /// treat such owners as farther away than their hop count suggests.
+    pub fn route_sick(&self, a: GpuId, b: GpuId, now: Cycle) -> bool {
+        if a == b || self.plan.is_empty() {
+            return false;
+        }
+        let cur = self.routing_at(now).route(a.index(), b.index());
+        if cur.is_empty() {
+            return true; // blocked: staged through the host
+        }
+        // A failover detour is longer than the healthy route, so the pair
+        // is sick even though every wire it crosses is up.
+        cur.len() > self.routing.hops(a.index(), b.index())
+            || cur.iter().any(|&w| self.plan.wire_sick(w as usize, now))
+    }
+
     /// Transfers `bytes` between two distinct GPUs along the routed path;
     /// returns the final delivery cycle. Each hop books its wire at the
     /// previous hop's delivery cycle and emits one trace event.
@@ -137,7 +211,21 @@ impl Fabric {
     /// Panics if `a == b` (local copies never cross the fabric).
     pub fn gpu_to_gpu(&mut self, a: GpuId, b: GpuId, now: Cycle, bytes: u64) -> Cycle {
         assert!(a != b, "gpu_to_gpu requires distinct endpoints");
-        let path = self.routing.route(a.index(), b.index());
+        let routing = if self.epoch_routes.is_empty() {
+            &self.routing
+        } else {
+            match &self.epoch_routes[self.plan.epoch_at(now)] {
+                Some(r) => r,
+                None => &self.routing,
+            }
+        };
+        let path = routing.route(a.index(), b.index());
+        if path.is_empty() {
+            // The active outage epoch disconnected the pair: stage the
+            // payload through host memory rather than losing or delaying
+            // it indefinitely.
+            return self.host_stage(a, b, now, bytes);
+        }
         let hops = path.len() as u8;
         let forward = a.index() < b.index();
         let mut t = now;
@@ -145,7 +233,8 @@ impl Fabric {
             let step = if forward { hop } else { path.len() - 1 - hop };
             let wire = path[step] as usize;
             let submitted = t;
-            t = self.links[wire].transfer(submitted, bytes);
+            let scale = self.plan.bw_scale(wire, submitted);
+            t = self.links[wire].transfer_scaled(submitted, bytes, scale);
             let link = hop_kind(self.classes[wire]);
             self.tracer.emit(EventCategory::LinkTransfer, || TraceEvent::LinkTransfer {
                 cycle: submitted,
@@ -173,6 +262,37 @@ impl Fabric {
             delivered: t,
             hop: 0,
             hops: 1,
+        });
+        t
+    }
+
+    /// Stages `bytes` from GPU `a` to GPU `b` through host memory: up
+    /// `a`'s PCIe data link, then down `b`'s. This is the last-resort
+    /// degradation path when an injected outage leaves no GPU↔GPU route —
+    /// slow, but the payload is never lost and the call never blocks.
+    pub fn host_stage(&mut self, a: GpuId, b: GpuId, now: Cycle, bytes: u64) -> Cycle {
+        assert!(a != b, "host staging requires distinct endpoints");
+        let up = self.pcie[a.index()].transfer(now, bytes);
+        self.tracer.emit(EventCategory::LinkTransfer, || TraceEvent::LinkTransfer {
+            cycle: now,
+            link: LinkKind::Pcie,
+            src: MemLoc::Gpu(a),
+            dst: MemLoc::Gpu(b),
+            bytes,
+            delivered: up,
+            hop: 0,
+            hops: 2,
+        });
+        let t = self.pcie[b.index()].transfer(up, bytes);
+        self.tracer.emit(EventCategory::LinkTransfer, || TraceEvent::LinkTransfer {
+            cycle: up,
+            link: LinkKind::Pcie,
+            src: MemLoc::Gpu(a),
+            dst: MemLoc::Gpu(b),
+            bytes,
+            delivered: t,
+            hop: 1,
+            hops: 2,
         });
         t
     }
@@ -426,6 +546,92 @@ mod tests {
             "expected shared wires to queue harder: all-to-all={all_to_all} \
              ring={ring} nvswitch={switched}"
         );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical() {
+        use grit_sim::InjectConfig;
+        let mut plain = fabric_of(TopologyKind::Ring, 8);
+        let mut injected = fabric_of(TopologyKind::Ring, 8);
+        let plan = FaultPlan::compile(&InjectConfig::none(), injected.num_wire_links(), 8)
+            .expect("empty plan compiles");
+        injected.set_fault_plan(plan);
+        for (a, b, at, bytes) in [
+            (0u8, 4u8, 0u64, 4096u64),
+            (2, 3, 100, 64),
+            (7, 1, 250, 65536),
+        ] {
+            assert_eq!(
+                plain.gpu_to_gpu(GpuId::new(a), GpuId::new(b), at, bytes),
+                injected.gpu_to_gpu(GpuId::new(a), GpuId::new(b), at, bytes)
+            );
+        }
+        assert_eq!(plain.stats(), injected.stats());
+    }
+
+    #[test]
+    fn degraded_wire_slows_transfers_inside_the_window_only() {
+        use grit_sim::InjectConfig;
+        let mut f = fabric(2);
+        let healthy = fabric(2).gpu_to_gpu(GpuId::new(0), GpuId::new(1), 0, 1 << 20);
+        let cfg = InjectConfig::parse("degrade@1000:wire=0:frac=0.25:for=100000").unwrap();
+        f.set_fault_plan(FaultPlan::compile(&cfg, f.num_wire_links(), 2).unwrap());
+        // Before the window: full speed.
+        assert_eq!(
+            f.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 0, 1 << 20),
+            healthy
+        );
+        // Inside: quarter bandwidth, so occupancy roughly quadruples.
+        let mut sick = fabric(2);
+        sick.set_fault_plan(FaultPlan::compile(&cfg, 1, 2).unwrap());
+        let slow = sick.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 2000, 1 << 20);
+        assert!(
+            slow - 2000 > 3 * healthy,
+            "degraded transfer too fast: {slow}"
+        );
+        // After the window: full speed again.
+        let mut late = fabric(2);
+        late.set_fault_plan(FaultPlan::compile(&cfg, 1, 2).unwrap());
+        assert_eq!(
+            late.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 200_000, 1 << 20),
+            healthy + 200_000
+        );
+    }
+
+    #[test]
+    fn outage_reroutes_around_the_dead_wire() {
+        use grit_sim::InjectConfig;
+        let mut f = fabric(4);
+        let direct = f.route(GpuId::new(0), GpuId::new(1))[0];
+        let cfg = InjectConfig::parse(&format!("outage@1000:wire={direct}:for=1000")).unwrap();
+        f.set_fault_plan(FaultPlan::compile(&cfg, f.num_wire_links(), 4).unwrap());
+        assert!(!f.route_blocked(GpuId::new(0), GpuId::new(1), 1500));
+        assert!(f.route_sick(GpuId::new(0), GpuId::new(1), 1500));
+        assert!(!f.route_sick(GpuId::new(0), GpuId::new(1), 5000));
+        f.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 1500, 4096);
+        // The detour books two hops, neither of them the dead wire.
+        assert_eq!(f.wire_stats(direct).bytes, 0);
+        assert_eq!(f.stats().wire_bytes(), 2 * 4096);
+        // Outside the window the direct wire carries traffic again.
+        f.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 5000, 4096);
+        assert_eq!(f.wire_stats(direct).bytes, 4096);
+    }
+
+    #[test]
+    fn total_outage_stages_through_the_host() {
+        use grit_sim::InjectConfig;
+        let mut f = fabric(2);
+        let cfg = InjectConfig::parse("outage@100:wire=*:for=1000").unwrap();
+        f.set_fault_plan(FaultPlan::compile(&cfg, f.num_wire_links(), 2).unwrap());
+        assert!(f.route_blocked(GpuId::new(0), GpuId::new(1), 500));
+        let t = f.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 500, 4096);
+        assert!(t > 500);
+        let s = f.stats();
+        assert_eq!(s.wire_bytes(), 0, "no GPU wire should carry staged bytes");
+        assert_eq!(s.pcie_bytes, 2 * 4096);
+        // After recovery the direct wire is back.
+        f.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 5000, 4096);
+        assert_eq!(f.stats().wire_bytes(), 4096);
     }
 
     #[test]

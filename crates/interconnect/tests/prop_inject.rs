@@ -1,0 +1,176 @@
+//! Property tests for the fabric under injected faults: whatever the
+//! outage/degradation schedule, per-hop byte accounting stays conserved,
+//! no transfer completes before it was submitted or gets lost, and an
+//! empty fault plan is cycle- and byte-identical to no plan at all.
+
+use proptest::prelude::*;
+
+use grit_interconnect::Fabric;
+use grit_sim::{FaultPlan, GpuId, InjectConfig, LinkConfig, TopologyConfig, TopologyKind};
+
+fn kind_strategy() -> impl Strategy<Value = TopologyKind> {
+    (0usize..TopologyKind::ALL.len()).prop_map(|i| TopologyKind::ALL[i])
+}
+
+/// A raw injected event: `(is_outage, wire, start, duration, frac_pct)`.
+/// Wires are reduced modulo the fabric's wire count (or `*`) at spec
+/// construction time; degraded fractions land in [0.05, 0.95].
+fn schedule_strategy() -> impl Strategy<Value = Vec<(bool, u8, u64, u64, u8)>> {
+    prop::collection::vec(
+        (
+            any::<bool>(),
+            any::<u8>(),
+            0u64..200_000,
+            1u64..150_000,
+            5u8..95,
+        ),
+        0..12,
+    )
+}
+
+/// `(src, dst, submit cycle, bytes)`; endpoints reduced modulo the GPU
+/// count at use time, submit cycles pre-sorted to model a monotone
+/// request feed.
+fn ops_strategy() -> impl Strategy<Value = Vec<(u8, u8, u64, u64)>> {
+    prop::collection::vec(
+        (any::<u8>(), any::<u8>(), 0u64..400_000, 1u64..1 << 16),
+        1..60,
+    )
+    .prop_map(|mut ops| {
+        ops.sort_by_key(|&(_, _, now, _)| now);
+        ops
+    })
+}
+
+/// Formats a raw schedule into the `--inject` grammar and compiles it
+/// against an existing fabric's wire count.
+fn compile_schedule(events: &[(bool, u8, u64, u64, u8)], fabric: &Fabric) -> FaultPlan {
+    let wires = fabric.num_wire_links();
+    let spec = events
+        .iter()
+        .map(|&(is_outage, wire, at, dur, frac)| {
+            // Exercise the whole-fabric selector alongside single wires.
+            let w = if wire == u8::MAX {
+                "*".to_string()
+            } else {
+                (wire as usize % wires).to_string()
+            };
+            if is_outage {
+                format!("outage@{at}:wire={w}:for={dur}")
+            } else {
+                format!("degrade@{at}:wire={w}:frac=0.{frac:02}:for={dur}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(";");
+    let cfg = InjectConfig::parse(&spec).expect("generated spec is grammatical");
+    FaultPlan::compile(&cfg, wires, fabric.num_gpus()).expect("wires are in range")
+}
+
+proptest! {
+    /// Per-hop byte conservation survives any injected schedule: every
+    /// transfer books its payload on GPU wires (once per hop) or, when
+    /// the active epoch disconnects the pair, exactly twice on PCIe (up
+    /// `a`'s link, down `b`'s) — and the per-wire counters always sum to
+    /// the aggregate. Completions never precede submissions.
+    #[test]
+    fn bytes_are_conserved_per_hop_under_any_schedule(
+        kind in kind_strategy(),
+        n in 2usize..=8,
+        events in schedule_strategy(),
+        ops in ops_strategy(),
+    ) {
+        let mut f = Fabric::with_topology(n, LinkConfig::default(), TopologyConfig::of(kind));
+        let plan = compile_schedule(&events, &f);
+        f.set_fault_plan(plan);
+        for (a, b, now, bytes) in ops {
+            let (a, b) = (a as usize % n, b as usize % n);
+            if a == b {
+                continue;
+            }
+            let (a, b) = (GpuId::new(a as u8), GpuId::new(b as u8));
+            let blocked = f.route_blocked(a, b, now);
+            let before = f.stats();
+            let done = f.gpu_to_gpu(a, b, now, bytes);
+            let after = f.stats();
+            prop_assert!(done >= now, "completion {done} precedes submission {now}");
+            let wire_delta = after.wire_bytes() - before.wire_bytes();
+            let pcie_delta = after.pcie_bytes - before.pcie_bytes;
+            if blocked {
+                prop_assert_eq!(wire_delta, 0, "blocked transfer touched GPU wires");
+                prop_assert_eq!(pcie_delta, 2 * bytes, "host staging books up + down");
+            } else {
+                prop_assert_eq!(pcie_delta, 0, "routed transfer touched PCIe");
+                prop_assert!(
+                    wire_delta >= bytes && wire_delta.is_multiple_of(bytes),
+                    "route booked {wire_delta} bytes for a {bytes}-byte payload"
+                );
+            }
+        }
+        let per_wire: u64 =
+            (0..f.num_wire_links() as u32).map(|w| f.wire_stats(w).bytes).sum();
+        prop_assert_eq!(per_wire, f.stats().wire_bytes());
+    }
+
+    /// An empty fault plan is indistinguishable from never installing
+    /// one: every completion cycle and every counter matches exactly.
+    #[test]
+    fn empty_plan_is_byte_identical_to_no_plan(
+        kind in kind_strategy(),
+        n in 2usize..=8,
+        ops in ops_strategy(),
+    ) {
+        let cfg = LinkConfig::default();
+        let mut bare = Fabric::with_topology(n, cfg, TopologyConfig::of(kind));
+        let mut planned = Fabric::with_topology(n, cfg, TopologyConfig::of(kind));
+        let empty = FaultPlan::compile(&InjectConfig::none(), bare.num_wire_links(), n)
+            .expect("empty plan compiles");
+        planned.set_fault_plan(empty);
+        for (a, b, now, bytes) in ops {
+            let (a, b) = (a as usize % n, b as usize % n);
+            if a == b {
+                continue;
+            }
+            let (a, b) = (GpuId::new(a as u8), GpuId::new(b as u8));
+            prop_assert!(!planned.route_blocked(a, b, now));
+            prop_assert!(!planned.route_sick(a, b, now));
+            let want = bare.gpu_to_gpu(a, b, now, bytes);
+            let got = planned.gpu_to_gpu(a, b, now, bytes);
+            prop_assert_eq!(got, want, "({a:?},{b:?}) at {now} x{bytes}");
+        }
+        prop_assert_eq!(planned.stats(), bare.stats());
+        for w in 0..bare.num_wire_links() as u32 {
+            prop_assert_eq!(planned.wire_stats(w), bare.wire_stats(w));
+        }
+    }
+
+    /// On one wire, a monotone submission feed yields monotone
+    /// completions whatever the degradation schedule — queueing under
+    /// injected bandwidth loss never reorders or time-travels. Ops that
+    /// land in an outage window escape to host staging, a different
+    /// physical path with its own queue, so only wire-path completions
+    /// are compared against each other.
+    #[test]
+    fn degraded_wire_completions_stay_monotone(
+        events in schedule_strategy(),
+        ops in ops_strategy(),
+    ) {
+        let mut f = Fabric::with_topology(2, LinkConfig::default(), TopologyConfig::default());
+        let plan = compile_schedule(&events, &f);
+        f.set_fault_plan(plan);
+        let (a, b) = (GpuId::new(0), GpuId::new(1));
+        let mut last_wire_done = 0u64;
+        for (_, _, now, bytes) in ops {
+            let staged = f.route_blocked(a, b, now);
+            let done = f.gpu_to_gpu(a, b, now, bytes);
+            prop_assert!(done >= now, "completion {done} precedes submission {now}");
+            if !staged {
+                prop_assert!(
+                    done >= last_wire_done,
+                    "wire completion {done} after earlier wire completion {last_wire_done}"
+                );
+                last_wire_done = done;
+            }
+        }
+    }
+}

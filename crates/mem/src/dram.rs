@@ -188,6 +188,29 @@ impl GpuMemory {
         }
     }
 
+    /// ECC frame retirement: permanently removes `frames` page frames
+    /// from this memory's capacity (capacity never drops below one frame)
+    /// and force-evicts LRU pages until the survivors fit. Returns the
+    /// evicted pages in eviction (LRU-first) order, each with the dirty
+    /// bit it held at eviction — the caller re-places them, writing dirty
+    /// ones back first.
+    pub fn retire_frames(&mut self, frames: u64) -> Vec<(PageId, bool)> {
+        let frames = usize::try_from(frames).unwrap_or(usize::MAX).min(self.capacity_pages - 1);
+        self.capacity_pages -= frames;
+        let mut evicted = Vec::new();
+        while self.index.len() > self.capacity_pages {
+            let tail = self.lru.tail.expect("overfull memory has a tail");
+            let page = self.lru.nodes[tail].page;
+            self.lru.unlink(tail);
+            self.lru.release(tail);
+            self.index.remove(&page);
+            let dirty = self.dirty.remove(&page);
+            self.evictions += 1;
+            evicted.push((page, dirty));
+        }
+        evicted
+    }
+
     /// Whether the page is resident.
     pub fn contains(&self, page: PageId) -> bool {
         self.index.contains_key(&page)
@@ -288,6 +311,46 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _ = GpuMemory::new(0);
+    }
+
+    #[test]
+    fn retiring_frames_force_evicts_lru_first() {
+        let mut m = GpuMemory::new(4);
+        for p in 0..4 {
+            m.insert(PageId(p));
+        }
+        m.touch(PageId(0)); // order (MRU->LRU): 0,3,2,1
+        m.mark_dirty(PageId(1));
+        let evicted = m.retire_frames(2);
+        assert_eq!(evicted, vec![(PageId(1), true), (PageId(2), false)]);
+        assert_eq!(m.capacity(), 2);
+        assert_eq!(m.resident(), 2);
+        assert_eq!(m.evictions(), 2);
+        assert!(m.contains(PageId(0)) && m.contains(PageId(3)));
+        assert!(!m.is_dirty(PageId(1)));
+    }
+
+    #[test]
+    fn retirement_never_drops_below_one_frame() {
+        let mut m = GpuMemory::new(3);
+        m.insert(PageId(7));
+        let evicted = m.retire_frames(100);
+        assert_eq!(m.capacity(), 1);
+        assert!(evicted.is_empty(), "one resident page still fits");
+        // Retiring when already at the floor is a no-op.
+        assert!(m.retire_frames(5).is_empty());
+        assert_eq!(m.capacity(), 1);
+        assert!(m.contains(PageId(7)));
+    }
+
+    #[test]
+    fn retirement_with_spare_room_evicts_nothing() {
+        let mut m = GpuMemory::new(8);
+        m.insert(PageId(1));
+        m.insert(PageId(2));
+        assert!(m.retire_frames(3).is_empty());
+        assert_eq!(m.capacity(), 5);
+        assert_eq!(m.resident(), 2);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 use std::error::Error;
 use std::fmt;
 
+use grit_inject::InjectConfig;
+
 /// Bytes per cache line (and per remote fetch, §II-B2).
 pub const CACHE_LINE_BYTES: u64 = 64;
 
@@ -408,6 +410,13 @@ pub struct SimConfig {
     pub mlp_window: usize,
     /// Deterministic seed for workload generation.
     pub seed: u64,
+    /// Cycle-scheduled hardware fault injection (empty by default: the
+    /// simulation is byte-identical to one without the subsystem).
+    pub inject: InjectConfig,
+    /// Run the driver's VM-state invariant checks at every epoch boundary
+    /// and after every injected fault (always on under
+    /// `cfg(debug_assertions)`; this opts release builds in).
+    pub check_invariants: bool,
 }
 
 impl Default for SimConfig {
@@ -441,6 +450,8 @@ impl Default for SimConfig {
             lat: LatencyConfig::default(),
             mlp_window: 48,
             seed: 0xD1CE_BEEF,
+            inject: InjectConfig::none(),
+            check_invariants: false,
         }
     }
 }
@@ -508,6 +519,22 @@ impl SimConfig {
             return Err(ConfigError::new("links", "bandwidths must be positive"));
         }
         self.topology.validate()?;
+        for ev in &self.inject.events {
+            let gpu = match *ev {
+                grit_inject::FaultSpec::Retire { gpu, .. }
+                | grit_inject::FaultSpec::Storm { gpu, .. } => gpu as usize,
+                _ => continue,
+            };
+            if gpu >= self.num_gpus {
+                return Err(ConfigError::new(
+                    "inject",
+                    format!(
+                        "event targets gpu {gpu}, but the system has {} GPUs",
+                        self.num_gpus
+                    ),
+                ));
+            }
+        }
         Ok(())
     }
 

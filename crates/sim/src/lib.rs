@@ -47,6 +47,10 @@ pub use config::{
     PAGE_SIZE_4K,
 };
 pub use error::{CancelState, CancelToken, CellError, GritError};
+pub use grit_inject::{
+    Backoff, FaultPlan, FaultSpec, FrameCount, InjectConfig, InjectError, InjectedKind,
+    ResilienceCounters, Transition, WireSel,
+};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{GpuId, GpuSet, MemLoc, PageId};
 pub use mlp::MlpWindow;

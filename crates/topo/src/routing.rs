@@ -39,11 +39,33 @@ impl Routing {
     /// Panics if some GPU pair is disconnected (every topology descriptor
     /// in this crate yields a connected graph).
     pub fn compute(graph: &TopoGraph) -> Routing {
+        let r = Routing::compute_avoiding(graph, &[]);
+        for lo in 0..r.num_gpus {
+            for hi in (lo + 1)..r.num_gpus {
+                assert!(
+                    r.has_route(lo, hi),
+                    "topology leaves GPUs {lo} and {hi} disconnected"
+                );
+            }
+        }
+        r
+    }
+
+    /// Like [`Routing::compute`], but treats every link in `down` (sorted
+    /// or not) as absent — the failover table used while an injected
+    /// outage window is active. Pairs that the down-set disconnects get an
+    /// **empty** route ([`Routing::has_route`] returns `false`); callers
+    /// decide how to degrade (the fabric stages such transfers through
+    /// host memory).
+    pub fn compute_avoiding(graph: &TopoGraph, down: &[u32]) -> Routing {
         let n = graph.num_gpus;
         let nodes = graph.num_nodes;
         // Adjacency: node -> [(neighbor, link id)], sorted for determinism.
         let mut adj: Vec<Vec<(usize, u32)>> = vec![Vec::new(); nodes];
         for (id, l) in graph.links.iter().enumerate() {
+            if down.contains(&(id as u32)) {
+                continue;
+            }
             adj[l.a].push((l.b, id as u32));
             adj[l.b].push((l.a, id as u32));
         }
@@ -70,10 +92,9 @@ impl Routing {
                 }
             }
             for hi in (lo + 1)..n {
-                assert!(
-                    parent[hi].is_some(),
-                    "topology leaves GPUs {lo} and {hi} disconnected"
-                );
+                if parent[hi].is_none() {
+                    continue; // disconnected by the down-set: empty route
+                }
                 let mut path = Vec::new();
                 let mut node = hi;
                 while node != lo {
@@ -91,6 +112,13 @@ impl Routing {
             routes,
             diameter,
         }
+    }
+
+    /// Whether the table holds a live path between distinct GPUs `a` and
+    /// `b` (always true for tables from [`Routing::compute`]; false when a
+    /// [`Routing::compute_avoiding`] down-set disconnected the pair).
+    pub fn has_route(&self, a: usize, b: usize) -> bool {
+        !self.route(a, b).is_empty()
     }
 
     /// Number of GPUs routed.
@@ -168,6 +196,58 @@ mod tests {
         assert_eq!(r.hops(4, 7), 1);
         assert_eq!(r.hops(0, 4), 3); // gpu -> router -> router -> gpu
         assert_eq!(r.diameter(), 3);
+    }
+
+    #[test]
+    fn avoiding_a_wire_reroutes_multi_hop() {
+        // All-to-all over 4 GPUs: killing the direct (0,1) wire forces a
+        // two-hop detour through another GPU.
+        let t = build_topology(
+            4,
+            LinkConfig::default(),
+            TopologyConfig::of(TopologyKind::AllToAll),
+        );
+        let direct = Routing::pair_index(4, 0, 1) as u32;
+        let r = Routing::compute_avoiding(&t.graph(), &[direct]);
+        assert!(r.has_route(0, 1));
+        assert_eq!(r.hops(0, 1), 2);
+        assert!(!r.route(0, 1).contains(&direct));
+        // Other pairs keep their direct wires.
+        assert_eq!(r.hops(2, 3), 1);
+    }
+
+    #[test]
+    fn avoiding_all_wires_disconnects_every_pair() {
+        let t = build_topology(
+            4,
+            LinkConfig::default(),
+            TopologyConfig::of(TopologyKind::AllToAll),
+        );
+        let all: Vec<u32> = (0..t.graph().links.len() as u32).collect();
+        let r = Routing::compute_avoiding(&t.graph(), &all);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                assert!(!r.has_route(a, b));
+            }
+        }
+        assert_eq!(r.diameter(), 0);
+    }
+
+    #[test]
+    fn ring_cut_takes_the_long_way_round() {
+        let t = build_topology(
+            8,
+            LinkConfig::default(),
+            TopologyConfig::of(TopologyKind::Ring),
+        );
+        // Healthy ring: 0 -> 7 crosses the single wraparound wire. Cut it
+        // and the route must walk all seven links the other way.
+        let healthy = Routing::compute(&t.graph());
+        assert_eq!(healthy.hops(0, 7), 1);
+        let cut = healthy.route(0, 7)[0];
+        let r = Routing::compute_avoiding(&t.graph(), &[cut]);
+        assert!(r.has_route(0, 7));
+        assert_eq!(r.hops(0, 7), 7);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! `"type"` discriminant; see `tests/golden_jsonl.rs` for the frozen schema.
 
 use crate::json::Json;
-use grit_sim::{Cycle, GpuId, MemLoc, PageId, Scheme};
+use grit_sim::{Cycle, GpuId, InjectedKind, MemLoc, PageId, Scheme};
 
 /// Version tag of the JSONL event schema.
 ///
@@ -17,7 +17,11 @@ use grit_sim::{Cycle, GpuId, MemLoc, PageId, Scheme};
 /// lines and the `switch`/`inter-node` link classes; both are emitted only
 /// for multi-hop routed fabrics, so a default all-to-all trace is
 /// byte-identical to `v1` and `v1` readers keep working on it.
-pub const TRACE_SCHEMA: &str = "grit-trace/v2";
+/// `v3` adds four fault-injection event types (`fault-injected`,
+/// `recovered`, `migration-retried`, `fallback-remote`), emitted only when
+/// a fault plan is installed; no pre-existing line shape changes, so `v2`
+/// readers keep working on every uninjected trace.
+pub const TRACE_SCHEMA: &str = "grit-trace/v3";
 
 /// One structured, cycle-stamped simulator event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,6 +116,54 @@ pub enum TraceEvent {
         /// identical to the pre-topology schema.
         hops: u8,
     },
+    /// An injected hardware fault window began (v3, emitted only when a
+    /// fault plan is installed).
+    FaultInjected {
+        /// Cycle the fault became active.
+        cycle: Cycle,
+        /// What kind of fault was injected.
+        kind: InjectedKind,
+        /// Affected wire (link id), for link-level faults.
+        wire: Option<u32>,
+        /// Affected GPU, for GPU-level faults (retirement, storms).
+        gpu: Option<GpuId>,
+    },
+    /// An injected fault window ended and the component recovered (v3).
+    Recovered {
+        /// Cycle the fault window closed.
+        cycle: Cycle,
+        /// What kind of fault recovered.
+        kind: InjectedKind,
+        /// Affected wire (link id), for link-level faults.
+        wire: Option<u32>,
+        /// Affected GPU, for GPU-level faults.
+        gpu: Option<GpuId>,
+    },
+    /// A migration blocked by an injected outage retried after backoff
+    /// (v3).
+    MigrationRetried {
+        /// Cycle the retry was scheduled.
+        cycle: Cycle,
+        /// GPU whose migration was blocked.
+        gpu: GpuId,
+        /// Page whose migration was blocked.
+        vpn: PageId,
+        /// One-based retry attempt number.
+        attempt: u8,
+    },
+    /// A blocked migration exhausted its retries and fell back: the page
+    /// stayed remote, or was staged through host memory (v3).
+    FallbackRemote {
+        /// Cycle of the fallback decision.
+        cycle: Cycle,
+        /// GPU that gave up migrating the page in.
+        gpu: GpuId,
+        /// Page left remote or host-staged.
+        vpn: PageId,
+        /// `true` if the page was staged through host memory (dirty
+        /// pages), `false` if it stayed with the remote owner.
+        staged: bool,
+    },
 }
 
 /// Fault classification mirroring `grit_uvm::FaultKind`.
@@ -197,11 +249,19 @@ pub enum EventCategory {
     SchemeChange,
     /// [`TraceEvent::LinkTransfer`].
     LinkTransfer,
+    /// [`TraceEvent::FaultInjected`].
+    FaultInjected,
+    /// [`TraceEvent::Recovered`].
+    Recovered,
+    /// [`TraceEvent::MigrationRetried`].
+    MigrationRetried,
+    /// [`TraceEvent::FallbackRemote`].
+    FallbackRemote,
 }
 
 impl EventCategory {
     /// All categories, in bit order.
-    pub const ALL: [EventCategory; 7] = [
+    pub const ALL: [EventCategory; 11] = [
         EventCategory::Fault,
         EventCategory::Migration,
         EventCategory::Duplication,
@@ -209,6 +269,10 @@ impl EventCategory {
         EventCategory::Eviction,
         EventCategory::SchemeChange,
         EventCategory::LinkTransfer,
+        EventCategory::FaultInjected,
+        EventCategory::Recovered,
+        EventCategory::MigrationRetried,
+        EventCategory::FallbackRemote,
     ];
 
     /// Stable name used in JSON `"type"` fields and `--trace-filter` lists.
@@ -221,6 +285,10 @@ impl EventCategory {
             EventCategory::Eviction => "eviction",
             EventCategory::SchemeChange => "scheme-change",
             EventCategory::LinkTransfer => "link-transfer",
+            EventCategory::FaultInjected => "fault-injected",
+            EventCategory::Recovered => "recovered",
+            EventCategory::MigrationRetried => "migration-retried",
+            EventCategory::FallbackRemote => "fallback-remote",
         }
     }
 
@@ -238,11 +306,11 @@ impl EventCategory {
 
 /// A set of [`EventCategory`] values, used to filter emission.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct CategoryMask(u8);
+pub struct CategoryMask(u16);
 
 impl CategoryMask {
     /// Every category enabled.
-    pub const ALL: CategoryMask = CategoryMask(0x7f);
+    pub const ALL: CategoryMask = CategoryMask(0x7ff);
     /// No category enabled.
     pub const NONE: CategoryMask = CategoryMask(0);
 
@@ -314,6 +382,10 @@ impl TraceEvent {
             TraceEvent::Eviction { .. } => EventCategory::Eviction,
             TraceEvent::SchemeChange { .. } => EventCategory::SchemeChange,
             TraceEvent::LinkTransfer { .. } => EventCategory::LinkTransfer,
+            TraceEvent::FaultInjected { .. } => EventCategory::FaultInjected,
+            TraceEvent::Recovered { .. } => EventCategory::Recovered,
+            TraceEvent::MigrationRetried { .. } => EventCategory::MigrationRetried,
+            TraceEvent::FallbackRemote { .. } => EventCategory::FallbackRemote,
         }
     }
 
@@ -326,7 +398,11 @@ impl TraceEvent {
             | TraceEvent::Collapse { cycle, .. }
             | TraceEvent::Eviction { cycle, .. }
             | TraceEvent::SchemeChange { cycle, .. }
-            | TraceEvent::LinkTransfer { cycle, .. } => cycle,
+            | TraceEvent::LinkTransfer { cycle, .. }
+            | TraceEvent::FaultInjected { cycle, .. }
+            | TraceEvent::Recovered { cycle, .. }
+            | TraceEvent::MigrationRetried { cycle, .. }
+            | TraceEvent::FallbackRemote { cycle, .. } => cycle,
         }
     }
 
@@ -398,6 +474,34 @@ impl TraceEvent {
                     fields.push(("hop".into(), Json::UInt(u64::from(hop))));
                     fields.push(("hops".into(), Json::UInt(u64::from(hops))));
                 }
+            }
+            TraceEvent::FaultInjected {
+                kind, wire, gpu, ..
+            }
+            | TraceEvent::Recovered {
+                kind, wire, gpu, ..
+            } => {
+                fields.push(("kind".into(), Json::Str(kind.name().into())));
+                if let Some(w) = wire {
+                    fields.push(("wire".into(), Json::UInt(u64::from(w))));
+                }
+                if let Some(g) = gpu {
+                    fields.push(("gpu".into(), Json::UInt(g.index() as u64)));
+                }
+            }
+            TraceEvent::MigrationRetried {
+                gpu, vpn, attempt, ..
+            } => {
+                fields.push(("gpu".into(), Json::UInt(gpu.index() as u64)));
+                fields.push(("vpn".into(), Json::UInt(vpn.vpn())));
+                fields.push(("attempt".into(), Json::UInt(u64::from(attempt))));
+            }
+            TraceEvent::FallbackRemote {
+                gpu, vpn, staged, ..
+            } => {
+                fields.push(("gpu".into(), Json::UInt(gpu.index() as u64)));
+                fields.push(("vpn".into(), Json::UInt(vpn.vpn())));
+                fields.push(("staged".into(), Json::Bool(staged)));
             }
         }
         Json::Obj(fields)
@@ -480,6 +584,45 @@ impl TraceEvent {
                 // Optional v2 route fields; v1 lines are single-hop.
                 hop: v.get("hop").and_then(Json::as_u64).unwrap_or(0) as u8,
                 hops: v.get("hops").and_then(Json::as_u64).unwrap_or(1) as u8,
+            },
+            EventCategory::FaultInjected | EventCategory::Recovered => {
+                let kind = v
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .and_then(InjectedKind::parse)
+                    .ok_or_else(|| format!("{ty} event missing \"kind\""))?;
+                let wire = v.get("wire").and_then(Json::as_u64).map(|w| w as u32);
+                let gpu = v.get("gpu").and_then(Json::as_u64).map(|g| GpuId::new(g as u8));
+                if cat == EventCategory::FaultInjected {
+                    TraceEvent::FaultInjected {
+                        cycle,
+                        kind,
+                        wire,
+                        gpu,
+                    }
+                } else {
+                    TraceEvent::Recovered {
+                        cycle,
+                        kind,
+                        wire,
+                        gpu,
+                    }
+                }
+            }
+            EventCategory::MigrationRetried => TraceEvent::MigrationRetried {
+                cycle,
+                gpu: gpu()?,
+                vpn: PageId(u("vpn")?),
+                attempt: u("attempt")? as u8,
+            },
+            EventCategory::FallbackRemote => TraceEvent::FallbackRemote {
+                cycle,
+                gpu: gpu()?,
+                vpn: PageId(u("vpn")?),
+                staged: v
+                    .get("staged")
+                    .and_then(Json::as_bool)
+                    .ok_or("fallback-remote event missing \"staged\"")?,
             },
         })
     }
@@ -589,6 +732,36 @@ mod tests {
                 delivered: 300,
                 hop: 1,
                 hops: 3,
+            },
+            TraceEvent::FaultInjected {
+                cycle: 10,
+                kind: InjectedKind::Outage,
+                wire: Some(3),
+                gpu: None,
+            },
+            TraceEvent::FaultInjected {
+                cycle: 11,
+                kind: InjectedKind::Storm,
+                wire: None,
+                gpu: Some(GpuId::new(2)),
+            },
+            TraceEvent::Recovered {
+                cycle: 12,
+                kind: InjectedKind::Degrade,
+                wire: Some(0),
+                gpu: None,
+            },
+            TraceEvent::MigrationRetried {
+                cycle: 13,
+                gpu: GpuId::new(1),
+                vpn: PageId(77),
+                attempt: 2,
+            },
+            TraceEvent::FallbackRemote {
+                cycle: 14,
+                gpu: GpuId::new(0),
+                vpn: PageId(78),
+                staged: true,
             },
         ];
         for ev in events {

@@ -35,7 +35,7 @@ pub use event::{
 pub use json::Json;
 pub use report::{
     BatchProfile, BenchSummary, CellReport, CellTiming, FabricReport, HeadlineSpeedups,
-    MetricsReport, RunReport, SeriesReport, TargetTiming,
+    MetricsReport, ResilienceReport, RunReport, SeriesReport, TargetTiming,
 };
 pub use sink::{TraceConfig, Tracer};
 pub use writer::CellMeta;

@@ -15,12 +15,16 @@ use grit_sim::Cycle;
 use crate::json::Json;
 
 /// Schema tag written into every [`RunReport`]. Bumped to v2 when cells
-/// gained `status` / `error` fields (resilient batch execution), and to v3
+/// gained `status` / `error` fields (resilient batch execution), to v3
 /// when cell metrics gained the per-class `fabric` traffic object
-/// (topology-driven interconnect). v2 documents still parse: the `fabric`
-/// field defaults to zeros.
-pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v3";
-/// Previous run-report schema tag, still accepted by [`RunReport::from_json`].
+/// (topology-driven interconnect), and to v4 when injected-fault runs
+/// gained the `resilience` counter object (emitted only when fault
+/// injection ran, so uninjected documents stay v3-shaped). Older
+/// documents still parse: absent objects default to zeros.
+pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v4";
+/// v3 run-report schema tag, still accepted by [`RunReport::from_json`].
+pub const RUN_REPORT_SCHEMA_V3: &str = "grit-run-report/v3";
+/// v2 run-report schema tag, still accepted by [`RunReport::from_json`].
 pub const RUN_REPORT_SCHEMA_V2: &str = "grit-run-report/v2";
 /// Schema tag written into every [`BenchSummary`].
 pub const BENCH_SCHEMA: &str = "grit-bench/v1";
@@ -191,6 +195,114 @@ impl FabricReport {
     }
 }
 
+/// Fault-injection outcome counters of one cell (grit-run-report/v4):
+/// what was injected, how the system degraded, and that every blocked
+/// operation resolved. Zeros — and omitted from the JSON — when the run
+/// had no fault plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Fault windows that became active.
+    pub faults_injected: u64,
+    /// Fault windows that closed (component recovered).
+    pub recoveries: u64,
+    /// DRAM page frames retired by injected ECC faults.
+    pub frames_retired: u64,
+    /// Resident pages force-evicted by frame retirement.
+    pub pages_force_evicted: u64,
+    /// Faults serviced while a handler stall storm was active.
+    pub storm_stalled_faults: u64,
+    /// Migrations that found their route down on first attempt.
+    pub migrations_blocked: u64,
+    /// Backoff retries scheduled for blocked migrations.
+    pub migration_retries: u64,
+    /// Blocked migrations that eventually succeeded over a recovered or
+    /// rerouted path.
+    pub retry_successes: u64,
+    /// Blocked migrations that gave up and left the page remote.
+    pub fallback_remote: u64,
+    /// Blocked transfers staged through host memory.
+    pub host_staged: u64,
+    /// Invariant sweeps run (epoch boundaries + post-fault checks).
+    pub invariant_checks: u64,
+}
+
+impl ResilienceReport {
+    /// Extracts the snapshot from the `resilience_counters` aux series the
+    /// runner records (field order above); zeros when the series is absent
+    /// (uninjected runs, older reports).
+    pub fn from_aux(aux: &[(String, Vec<f64>)]) -> Self {
+        let mut out = [0u64; 11];
+        if let Some((_, vs)) = aux.iter().find(|(k, _)| k == "resilience_counters") {
+            for (slot, v) in out.iter_mut().zip(vs) {
+                *slot = *v as u64;
+            }
+        }
+        ResilienceReport {
+            faults_injected: out[0],
+            recoveries: out[1],
+            frames_retired: out[2],
+            pages_force_evicted: out[3],
+            storm_stalled_faults: out[4],
+            migrations_blocked: out[5],
+            migration_retries: out[6],
+            retry_successes: out[7],
+            fallback_remote: out[8],
+            host_staged: out[9],
+            invariant_checks: out[10],
+        }
+    }
+
+    /// Whether every blocked migration resolved: retried to success, fell
+    /// back to remote access, or was staged through the host.
+    pub fn all_blocked_resolved(&self) -> bool {
+        self.migrations_blocked <= self.retry_successes + self.fallback_remote + self.host_staged
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("faults_injected".into(), Json::UInt(self.faults_injected)),
+            ("recoveries".into(), Json::UInt(self.recoveries)),
+            ("frames_retired".into(), Json::UInt(self.frames_retired)),
+            (
+                "pages_force_evicted".into(),
+                Json::UInt(self.pages_force_evicted),
+            ),
+            (
+                "storm_stalled_faults".into(),
+                Json::UInt(self.storm_stalled_faults),
+            ),
+            (
+                "migrations_blocked".into(),
+                Json::UInt(self.migrations_blocked),
+            ),
+            (
+                "migration_retries".into(),
+                Json::UInt(self.migration_retries),
+            ),
+            ("retry_successes".into(), Json::UInt(self.retry_successes)),
+            ("fallback_remote".into(), Json::UInt(self.fallback_remote)),
+            ("host_staged".into(), Json::UInt(self.host_staged)),
+            ("invariant_checks".into(), Json::UInt(self.invariant_checks)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(ResilienceReport {
+            faults_injected: req_u64(v, "faults_injected")?,
+            recoveries: req_u64(v, "recoveries")?,
+            frames_retired: req_u64(v, "frames_retired")?,
+            pages_force_evicted: req_u64(v, "pages_force_evicted")?,
+            storm_stalled_faults: req_u64(v, "storm_stalled_faults")?,
+            migrations_blocked: req_u64(v, "migrations_blocked")?,
+            migration_retries: req_u64(v, "migration_retries")?,
+            retry_successes: req_u64(v, "retry_successes")?,
+            fallback_remote: req_u64(v, "fallback_remote")?,
+            host_staged: req_u64(v, "host_staged")?,
+            invariant_checks: req_u64(v, "invariant_checks")?,
+        })
+    }
+}
+
 /// A `RunMetrics` snapshot in plain-data form.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsReport {
@@ -217,6 +329,9 @@ pub struct MetricsReport {
     pub oversubscription_rate: f64,
     /// Per-class fabric traffic (v3; zeros when absent from older reports).
     pub fabric: FabricReport,
+    /// Fault-injection outcomes (v4; zeros when the run was uninjected or
+    /// the report predates v4).
+    pub resilience: ResilienceReport,
     /// Auxiliary named series, sorted by name for deterministic output.
     pub aux: Vec<(String, Vec<f64>)>,
 }
@@ -248,6 +363,7 @@ impl MetricsReport {
             pcie_bytes: m.pcie_bytes,
             oversubscription_rate: m.oversubscription_rate,
             fabric: FabricReport::from_aux(&aux),
+            resilience: ResilienceReport::from_aux(&aux),
             aux,
         }
     }
@@ -277,7 +393,7 @@ impl MetricsReport {
                 })
                 .collect(),
         );
-        Json::Obj(vec![
+        let mut obj = Json::Obj(vec![
             ("total_cycles".into(), Json::UInt(self.total_cycles)),
             ("accesses".into(), Json::UInt(self.accesses)),
             ("local_accesses".into(), Json::UInt(self.local_accesses)),
@@ -293,7 +409,16 @@ impl MetricsReport {
             ),
             ("fabric".into(), self.fabric.to_json()),
             ("aux".into(), aux),
-        ])
+        ]);
+        // The resilience object appears only on injected runs, keeping
+        // uninjected documents v3-shaped for older consumers.
+        if self.resilience != ResilienceReport::default() {
+            if let Json::Obj(fields) = &mut obj {
+                let at = fields.len() - 1; // before "aux"
+                fields.insert(at, ("resilience".into(), self.resilience.to_json()));
+            }
+        }
+        obj
     }
 
     /// Parses the object form produced by [`MetricsReport::to_json`].
@@ -337,6 +462,11 @@ impl MetricsReport {
             fabric: match v.get("fabric") {
                 Some(f) => FabricReport::from_json(f)?,
                 None => FabricReport::default(),
+            },
+            // Present only on injected v4 runs; default to zeros.
+            resilience: match v.get("resilience") {
+                Some(r) => ResilienceReport::from_json(r)?,
+                None => ResilienceReport::default(),
             },
             aux,
         })
@@ -659,7 +789,10 @@ impl RunReport {
     /// Returns a description of the first schema violation.
     pub fn from_json(v: &Json) -> Result<Self, String> {
         let schema = req_str(v, "schema")?;
-        if schema != RUN_REPORT_SCHEMA && schema != RUN_REPORT_SCHEMA_V2 {
+        if schema != RUN_REPORT_SCHEMA
+            && schema != RUN_REPORT_SCHEMA_V3
+            && schema != RUN_REPORT_SCHEMA_V2
+        {
             return Err(format!("unsupported run-report schema: {schema:?}"));
         }
         let system_obj = req(v, "system")?.as_obj().ok_or("field \"system\" is not an object")?;
@@ -1001,6 +1134,73 @@ mod tests {
             }
         );
         assert_eq!(r.fabric.total_queue_cycles(), 33);
+    }
+
+    #[test]
+    fn resilience_report_round_trips_and_is_omitted_when_zero() {
+        // An uninjected run: no resilience_counters series, no JSON object.
+        let plain = MetricsReport::from_metrics(&sample_metrics());
+        assert_eq!(plain.resilience, ResilienceReport::default());
+        let text = plain.to_json().to_string();
+        assert!(
+            !text.contains("\"resilience\""),
+            "zero object leaked: {text}"
+        );
+
+        // An injected run: the aux series populates the object, it is
+        // serialized, and it parses back identically.
+        let mut m = sample_metrics();
+        m.aux.insert(
+            "resilience_counters".into(),
+            vec![4.0, 3.0, 2.0, 5.0, 7.0, 6.0, 9.0, 4.0, 1.0, 1.0, 12.0],
+        );
+        let r = MetricsReport::from_metrics(&m);
+        assert_eq!(
+            r.resilience,
+            ResilienceReport {
+                faults_injected: 4,
+                recoveries: 3,
+                frames_retired: 2,
+                pages_force_evicted: 5,
+                storm_stalled_faults: 7,
+                migrations_blocked: 6,
+                migration_retries: 9,
+                retry_successes: 4,
+                fallback_remote: 1,
+                host_staged: 1,
+                invariant_checks: 12,
+            }
+        );
+        assert!(r.resilience.all_blocked_resolved());
+        let back =
+            MetricsReport::from_json(&Json::parse(&r.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn unresolved_blocked_migrations_are_detected() {
+        let r = ResilienceReport {
+            migrations_blocked: 5,
+            retry_successes: 2,
+            fallback_remote: 1,
+            host_staged: 1,
+            ..Default::default()
+        };
+        assert!(!r.all_blocked_resolved());
+    }
+
+    #[test]
+    fn v3_run_report_schema_tag_still_parses() {
+        let report = RunReport {
+            cells: vec![sample_cell(0)],
+            ..RunReport::default()
+        };
+        let mut j = report.to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields[0].1 = Json::Str(RUN_REPORT_SCHEMA_V3.into());
+        }
+        let back = RunReport::from_json(&j).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

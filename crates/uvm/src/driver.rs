@@ -15,7 +15,8 @@ use grit_interconnect::Fabric;
 use grit_mem::{GpuMemory, LocalPageTable, Mapping};
 use grit_metrics::{FaultCounters, LatencyBreakdown, LatencyClass, LatencyHistogram};
 use grit_sim::{
-    AccessKind, ConfigError, Cycle, GpuId, MemLoc, PageId, Scheme, SimConfig, CACHE_LINE_BYTES,
+    AccessKind, Backoff, ConfigError, Cycle, FaultPlan, GpuId, InjectedKind, MemLoc, PageId,
+    ResilienceCounters, Scheme, SimConfig, CACHE_LINE_BYTES,
 };
 use grit_trace::{EventCategory, FaultClass, TraceEvent, Tracer};
 
@@ -58,6 +59,37 @@ impl DriverOutcome {
     }
 }
 
+/// A violated cross-structure VM invariant: which GPU/page broke, at
+/// which driver cycle, and why. Returned by
+/// [`UvmDriver::check_invariants`]; the automatic debug-build checks
+/// panic with its [`Display`](std::fmt::Display) rendering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// The GPU whose state is inconsistent, when attributable to one.
+    pub gpu: Option<GpuId>,
+    /// The page involved, when attributable to one.
+    pub vpn: Option<PageId>,
+    /// The latest event cycle the driver had processed when the check ran.
+    pub cycle: Cycle,
+    /// Human-readable description of the violated invariant.
+    pub message: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invariant violated at cycle {}", self.cycle)?;
+        if let Some(g) = self.gpu {
+            write!(f, " on {g}")?;
+        }
+        if let Some(v) = self.vpn {
+            write!(f, " ({v})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
 /// The UVM driver model.
 pub struct UvmDriver {
     cfg: SimConfig,
@@ -83,6 +115,21 @@ pub struct UvmDriver {
     fault_service_free: Cycle,
     /// Per-GPU earliest cycle the next peer request may issue.
     remote_port_free: Vec<Cycle>,
+    /// Compiled hardware-fault schedule (empty unless `cfg.inject` has
+    /// events; every query on an empty plan is a no-op).
+    plan: FaultPlan,
+    /// Cursor into [`FaultPlan::transitions`]: the next not-yet-applied
+    /// state change.
+    next_transition: usize,
+    /// Per-GPU cursor into [`FaultPlan::retirements`].
+    retire_cursor: Vec<usize>,
+    /// Retry policy for migrations whose route is severed.
+    backoff: Backoff,
+    /// Fault-injection outcome counters (all zero without a plan).
+    resilience: ResilienceCounters,
+    /// Latest event cycle the driver has observed; stamps invariant
+    /// violations.
+    clock: Cycle,
     /// Event sink for placement events; disabled by default. Emission
     /// sites coincide with [`FaultCounters`] increments so per-category
     /// event counts equal the counters when unfiltered and unsampled.
@@ -131,11 +178,17 @@ impl UvmDriver {
         }
         let cap = ((footprint_pages as f64 * cfg.capacity_ratio).ceil() as usize).max(1);
         let next_epoch = policy.epoch_len();
+        let mut fabric = Fabric::with_topology(cfg.num_gpus, cfg.links, cfg.topology);
+        let plan = FaultPlan::compile(&cfg.inject, fabric.num_wire_links(), cfg.num_gpus)
+            .map_err(|e| ConfigError::new("inject", e.to_string()))?;
+        if !plan.is_empty() {
+            fabric.set_fault_plan(plan.clone());
+        }
         Ok(UvmDriver {
             central: CentralPageTable::new(),
             local_pts: (0..cfg.num_gpus).map(|_| LocalPageTable::new()).collect(),
             memories: (0..cfg.num_gpus).map(|_| GpuMemory::new(cap)).collect(),
-            fabric: Fabric::with_topology(cfg.num_gpus, cfg.links, cfg.topology),
+            fabric,
             counters: AccessCounters::new(cfg.access_counter_threshold, cfg.page_size),
             policy,
             prefetcher: None,
@@ -148,6 +201,12 @@ impl UvmDriver {
             fault_latency: LatencyHistogram::new(),
             fault_service_free: 0,
             remote_port_free: vec![0; cfg.num_gpus],
+            plan,
+            next_transition: 0,
+            retire_cursor: vec![0; cfg.num_gpus],
+            backoff: Backoff::default(),
+            resilience: ResilienceCounters::default(),
+            clock: 0,
             tracer: Tracer::disabled(),
             cfg,
         })
@@ -253,6 +312,18 @@ impl UvmDriver {
         &self.fault_latency
     }
 
+    /// Whether a fault-injection plan is active on this driver.
+    pub fn injection_active(&self) -> bool {
+        !self.plan.is_empty()
+    }
+
+    /// Fault-injection outcome counters (all zero when no plan is active,
+    /// except `invariant_checks`, which also counts debug-build epoch
+    /// sweeps).
+    pub fn resilience_counters(&self) -> ResilienceCounters {
+        self.resilience
+    }
+
     /// Verifies the driver's cross-structure invariants; returns the first
     /// violation found. The system runner checks this after every run, so
     /// any divergence between the local page tables, the centralized
@@ -269,16 +340,27 @@ impl UvmDriver {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated invariant.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    /// Returns the first violated invariant, typed with the GPU, page and
+    /// driver cycle it was detected at.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let fail = |gpu: Option<GpuId>, vpn: Option<PageId>, message: String| InvariantViolation {
+            gpu,
+            vpn,
+            cycle: self.clock,
+            message,
+        };
         for g in GpuId::all(self.cfg.num_gpus) {
             let pt = &self.local_pts[g.index()];
             let mem = &self.memories[g.index()];
             if mem.resident() > mem.capacity() {
-                return Err(format!(
-                    "{g}: residency {} exceeds capacity {}",
-                    mem.resident(),
-                    mem.capacity()
+                return Err(fail(
+                    Some(g),
+                    None,
+                    format!(
+                        "{g}: residency {} exceeds capacity {}",
+                        mem.resident(),
+                        mem.capacity()
+                    ),
                 ));
             }
             for (&vpn, &mapping) in pt.iter() {
@@ -286,38 +368,51 @@ impl UvmDriver {
                 match mapping {
                     Mapping::Local => {
                         if state.owner != MemLoc::Gpu(g) {
-                            return Err(format!(
-                                "{g} maps {vpn} Local but owner is {}",
-                                state.owner
+                            return Err(fail(
+                                Some(g),
+                                Some(vpn),
+                                format!("{g} maps {vpn} Local but owner is {}", state.owner),
                             ));
                         }
                         if !mem.contains(vpn) {
-                            return Err(format!("{g} maps {vpn} Local but page not resident"));
+                            return Err(fail(
+                                Some(g),
+                                Some(vpn),
+                                format!("{g} maps {vpn} Local but page not resident"),
+                            ));
                         }
                     }
                     Mapping::Replica => {
                         if !state.replicas.contains(g) && state.owner != MemLoc::Gpu(g) {
-                            return Err(format!(
-                                "{g} maps {vpn} Replica but is not a recorded holder"
+                            return Err(fail(
+                                Some(g),
+                                Some(vpn),
+                                format!("{g} maps {vpn} Replica but is not a recorded holder"),
                             ));
                         }
                         if !mem.contains(vpn) {
-                            return Err(format!("{g} maps {vpn} Replica but page not resident"));
+                            return Err(fail(
+                                Some(g),
+                                Some(vpn),
+                                format!("{g} maps {vpn} Replica but page not resident"),
+                            ));
                         }
                     }
                     Mapping::Remote(o) => {
                         if state.owner != MemLoc::Gpu(o) {
-                            return Err(format!(
-                                "{g} maps {vpn} Remote({o}) but owner is {}",
-                                state.owner
+                            return Err(fail(
+                                Some(g),
+                                Some(vpn),
+                                format!("{g} maps {vpn} Remote({o}) but owner is {}", state.owner),
                             ));
                         }
                     }
                     Mapping::RemoteHost => {
                         if state.owner != MemLoc::Host {
-                            return Err(format!(
-                                "{g} maps {vpn} RemoteHost but owner is {}",
-                                state.owner
+                            return Err(fail(
+                                Some(g),
+                                Some(vpn),
+                                format!("{g} maps {vpn} RemoteHost but owner is {}", state.owner),
                             ));
                         }
                     }
@@ -328,19 +423,175 @@ impl UvmDriver {
         for (&vpn, state) in self.central.iter() {
             for holder in state.replicas.iter() {
                 if holder.index() >= self.cfg.num_gpus {
-                    return Err(format!("{vpn}: replica holder {holder} out of range"));
+                    return Err(fail(
+                        Some(holder),
+                        Some(vpn),
+                        format!("{vpn}: replica holder {holder} out of range"),
+                    ));
                 }
                 if !self.memories[holder.index()].contains(vpn) {
-                    return Err(format!("{vpn}: replica holder {holder} lost the page"));
+                    return Err(fail(
+                        Some(holder),
+                        Some(vpn),
+                        format!("{vpn}: replica holder {holder} lost the page"),
+                    ));
                 }
             }
         }
         Ok(())
     }
 
+    /// Automatic invariant sweep: runs after every applied injection and
+    /// at epoch boundaries, in debug builds always and in release builds
+    /// when `check_invariants` is set. A violation is a simulator bug and
+    /// fails loudly.
+    fn auto_check_invariants(&mut self, now: Cycle) {
+        // The Ideal upper bound deliberately fakes local mappings on every
+        // GPU; its state is exempt from the consistency invariants.
+        if self.is_ideal() || (!cfg!(debug_assertions) && !self.cfg.check_invariants) {
+            return;
+        }
+        self.clock = self.clock.max(now);
+        self.resilience.invariant_checks += 1;
+        if let Err(v) = self.check_invariants() {
+            panic!("{v}");
+        }
+    }
+
+    /// Applies every scheduled fault transition with `cycle <= now`:
+    /// emits `FaultInjected`/`Recovered` events, executes ECC frame
+    /// retirements, and sweeps the invariants after each change. A no-op
+    /// (returning `None`) without a plan or with nothing due.
+    fn apply_injections(&mut self, now: Cycle) -> Option<DriverOutcome> {
+        if self.next_transition >= self.plan.transitions().len() {
+            return None;
+        }
+        let mut out = DriverOutcome {
+            done_at: now,
+            ..Default::default()
+        };
+        let mut any = false;
+        while let Some(&tr) = self.plan.transitions().get(self.next_transition) {
+            if tr.cycle > now {
+                break;
+            }
+            self.next_transition += 1;
+            any = true;
+            if tr.starts {
+                self.resilience.faults_injected += 1;
+                self.tracer.emit(EventCategory::FaultInjected, || TraceEvent::FaultInjected {
+                    cycle: tr.cycle,
+                    kind: tr.kind,
+                    wire: tr.wire,
+                    gpu: tr.gpu.map(GpuId::new),
+                });
+                if tr.kind == InjectedKind::Retire {
+                    if let Some(g) = tr.gpu {
+                        let o = self.apply_retirement(GpuId::new(g), tr.cycle);
+                        out.merge(o);
+                    }
+                }
+            } else {
+                self.resilience.recoveries += 1;
+                self.tracer.emit(EventCategory::Recovered, || TraceEvent::Recovered {
+                    cycle: tr.cycle,
+                    kind: tr.kind,
+                    wire: tr.wire,
+                    gpu: tr.gpu.map(GpuId::new),
+                });
+            }
+            self.auto_check_invariants(tr.cycle);
+        }
+        any.then_some(out)
+    }
+
+    /// Executes one scheduled ECC retirement on `gpu`: shrinks the DRAM
+    /// capacity and re-places every force-evicted page (owners move back
+    /// to host memory, replicas are dropped).
+    fn apply_retirement(&mut self, gpu: GpuId, now: Cycle) -> DriverOutcome {
+        let mut out = DriverOutcome {
+            done_at: now,
+            ..Default::default()
+        };
+        let cursor = self.retire_cursor[gpu.index()];
+        let Some(&(_, count)) = self.plan.retirements(gpu.index()).get(cursor) else {
+            return out;
+        };
+        self.retire_cursor[gpu.index()] = cursor + 1;
+        let before = self.memories[gpu.index()].capacity();
+        let frames = count.resolve(before as u64);
+        let evicted = self.memories[gpu.index()].retire_frames(frames);
+        self.resilience.frames_retired += (before - self.memories[gpu.index()].capacity()) as u64;
+        self.resilience.pages_force_evicted += evicted.len() as u64;
+        for (vpn, dirty) in evicted {
+            let o = self.replace_retired_page(gpu, vpn, dirty, now);
+            out.merge(o);
+        }
+        out
+    }
+
+    /// Re-places one page force-evicted by frame retirement. Mirrors
+    /// [`UvmDriver::evict_page`], but the page is already gone from the
+    /// retired memory, so the dirty bit is passed in rather than looked
+    /// up.
+    fn replace_retired_page(
+        &mut self,
+        gpu: GpuId,
+        vpn: PageId,
+        dirty: bool,
+        now: Cycle,
+    ) -> DriverOutcome {
+        let mut out = DriverOutcome {
+            done_at: now,
+            ..Default::default()
+        };
+        let lat = self.cfg.lat;
+        self.faults.evictions += 1;
+        self.tracer.emit(EventCategory::Eviction, || TraceEvent::Eviction {
+            cycle: now,
+            gpu,
+            vpn,
+        });
+        if self.central.page(vpn).owner == MemLoc::Gpu(gpu) {
+            // The authoritative copy goes back to host memory; dirty pages
+            // pay the full PCIe write-back, clean ones a control message.
+            let bytes = if dirty { self.cfg.page_size } else { 64 };
+            let t = self.fabric.gpu_to_host(gpu, now, bytes);
+            self.breakdown.record(LatencyClass::Host, t - now);
+            self.central.page_mut(vpn).owner = MemLoc::Host;
+            for g in GpuId::all(self.cfg.num_gpus) {
+                if self.local_pts[g.index()].invalidate(vpn) {
+                    out.invalidated.push((g, vpn));
+                    self.breakdown.record(LatencyClass::Host, lat.invalidation_per_gpu);
+                }
+            }
+            out.done_at = t;
+        } else {
+            self.central.page_mut(vpn).replicas.remove(gpu);
+            if self.local_pts[gpu.index()].invalidate(vpn) {
+                out.invalidated.push((gpu, vpn));
+                self.breakdown.record(LatencyClass::Host, lat.invalidation_per_gpu);
+            }
+        }
+        out
+    }
+
     /// If the policy runs epochs and `now` has passed the next boundary,
-    /// executes the epoch callback and its directives.
+    /// executes the epoch callback and its directives. Scheduled fault
+    /// injections due by `now` are applied first either way.
     pub fn maybe_run_epoch(&mut self, now: Cycle) -> Option<DriverOutcome> {
+        self.clock = self.clock.max(now);
+        let injected = self.apply_injections(now);
+        match (injected, self.run_due_epoch(now)) {
+            (Some(mut a), Some(b)) => {
+                a.merge(b);
+                Some(a)
+            }
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn run_due_epoch(&mut self, now: Cycle) -> Option<DriverOutcome> {
         let epoch = self.policy.epoch_len()?;
         let due = self.next_epoch?;
         if now < due {
@@ -376,12 +627,17 @@ impl UvmDriver {
                 }
             }
         }
+        // Epoch boundaries are a natural consistency point: sweep the
+        // invariants in debug builds and under `--check-invariants`.
+        self.auto_check_invariants(now);
         Some(out)
     }
 
     /// Services one page fault end to end: host trip, policy decision,
     /// mechanism, PTE update, replay release.
     pub fn handle_fault(&mut self, fault: FaultInfo) -> DriverOutcome {
+        self.clock = self.clock.max(fault.now);
+        let injected = self.apply_injections(fault.now);
         match fault.fault {
             FaultKind::Local => self.faults.local_faults += 1,
             FaultKind::Protection => self.faults.protection_faults += 1,
@@ -406,7 +662,12 @@ impl UvmDriver {
             // The Ideal of Fig. 1 has no fault machinery at all: data is
             // magically local (first cold read pays one fetch), writes are
             // free. Skip the host trip and the serial driver service.
-            return self.ideal_touch(fault.gpu, fault.vpn, fault.now, was_touched, fault.kind);
+            let mut out =
+                self.ideal_touch(fault.gpu, fault.vpn, fault.now, was_touched, fault.kind);
+            if let Some(inj) = injected {
+                out.merge(inj);
+            }
+            return out;
         }
 
         // Host trip: fault message + reply over PCIe, driver servicing,
@@ -418,15 +679,25 @@ impl UvmDriver {
         let lat = self.cfg.lat;
         let t_msg = self.fabric.host_round_trip(fault.gpu, fault.now);
         let service_start = t_msg.max(self.fault_service_free);
-        self.fault_service_free = service_start + lat.fault_service_time;
+        // An injected fault-handler stall storm occupies the serial driver
+        // with background faults; this fault queues behind them. Always
+        // zero without a plan.
+        let storm = self.plan.storm_stall(fault.gpu.index(), service_start);
+        if storm > 0 {
+            self.resilience.storm_stalled_faults += 1;
+        }
+        self.fault_service_free = service_start + storm + lat.fault_service_time;
         let queue_wait = service_start - t_msg;
         let pcie_trip = t_msg - fault.now;
         let decision_excess = decision.decision_latency.saturating_sub(lat.central_walk);
-        let host_cost = lat.host_fault_base + lat.central_walk + decision_excess;
+        let host_cost = lat.host_fault_base + lat.central_walk + decision_excess + storm;
         self.breakdown.record(LatencyClass::Host, pcie_trip + queue_wait + host_cost);
         let mut t = service_start + host_cost;
 
         let mut out = DriverOutcome::default();
+        if let Some(inj) = injected {
+            out.merge(inj);
+        }
 
         if decision.scheme_changed {
             self.faults.scheme_changes += 1;
@@ -509,12 +780,26 @@ impl UvmDriver {
         gpu: GpuId,
         vpn: PageId,
     ) -> Option<DriverOutcome> {
+        self.clock = self.clock.max(now);
+        let injected = self.apply_injections(now);
         self.policy.on_remote_access(now, gpu, vpn);
         if self.scheme_of(vpn) != Scheme::AccessCounter {
-            return None;
+            return injected;
         }
-        if !self.counters.record_remote(gpu, vpn) {
-            return None;
+        // Cost-weighted placement under injected faults: an access that
+        // crosses a sick route (degraded, detoured, or severed) counts
+        // double, so the counters pull hot 64 KB groups away from sick
+        // links roughly twice as fast. Zero-cost without a plan.
+        let mut tripped = self.counters.record_remote(gpu, vpn);
+        if !tripped && !self.plan.is_empty() {
+            if let MemLoc::Gpu(o) = self.central.page(vpn).owner {
+                if o != gpu && self.fabric.route_sick(gpu, o, now) {
+                    tripped = self.counters.record_remote(gpu, vpn);
+                }
+            }
+        }
+        if !tripped {
+            return injected;
         }
         // Counter tripped: the UVM driver broadcasts invalidations, then
         // migrates the whole 64 KB page group to the heavy accessor (the
@@ -536,6 +821,9 @@ impl UvmDriver {
             }
             let o = self.migrate_page(gpu, p, t, LatencyClass::PageMigration);
             out.merge(o);
+        }
+        if let Some(inj) = injected {
+            out.merge(inj);
         }
         Some(out)
     }
@@ -697,6 +985,18 @@ impl UvmDriver {
             return out;
         }
 
+        // Graceful degradation: a migration whose source route is fully
+        // severed by an injected outage retries with capped exponential
+        // backoff, then falls back to remote access or host staging
+        // rather than panicking or losing the page.
+        if !self.plan.is_empty() {
+            if let MemLoc::Gpu(src) = state.owner {
+                if src != dst && self.fabric.route_blocked(src, dst, now) {
+                    return self.blocked_migration(dst, src, vpn, now, class);
+                }
+            }
+        }
+
         self.faults.migrations += 1;
         self.tracer.emit(EventCategory::Migration, || TraceEvent::Migration {
             cycle: now,
@@ -746,6 +1046,94 @@ impl UvmDriver {
         self.local_pts[dst.index()].map(vpn, Mapping::Local);
         out.mapping = Some(Mapping::Local);
         out.done_at = out.done_at.max(arrive);
+        out
+    }
+
+    /// Handles a migration whose `src -> dst` route is severed: retries
+    /// with capped exponential backoff in case the outage window ends,
+    /// then degrades gracefully. A clean source copy stays where it is
+    /// and `dst` maps it remotely (the fabric stages remote reads through
+    /// the host while the outage lasts); a dirty copy is staged to host
+    /// memory over the source's always-available PCIe link so it stays
+    /// reachable. Never panics, never drops the page.
+    fn blocked_migration(
+        &mut self,
+        dst: GpuId,
+        src: GpuId,
+        vpn: PageId,
+        now: Cycle,
+        class: LatencyClass,
+    ) -> DriverOutcome {
+        self.resilience.migrations_blocked += 1;
+        let mut t = now;
+        for attempt in 0..self.backoff.max_attempts {
+            t += self.backoff.delay(attempt);
+            self.resilience.migration_retries += 1;
+            let cycle = t;
+            self.tracer.emit(EventCategory::MigrationRetried, || {
+                TraceEvent::MigrationRetried {
+                    cycle,
+                    gpu: dst,
+                    vpn,
+                    attempt: (attempt + 1).min(u8::MAX as u32) as u8,
+                }
+            });
+            if !self.fabric.route_blocked(src, dst, t) {
+                // The route recovered within the backoff budget: the wait
+                // is part of the migration's latency, then the normal
+                // path proceeds from the retry time.
+                self.resilience.retry_successes += 1;
+                self.breakdown.record(class, t - now);
+                let mut out = self.migrate_page(dst, vpn, t, class);
+                out.done_at = out.done_at.max(t);
+                return out;
+            }
+        }
+        // Retries exhausted; fall back.
+        self.breakdown.record(class, t - now);
+        let mut out = DriverOutcome {
+            done_at: t,
+            ..Default::default()
+        };
+        let dirty = self.memories[src.index()].is_dirty(vpn);
+        let staged = dirty;
+        self.tracer.emit(EventCategory::FallbackRemote, || {
+            TraceEvent::FallbackRemote {
+                cycle: t,
+                gpu: dst,
+                vpn,
+                staged,
+            }
+        });
+        if dirty {
+            // The only up-to-date copy sits behind the dead route; park
+            // it in host memory so every GPU can still reach it.
+            self.resilience.host_staged += 1;
+            let mut teardown = self.teardown_mappings_except(vpn, dst, t, class);
+            out.stalls.append(&mut teardown.stalls);
+            out.invalidated.append(&mut teardown.invalidated);
+            let t2 = self.fabric.gpu_to_host(src, teardown.done_at.max(t), self.cfg.page_size);
+            self.breakdown.record(class, t2 - t);
+            self.memories[src.index()].remove(vpn);
+            {
+                let p = self.central.page_mut(vpn);
+                p.owner = MemLoc::Host;
+                p.replicas.clear();
+            }
+            if self.local_pts[src.index()].invalidate(vpn) {
+                out.invalidated.push((src, vpn));
+            }
+            self.local_pts[dst.index()].map(vpn, Mapping::RemoteHost);
+            out.mapping = Some(Mapping::RemoteHost);
+            out.done_at = out.done_at.max(t2);
+        } else {
+            // The source copy is clean and authoritative: leave it owned
+            // by `src` and access it remotely until placement re-places
+            // the group.
+            self.resilience.fallback_remote += 1;
+            self.local_pts[dst.index()].map(vpn, Mapping::Remote(src));
+            out.mapping = Some(Mapping::Remote(src));
+        }
         out
     }
 
@@ -1393,5 +1781,213 @@ mod tests {
         // Epochs run on a fixed grid: the next boundary is at 2_000, so a
         // query before it stays quiet.
         assert!(d.maybe_run_epoch(1_999).is_none());
+    }
+
+    fn injected_driver(spec: &str, footprint: u64, scheme: Scheme) -> UvmDriver {
+        let cfg = SimConfig {
+            inject: grit_sim::InjectConfig::parse(spec).unwrap(),
+            ..SimConfig::default()
+        };
+        UvmDriver::new(cfg, footprint, Box::new(StaticPolicy::new(scheme)))
+    }
+
+    #[test]
+    fn storm_delays_fault_service_inside_the_window_only() {
+        let mut calm = driver(Scheme::OnTouch);
+        let mut stormy = injected_driver(
+            "storm@0:gpu=0:for=1000000:stall=5000",
+            1000,
+            Scheme::OnTouch,
+        );
+        let a = calm.handle_fault(fault(0, 5, AccessKind::Read, FaultKind::Local, 0));
+        let b = stormy.handle_fault(fault(0, 5, AccessKind::Read, FaultKind::Local, 0));
+        assert_eq!(b.done_at, a.done_at + 5_000, "storm adds its stall");
+        assert_eq!(stormy.resilience_counters().storm_stalled_faults, 1);
+        // After the window the storm is gone.
+        let a2 = calm.handle_fault(fault(1, 6, AccessKind::Read, FaultKind::Local, 2_000_000));
+        let b2 = stormy.handle_fault(fault(1, 6, AccessKind::Read, FaultKind::Local, 2_000_000));
+        assert_eq!(b2.done_at, a2.done_at);
+        assert!(stormy.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn retirement_shrinks_capacity_and_replaces_pages_on_host() {
+        // Footprint 8 -> 6 frames per GPU; retire 4 at cycle 500_000.
+        let mut d = injected_driver("retire@500000:gpu=0:frames=4", 8, Scheme::OnTouch);
+        for p in 0..6u64 {
+            d.handle_fault(fault(0, p, AccessKind::Read, FaultKind::Local, p * 50_000));
+        }
+        d.mark_page_dirty(GpuId::new(0), PageId(0));
+        assert_eq!(d.memories[0].capacity(), 6);
+        // The next driver entry past the schedule applies the retirement.
+        let out = d.handle_fault(fault(1, 7, AccessKind::Read, FaultKind::Local, 600_000));
+        assert_eq!(d.memories[0].capacity(), 2);
+        let r = d.resilience_counters();
+        assert_eq!(r.faults_injected, 1);
+        assert_eq!(r.frames_retired, 4);
+        assert_eq!(r.pages_force_evicted, 4);
+        // Force-evicted owners moved back to host and lost their
+        // translations (the runner hears about it via `invalidated`).
+        assert_eq!(d.central.page(PageId(0)).owner, MemLoc::Host);
+        assert!(out.invalidated.iter().any(|&(g, _)| g == GpuId::new(0)));
+        assert!(d.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn blocked_migration_falls_back_to_remote_for_clean_pages() {
+        // All wires dead for far longer than the backoff budget.
+        let mut d = injected_driver("outage@0:wire=*:for=100000000", 1000, Scheme::OnTouch);
+        d.handle_fault(fault(0, 3, AccessKind::Read, FaultKind::Local, 1_000));
+        // GPU1 touches the same (clean) page: migration is blocked, so the
+        // page stays put and GPU1 maps it remotely.
+        let out = d.handle_fault(fault(1, 3, AccessKind::Read, FaultKind::Local, 50_000));
+        assert_eq!(out.mapping, Some(Mapping::Remote(GpuId::new(0))));
+        assert_eq!(d.central.page(PageId(3)).owner, MemLoc::Gpu(GpuId::new(0)));
+        let r = d.resilience_counters();
+        assert_eq!(r.migrations_blocked, 1);
+        assert_eq!(r.migration_retries, 4);
+        assert_eq!(r.retry_successes, 0);
+        assert_eq!(r.fallback_remote, 1);
+        assert_eq!(r.host_staged, 0);
+        assert_eq!(
+            d.fault_counters().migrations,
+            1,
+            "only the cold touch migrated"
+        );
+        assert!(d.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn blocked_migration_stages_dirty_pages_through_the_host() {
+        let mut d = injected_driver("outage@0:wire=*:for=100000000", 1000, Scheme::OnTouch);
+        d.handle_fault(fault(0, 3, AccessKind::Write, FaultKind::Local, 1_000));
+        d.mark_page_dirty(GpuId::new(0), PageId(3));
+        let pcie_before = d.fabric_stats().pcie_bytes;
+        let out = d.handle_fault(fault(1, 3, AccessKind::Read, FaultKind::Local, 50_000));
+        // The dirty authoritative copy parks in host memory; both GPUs can
+        // still reach it and nothing is lost.
+        assert_eq!(out.mapping, Some(Mapping::RemoteHost));
+        assert_eq!(d.central.page(PageId(3)).owner, MemLoc::Host);
+        assert_eq!(d.translate(GpuId::new(0), PageId(3)), None);
+        assert!(d.fabric_stats().pcie_bytes >= pcie_before + d.cfg.page_size);
+        let r = d.resilience_counters();
+        assert_eq!(r.host_staged, 1);
+        assert_eq!(r.fallback_remote, 0);
+        assert!(d.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn blocked_migration_retry_succeeds_when_the_outage_ends() {
+        // Outage ends at cycle 52_000; the backoff schedule from 50_000
+        // (2_000 + 4_000 + ...) finds the route open on a retry.
+        let mut d = injected_driver("outage@0:wire=*:for=52000", 1000, Scheme::OnTouch);
+        d.handle_fault(fault(0, 3, AccessKind::Read, FaultKind::Local, 1_000));
+        let out = d.handle_fault(fault(1, 3, AccessKind::Read, FaultKind::Local, 50_000));
+        assert_eq!(out.mapping, Some(Mapping::Local));
+        assert_eq!(d.central.page(PageId(3)).owner, MemLoc::Gpu(GpuId::new(1)));
+        let r = d.resilience_counters();
+        assert_eq!(r.migrations_blocked, 1);
+        assert_eq!(r.retry_successes, 1);
+        assert!(r.migration_retries >= 1);
+        assert_eq!(r.fallback_remote + r.host_staged, 0);
+        assert!(d.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn every_blocked_migration_resolves_without_loss() {
+        // Hammer ping-pong migrations across an outage that covers part of
+        // the run; every blocked one must resolve to a retry success, a
+        // remote fallback, or host staging.
+        let mut d = injected_driver("outage@100000:wire=*:for=400000", 64, Scheme::OnTouch);
+        for i in 0..40u64 {
+            // Each round of 8 pages is touched by the next GPU, so every
+            // page ping-pongs across the outage window.
+            let gpu = ((i / 8) % 4) as u8;
+            let page = i % 8;
+            let kind = if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let out = d.handle_fault(fault(gpu, page, kind, FaultKind::Local, i * 25_000));
+            if kind.is_write() {
+                d.mark_page_dirty(GpuId::new(gpu), PageId(page));
+            }
+            assert!(out.done_at >= i * 25_000);
+            assert!(d.check_invariants().is_ok(), "fault {i} broke an invariant");
+        }
+        let r = d.resilience_counters();
+        assert!(r.migrations_blocked > 0, "the outage must block something");
+        assert!(
+            r.migrations_blocked <= r.retry_successes + r.fallback_remote + r.host_staged,
+            "every blocked migration must resolve: {r:?}"
+        );
+        // Outage start and end both surfaced as transitions.
+        assert_eq!(r.faults_injected, 1);
+        assert_eq!(r.recoveries, 1);
+    }
+
+    #[test]
+    fn sick_routes_double_count_remote_accesses() {
+        // Degrade every wire for the whole run: counter trips take about
+        // half as many remote accesses as on a healthy fabric.
+        let healthy = {
+            let mut d = driver(Scheme::AccessCounter);
+            d.handle_fault(fault(0, 7, AccessKind::Read, FaultKind::Local, 0));
+            d.handle_fault(fault(1, 7, AccessKind::Read, FaultKind::Local, 100_000));
+            let mut n = 0u64;
+            while d.record_remote_access(200_000 + n, GpuId::new(1), PageId(7)).is_none() {
+                n += 1;
+                assert!(n < 1_000);
+            }
+            n
+        };
+        let sick = {
+            let mut d = injected_driver(
+                "degrade@0:wire=*:frac=0.5:for=100000000",
+                1000,
+                Scheme::AccessCounter,
+            );
+            d.handle_fault(fault(0, 7, AccessKind::Read, FaultKind::Local, 0));
+            d.handle_fault(fault(1, 7, AccessKind::Read, FaultKind::Local, 100_000));
+            let mut n = 0u64;
+            while d.record_remote_access(200_000 + n, GpuId::new(1), PageId(7)).is_none() {
+                n += 1;
+                assert!(n < 1_000);
+            }
+            n
+        };
+        assert!(
+            sick <= healthy / 2 + 1,
+            "sick-route accesses must trip ~2x sooner: {sick} vs {healthy}"
+        );
+    }
+
+    #[test]
+    fn invariant_violations_carry_gpu_page_and_cycle() {
+        let mut d = driver(Scheme::OnTouch);
+        d.handle_fault(fault(0, 5, AccessKind::Read, FaultKind::Local, 7_777));
+        // Corrupt the state behind the driver's back: steal the page from
+        // GPU0's memory while its Local mapping stands.
+        d.memories[0].remove(PageId(5));
+        let v = d.check_invariants().expect_err("corruption must be caught");
+        assert_eq!(v.gpu, Some(GpuId::new(0)));
+        assert_eq!(v.vpn, Some(PageId(5)));
+        assert!(v.cycle >= 7_777, "stamped with the driver clock");
+        let msg = v.to_string();
+        assert!(msg.contains("invariant violated"), "{msg}");
+        assert!(msg.contains("not resident"), "{msg}");
+    }
+
+    #[test]
+    fn bad_inject_spec_is_a_config_error() {
+        // Wire 99 does not exist on a 4-GPU all-to-all (6 wires).
+        let cfg = SimConfig {
+            inject: grit_sim::InjectConfig::parse("outage@0:wire=99:for=100").unwrap(),
+            ..SimConfig::default()
+        };
+        let err = UvmDriver::try_new(cfg, 100, Box::new(StaticPolicy::new(Scheme::OnTouch)))
+            .expect_err("out-of-range wire must be rejected");
+        assert!(err.to_string().contains("inject"), "{err}");
     }
 }

@@ -36,5 +36,5 @@ pub mod validate;
 pub use builder::{GenCtx, MultiGpuWorkload, WorkloadBuilder};
 pub use common::{tb_to_gpu, GpuTrace, Segment};
 pub use spec::{AccessPattern, App};
-pub use trace_io::{read_trace, write_trace};
+pub use trace_io::{read_trace, write_trace, TraceIoError};
 pub use validate::{characterize, validate, Characterization, Expectation};

@@ -84,6 +84,10 @@ const FIGURES: &[(&str, &str)] = &[
         "ext-topology",
         "EXT: topology x GPU-count sweep (GRIT vs on-touch, fabric queueing)",
     ),
+    (
+        "ext-resilience",
+        "EXT: injected-fault scenarios x GPU count (slowdown vs healthy run)",
+    ),
 ];
 
 /// Tables that later targets can reuse — `repro all` runs fig17/fig18
@@ -240,6 +244,12 @@ fn print_usage() {
     );
     eprintln!(
         "  --topology T        interconnect for every cell: all-to-all (default), nvswitch[:RADIX], ring, mesh2d, hierarchical"
+    );
+    eprintln!(
+        "  --inject SPEC       deterministic fault schedule for every cell, e.g. 'outage@1000:wire=0:for=5000;retire@2000:gpu=1:pct=10'"
+    );
+    eprintln!(
+        "  --check-invariants  run the driver's VM-state invariant sweeps in release builds too"
     );
     eprintln!("  --trace PATH        write a structured JSONL event stream");
     eprintln!("  --trace-filter L    comma-separated event categories (default: all)");
@@ -488,6 +498,27 @@ fn run_figure(
             emit(&study.speedup, "ext_topology_speedup", csv_dir);
             emit(&study.queue, "ext_topology_queue", csv_dir);
         }
+        "ext-resilience" | "resilience" => {
+            let study = ex::ext_resilience::run(exp);
+            emit(&study.slowdown, "ext_resilience_slowdown", csv_dir);
+            for (scenario, r) in &study.counters {
+                println!(
+                    "[resilience] {scenario}: injected {} recovered {} blocked {} \
+                     (retried-ok {} remote {} staged {}) retired-frames {} checks {}",
+                    r.faults_injected,
+                    r.recoveries,
+                    r.migrations_blocked,
+                    r.retry_successes,
+                    r.fallback_remote,
+                    r.host_staged,
+                    r.frames_retired,
+                    r.invariant_checks,
+                );
+                if !r.all_blocked_resolved() {
+                    eprintln!("[repro] {scenario}: blocked migrations left unresolved");
+                }
+            }
+        }
         _ => return false,
     }
     true
@@ -638,6 +669,23 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--inject" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    eprintln!(
+                        "--inject needs a spec, e.g. 'degrade@1000:wire=0:frac=0.25:for=100000'"
+                    );
+                    return ExitCode::FAILURE;
+                };
+                match grit_sim::InjectConfig::parse(spec) {
+                    Ok(inject) => ex::set_inject(Some(inject)),
+                    Err(e) => {
+                        eprintln!("--inject: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--check-invariants" => ex::set_check_invariants(true),
             "list" | "--list" | "-l" => {
                 print_usage();
                 return ExitCode::SUCCESS;

@@ -42,7 +42,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use grit_sim::{CancelState, CancelToken, CellError, SimConfig, TopologyConfig};
+use grit_sim::{CancelState, CancelToken, CellError, InjectConfig, SimConfig, TopologyConfig};
 use grit_trace::{writer as trace_writer, BatchProfile, CellMeta, CellTiming, TraceConfig, Tracer};
 use grit_uvm::{PlacementPolicy, Prefetcher};
 use grit_workloads::App;
@@ -118,26 +118,28 @@ impl std::fmt::Debug for CellSpec {
 
 impl CellSpec {
     /// A cell with the baseline system configuration (under the
-    /// process-wide topology override installed by [`set_topology`], so
-    /// `repro --topology` reshapes every figure driver).
+    /// process-wide overrides installed by [`set_topology`],
+    /// [`set_inject`] and [`set_check_invariants`], so `repro --topology`
+    /// / `--inject` / `--check-invariants` reshape every figure driver).
     pub fn new(app: App, policy: impl Into<PolicySpec>, exp: &ExpConfig) -> Self {
         CellSpec {
             app,
             policy: policy.into(),
             exp: *exp,
-            cfg: apply_topology_override(SimConfig::default()),
+            cfg: apply_cell_overrides(SimConfig::default()),
             observer: None,
             prefetcher: None,
             trace: None,
         }
     }
 
-    /// Replaces the system configuration. The process-wide topology
-    /// override still applies on top (drivers that must pin an explicit
-    /// per-cell topology — e.g. `ext_topology` — construct the `CellSpec`
-    /// struct literally instead).
+    /// Replaces the system configuration. The process-wide overrides
+    /// still apply on top (drivers that must pin an explicit per-cell
+    /// topology or fault schedule — e.g. `ext_topology`,
+    /// `ext_resilience` — construct the `CellSpec` struct literally
+    /// instead).
     pub fn with_cfg(mut self, cfg: SimConfig) -> Self {
-        self.cfg = apply_topology_override(cfg);
+        self.cfg = apply_cell_overrides(cfg);
         self
     }
 
@@ -376,6 +378,11 @@ static FAIL_FAST_TRIGGERED: AtomicBool = AtomicBool::new(false);
 static RESUME_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 /// Process-wide topology override (the `repro --topology` flag).
 static TOPOLOGY_OVERRIDE: Mutex<Option<TopologyConfig>> = Mutex::new(None);
+/// Process-wide fault-injection override (the `repro --inject` flag).
+static INJECT_OVERRIDE: Mutex<Option<InjectConfig>> = Mutex::new(None);
+/// Process-wide invariant-check opt-in (the `repro --check-invariants`
+/// flag; debug builds always check).
+static CHECK_INVARIANTS_DEFAULT: AtomicBool = AtomicBool::new(false);
 
 /// Sets the interconnect topology for every subsequently declared
 /// [`CellSpec`] (`None` restores the default all-to-all). The
@@ -386,9 +393,30 @@ pub fn set_topology(topo: Option<TopologyConfig>) {
     *TOPOLOGY_OVERRIDE.lock().expect("topology override lock poisoned") = topo;
 }
 
-fn apply_topology_override(mut cfg: SimConfig) -> SimConfig {
+/// Schedules fault injection in every subsequently declared [`CellSpec`]
+/// (`None` restores fault-free runs). The `repro --inject` flag lands
+/// here; the schedule flows into each cell's `SimConfig`, so resume keys
+/// and run reports distinguish injected runs automatically.
+pub fn set_inject(inject: Option<InjectConfig>) {
+    *INJECT_OVERRIDE.lock().expect("inject override lock poisoned") = inject;
+}
+
+/// Opts every subsequently declared [`CellSpec`] into the driver's
+/// automatic invariant sweeps (the `repro --check-invariants` flag;
+/// debug builds always sweep).
+pub fn set_check_invariants(on: bool) {
+    CHECK_INVARIANTS_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+fn apply_cell_overrides(mut cfg: SimConfig) -> SimConfig {
     if let Some(topo) = *TOPOLOGY_OVERRIDE.lock().expect("topology override lock poisoned") {
         cfg.topology = topo;
+    }
+    if let Some(inject) = INJECT_OVERRIDE.lock().expect("inject override lock poisoned").as_ref() {
+        cfg.inject = inject.clone();
+    }
+    if CHECK_INVARIANTS_DEFAULT.load(Ordering::Relaxed) {
+        cfg.check_invariants = true;
     }
     cfg
 }

@@ -30,6 +30,7 @@ pub mod fig31_dnn;
 pub mod ext_adaptation;
 pub mod ext_oracle;
 pub mod ext_pa_cache;
+pub mod ext_resilience;
 pub mod ext_sweeps;
 pub mod ext_topology;
 pub mod ext_workloads;
@@ -41,8 +42,8 @@ pub mod workload_cache;
 
 pub use batch::{
     effective_jobs, fail_fast_triggered, run_batch, run_batch_with, run_grid, set_cell_timeout,
-    set_fail_fast, set_jobs, set_resume_dir, set_topology, BatchOptions, CellResultExt, CellSpec,
-    PolicySpec,
+    set_check_invariants, set_fail_fast, set_inject, set_jobs, set_resume_dir, set_topology,
+    BatchOptions, CellResultExt, CellSpec, PolicySpec,
 };
 
 use grit_baselines::{FirstTouchPolicy, GpsPolicy, GriffinDpcPolicy, IdealPolicy};

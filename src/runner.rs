@@ -15,7 +15,8 @@ use grit_metrics::{
 };
 use grit_sim::{
     Access, AccessStream, CancelState, CancelToken, CellError, ConfigError, Cycle, FxHashMap,
-    GpuId, GritError, MemLoc, MlpWindow, PageId, SimConfig, SliceStream, TopologyConfig,
+    GpuId, GritError, InjectConfig, MemLoc, MlpWindow, PageId, SimConfig, SliceStream,
+    TopologyConfig,
 };
 use grit_trace::{CellTiming, TraceEvent, Tracer};
 use grit_uvm::{
@@ -246,6 +247,20 @@ impl SimulationBuilder {
     /// Wires the interconnect as `topo` describes (default: all-to-all).
     pub fn topology(mut self, topo: TopologyConfig) -> Self {
         self.cfg.topology = topo;
+        self
+    }
+
+    /// Schedules deterministic hardware fault injection (default: none).
+    pub fn inject(mut self, inject: InjectConfig) -> Self {
+        self.cfg.inject = inject;
+        self
+    }
+
+    /// Opts release builds into the driver's automatic invariant sweeps
+    /// at epoch boundaries and after every injected fault (debug builds
+    /// always run them).
+    pub fn check_invariants(mut self, on: bool) -> Self {
+        self.cfg.check_invariants = on;
         self
     }
 
@@ -724,6 +739,15 @@ impl Simulation {
             "per_gpu_faults",
             self.driver.faults_per_gpu().iter().map(|&f| f as f64).collect(),
         );
+        // Fault-injection outcomes (the report's `resilience` object);
+        // only injected runs carry the series, so uninjected reports are
+        // byte-identical to pre-injection ones.
+        if self.driver.injection_active() {
+            metrics.set_aux(
+                "resilience_counters",
+                self.driver.resilience_counters().as_aux(),
+            );
+        }
         let h = self.driver.fault_latency();
         metrics.set_aux(
             "fault_latency_summary",
