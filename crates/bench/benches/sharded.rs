@@ -1,0 +1,107 @@
+//! Benchmarks of the sharded event loop (`--sim-threads`): one cell run
+//! serially vs sharded at 4 and 8 GPUs — the per-cell wall-clock win —
+//! plus a tiny cell where the window/barrier machinery dominates, which
+//! bounds the sharding overhead. `serial_8gpu` doubles as the
+//! no-regression guard for the serial engine: CI compares it against the
+//! stored Criterion baseline.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use grit::experiments::{run_batch_with, BatchOptions, CellSpec, ExpConfig, PolicyKind};
+use grit_sim::SimConfig;
+use grit_workloads::App;
+
+fn exp(scale: f64) -> ExpConfig {
+    ExpConfig {
+        scale,
+        intensity: 0.5,
+        ..ExpConfig::quick()
+    }
+}
+
+// Gemm has the highest purely-GPU-local event fraction of the built-in
+// apps (~75% at 8 GPUs under GRIT), so it is the headline scaling cell;
+// fault-heavy apps like BFS bound the other end (~45% pure).
+fn cell(gpus: usize, scale: f64) -> Vec<CellSpec> {
+    vec![CellSpec::new(App::Gemm, PolicyKind::GRIT, &exp(scale))
+        .with_cfg(SimConfig::with_gpus(gpus))]
+}
+
+fn run_one(cells: &[CellSpec], sim_threads: usize) {
+    let out = run_batch_with(cells, &BatchOptions::new().jobs(1).sim_threads(sim_threads));
+    assert!(out.iter().all(Result::is_ok));
+    black_box(out);
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharded");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+
+    // One mid-size cell, serial vs sharded, at the two GPU counts the
+    // acceptance criteria name. The first iteration builds the workload
+    // trace into the shared cache, so steady-state samples time only the
+    // engines.
+    for gpus in [4usize, 8] {
+        let cells = cell(gpus, 0.05);
+        g.bench_function(format!("serial_{gpus}gpu"), |b| {
+            b.iter(|| run_one(&cells, 1))
+        });
+        g.bench_function(format!("sharded4_{gpus}gpu"), |b| {
+            b.iter(|| run_one(&cells, 4))
+        });
+    }
+
+    // A deliberately tiny cell: almost every round hits a window barrier,
+    // so sharded-vs-serial here is nearly pure round-barrier and merge
+    // overhead.
+    let tiny = cell(4, 0.005);
+    g.bench_function("window_overhead_tiny_serial", |b| {
+        b.iter(|| run_one(&tiny, 1))
+    });
+    g.bench_function("window_overhead_tiny_sharded4", |b| {
+        b.iter(|| run_one(&tiny, 4))
+    });
+
+    g.finish();
+}
+
+/// Wall-clock of the serial engine over one cell, best of three.
+fn time_serial(gpus: usize) -> Duration {
+    let cells = cell(gpus, 0.05);
+    run_one(&cells, 1); // warm the workload cache
+    (0..3)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            run_one(&cells, 1);
+            t.elapsed()
+        })
+        .min()
+        .expect("three samples")
+}
+
+/// Serial no-regression guard: the undo-log journaling and worker pool
+/// must stay entirely off the serial path. Doubling the GPU count
+/// roughly doubles the event count, so the 8-GPU serial run must finish
+/// within 4x the 4-GPU one on any machine — superlinear blow-ups or
+/// speculative machinery leaking into the serial engine trip this
+/// without needing a stored cross-machine baseline.
+fn serial_no_regression_guard(_c: &mut Criterion) {
+    let t4 = time_serial(4);
+    let t8 = time_serial(8);
+    assert!(
+        t8 <= t4 * 4 + Duration::from_millis(50),
+        "8-GPU serial run regressed: 4 GPUs took {t4:?}, 8 GPUs took {t8:?}"
+    );
+    println!("sharded/serial_guard ok: 4gpu={t4:?} 8gpu={t8:?}");
+}
+
+criterion_group! {
+    name = sharded;
+    config = Criterion::default().without_plots();
+    targets = bench_sharded, serial_no_regression_guard
+}
+criterion_main!(sharded);

@@ -41,6 +41,11 @@ fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
     req(v, key)?.as_f64().ok_or_else(|| format!("field {key:?} is not a number"))
 }
 
+/// Integer field that older documents may lack entirely.
+fn opt_u64(v: &Json, key: &str) -> Option<u64> {
+    req(v, key).ok().and_then(Json::as_u64)
+}
+
 fn req_str(v: &Json, key: &str) -> Result<String, String> {
     Ok(req(v, key)?
         .as_str()
@@ -668,6 +673,8 @@ pub struct BatchProfile {
     pub cells: u64,
     /// Worker threads used.
     pub jobs: u64,
+    /// Event-loop threads sharding each cell (`--sim-threads`).
+    pub sim_threads: u64,
     /// Wall-clock seconds for the whole batch.
     pub wall_seconds: f64,
     /// Workload-cache hits during the batch.
@@ -681,6 +688,7 @@ impl BatchProfile {
         Json::Obj(vec![
             ("cells".into(), Json::UInt(self.cells)),
             ("jobs".into(), Json::UInt(self.jobs)),
+            ("sim_threads".into(), Json::UInt(self.sim_threads)),
             ("wall_seconds".into(), Json::Float(self.wall_seconds)),
             (
                 "workload_cache_hits".into(),
@@ -697,6 +705,9 @@ impl BatchProfile {
         Ok(BatchProfile {
             cells: req_u64(v, "cells")?,
             jobs: req_u64(v, "jobs")?,
+            // Tolerant default: profiles written before event-loop
+            // sharding landed carry no field and mean serial cells.
+            sim_threads: opt_u64(v, "sim_threads").unwrap_or(1),
             wall_seconds: req_f64(v, "wall_seconds")?,
             workload_cache_hits: req_u64(v, "workload_cache_hits")?,
             workload_cache_misses: req_u64(v, "workload_cache_misses")?,
@@ -741,6 +752,8 @@ pub struct RunReport {
     pub seed: u64,
     /// Worker threads (`--jobs`).
     pub jobs: u64,
+    /// Event-loop threads sharding each cell (`--sim-threads`).
+    pub sim_threads: u64,
     /// Total wall-clock seconds across all targets.
     pub total_seconds: f64,
     /// Simulated-system configuration as `(name, value)` pairs.
@@ -762,6 +775,7 @@ impl RunReport {
             ("intensity".into(), Json::Float(self.intensity)),
             ("seed".into(), Json::UInt(self.seed)),
             ("jobs".into(), Json::UInt(self.jobs)),
+            ("sim_threads".into(), Json::UInt(self.sim_threads)),
             ("total_seconds".into(), Json::Float(self.total_seconds)),
             (
                 "system".into(),
@@ -812,6 +826,9 @@ impl RunReport {
             intensity: req_f64(v, "intensity")?,
             seed: req_u64(v, "seed")?,
             jobs: req_u64(v, "jobs")?,
+            // Tolerant default: reports written before event-loop
+            // sharding landed mean serial cells.
+            sim_threads: opt_u64(v, "sim_threads").unwrap_or(1),
             total_seconds: req_f64(v, "total_seconds")?,
             system,
             targets: targets?,
@@ -864,6 +881,8 @@ pub struct BenchSummary {
     pub seed: u64,
     /// Worker threads (`--jobs`).
     pub jobs: u64,
+    /// Event-loop threads sharding each cell (`--sim-threads`).
+    pub sim_threads: u64,
     /// Total wall-clock seconds across all targets.
     pub total_seconds: f64,
     /// Cells executed across all targets.
@@ -887,6 +906,7 @@ impl BenchSummary {
             ("intensity".into(), Json::Float(self.intensity)),
             ("seed".into(), Json::UInt(self.seed)),
             ("jobs".into(), Json::UInt(self.jobs)),
+            ("sim_threads".into(), Json::UInt(self.sim_threads)),
             ("total_seconds".into(), Json::Float(self.total_seconds)),
             ("cells_run".into(), Json::UInt(self.cells_run)),
             ("fault_totals".into(), faults_to_json(&self.fault_totals)),
@@ -936,6 +956,9 @@ impl BenchSummary {
             intensity: req_f64(v, "intensity")?,
             seed: req_u64(v, "seed")?,
             jobs: req_u64(v, "jobs")?,
+            // Tolerant default: baselines written before event-loop
+            // sharding landed mean serial cells.
+            sim_threads: opt_u64(v, "sim_threads").unwrap_or(1),
             total_seconds: req_f64(v, "total_seconds")?,
             cells_run: req_u64(v, "cells_run")?,
             fault_totals: faults_from_json(req(v, "fault_totals")?)?,
@@ -1055,6 +1078,7 @@ mod tests {
             intensity: 1.5,
             seed: 0xBEEF,
             jobs: 4,
+            sim_threads: 2,
             total_seconds: 12.5,
             system: vec![("num_gpus".into(), 4.0), ("page_size".into(), 4096.0)],
             targets: vec![
@@ -1070,6 +1094,7 @@ mod tests {
             batches: vec![BatchProfile {
                 cells: 12,
                 jobs: 4,
+                sim_threads: 2,
                 wall_seconds: 5.25,
                 workload_cache_hits: 9,
                 workload_cache_misses: 3,
@@ -1088,6 +1113,7 @@ mod tests {
             intensity: 1.0,
             seed: 1,
             jobs: 2,
+            sim_threads: 4,
             total_seconds: 3.5,
             cells_run: 24,
             fault_totals: FaultCounters {
@@ -1115,6 +1141,27 @@ mod tests {
         let back =
             BenchSummary::from_json(&Json::parse(&bench.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(back, bench);
+    }
+
+    #[test]
+    fn pre_sharding_documents_parse_as_serial() {
+        // Documents written before `sim_threads` existed carry no such
+        // field; every codec must default it to 1 (serial cells).
+        let bench = BenchSummary::default();
+        let text = bench.to_json().to_string().replace(",\"sim_threads\":0", "");
+        assert!(!text.contains("sim_threads"));
+        let back = BenchSummary::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.sim_threads, 1);
+
+        let report = RunReport {
+            batches: vec![BatchProfile::default()],
+            ..RunReport::default()
+        };
+        let text = report.to_json().to_string().replace(",\"sim_threads\":0", "");
+        assert!(!text.contains("sim_threads"));
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.sim_threads, 1);
+        assert_eq!(back.batches[0].sim_threads, 1);
     }
 
     #[test]

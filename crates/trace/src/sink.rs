@@ -55,7 +55,7 @@ struct TraceBuffer {
     events: Vec<TraceEvent>,
     /// Per-category counts of events *offered* (pre-sampling), indexed by
     /// [`EventCategory::bit`].
-    seen: [u64; 7],
+    seen: [u64; EventCategory::ALL.len()],
 }
 
 impl TraceBuffer {
@@ -87,7 +87,7 @@ impl Tracer {
             inner: Some(Arc::new(Mutex::new(TraceBuffer {
                 cfg,
                 events: Vec::new(),
-                seen: [0; 7],
+                seen: [0; EventCategory::ALL.len()],
             }))),
         }
     }
@@ -194,6 +194,21 @@ mod tests {
         }
         let cycles: Vec<u64> = t.take_events().iter().map(TraceEvent::cycle).collect();
         assert_eq!(cycles, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn every_category_has_a_sampler_slot() {
+        // Regression: the `seen` array was once hard-sized to 7 while the
+        // category list had grown to 11, so emitting any resilience event
+        // (bit >= 7) on a traced run panicked with an index out of bounds.
+        let t = Tracer::new(TraceConfig::default());
+        t.emit(EventCategory::FaultInjected, || TraceEvent::FaultInjected {
+            cycle: 1,
+            kind: grit_sim::InjectedKind::Outage,
+            wire: Some(0),
+            gpu: None,
+        });
+        assert_eq!(t.take_events().len(), 1);
     }
 
     #[test]

@@ -229,7 +229,7 @@ fn trace_info(path: &str) -> bool {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <figN|all|tables|list> [--quick|--full] [--jobs N] [--scale X] [--intensity X] [--seed N] [--csv DIR] [--trace PATH] [--metrics-out DIR] [--emit-bench-json] [--cell-timeout SECS] [--resume|--resume-dir DIR] [--fail-fast|--keep-going]"
+        "usage: repro <figN|all|tables|list> [--quick|--full] [--jobs N] [--sim-threads N] [--scale X] [--intensity X] [--seed N] [--csv DIR] [--trace PATH] [--metrics-out DIR] [--emit-bench-json] [--bench-baseline] [--cell-timeout SECS] [--resume|--resume-dir DIR] [--fail-fast|--keep-going]"
     );
     eprintln!("figures:");
     for (name, desc) in FIGURES {
@@ -241,6 +241,9 @@ fn print_usage() {
     eprintln!("  dump-trace <APP> <PATH> / trace-info <PATH>  trace tooling");
     eprintln!(
         "  --jobs N  worker threads for experiment cells (also GRIT_JOBS; default: all cores)"
+    );
+    eprintln!(
+        "  --sim-threads N     event-loop threads sharding each cell (also GRIT_SIM_THREADS; default: 1; output is byte-identical at any value; jobs x sim-threads is clamped to the core count)"
     );
     eprintln!(
         "  --topology T        interconnect for every cell: all-to-all (default), nvswitch[:RADIX], ring, mesh2d, hierarchical"
@@ -256,6 +259,9 @@ fn print_usage() {
     eprintln!("  --trace-sample N    keep every Nth event per category (default: 1)");
     eprintln!("  --metrics-out DIR   write run_report.json + BENCH_run.json");
     eprintln!("  --emit-bench-json   write BENCH_run.json (cwd unless --metrics-out)");
+    eprintln!(
+        "  --bench-baseline    like --emit-bench-json but writes BENCH_baseline.json (the committed reference)"
+    );
     eprintln!("  --cell-timeout SECS wall-clock budget per cell (expired cells become err! rows)");
     eprintln!(
         "  --resume            store finished cells under .grit-resume/ and skip them on re-run"
@@ -539,6 +545,7 @@ fn main() -> ExitCode {
     let mut trace_sample: u64 = 1;
     let mut metrics_dir: Option<PathBuf> = None;
     let mut emit_bench = false;
+    let mut bench_baseline = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -576,6 +583,15 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 ex::set_jobs(v);
+            }
+            "--sim-threads" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<usize>().ok()).filter(|&n| n > 0)
+                else {
+                    eprintln!("--sim-threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                ex::set_sim_threads(v);
             }
             "--csv" => {
                 i += 1;
@@ -635,6 +651,10 @@ fn main() -> ExitCode {
                 metrics_dir = Some(dir);
             }
             "--emit-bench-json" => emit_bench = true,
+            "--bench-baseline" => {
+                emit_bench = true;
+                bench_baseline = true;
+            }
             "--cell-timeout" => {
                 i += 1;
                 let Some(v) = args.get(i).and_then(|s| s.parse::<f64>().ok()).filter(|v| *v >= 0.0)
@@ -745,11 +765,12 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "[repro] scale={} intensity={} seed={:#x} jobs={}",
+        "[repro] scale={} intensity={} seed={:#x} jobs={} sim-threads={}",
         exp.scale,
         exp.intensity,
         exp.seed,
-        ex::effective_jobs()
+        ex::effective_jobs(),
+        ex::effective_sim_threads()
     );
     let mut cache = TableCache::default();
     let t0 = Instant::now();
@@ -798,10 +819,12 @@ fn main() -> ExitCode {
     }
     if emit_bench || metrics_dir.is_some() {
         let bench = report_sink::build_bench_summary(&exp, jobs, total_seconds);
-        let path = metrics_dir
-            .as_deref()
-            .unwrap_or_else(|| std::path::Path::new("."))
-            .join("BENCH_run.json");
+        let name = if bench_baseline {
+            "BENCH_baseline.json"
+        } else {
+            "BENCH_run.json"
+        };
+        let path = metrics_dir.as_deref().unwrap_or_else(|| std::path::Path::new(".")).join(name);
         if let Err(e) = fs::write(&path, format!("{}\n", bench.to_json())) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;

@@ -219,17 +219,21 @@ impl CellSpec {
     /// Panics on any simulation failure; batch execution goes through
     /// [`run_batch`], which isolates failures as [`CellError`] values.
     pub fn run(&self) -> RunOutput {
-        let out = self.run_inner(&CancelToken::new()).unwrap_or_else(|e| panic!("{e}"));
+        let sim_threads = clamp_sim_threads(1, effective_sim_threads());
+        let out = self
+            .run_inner(&CancelToken::new(), sim_threads)
+            .unwrap_or_else(|e| panic!("{e}"));
         self.submit(&out);
         out
     }
 
     /// Runs the cell without submitting to the global sinks, threading a
-    /// cancellation token into the simulation loop. The batch executor
-    /// uses this so it can submit results in declaration order after the
-    /// whole batch finishes, keeping the trace stream byte-identical at
-    /// any worker count.
-    fn run_inner(&self, cancel: &CancelToken) -> Result<RunOutput, CellError> {
+    /// cancellation token into the simulation loop and sharding the
+    /// cell's own event loop across `sim_threads` workers. The batch
+    /// executor uses this so it can submit results in declaration order
+    /// after the whole batch finishes, keeping the trace stream
+    /// byte-identical at any worker or thread count.
+    fn run_inner(&self, cancel: &CancelToken, sim_threads: usize) -> Result<RunOutput, CellError> {
         let build_start = Instant::now();
         let (workload, cache_hit) =
             workload_cache::shared_workload_tracked(self.app, &self.exp, &self.cfg);
@@ -238,8 +242,9 @@ impl CellSpec {
             PolicySpec::Kind(kind) => kind.build(&self.cfg, workload.footprint_pages),
             PolicySpec::Factory(make) => make(&self.cfg, workload.footprint_pages),
         };
-        let mut builder =
-            SimulationBuilder::new(self.cfg.clone(), workload, policy).cancel(cancel.clone());
+        let mut builder = SimulationBuilder::new(self.cfg.clone(), workload, policy)
+            .cancel(cancel.clone())
+            .sim_threads(sim_threads);
         if let Some(obs) = &self.observer {
             builder = builder.observer(obs.clone());
         }
@@ -321,6 +326,12 @@ pub struct BatchOptions {
     /// Abort the batch on the first failed cell (remaining cells report
     /// [`CellError::Cancelled`]) instead of running everything.
     pub fail_fast: bool,
+    /// Worker threads sharding each cell's own event loop; `None`
+    /// resolves via [`effective_sim_threads`], where the product
+    /// `jobs × sim_threads` is capped at the machine's available
+    /// parallelism (warn and clamp). An explicit `Some(n)` is honored
+    /// verbatim. Output is byte-identical at any value.
+    pub sim_threads: Option<usize>,
 }
 
 impl BatchOptions {
@@ -337,6 +348,7 @@ impl BatchOptions {
             timeout: default_timeout(),
             resume_dir: default_resume_dir(),
             fail_fast: FAIL_FAST_DEFAULT.load(Ordering::Relaxed),
+            sim_threads: None,
         }
     }
 
@@ -363,10 +375,18 @@ impl BatchOptions {
         self.fail_fast = yes;
         self
     }
+
+    /// Shards each cell's own event loop across `n` worker threads.
+    pub fn sim_threads(mut self, n: usize) -> Self {
+        self.sim_threads = Some(n);
+        self
+    }
 }
 
 /// Explicit worker-count override; 0 means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// Explicit per-cell event-loop thread override; 0 means "not set".
+static SIM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// Process-wide per-cell timeout in milliseconds; 0 means "not set",
 /// `u64::MAX` marks an explicit zero budget (used by tests/CLI).
 static CELL_TIMEOUT_MS: AtomicUsize = AtomicUsize::new(0);
@@ -471,6 +491,49 @@ pub fn fail_fast_triggered() -> bool {
     FAIL_FAST_TRIGGERED.load(Ordering::Relaxed)
 }
 
+/// Sets the per-cell event-loop thread count for subsequent [`run_batch`]
+/// calls and [`CellSpec::run`] (0 clears the override). The
+/// `repro --sim-threads N` flag lands here.
+pub fn set_sim_threads(n: usize) {
+    SIM_THREADS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The per-cell event-loop thread count: the [`set_sim_threads`]
+/// override, else `GRIT_SIM_THREADS`, else 1 (the serial engine). Unlike
+/// [`effective_jobs`] this does not default to the machine's parallelism:
+/// sharding one cell only pays off on big cells, and the batch layer
+/// already fans out across cells.
+pub fn effective_sim_threads() -> usize {
+    let explicit = SIM_THREADS_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    std::env::var("GRIT_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Caps `jobs × sim_threads` at the machine's available parallelism so a
+/// batch of sharded cells does not oversubscribe cores and silently
+/// regress; warns on stderr when it clamps.
+fn clamp_sim_threads(jobs: usize, sim_threads: usize) -> usize {
+    if sim_threads <= 1 {
+        return sim_threads.max(1);
+    }
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if jobs.saturating_mul(sim_threads) <= avail {
+        return sim_threads;
+    }
+    let capped = (avail / jobs.max(1)).max(1);
+    eprintln!(
+        "sim-threads: {jobs} jobs x {sim_threads} sim-threads oversubscribes \
+         {avail} available cores; clamping to {capped} sim-threads per cell"
+    );
+    capped
+}
+
 /// The worker count [`run_batch`] will use: the [`set_jobs`] override,
 /// else `GRIT_JOBS`, else the machine's available parallelism.
 pub fn effective_jobs() -> usize {
@@ -511,6 +574,13 @@ pub fn run_batch_with(
     let cache_before = workload_cache::global().stats();
     let start = Instant::now();
     let jobs = opts.jobs.unwrap_or_else(effective_jobs).clamp(1, cells.len().max(1));
+    // An explicit option is honored verbatim (benches and determinism
+    // tests need exact thread counts); only the ambient CLI/env setting
+    // is capped against the worker pool.
+    let sim_threads = match opts.sim_threads {
+        Some(t) => t.max(1),
+        None => clamp_sim_threads(jobs, effective_sim_threads()),
+    };
     // The store cannot reproduce trace events, so resumption is disabled
     // batch-wide while a global trace writer is active: a resumed run must
     // never silently drop cells from the event stream.
@@ -543,8 +613,8 @@ pub fn run_batch_with(
             }
         }
         let token = batch_token.child(opts.timeout);
-        let result =
-            catch_unwind(AssertUnwindSafe(|| cell.run_inner(&token))).unwrap_or_else(|payload| {
+        let result = catch_unwind(AssertUnwindSafe(|| cell.run_inner(&token, sim_threads)))
+            .unwrap_or_else(|payload| {
                 let message = if let Some(s) = payload.downcast_ref::<String>() {
                     s.clone()
                 } else if let Some(s) = payload.downcast_ref::<&str>() {
@@ -618,6 +688,7 @@ pub fn run_batch_with(
         report_sink::record_batch(BatchProfile {
             cells: cells.len() as u64,
             jobs: jobs as u64,
+            sim_threads: sim_threads as u64,
             wall_seconds: start.elapsed().as_secs_f64(),
             workload_cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
             workload_cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
@@ -717,6 +788,48 @@ mod tests {
         set_jobs(3);
         assert_eq!(effective_jobs(), 3);
         set_jobs(0);
+    }
+
+    #[test]
+    fn sim_threads_resolution_prefers_override() {
+        // No override: at least the serial default of 1.
+        set_sim_threads(0);
+        assert!(effective_sim_threads() >= 1);
+        set_sim_threads(3);
+        assert_eq!(effective_sim_threads(), 3);
+        set_sim_threads(0);
+    }
+
+    #[test]
+    fn thread_budget_clamps_oversubscription() {
+        // Serial cells are never clamped, whatever the job count.
+        assert_eq!(clamp_sim_threads(1, 1), 1);
+        assert_eq!(clamp_sim_threads(1024, 1), 1);
+        // A request that cannot fit next to the worker pool is capped to
+        // the per-job share of the machine, never below 1.
+        let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(clamp_sim_threads(avail, avail * 4), 1);
+        let capped = clamp_sim_threads(1, avail * 4);
+        assert!(capped >= 1 && capped <= avail);
+    }
+
+    #[test]
+    fn sharded_batch_matches_serial_per_cell() {
+        // One worker, many event-loop threads per cell: the results must
+        // match the serial engine cell for cell. The options override the
+        // process-global setting, so this is race-free under the parallel
+        // test harness.
+        let cells = grid();
+        let serial = run_batch_with(&cells, &BatchOptions::new().jobs(1).sim_threads(1));
+        let sharded = run_batch_with(&cells, &BatchOptions::new().jobs(1).sim_threads(4));
+        assert_eq!(serial.len(), sharded.len());
+        for (s, p) in serial.iter().zip(sharded.iter()) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.metrics.total_cycles, p.metrics.total_cycles);
+            assert_eq!(s.metrics.accesses, p.metrics.accesses);
+            assert_eq!(s.metrics.faults, p.metrics.faults);
+            assert_eq!(s.page_attrs, p.page_attrs);
+        }
     }
 
     #[test]

@@ -169,6 +169,7 @@ pub fn build_report(exp: &ExpConfig, jobs: usize, total_seconds: f64) -> RunRepo
         intensity: exp.intensity,
         seed: exp.seed,
         jobs: jobs as u64,
+        sim_threads: super::batch::effective_sim_threads() as u64,
         total_seconds,
         system: grit_sim::SimConfig::default()
             .describe()
@@ -200,6 +201,7 @@ pub fn build_bench_summary(exp: &ExpConfig, jobs: usize, total_seconds: f64) -> 
         intensity: exp.intensity,
         seed: exp.seed,
         jobs: jobs as u64,
+        sim_threads: super::batch::effective_sim_threads() as u64,
         total_seconds,
         cells_run: st.cells.len() as u64,
         fault_totals,
