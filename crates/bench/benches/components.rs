@@ -136,7 +136,9 @@ fn bench_system(c: &mut Criterion) {
             let cfg = SimConfig::default();
             let w = WorkloadBuilder::new(App::Gemm).scale(0.02).intensity(1.0).seed(1).build();
             let p = PolicyKind::GRIT.build(&cfg, w.footprint_pages);
-            black_box(Simulation::try_new(cfg, w, p).unwrap().run().metrics.total_cycles)
+            black_box(
+                Simulation::try_new(cfg, w, p).unwrap().try_run().unwrap().metrics.total_cycles,
+            )
         })
     });
     g.bench_function("full_run_st_on_touch_small", |b| {
@@ -144,7 +146,9 @@ fn bench_system(c: &mut Criterion) {
             let cfg = SimConfig::default();
             let w = WorkloadBuilder::new(App::St).scale(0.02).intensity(1.0).seed(1).build();
             let p = PolicyKind::Static(Scheme::OnTouch).build(&cfg, w.footprint_pages);
-            black_box(Simulation::try_new(cfg, w, p).unwrap().run().metrics.total_cycles)
+            black_box(
+                Simulation::try_new(cfg, w, p).unwrap().try_run().unwrap().metrics.total_cycles,
+            )
         })
     });
     g.finish();

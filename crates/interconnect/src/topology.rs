@@ -9,6 +9,8 @@
 //! links out in the legacy triangular pair order and routes every pair in
 //! one hop, reproducing the pre-topology fabric cycle-for-cycle.
 
+use grit_metrics::LatencyHistogram;
+use grit_prof::{span, Phase};
 use grit_sim::{Cycle, FaultPlan, GpuId, LinkConfig, MemLoc, TopologyConfig};
 use grit_topo::{build_topology, HopClass, Routing, TopoGraph};
 use grit_trace::{EventCategory, LinkKind, TraceEvent, Tracer};
@@ -94,6 +96,10 @@ pub struct Fabric {
     /// the data channel so control traffic is not serialized behind bulk
     /// transfers booked at future completion times.
     pcie_ctrl: Vec<Link>,
+    /// Per-transfer-hop queue-wait distribution: how long each booked
+    /// hop sat behind earlier traffic before its wire freed up. Cycle
+    /// domain, so deterministic at any `--jobs`/`--sim-threads`.
+    queue_hist: LatencyHistogram,
     /// Event sink for link-transfer events; disabled by default.
     tracer: Tracer,
 }
@@ -132,6 +138,7 @@ impl Fabric {
             pcie_ctrl: (0..num_gpus)
                 .map(|_| Link::new(cfg.pcie_bytes_per_cycle, cfg.pcie_latency))
                 .collect(),
+            queue_hist: LatencyHistogram::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -211,6 +218,7 @@ impl Fabric {
     /// Panics if `a == b` (local copies never cross the fabric).
     pub fn gpu_to_gpu(&mut self, a: GpuId, b: GpuId, now: Cycle, bytes: u64) -> Cycle {
         assert!(a != b, "gpu_to_gpu requires distinct endpoints");
+        let _prof = span(Phase::FabricTransfer);
         let routing = if self.epoch_routes.is_empty() {
             &self.routing
         } else {
@@ -234,6 +242,7 @@ impl Fabric {
             let wire = path[step] as usize;
             let submitted = t;
             let scale = self.plan.bw_scale(wire, submitted);
+            self.queue_hist.record(self.links[wire].free_at().saturating_sub(submitted));
             t = self.links[wire].transfer_scaled(submitted, bytes, scale);
             let link = hop_kind(self.classes[wire]);
             self.tracer.emit(EventCategory::LinkTransfer, || TraceEvent::LinkTransfer {
@@ -252,6 +261,8 @@ impl Fabric {
 
     /// Transfers `bytes` between a GPU and the host over its PCIe link.
     pub fn gpu_to_host(&mut self, g: GpuId, now: Cycle, bytes: u64) -> Cycle {
+        let _prof = span(Phase::FabricTransfer);
+        self.queue_hist.record(self.pcie[g.index()].free_at().saturating_sub(now));
         let t = self.pcie[g.index()].transfer(now, bytes);
         self.tracer.emit(EventCategory::LinkTransfer, || TraceEvent::LinkTransfer {
             cycle: now,
@@ -272,6 +283,8 @@ impl Fabric {
     /// slow, but the payload is never lost and the call never blocks.
     pub fn host_stage(&mut self, a: GpuId, b: GpuId, now: Cycle, bytes: u64) -> Cycle {
         assert!(a != b, "host staging requires distinct endpoints");
+        let _prof = span(Phase::FabricTransfer);
+        self.queue_hist.record(self.pcie[a.index()].free_at().saturating_sub(now));
         let up = self.pcie[a.index()].transfer(now, bytes);
         self.tracer.emit(EventCategory::LinkTransfer, || TraceEvent::LinkTransfer {
             cycle: now,
@@ -283,6 +296,7 @@ impl Fabric {
             hop: 0,
             hops: 2,
         });
+        self.queue_hist.record(self.pcie[b.index()].free_at().saturating_sub(up));
         let t = self.pcie[b.index()].transfer(up, bytes);
         self.tracer.emit(EventCategory::LinkTransfer, || TraceEvent::LinkTransfer {
             cycle: up,
@@ -302,6 +316,7 @@ impl Fabric {
     /// downstream direction and does not re-book the upstream wire, so
     /// only the request occupies this link and the reply adds latency.
     pub fn host_round_trip(&mut self, g: GpuId, now: Cycle) -> Cycle {
+        self.queue_hist.record(self.pcie_ctrl[g.index()].free_at().saturating_sub(now));
         let there = self.pcie_ctrl[g.index()].transfer(now, 64);
         let t = there + self.pcie_ctrl[g.index()].latency() + 1;
         self.tracer.emit(EventCategory::LinkTransfer, || TraceEvent::LinkTransfer {
@@ -363,6 +378,12 @@ impl Fabric {
     /// Traffic counters of one GPU-side wire, by link id.
     pub fn wire_stats(&self, link: u32) -> LinkStats {
         self.links[link as usize].stats()
+    }
+
+    /// Per-hop queue-wait distribution across every link the fabric
+    /// booked (topology wires, PCIe data and control channels).
+    pub fn queue_wait_hist(&self) -> &LatencyHistogram {
+        &self.queue_hist
     }
 
     /// Wire class of one GPU-side link, by link id.
@@ -462,6 +483,17 @@ mod tests {
         let t = f.host_round_trip(GpuId::new(0), 0);
         let lat = LinkConfig::default().pcie_latency;
         assert!(t >= 2 * lat);
+    }
+
+    #[test]
+    fn queue_wait_histogram_records_backlog() {
+        let mut f = fabric(2);
+        // First transfer finds an idle wire; the second queues behind it.
+        f.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 0, 100_000);
+        f.gpu_to_gpu(GpuId::new(0), GpuId::new(1), 0, 100_000);
+        let h = f.queue_wait_hist();
+        assert_eq!(h.samples(), 2);
+        assert!(h.max() > 0, "second hop must have waited: {h}");
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub struct MlpWindow {
     capacity: usize,
     inflight: BinaryHeap<Reverse<Cycle>>,
     last_drain: Cycle,
+    stall_cycles: Cycle,
 }
 
 /// Undo record for one [`MlpWindow::issue_at_recorded`] call.
@@ -37,6 +38,8 @@ pub struct MlpIssueUndo {
     pub retired: u32,
     /// The completion time popped because the window was full, if any.
     pub forced: Option<Cycle>,
+    /// Stall cycles the call charged (issue time minus ready time).
+    pub stalled: Cycle,
 }
 
 impl MlpWindow {
@@ -51,6 +54,7 @@ impl MlpWindow {
             capacity,
             inflight: BinaryHeap::with_capacity(capacity + 1),
             last_drain: 0,
+            stall_cycles: 0,
         }
     }
 
@@ -71,7 +75,9 @@ impl MlpWindow {
         } else {
             // Must wait for the earliest in-flight completion.
             let Reverse(t) = self.inflight.pop().expect("window non-empty");
-            t.max(ready)
+            let issue = t.max(ready);
+            self.stall_cycles += issue - ready;
+            issue
         }
     }
 
@@ -115,15 +121,19 @@ impl MlpWindow {
                 MlpIssueUndo {
                     retired: n,
                     forced: None,
+                    stalled: 0,
                 },
             )
         } else {
             let Reverse(t) = self.inflight.pop().expect("window non-empty");
+            let issue = t.max(ready);
+            self.stall_cycles += issue - ready;
             (
-                t.max(ready),
+                issue,
                 MlpIssueUndo {
                     retired: n,
                     forced: Some(t),
+                    stalled: issue - ready,
                 },
             )
         }
@@ -135,6 +145,7 @@ impl MlpWindow {
     /// internal layout may differ, which no operation can distinguish.
     pub fn undo_issue(&mut self, undo: MlpIssueUndo, retired: &[Cycle]) {
         debug_assert_eq!(undo.retired as usize, retired.len());
+        self.stall_cycles -= undo.stalled;
         if let Some(t) = undo.forced {
             self.inflight.push(Reverse(t));
         }
@@ -180,6 +191,14 @@ impl MlpWindow {
     /// The current drain high-water mark (for speculative undo records).
     pub fn last_drain_mark(&self) -> Cycle {
         self.last_drain
+    }
+
+    /// Total cycles issues waited on a full window (issue time minus
+    /// ready time, summed): the GPU's memory-level-parallelism stall.
+    /// Deterministic — speculative issues that roll back subtract their
+    /// contribution in [`MlpWindow::undo_issue`].
+    pub fn stall_cycles(&self) -> Cycle {
+        self.stall_cycles
     }
 
     /// Number of operations currently tracked in flight.
@@ -288,6 +307,26 @@ mod tests {
         a.uncomplete(200);
         a.undo_issue(u1, &arena[..m2]);
         assert_eq!(contents(&a), before);
+    }
+
+    #[test]
+    fn stall_cycles_accumulate_and_undo() {
+        let mut w = MlpWindow::new(1);
+        assert_eq!(w.issue_at(10), 10);
+        assert_eq!(w.stall_cycles(), 0);
+        w.complete(100);
+        // Ready at 40, issues at 100: 60 cycles stalled on the window.
+        assert_eq!(w.issue_at(40), 100);
+        assert_eq!(w.stall_cycles(), 60);
+        w.complete(300);
+        let mut arena = Vec::new();
+        let (t, undo) = w.issue_at_recorded(250, &mut arena);
+        assert_eq!(t, 300);
+        assert_eq!(undo.stalled, 50);
+        assert_eq!(w.stall_cycles(), 110);
+        // Rolling the speculative issue back restores the stall total.
+        w.undo_issue(undo, &arena);
+        assert_eq!(w.stall_cycles(), 60);
     }
 
     #[test]

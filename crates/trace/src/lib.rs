@@ -34,8 +34,9 @@ pub use event::{
 };
 pub use json::Json;
 pub use report::{
-    BatchProfile, BenchSummary, CellReport, CellTiming, FabricReport, HeadlineSpeedups,
-    MetricsReport, ResilienceReport, RunReport, SeriesReport, TargetTiming,
+    BatchProfile, BenchSummary, CellReport, CellTiming, CycleProfile, FabricReport,
+    HeadlineSpeedups, HistReport, MetricsReport, PhaseEntry, ProfileReport, ResilienceReport,
+    RunReport, SeriesReport, SpeculationReport, TargetTiming,
 };
 pub use sink::{TraceConfig, Tracer};
 pub use writer::CellMeta;

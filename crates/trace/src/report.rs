@@ -17,11 +17,16 @@ use crate::json::Json;
 /// Schema tag written into every [`RunReport`]. Bumped to v2 when cells
 /// gained `status` / `error` fields (resilient batch execution), to v3
 /// when cell metrics gained the per-class `fabric` traffic object
-/// (topology-driven interconnect), and to v4 when injected-fault runs
+/// (topology-driven interconnect), to v4 when injected-fault runs
 /// gained the `resilience` counter object (emitted only when fault
-/// injection ran, so uninjected documents stay v3-shaped). Older
-/// documents still parse: absent objects default to zeros.
-pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v4";
+/// injection ran, so uninjected documents stay v3-shaped), and to v5
+/// when profiled runs gained the top-level `profile` object (emitted
+/// only when self-profiling ran, so unprofiled documents stay
+/// v4-shaped). Older documents still parse: absent objects default to
+/// zeros or `None`.
+pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v5";
+/// v4 run-report schema tag, still accepted by [`RunReport::from_json`].
+pub const RUN_REPORT_SCHEMA_V4: &str = "grit-run-report/v4";
 /// v3 run-report schema tag, still accepted by [`RunReport::from_json`].
 pub const RUN_REPORT_SCHEMA_V3: &str = "grit-run-report/v3";
 /// v2 run-report schema tag, still accepted by [`RunReport::from_json`].
@@ -740,6 +745,302 @@ impl TargetTiming {
     }
 }
 
+/// Wall-clock totals of one profiled phase, summed across every thread
+/// that entered it; nested spans count inclusively toward their phase.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseEntry {
+    /// Phase name (`grit-prof` snake_case, e.g. `"fault_handling"`).
+    pub phase: String,
+    /// Total nanoseconds spent inside the phase.
+    pub nanos: u64,
+    /// Spans recorded.
+    pub count: u64,
+}
+
+impl PhaseEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("phase".into(), Json::Str(self.phase.clone())),
+            ("nanos".into(), Json::UInt(self.nanos)),
+            ("count".into(), Json::UInt(self.count)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(PhaseEntry {
+            phase: req_str(v, "phase")?,
+            nanos: req_u64(v, "nanos")?,
+            count: req_u64(v, "count")?,
+        })
+    }
+}
+
+/// Speculation telemetry of the sharded event loop (`--sim-threads`):
+/// how the optimistic rounds spent their work. Thread-count-dependent by
+/// nature, so it lives outside the byte-identity comparison surface.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpeculationReport {
+    /// Optimistic rounds executed.
+    pub rounds: u64,
+    /// Events speculatively executed.
+    pub speculated: u64,
+    /// Speculated events that survived to commit.
+    pub committed: u64,
+    /// GPU shards rolled back past the cut.
+    pub rewound: u64,
+    /// Serial-burst steps taken when rounds committed nothing.
+    pub serial_burst_steps: u64,
+    /// Speculative advances stopped by the lookahead horizon with input
+    /// remaining.
+    pub horizon_stalls: u64,
+    /// Cycles of runnable work left unexecuted at horizon stops.
+    pub horizon_stall_cycles: u64,
+    /// Fraction of speculated events thrown away (`1 - committed /
+    /// speculated`).
+    pub rollback_rate: f64,
+    /// Max-over-mean of per-GPU committed work (1.0 = perfectly even).
+    pub load_imbalance: f64,
+    /// Committed events per GPU.
+    pub per_gpu_committed: Vec<u64>,
+}
+
+impl SpeculationReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rounds".into(), Json::UInt(self.rounds)),
+            ("speculated".into(), Json::UInt(self.speculated)),
+            ("committed".into(), Json::UInt(self.committed)),
+            ("rewound".into(), Json::UInt(self.rewound)),
+            (
+                "serial_burst_steps".into(),
+                Json::UInt(self.serial_burst_steps),
+            ),
+            ("horizon_stalls".into(), Json::UInt(self.horizon_stalls)),
+            (
+                "horizon_stall_cycles".into(),
+                Json::UInt(self.horizon_stall_cycles),
+            ),
+            ("rollback_rate".into(), Json::Float(self.rollback_rate)),
+            ("load_imbalance".into(), Json::Float(self.load_imbalance)),
+            (
+                "per_gpu_committed".into(),
+                Json::Arr(self.per_gpu_committed.iter().map(|&v| Json::UInt(v)).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let per_gpu: Result<Vec<u64>, String> = req_arr(v, "per_gpu_committed")?
+            .iter()
+            .map(|x| x.as_u64().ok_or_else(|| "per_gpu_committed has a non-integer".to_string()))
+            .collect();
+        Ok(SpeculationReport {
+            rounds: req_u64(v, "rounds")?,
+            speculated: req_u64(v, "speculated")?,
+            committed: req_u64(v, "committed")?,
+            rewound: req_u64(v, "rewound")?,
+            serial_burst_steps: req_u64(v, "serial_burst_steps")?,
+            horizon_stalls: req_u64(v, "horizon_stalls")?,
+            horizon_stall_cycles: req_u64(v, "horizon_stall_cycles")?,
+            rollback_rate: req_f64(v, "rollback_rate")?,
+            load_imbalance: req_f64(v, "load_imbalance")?,
+            per_gpu_committed: per_gpu?,
+        })
+    }
+}
+
+/// One cycle-domain histogram in report form: sample statistics plus
+/// the non-empty power-of-two buckets as `(lower_bound, count)` pairs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistReport {
+    /// Values recorded.
+    pub samples: u64,
+    /// Arithmetic mean of recorded values.
+    pub mean: f64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Non-empty buckets: `(lower_bound_cycles, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistReport {
+    /// Decodes the flattened aux form the runner records:
+    /// `[samples, mean, max, lb0, c0, lb1, c1, ...]`.
+    pub fn from_flat(vs: &[f64]) -> Self {
+        if vs.len() < 3 {
+            return HistReport::default();
+        }
+        HistReport {
+            samples: vs[0] as u64,
+            mean: vs[1],
+            max: vs[2] as u64,
+            buckets: vs[3..].chunks_exact(2).map(|p| (p[0] as u64, p[1] as u64)).collect(),
+        }
+    }
+
+    /// Accumulates another histogram with the same bucket geometry.
+    pub fn merge(&mut self, other: &HistReport) {
+        let total = self.mean * self.samples as f64 + other.mean * other.samples as f64;
+        self.samples += other.samples;
+        self.mean = if self.samples == 0 {
+            0.0
+        } else {
+            total / self.samples as f64
+        };
+        self.max = self.max.max(other.max);
+        for &(lb, c) in &other.buckets {
+            match self.buckets.iter_mut().find(|(b, _)| *b == lb) {
+                Some((_, n)) => *n += c,
+                None => self.buckets.push((lb, c)),
+            }
+        }
+        self.buckets.sort_unstable_by_key(|&(lb, _)| lb);
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("samples".into(), Json::UInt(self.samples)),
+            ("mean".into(), Json::Float(self.mean)),
+            ("max".into(), Json::UInt(self.max)),
+            (
+                "buckets".into(),
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(lb, c)| Json::Arr(vec![Json::UInt(lb), Json::UInt(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let mut buckets = Vec::new();
+        for pair in req_arr(v, "buckets")? {
+            let pair = pair.as_arr().ok_or("histogram bucket is not an array")?;
+            match pair {
+                [lb, c] => buckets.push((
+                    lb.as_u64().ok_or("bucket bound is not an integer")?,
+                    c.as_u64().ok_or("bucket count is not an integer")?,
+                )),
+                _ => return Err("histogram bucket is not a pair".into()),
+            }
+        }
+        Ok(HistReport {
+            samples: req_u64(v, "samples")?,
+            mean: req_f64(v, "mean")?,
+            max: req_u64(v, "max")?,
+            buckets,
+        })
+    }
+}
+
+/// Deterministic cycle-domain profile sections, accumulated over every
+/// successful cell's `prof_*` aux series. Everything here is measured in
+/// simulated cycles, so the object is byte-identical at any `--jobs` /
+/// `--sim-threads` combination.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CycleProfile {
+    /// Per-fault queue wait behind the serial fault handler.
+    pub fault_occupancy: HistReport,
+    /// Per-migration dispatch-to-done latency.
+    pub migration_latency: HistReport,
+    /// Per-hop queue wait behind busy fabric wires.
+    pub fabric_queue: HistReport,
+    /// MLP-window stall cycles summed over every GPU of every cell.
+    pub mlp_stall_cycles: u64,
+}
+
+impl CycleProfile {
+    /// Accumulates one cell's `prof_*` aux series (sorted-aux form).
+    pub fn absorb_aux(&mut self, aux: &[(String, Vec<f64>)]) {
+        let find = |name: &str| aux.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_slice());
+        if let Some(vs) = find("prof_fault_occupancy_hist") {
+            self.fault_occupancy.merge(&HistReport::from_flat(vs));
+        }
+        if let Some(vs) = find("prof_migration_latency_hist") {
+            self.migration_latency.merge(&HistReport::from_flat(vs));
+        }
+        if let Some(vs) = find("prof_fabric_queue_hist") {
+            self.fabric_queue.merge(&HistReport::from_flat(vs));
+        }
+        if let Some(vs) = find("prof_mlp_stall_cycles") {
+            self.mlp_stall_cycles += vs.iter().map(|&v| v as u64).sum::<u64>();
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("fault_occupancy".into(), self.fault_occupancy.to_json()),
+            ("migration_latency".into(), self.migration_latency.to_json()),
+            ("fabric_queue".into(), self.fabric_queue.to_json()),
+            ("mlp_stall_cycles".into(), Json::UInt(self.mlp_stall_cycles)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(CycleProfile {
+            fault_occupancy: HistReport::from_json(req(v, "fault_occupancy")?)?,
+            migration_latency: HistReport::from_json(req(v, "migration_latency")?)?,
+            fabric_queue: HistReport::from_json(req(v, "fabric_queue")?)?,
+            mlp_stall_cycles: req_u64(v, "mlp_stall_cycles")?,
+        })
+    }
+}
+
+/// The run's self-profile (grit-run-report/v5), emitted only when
+/// profiling was enabled. `wall` and `speculation` are wall-clock /
+/// thread-count-dependent; `cycle` is the deterministic comparison
+/// surface.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileReport {
+    /// Wall-clock phase totals, phases with at least one span.
+    pub wall: Vec<PhaseEntry>,
+    /// Sharded-engine telemetry, when any cell ran with `sim_threads > 1`.
+    pub speculation: Option<SpeculationReport>,
+    /// Deterministic cycle-domain sections.
+    pub cycle: CycleProfile,
+}
+
+impl ProfileReport {
+    /// Serializes to the report's `profile` object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "wall".into(),
+                Json::Arr(self.wall.iter().map(PhaseEntry::to_json).collect()),
+            ),
+            (
+                "speculation".into(),
+                match &self.speculation {
+                    Some(s) => s.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            ("cycle".into(), self.cycle.to_json()),
+        ])
+    }
+
+    /// Parses the object form produced by [`ProfileReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let wall: Result<Vec<PhaseEntry>, String> =
+            req_arr(v, "wall")?.iter().map(PhaseEntry::from_json).collect();
+        let speculation = match req(v, "speculation")? {
+            Json::Null => None,
+            s => Some(SpeculationReport::from_json(s)?),
+        };
+        Ok(ProfileReport {
+            wall: wall?,
+            speculation,
+            cycle: CycleProfile::from_json(req(v, "cycle")?)?,
+        })
+    }
+}
+
 /// The full machine-readable record of one `repro` invocation
 /// (`run_report.json`).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -764,12 +1065,14 @@ pub struct RunReport {
     pub batches: Vec<BatchProfile>,
     /// Every cell executed, in execution order.
     pub cells: Vec<CellReport>,
+    /// Self-profile of the run (v5), present only when profiling ran.
+    pub profile: Option<ProfileReport>,
 }
 
 impl RunReport {
     /// Serializes to the `run_report.json` document.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut obj = Json::Obj(vec![
             ("schema".into(), Json::Str(RUN_REPORT_SCHEMA.into())),
             ("scale".into(), Json::Float(self.scale)),
             ("intensity".into(), Json::Float(self.intensity)),
@@ -793,7 +1096,15 @@ impl RunReport {
                 "cells".into(),
                 Json::Arr(self.cells.iter().map(CellReport::to_json).collect()),
             ),
-        ])
+        ]);
+        // Unprofiled runs stay v4-shaped (no `profile` key) for older
+        // consumers that iterate object fields exhaustively.
+        if let Some(p) = &self.profile {
+            if let Json::Obj(fields) = &mut obj {
+                fields.push(("profile".into(), p.to_json()));
+            }
+        }
+        obj
     }
 
     /// Parses a `run_report.json` document.
@@ -804,6 +1115,7 @@ impl RunReport {
     pub fn from_json(v: &Json) -> Result<Self, String> {
         let schema = req_str(v, "schema")?;
         if schema != RUN_REPORT_SCHEMA
+            && schema != RUN_REPORT_SCHEMA_V4
             && schema != RUN_REPORT_SCHEMA_V3
             && schema != RUN_REPORT_SCHEMA_V2
         {
@@ -834,6 +1146,11 @@ impl RunReport {
             targets: targets?,
             batches: batches?,
             cells: cells?,
+            // Absent on unprofiled runs and every pre-v5 document.
+            profile: match v.get("profile") {
+                Some(p) => Some(ProfileReport::from_json(p)?),
+                None => None,
+            },
         })
     }
 }
@@ -1100,6 +1417,7 @@ mod tests {
                 workload_cache_misses: 3,
             }],
             cells: vec![sample_cell(0), sample_cell(1)],
+            profile: None,
         };
         let text = report.to_json().to_string();
         let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -1234,6 +1552,86 @@ mod tests {
             ..Default::default()
         };
         assert!(!r.all_blocked_resolved());
+    }
+
+    fn sample_profile() -> ProfileReport {
+        let mut cycle = CycleProfile::default();
+        cycle.absorb_aux(&[
+            (
+                "prof_fault_occupancy_hist".into(),
+                vec![3.0, 10.0, 16.0, 8.0, 2.0, 16.0, 1.0],
+            ),
+            ("prof_mlp_stall_cycles".into(), vec![100.0, 50.0]),
+        ]);
+        ProfileReport {
+            wall: vec![PhaseEntry {
+                phase: "fault_handling".into(),
+                nanos: 123_456,
+                count: 42,
+            }],
+            speculation: Some(SpeculationReport {
+                rounds: 10,
+                speculated: 1000,
+                committed: 900,
+                rewound: 3,
+                serial_burst_steps: 512,
+                horizon_stalls: 4,
+                horizon_stall_cycles: 888,
+                rollback_rate: 0.1,
+                load_imbalance: 1.2,
+                per_gpu_committed: vec![500, 400],
+            }),
+            cycle,
+        }
+    }
+
+    #[test]
+    fn profile_report_round_trips() {
+        let p = sample_profile();
+        assert_eq!(p.cycle.fault_occupancy.samples, 3);
+        assert_eq!(p.cycle.fault_occupancy.buckets, vec![(8, 2), (16, 1)]);
+        assert_eq!(p.cycle.mlp_stall_cycles, 150);
+        let report = RunReport {
+            cells: vec![sample_cell(0)],
+            profile: Some(p),
+            ..RunReport::default()
+        };
+        let text = report.to_json().to_string();
+        assert!(text.contains("\"profile\""));
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+
+        // Unprofiled runs omit the object entirely.
+        let plain = RunReport::default();
+        let text = plain.to_json().to_string();
+        assert!(!text.contains("\"profile\""));
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.profile, None);
+    }
+
+    #[test]
+    fn hist_report_merge_combines_samples_and_buckets() {
+        let mut a = HistReport::from_flat(&[2.0, 10.0, 16.0, 8.0, 2.0]);
+        let b = HistReport::from_flat(&[2.0, 40.0, 64.0, 8.0, 1.0, 64.0, 1.0]);
+        a.merge(&b);
+        assert_eq!(a.samples, 4);
+        assert_eq!(a.max, 64);
+        assert!((a.mean - 25.0).abs() < 1e-9);
+        assert_eq!(a.buckets, vec![(8, 3), (64, 1)]);
+    }
+
+    #[test]
+    fn v4_run_report_schema_tag_still_parses() {
+        let report = RunReport {
+            cells: vec![sample_cell(0)],
+            ..RunReport::default()
+        };
+        let mut j = report.to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields[0].1 = Json::Str(RUN_REPORT_SCHEMA_V4.into());
+        }
+        let back = RunReport::from_json(&j).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use grit_interconnect::Fabric;
 use grit_mem::{GpuMemory, LocalPageTable, Mapping};
 use grit_metrics::{FaultCounters, LatencyBreakdown, LatencyClass, LatencyHistogram};
+use grit_prof::{span, Phase};
 use grit_sim::{
     AccessKind, Backoff, ConfigError, Cycle, FaultPlan, GpuId, InjectedKind, MemLoc, PageId,
     ResilienceCounters, Scheme, SimConfig, CACHE_LINE_BYTES,
@@ -137,6 +138,11 @@ pub struct UvmDriver {
     /// End-to-end fault-handling latency distribution (fault raise to
     /// replay release).
     fault_latency: LatencyHistogram,
+    /// Fault-handler occupancy: how long each fault queued behind
+    /// earlier faults' service time before the serial driver took it.
+    fault_occupancy: LatencyHistogram,
+    /// Per-migration latency (driver dispatch to data arrival + mapping).
+    migration_latency: LatencyHistogram,
     /// The host services faults serially; the next fault starts no earlier
     /// than this cycle.
     fault_service_free: Cycle,
@@ -226,6 +232,8 @@ impl UvmDriver {
             next_epoch,
             faults_per_gpu: vec![0; cfg.num_gpus],
             fault_latency: LatencyHistogram::new(),
+            fault_occupancy: LatencyHistogram::new(),
+            migration_latency: LatencyHistogram::new(),
             fault_service_free: 0,
             remote_port_free: vec![0; cfg.num_gpus],
             plan,
@@ -380,6 +388,22 @@ impl UvmDriver {
     /// End-to-end fault-handling latency distribution.
     pub fn fault_latency(&self) -> &LatencyHistogram {
         &self.fault_latency
+    }
+
+    /// Fault-handler occupancy distribution: per-fault queue wait for
+    /// the serial driver resource.
+    pub fn fault_occupancy(&self) -> &LatencyHistogram {
+        &self.fault_occupancy
+    }
+
+    /// Per-migration latency distribution.
+    pub fn migration_latency(&self) -> &LatencyHistogram {
+        &self.migration_latency
+    }
+
+    /// Per-hop fabric queue-wait distribution.
+    pub fn fabric_queue_wait(&self) -> &LatencyHistogram {
+        self.fabric.queue_wait_hist()
     }
 
     /// Whether a fault-injection plan is active on this driver.
@@ -706,6 +730,7 @@ impl UvmDriver {
     /// Services one page fault end to end: host trip, policy decision,
     /// mechanism, PTE update, replay release.
     pub fn handle_fault(&mut self, fault: FaultInfo) -> DriverOutcome {
+        let _prof = span(Phase::FaultHandling);
         self.clock = self.clock.max(fault.now);
         let injected = self.apply_injections(fault.now);
         match fault.fault {
@@ -758,6 +783,7 @@ impl UvmDriver {
         }
         self.fault_service_free = service_start + storm + lat.fault_service_time;
         let queue_wait = service_start - t_msg;
+        self.fault_occupancy.record(queue_wait);
         let pcie_trip = t_msg - fault.now;
         let decision_excess = decision.decision_latency.saturating_sub(lat.central_walk);
         let host_cost = lat.host_fault_base + lat.central_walk + decision_excess + storm;
@@ -1040,6 +1066,7 @@ impl UvmDriver {
         now: Cycle,
         class: LatencyClass,
     ) -> DriverOutcome {
+        let _prof = span(Phase::Migration);
         let mut out = DriverOutcome {
             done_at: now,
             ..Default::default()
@@ -1116,6 +1143,7 @@ impl UvmDriver {
         self.local_pts[dst.index()].map(vpn, Mapping::Local);
         out.mapping = Some(Mapping::Local);
         out.done_at = out.done_at.max(arrive);
+        self.migration_latency.record(out.done_at.saturating_sub(now));
         out
     }
 

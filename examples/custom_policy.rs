@@ -44,7 +44,7 @@ fn run(app: App, policy: Box<dyn PlacementPolicy>) -> u64 {
     let cfg = SimConfig::default();
     let workload = WorkloadBuilder::new(app).scale(0.08).intensity(2.0).seed(7).build();
     let sim = Simulation::try_new(cfg, workload, policy).expect("valid configuration");
-    sim.run().metrics.total_cycles
+    sim.try_run().expect("run failed").metrics.total_cycles
 }
 
 fn grit(app: App) -> u64 {
@@ -52,7 +52,7 @@ fn grit(app: App) -> u64 {
     let workload = WorkloadBuilder::new(app).scale(0.08).intensity(2.0).seed(7).build();
     let p = PolicyKind::GRIT.build(&cfg, workload.footprint_pages);
     let sim = Simulation::try_new(cfg, workload, p).expect("valid configuration");
-    sim.run().metrics.total_cycles
+    sim.try_run().expect("run failed").metrics.total_cycles
 }
 
 fn main() {

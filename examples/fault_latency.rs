@@ -39,7 +39,7 @@ fn main() {
         let w = WorkloadBuilder::new(app).scale(0.08).intensity(2.0).seed(5).build();
         let p = policy.build(&cfg, w.footprint_pages);
         let sim = Simulation::try_new(cfg, w, p).expect("valid configuration");
-        let out = sim.run();
+        let out = sim.try_run().expect("run failed");
         let fl = out
             .metrics
             .aux("fault_latency_summary")

@@ -44,7 +44,7 @@ fn main() {
         let workload = build();
         let p = policy.build(&cfg, workload.footprint_pages);
         let sim = Simulation::try_new(cfg.clone(), workload, p).expect("valid configuration");
-        let out = sim.run();
+        let out = sim.try_run().expect("run failed");
         let m = &out.metrics;
         if baseline == 0 {
             baseline = m.total_cycles;

@@ -43,7 +43,7 @@ fn main() {
     let run = |w: grit_workloads::MultiGpuWorkload| {
         let p = PolicyKind::GRIT.build(&cfg, w.footprint_pages);
         let sim = Simulation::try_new(cfg.clone(), w, p).expect("valid configuration");
-        sim.run().metrics
+        sim.try_run().expect("run failed").metrics
     };
     let direct = run(build());
     let replayed = run(read_trace(buf.as_slice()).expect("round trip"));

@@ -37,6 +37,22 @@
 //! repro all --metrics-out out/         # out/run_report.json + BENCH_run.json
 //! repro all --emit-bench-json          # BENCH_run.json in the cwd
 //! ```
+//!
+//! Profiling flags and tooling:
+//!
+//! ```text
+//! repro fig17 --profile                  # phase timers + speculation telemetry
+//! repro fig17 --profile-out prof.json    # Chrome trace-event / Perfetto JSON
+//! repro all --progress                   # 1 Hz heartbeat (cells done, ETA, phase)
+//! repro profile out/run_report.json      # render a report's profile section
+//! repro bench-diff BENCH_baseline.json BENCH_run.json --threshold 25
+//! ```
+//!
+//! Profiling is zero-overhead when disabled (one relaxed atomic load per
+//! span site). `--metrics-out` refuses to overwrite an existing
+//! `run_report.json` unless `--force` is given. `bench-diff` compares two
+//! `BENCH_*.json` documents per target and exits nonzero when any target
+//! slowed down by more than `--threshold` percent.
 
 use std::env;
 use std::fs;
@@ -46,7 +62,10 @@ use std::time::Instant;
 
 use grit::experiments::{self as ex, report_sink, ExpConfig};
 use grit_metrics::Table;
-use grit_trace::{writer as trace_writer, CategoryMask, TraceConfig};
+use grit_trace::{
+    writer as trace_writer, BenchSummary, CategoryMask, HistReport, Json, PhaseEntry, RunReport,
+    TraceConfig,
+};
 
 const FIGURES: &[(&str, &str)] = &[
     ("fig1", "Uniform schemes + Ideal vs on-touch (motivation)"),
@@ -227,6 +246,233 @@ fn trace_info(path: &str) -> bool {
     }
 }
 
+/// Renders wall-clock phase totals as an aligned text table.
+fn render_phase_table(entries: &[PhaseEntry]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:<22} {:>12} {:>10} {:>12}\n",
+        "phase", "total ms", "spans", "mean us"
+    ));
+    let mut rows: Vec<&PhaseEntry> = entries.iter().collect();
+    rows.sort_by_key(|e| std::cmp::Reverse(e.nanos));
+    for e in rows {
+        let ms = e.nanos as f64 / 1e6;
+        let mean_us = if e.count > 0 {
+            e.nanos as f64 / 1e3 / e.count as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {:<22} {:>12.2} {:>10} {:>12.2}\n",
+            e.phase, ms, e.count, mean_us
+        ));
+    }
+    out
+}
+
+/// Renders one cycle-domain histogram line (`samples / mean / max` plus the
+/// non-empty power-of-two buckets).
+fn render_hist(name: &str, h: &HistReport) -> String {
+    let buckets: Vec<String> = h.buckets.iter().map(|(lb, c)| format!("{lb}:{c}")).collect();
+    format!(
+        "  {:<22} samples={:<10} mean={:<10.1} max={:<10} buckets[{}]",
+        name,
+        h.samples,
+        h.mean,
+        h.max,
+        buckets.join(" ")
+    )
+}
+
+fn load_json(path: &str) -> Option<Json> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return None;
+        }
+    };
+    match Json::parse(&text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("{path}: not valid JSON: {e}");
+            None
+        }
+    }
+}
+
+/// `repro profile <run_report.json>`: renders the report's `profile`
+/// object — phase table, speculation telemetry, cycle-domain histograms.
+fn cmd_profile(path: &str) -> bool {
+    let Some(json) = load_json(path) else {
+        return false;
+    };
+    let report = match RunReport::from_json(&json) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: not a run report: {e}");
+            return false;
+        }
+    };
+    let Some(profile) = &report.profile else {
+        eprintln!("{path} has no profile section; re-run repro with --profile --metrics-out");
+        return false;
+    };
+    println!("== wall-clock phases ==");
+    print!("{}", render_phase_table(&profile.wall));
+    if let Some(s) = &profile.speculation {
+        println!("\n== speculation (--sim-threads) ==");
+        println!("  rounds                 {}", s.rounds);
+        println!(
+            "  speculated / committed {} / {} (rollback rate {:.1}%)",
+            s.speculated,
+            s.committed,
+            100.0 * s.rollback_rate
+        );
+        println!("  shards rewound         {}", s.rewound);
+        println!("  serial-burst steps     {}", s.serial_burst_steps);
+        println!(
+            "  horizon stalls         {} ({} cycles)",
+            s.horizon_stalls, s.horizon_stall_cycles
+        );
+        println!(
+            "  load imbalance         {:.3} (max/mean committed)",
+            s.load_imbalance
+        );
+        let per_gpu: Vec<String> = s.per_gpu_committed.iter().map(u64::to_string).collect();
+        println!("  committed per GPU      [{}]", per_gpu.join(" "));
+    }
+    println!("\n== cycle-domain (deterministic) ==");
+    println!(
+        "{}",
+        render_hist("fault_occupancy", &profile.cycle.fault_occupancy)
+    );
+    println!(
+        "{}",
+        render_hist("migration_latency", &profile.cycle.migration_latency)
+    );
+    println!(
+        "{}",
+        render_hist("fabric_queue", &profile.cycle.fabric_queue)
+    );
+    println!(
+        "  mlp_stall_cycles       {}",
+        profile.cycle.mlp_stall_cycles
+    );
+    true
+}
+
+/// `repro bench-diff <A> <B>`: per-target wall-clock deltas between two
+/// `BENCH_*.json` documents. Returns `false` (exit nonzero) when any
+/// shared target — or the total — slowed down past `threshold` percent.
+fn cmd_bench_diff(a_path: &str, b_path: &str, threshold: f64) -> bool {
+    let (Some(aj), Some(bj)) = (load_json(a_path), load_json(b_path)) else {
+        return false;
+    };
+    let (a, b) = match (BenchSummary::from_json(&aj), BenchSummary::from_json(&bj)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) => {
+            eprintln!("{a_path}: not a bench summary: {e}");
+            return false;
+        }
+        (_, Err(e)) => {
+            eprintln!("{b_path}: not a bench summary: {e}");
+            return false;
+        }
+    };
+    println!("== bench-diff: {a_path} (baseline) vs {b_path} ==");
+    if (a.scale, a.intensity, a.seed) != (b.scale, b.intensity, b.seed) {
+        println!(
+            "  WARNING: configs differ (scale {} vs {}, intensity {} vs {}, seed {:#x} vs {:#x}); timings are not comparable",
+            a.scale, b.scale, a.intensity, b.intensity, a.seed, b.seed
+        );
+    }
+    if a.jobs != b.jobs || a.sim_threads != b.sim_threads {
+        println!(
+            "  note: jobs {}x{} vs {}x{} (threading differs; wall-clock shifts expected)",
+            a.jobs, a.sim_threads, b.jobs, b.sim_threads
+        );
+    }
+    println!(
+        "  {:<18} {:>12} {:>12} {:>9}",
+        "target", "baseline s", "current s", "delta"
+    );
+    let mut regressed = false;
+    let delta_of =
+        |base: f64, cur: f64| -> Option<f64> { (base > 0.0).then(|| 100.0 * (cur - base) / base) };
+    for tb in &b.targets {
+        let Some(ta) = a.targets.iter().find(|t| t.name == tb.name) else {
+            println!(
+                "  {:<18} {:>12} {:>12.3} {:>9}",
+                tb.name, "-", tb.seconds, "new"
+            );
+            continue;
+        };
+        match delta_of(ta.seconds, tb.seconds) {
+            Some(d) => {
+                let flag = if d > threshold {
+                    regressed = true;
+                    "  REGRESSED"
+                } else {
+                    ""
+                };
+                println!(
+                    "  {:<18} {:>12.3} {:>12.3} {:>+8.1}%{flag}",
+                    tb.name, ta.seconds, tb.seconds, d
+                );
+            }
+            None => println!(
+                "  {:<18} {:>12.3} {:>12.3} {:>9}",
+                tb.name, ta.seconds, tb.seconds, "n/a"
+            ),
+        }
+    }
+    for ta in &a.targets {
+        if !b.targets.iter().any(|t| t.name == ta.name) {
+            println!(
+                "  {:<18} {:>12.3} {:>12} {:>9}",
+                ta.name, ta.seconds, "-", "removed"
+            );
+        }
+    }
+    match delta_of(a.total_seconds, b.total_seconds) {
+        Some(d) => {
+            let flag = if d > threshold {
+                regressed = true;
+                "  REGRESSED"
+            } else {
+                ""
+            };
+            println!(
+                "  {:<18} {:>12.3} {:>12.3} {:>+8.1}%{flag}",
+                "TOTAL", a.total_seconds, b.total_seconds, d
+            );
+        }
+        None => println!(
+            "  {:<18} {:>12.3} {:>12.3} {:>9}",
+            "TOTAL", a.total_seconds, b.total_seconds, "n/a"
+        ),
+    }
+    if a.cells_run != b.cells_run {
+        println!("  note: cells_run {} vs {}", a.cells_run, b.cells_run);
+    }
+    // Fault totals are deterministic for a fixed config: a drift under an
+    // identical config is a fidelity bug, not a perf regression.
+    if (a.scale, a.intensity, a.seed) == (b.scale, b.intensity, b.seed)
+        && a.cells_run == b.cells_run
+        && a.fault_totals != b.fault_totals
+    {
+        println!("  WARNING: fault totals drifted under an identical config");
+        regressed = true;
+    }
+    if regressed {
+        eprintln!("[bench-diff] regression past {threshold}% threshold");
+    } else {
+        println!("  ok: no target regressed past {threshold}%");
+    }
+    !regressed
+}
+
 fn print_usage() {
     eprintln!(
         "usage: repro <figN|all|tables|list> [--quick|--full] [--jobs N] [--sim-threads N] [--scale X] [--intensity X] [--seed N] [--csv DIR] [--trace PATH] [--metrics-out DIR] [--emit-bench-json] [--bench-baseline] [--cell-timeout SECS] [--resume|--resume-dir DIR] [--fail-fast|--keep-going]"
@@ -239,6 +485,10 @@ fn print_usage() {
     eprintln!("  summary  one-screen digest of the headline results");
     eprintln!("  validate check every generator against its characterization band");
     eprintln!("  dump-trace <APP> <PATH> / trace-info <PATH>  trace tooling");
+    eprintln!("  profile <REPORT>    render the profile section of a run_report.json");
+    eprintln!(
+        "  bench-diff <A> <B>  compare two BENCH_*.json; exit nonzero past --threshold PCT regression (default 25)"
+    );
     eprintln!(
         "  --jobs N  worker threads for experiment cells (also GRIT_JOBS; default: all cores)"
     );
@@ -257,7 +507,18 @@ fn print_usage() {
     eprintln!("  --trace PATH        write a structured JSONL event stream");
     eprintln!("  --trace-filter L    comma-separated event categories (default: all)");
     eprintln!("  --trace-sample N    keep every Nth event per category (default: 1)");
-    eprintln!("  --metrics-out DIR   write run_report.json + BENCH_run.json");
+    eprintln!(
+        "  --metrics-out DIR   write run_report.json + BENCH_run.json (refuses to overwrite an existing run_report.json without --force)"
+    );
+    eprintln!("  --force             allow overwriting an existing run_report.json");
+    eprintln!(
+        "  --profile           wall-clock phase timers + speculation telemetry (profile object in run_report.json; zero overhead when off)"
+    );
+    eprintln!(
+        "  --profile-out PATH  write a Chrome trace-event / Perfetto JSON span trace (implies --profile)"
+    );
+    eprintln!("  --progress          1 Hz heartbeat: cells done, ETA, current phase");
+    eprintln!("  --threshold PCT     bench-diff regression threshold (default 25)");
     eprintln!("  --emit-bench-json   write BENCH_run.json (cwd unless --metrics-out)");
     eprintln!(
         "  --bench-baseline    like --emit-bench-json but writes BENCH_baseline.json (the committed reference)"
@@ -546,6 +807,10 @@ fn main() -> ExitCode {
     let mut metrics_dir: Option<PathBuf> = None;
     let mut emit_bench = false;
     let mut bench_baseline = false;
+    let mut profile_on = false;
+    let mut profile_out: Option<PathBuf> = None;
+    let mut force = false;
+    let mut threshold = 25.0_f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -650,6 +915,27 @@ fn main() -> ExitCode {
                 }
                 metrics_dir = Some(dir);
             }
+            "--profile" => profile_on = true,
+            "--profile-out" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--profile-out needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                profile_out = Some(PathBuf::from(path));
+                profile_on = true;
+            }
+            "--progress" => ex::set_progress(true),
+            "--force" => force = true,
+            "--threshold" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<f64>().ok()).filter(|v| *v >= 0.0)
+                else {
+                    eprintln!("--threshold needs a non-negative percentage");
+                    return ExitCode::FAILURE;
+                };
+                threshold = v;
+            }
             "--emit-bench-json" => emit_bench = true,
             "--bench-baseline" => {
                 emit_bench = true;
@@ -738,6 +1024,41 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         };
     }
+    if targets.first().map(String::as_str) == Some("profile") {
+        let Some(path) = targets.get(1) else {
+            eprintln!("usage: repro profile <run_report.json>");
+            return ExitCode::FAILURE;
+        };
+        return if cmd_profile(path) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if targets.first().map(String::as_str) == Some("bench-diff") {
+        let (Some(a), Some(b)) = (targets.get(1), targets.get(2)) else {
+            eprintln!("usage: repro bench-diff <A.json> <B.json> [--threshold PCT]");
+            return ExitCode::FAILURE;
+        };
+        return if cmd_bench_diff(a, b, threshold) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    // A half-finished campaign must not silently clobber a report the user
+    // still needs; make replacement an explicit decision.
+    if let Some(dir) = &metrics_dir {
+        let path = dir.join("run_report.json");
+        if path.exists() && !force {
+            eprintln!(
+                "refusing to overwrite existing {}; pass --force to replace it",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
     if targets.iter().any(|t| t == "all") {
         // Every figure, capped by the digest — which reuses the fig17 and
@@ -762,6 +1083,12 @@ fn main() -> ExitCode {
     }
     if metrics_dir.is_some() || emit_bench {
         report_sink::enable();
+    }
+    if profile_on {
+        grit_prof::set_enabled(true);
+    }
+    if profile_out.is_some() {
+        grit_prof::set_capture(true);
     }
 
     eprintln!(
@@ -802,6 +1129,36 @@ fn main() -> ExitCode {
             eprintln!("trace: flush failed: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    if profile_on {
+        let totals: Vec<PhaseEntry> = grit_prof::phase_totals()
+            .iter()
+            .filter(|t| t.count > 0)
+            .map(|t| PhaseEntry {
+                phase: t.phase.name().to_string(),
+                nanos: t.nanos,
+                count: t.count,
+            })
+            .collect();
+        if totals.is_empty() {
+            eprintln!("[repro] profile: no spans recorded");
+        } else {
+            eprintln!("[repro] wall-clock phases:");
+            eprint!("{}", render_phase_table(&totals));
+        }
+    }
+    if let Some(path) = &profile_out {
+        let (events, dropped) = grit_prof::drain_events();
+        if let Err(e) = fs::write(path, grit_prof::chrome_trace_json(&events, dropped)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[repro] wrote {} ({} span events, {} dropped)",
+            path.display(),
+            events.len(),
+            dropped
+        );
     }
     let jobs = ex::effective_jobs();
     if let Some(dir) = &metrics_dir {

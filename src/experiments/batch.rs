@@ -235,8 +235,10 @@ impl CellSpec {
     /// byte-identical at any worker or thread count.
     fn run_inner(&self, cancel: &CancelToken, sim_threads: usize) -> Result<RunOutput, CellError> {
         let build_start = Instant::now();
-        let (workload, cache_hit) =
-            workload_cache::shared_workload_tracked(self.app, &self.exp, &self.cfg);
+        let (workload, cache_hit) = {
+            let _prof = grit_prof::span(grit_prof::Phase::TraceBuild);
+            workload_cache::shared_workload_tracked(self.app, &self.exp, &self.cfg)
+        };
         let build_seconds = build_start.elapsed().as_secs_f64();
         let policy = match &self.policy {
             PolicySpec::Kind(kind) => kind.build(&self.cfg, workload.footprint_pages),
@@ -403,6 +405,23 @@ static INJECT_OVERRIDE: Mutex<Option<InjectConfig>> = Mutex::new(None);
 /// Process-wide invariant-check opt-in (the `repro --check-invariants`
 /// flag; debug builds always check).
 static CHECK_INVARIANTS_DEFAULT: AtomicBool = AtomicBool::new(false);
+/// Process-wide progress-heartbeat opt-in (the `repro --progress` flag).
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Turns the stderr progress heartbeat on or off for subsequent batches
+/// (the `repro --progress` flag). Also enables `grit-prof`
+/// current-phase tracking so the heartbeat can name the phase the
+/// process is in. Deliberately process-wide rather than a `SimConfig`
+/// field: resume keys must not depend on how a run is observed.
+pub fn set_progress(on: bool) {
+    PROGRESS.store(on, Ordering::Relaxed);
+    grit_prof::set_track_current(on);
+}
+
+/// Whether the progress heartbeat is on.
+pub fn progress_enabled() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
+}
 
 /// Sets the interconnect topology for every subsequently declared
 /// [`CellSpec`] (`None` restores the default all-to-all). The
@@ -602,13 +621,43 @@ pub fn run_batch_with(
     } else {
         CancelToken::new()
     };
+    // The heartbeat monitor: a detached-until-joined thread printing one
+    // stderr line per second with completed cells, an ETA extrapolated
+    // from the mean cell time so far, and the phase the process is in.
+    let done_count = Arc::new(AtomicUsize::new(0));
+    let heartbeat_stop = Arc::new(AtomicBool::new(false));
+    let monitor = (progress_enabled() && !cells.is_empty()).then(|| {
+        let done = Arc::clone(&done_count);
+        let stop = Arc::clone(&heartbeat_stop);
+        let total = cells.len();
+        std::thread::spawn(move || {
+            let t0 = Instant::now();
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(1000));
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let d = done.load(Ordering::Relaxed);
+                let elapsed = t0.elapsed().as_secs_f64();
+                let eta = if d > 0 {
+                    format!("{:.0}s", elapsed / d as f64 * (total - d) as f64)
+                } else {
+                    "?".into()
+                };
+                let phase = grit_prof::current_phase().map_or("-", |p| p.name());
+                eprintln!("progress: {d}/{total} cells done, {elapsed:.0}s elapsed, eta {eta}, phase {phase}");
+            }
+        })
+    });
     let run_guarded = |cell: &CellSpec| -> Result<RunOutput, CellError> {
         if batch_token.poll() == CancelState::Cancelled {
+            done_count.fetch_add(1, Ordering::Relaxed);
             return Err(CellError::Cancelled);
         }
         let key = store.as_ref().and_then(|_| cell.resume_key());
         if let (Some(store), Some(key)) = (&store, &key) {
             if let Some(out) = store.load(key) {
+                done_count.fetch_add(1, Ordering::Relaxed);
                 return Ok(out);
             }
         }
@@ -638,6 +687,7 @@ pub fn run_batch_with(
             }
             Err(_) => {}
         }
+        done_count.fetch_add(1, Ordering::Relaxed);
         result
     };
     let results: Vec<Result<RunOutput, CellError>> = if jobs <= 1 {
@@ -665,6 +715,10 @@ pub fn run_batch_with(
             })
             .collect()
     };
+    heartbeat_stop.store(true, Ordering::Relaxed);
+    if let Some(m) = monitor {
+        let _ = m.join();
+    }
     // Submit in declaration order, after all workers finished: the trace
     // stream and report are independent of the worker count (the serial
     // path is already in declaration order, but flows through the same

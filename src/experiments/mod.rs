@@ -43,8 +43,8 @@ pub mod workload_cache;
 pub use batch::{
     effective_jobs, effective_sim_threads, fail_fast_triggered, run_batch, run_batch_with,
     run_grid, set_cell_timeout, set_check_invariants, set_fail_fast, set_inject, set_jobs,
-    set_resume_dir, set_sim_threads, set_topology, BatchOptions, CellResultExt, CellSpec,
-    PolicySpec,
+    set_progress, set_resume_dir, set_sim_threads, set_topology, BatchOptions, CellResultExt,
+    CellSpec, PolicySpec,
 };
 
 use grit_baselines::{FirstTouchPolicy, GpsPolicy, GriffinDpcPolicy, IdealPolicy};

@@ -12,8 +12,8 @@ use std::sync::Mutex;
 
 use grit_sim::CellError;
 use grit_trace::{
-    BatchProfile, BenchSummary, CellReport, HeadlineSpeedups, MetricsReport, RunReport,
-    SeriesReport, TargetTiming,
+    BatchProfile, BenchSummary, CellReport, CycleProfile, HeadlineSpeedups, MetricsReport,
+    PhaseEntry, ProfileReport, RunReport, SeriesReport, SpeculationReport, TargetTiming,
 };
 
 use crate::runner::RunOutput;
@@ -179,6 +179,45 @@ pub fn build_report(exp: &ExpConfig, jobs: usize, total_seconds: f64) -> RunRepo
         targets: st.targets.clone(),
         batches: st.batches.clone(),
         cells: st.cells.clone(),
+        profile: grit_prof::enabled().then(|| build_profile(&st.cells)),
+    }
+}
+
+/// Assembles the report's `profile` object: wall-clock phase totals and
+/// speculation telemetry from the process-wide `grit-prof` accumulators,
+/// and the deterministic cycle-domain sections merged from every
+/// successful cell's `prof_*` aux series in sequence order.
+fn build_profile(cells: &[CellReport]) -> ProfileReport {
+    let wall: Vec<PhaseEntry> = grit_prof::phase_totals()
+        .iter()
+        .filter(|t| t.count > 0)
+        .map(|t| PhaseEntry {
+            phase: t.phase.name().to_string(),
+            nanos: t.nanos,
+            count: t.count,
+        })
+        .collect();
+    let spec = grit_prof::spec_stats();
+    let speculation = (spec.rounds > 0).then(|| SpeculationReport {
+        rounds: spec.rounds,
+        speculated: spec.speculated,
+        committed: spec.committed,
+        rewound: spec.rewound,
+        serial_burst_steps: spec.serial,
+        horizon_stalls: spec.horizon_stalls,
+        horizon_stall_cycles: spec.horizon_stall_cycles,
+        rollback_rate: spec.rollback_rate(),
+        load_imbalance: spec.load_imbalance(),
+        per_gpu_committed: spec.per_gpu_committed.clone(),
+    });
+    let mut cycle = CycleProfile::default();
+    for cell in cells.iter().filter(|c| c.status == "ok" || c.status == "resumed") {
+        cycle.absorb_aux(&cell.metrics.aux);
+    }
+    ProfileReport {
+        wall,
+        speculation,
+        cycle,
     }
 }
 

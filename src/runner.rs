@@ -21,8 +21,10 @@ use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 
 use grit_mem::{CacheKey, Mapping, SetAssocCache, TlbHierarchy, TranslationLevel, WalkerPool};
 use grit_metrics::{
-    AttrGrid, IntervalSeries, LatencyClass, PageAttrSummary, PageAttrTracker, RunMetrics, SchemeMix,
+    AttrGrid, IntervalSeries, LatencyClass, LatencyHistogram, PageAttrSummary, PageAttrTracker,
+    RunMetrics, SchemeMix,
 };
+use grit_prof::{span, Phase, SpecStats};
 use grit_sim::{
     Access, AccessKind, AccessStream, CancelState, CancelToken, CellError, ConfigError, Cycle,
     FxHashMap, GpuId, GritError, InjectConfig, LatencyConfig, MemLoc, MlpWindow, PageId, SimConfig,
@@ -519,6 +521,7 @@ fn shard_worker(sync: &ShardSync, w: usize, range: std::ops::Range<usize>, lat: 
             // `done` flag reports the round complete. The view is only
             // read, and `DriverView` is `Sync`.
             let view = unsafe { &*(sync.view.load(Ordering::Relaxed) as *const DriverView<'_>) };
+            let _prof = span(Phase::SpecExecute);
             for g in range.clone() {
                 // SAFETY: worker `w` is the only thread that touches
                 // indices in `range` during a round — chunks are disjoint
@@ -664,7 +667,7 @@ enum StepOutcome {
 ///     .observer(ObserverConfig::default().with_grids(50))
 ///     .build()
 ///     .expect("valid configuration");
-/// let out = sim.run();
+/// let out = sim.try_run().expect("run failed");
 /// ```
 pub struct SimulationBuilder {
     cfg: SimConfig,
@@ -773,21 +776,6 @@ impl SimulationBuilder {
 }
 
 impl Simulation {
-    /// Wires a workload and a policy into a runnable system.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the workload GPU count differs from the configuration or
-    /// the configuration is invalid.
-    #[deprecated(note = "use Simulation::try_new or SimulationBuilder")]
-    pub fn new(
-        cfg: SimConfig,
-        workload: MultiGpuWorkload,
-        policy: Box<dyn PlacementPolicy>,
-    ) -> Self {
-        Simulation::try_new(cfg, workload, policy).unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Wires a workload and a policy into a runnable system, reporting
     /// invalid configurations (including a workload whose GPU count differs
     /// from the configuration's) as values.
@@ -863,16 +851,6 @@ impl Simulation {
     /// The active policy's name.
     pub fn policy_name(&self) -> String {
         self.driver.policy_name()
-    }
-
-    /// Runs the workload to completion and collects all metrics.
-    ///
-    /// # Panics
-    ///
-    /// Panics on any [`Simulation::try_run`] error (invariant violation,
-    /// timeout, cancellation).
-    pub fn run(self) -> RunOutput {
-        self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs the workload to completion and collects all metrics,
@@ -1044,15 +1022,12 @@ impl Simulation {
         let mut merged: Vec<(usize, PureEntry)> = Vec::new();
         let lookahead = self.driver.lookahead_bound();
         let mut window_scale: Cycle = 1;
-        let stats = std::env::var_os("GRIT_SHARD_STATS").is_some();
-        let (mut n_rounds, mut n_committed, mut n_speculated, mut n_rewound, mut n_serial) =
-            (0u64, 0u64, 0u64, 0u64, 0u64);
-        let (mut t_spec, mut t_rewind, mut t_commit, mut t_serial) = (
-            std::time::Duration::ZERO,
-            std::time::Duration::ZERO,
-            std::time::Duration::ZERO,
-            std::time::Duration::ZERO,
-        );
+        // Always-on speculation telemetry: plain counter bumps per round,
+        // recorded into `grit-prof` at the end if profiling is enabled.
+        let mut spec = SpecStats {
+            per_gpu_committed: vec![0; self.gpus.len()],
+            ..SpecStats::default()
+        };
         'rounds: loop {
             if cancel_active {
                 self.poll_cancel()?;
@@ -1072,53 +1047,60 @@ impl Simulation {
                 .min()
                 .expect("a runnable GPU exists");
             let horizon = base.saturating_add(lookahead.saturating_mul(window_scale));
-            let t0 = stats.then(std::time::Instant::now);
             self.speculate_round(sync, workers, chunk, &mut slots, horizon);
             let speculated: usize = slots.iter().map(|s| s.log.len()).sum();
-            if let Some(t0) = t0 {
-                t_spec += t0.elapsed();
-                n_rounds += 1;
-                n_speculated += speculated as u64;
+            spec.rounds += 1;
+            spec.speculated += speculated as u64;
+            let cut: Option<(Cycle, usize)> = {
+                let _prof = span(Phase::SpecClassify);
+                slots.iter().enumerate().filter_map(|(g, s)| s.serial_at.map(|c| (c, g))).min()
+            };
+            // A runnable shard with no serial stop and no finish ran out of
+            // horizon, not out of pure work: the lookahead bound stalled it.
+            for (g, s) in slots.iter().enumerate() {
+                let f = &self.gpus[g];
+                if s.serial_at.is_none()
+                    && s.finished_at.is_none()
+                    && !f.finished
+                    && !f.waiting
+                    && f.ready >= horizon
+                {
+                    spec.horizon_stalls += 1;
+                    spec.horizon_stall_cycles += f.ready - horizon;
+                }
             }
-            let cut: Option<(Cycle, usize)> =
-                slots.iter().enumerate().filter_map(|(g, s)| s.serial_at.map(|c| (c, g))).min();
             if let Some(cut_key) = cut {
-                if stats {
-                    n_rewound += slots
-                        .iter()
-                        .enumerate()
-                        .filter(|(g, s)| {
-                            s.log.last().is_some_and(|e| (e.ready, *g) >= cut_key)
-                                || s.finished_at.is_some_and(|c| (c, *g) >= cut_key)
-                        })
-                        .count() as u64;
-                }
-                let t0 = stats.then(std::time::Instant::now);
+                spec.rewound += slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(g, s)| {
+                        s.log.last().is_some_and(|e| (e.ready, *g) >= cut_key)
+                            || s.finished_at.is_some_and(|c| (c, *g) >= cut_key)
+                    })
+                    .count() as u64;
+                let _prof = span(Phase::SpecRollback);
                 self.rewind_overruns(&mut slots, cut_key);
-                if let Some(t0) = t0 {
-                    t_rewind += t0.elapsed();
-                }
             }
             // Canonical merge: per-GPU logs are in execution order with
             // non-decreasing keys, and the serial pop sequence is exactly
             // the key-sorted interleaving (stable within a GPU).
-            let t0 = stats.then(std::time::Instant::now);
-            merged.clear();
-            for (g, slot) in slots.iter_mut().enumerate() {
-                merged.extend(slot.log.drain(..).map(|e| (g, e)));
+            let committed = {
+                let _prof = span(Phase::SpecClassify);
+                merged.clear();
+                for (g, slot) in slots.iter_mut().enumerate() {
+                    merged.extend(slot.log.drain(..).map(|e| (g, e)));
+                }
+                merged.sort_by_key(|(g, e)| (e.ready, *g));
+                merged.len()
+            };
+            spec.committed += committed as u64;
+            {
+                let _prof = span(Phase::SpecCommit);
+                for (g, e) in &merged {
+                    spec.per_gpu_committed[*g] += 1;
+                    self.commit_entry(*g, e);
+                }
             }
-            merged.sort_by_key(|(g, e)| (e.ready, *g));
-            let committed = merged.len();
-            if stats {
-                n_committed += committed as u64;
-            }
-            for (g, e) in &merged {
-                self.commit_entry(*g, e);
-            }
-            if let Some(t0) = t0 {
-                t_commit += t0.elapsed();
-            }
-            let t0 = stats.then(std::time::Instant::now);
             if cut.is_some() {
                 // The blocked event runs through the unchanged serial
                 // path: fault, collapse, remote fetch, epoch, barrier.
@@ -1132,7 +1114,7 @@ impl Simulation {
                     // barrier per single event.
                     window_scale = 1;
                     for _ in 0..SERIAL_BURST {
-                        n_serial += 1;
+                        spec.serial += 1;
                         match self.serial_step()? {
                             StepOutcome::Progress => {}
                             StepOutcome::AllFinished => break 'rounds,
@@ -1148,14 +1130,9 @@ impl Simulation {
                 // round barriers over more work.
                 window_scale = (window_scale * 2).min(MAX_WINDOW_SCALE);
             }
-            if let Some(t0) = t0 {
-                t_serial += t0.elapsed();
-            }
         }
-        if stats {
-            eprintln!(
-                "[shard-stats] rounds={n_rounds} committed={n_committed} speculated={n_speculated} rewound_gpus={n_rewound} serial_burst_steps={n_serial} t_spec={t_spec:?} t_rewind={t_rewind:?} t_commit={t_commit:?} t_serial={t_serial:?}"
-            );
+        if grit_prof::enabled() {
+            grit_prof::record_spec(&spec);
         }
         Ok(())
     }
@@ -1200,6 +1177,7 @@ impl Simulation {
         // arrays must not be re-borrowed directly until the handshake).
         let gpus_ptr = sync.gpus.load(Ordering::Relaxed);
         let slots_ptr = sync.slots.load(Ordering::Relaxed);
+        let prof_exec = span(Phase::SpecExecute);
         for g in 0..chunk.min(n) {
             // SAFETY: same disjointness argument as in `shard_worker`; the
             // conductor owns chunk zero for the duration of the round.
@@ -1207,6 +1185,7 @@ impl Simulation {
             let slot = unsafe { &mut *slots_ptr.add(g) };
             advance_frontend(g, f, &view, &lat, (horizon, 0), slot);
         }
+        drop(prof_exec);
         for d in &sync.done {
             let mut spins = 0u32;
             while d.load(Ordering::Acquire) != seq {
@@ -1326,9 +1305,12 @@ impl Simulation {
         }
 
         // Address translation.
-        let (level, tlb_lat) = self.gpus[g].tlb.translate(vpn);
+        let (level, tlb_lat, mut mapping) = {
+            let _prof = span(Phase::Translate);
+            let (level, tlb_lat) = self.gpus[g].tlb.translate(vpn);
+            (level, tlb_lat, self.driver.translate(gpu, vpn))
+        };
         let mut t = t0 + tlb_lat;
-        let mut mapping = self.driver.translate(gpu, vpn);
         if level == TranslationLevel::Walk || mapping.is_none() {
             if level == TranslationLevel::Walk {
                 let scheme = self.driver.scheme_of(vpn);
@@ -1342,7 +1324,10 @@ impl Simulation {
                     series.record(t0, bucket);
                 }
             }
-            let walk = self.gpus[g].walker.walk(t, vpn);
+            let walk = {
+                let _prof = span(Phase::Translate);
+                self.gpus[g].walker.walk(t, vpn)
+            };
             self.driver.charge(LatencyClass::Local, walk.done_at - t);
             t = walk.done_at;
             if mapping.is_none() {
@@ -1555,6 +1540,27 @@ impl Simulation {
             .unzip();
         metrics.set_aux("tlb_l1_hit_rate", l1_rates);
         metrics.set_aux("tlb_l2_hit_rate", l2_rates);
+        // Cycle-domain profiling series. Always recorded (the sources sit
+        // on rare paths), and byte-identical at any `sim_threads`: the
+        // histograms live behind the driver, which only ever runs in
+        // canonical serial order, and the MLP stall counter undoes its
+        // speculative contributions on rollback.
+        metrics.set_aux(
+            "prof_fault_occupancy_hist",
+            hist_aux(self.driver.fault_occupancy()),
+        );
+        metrics.set_aux(
+            "prof_migration_latency_hist",
+            hist_aux(self.driver.migration_latency()),
+        );
+        metrics.set_aux(
+            "prof_fabric_queue_hist",
+            hist_aux(self.driver.fabric_queue_wait()),
+        );
+        metrics.set_aux(
+            "prof_mlp_stall_cycles",
+            self.gpus.iter().map(|g| g.window.stall_cycles() as f64).collect(),
+        );
         let any_observer = self.obs_page_by_gpu.is_some()
             || self.obs_grid_ps.is_some()
             || self.obs_scheme_timeline.is_some();
@@ -1575,6 +1581,18 @@ impl Simulation {
             events: None,
         })
     }
+}
+
+/// Flattens a latency histogram into a self-describing aux series:
+/// `[samples, mean, max, lb0, c0, lb1, c1, ...]` over non-empty buckets
+/// (`lb` = bucket lower bound in cycles, `c` = sample count).
+fn hist_aux(h: &LatencyHistogram) -> Vec<f64> {
+    let mut v = vec![h.samples() as f64, h.mean(), h.max() as f64];
+    for (lb, c) in h.iter() {
+        v.push(lb as f64);
+        v.push(c as f64);
+    }
+    v
 }
 
 #[cfg(test)]
@@ -1607,7 +1625,7 @@ mod tests {
 
     fn run(w: MultiGpuWorkload, cfg: SimConfig) -> RunOutput {
         let policy = Box::new(StaticPolicy::new(Scheme::OnTouch));
-        Simulation::try_new(cfg, w, policy).unwrap().run()
+        Simulation::try_new(cfg, w, policy).unwrap().try_run().unwrap()
     }
 
     #[test]
@@ -1700,7 +1718,7 @@ mod tests {
             4,
         );
         let policy = Box::new(StaticPolicy::new(Scheme::Duplication));
-        let out = Simulation::try_new(cfg, w, policy).unwrap().run();
+        let out = Simulation::try_new(cfg, w, policy).unwrap().try_run().unwrap();
         assert_eq!(out.metrics.faults.protection_faults, 1);
         assert_eq!(out.metrics.faults.collapses, 1);
     }
@@ -1720,7 +1738,7 @@ mod tests {
             .observer(ObserverConfig::tracking(PageId(1)))
             .build()
             .unwrap();
-        let out = sim.run();
+        let out = sim.try_run().unwrap();
         let obs = out.observer.expect("observer configured");
         let total: u64 = obs.page_by_gpu.iter().map(|(_, r)| r.iter().sum::<u64>()).sum();
         assert_eq!(total, 2, "only page 1's two accesses are recorded");
@@ -1742,7 +1760,7 @@ mod tests {
         let cfg = SimConfig::with_gpus(8);
         let w = WorkloadBuilder::new(App::Gemm).num_gpus(8).scale(0.02).build();
         let policy = Box::new(StaticPolicy::new(Scheme::OnTouch));
-        let out = Simulation::try_new(cfg, w, policy).unwrap().run();
+        let out = Simulation::try_new(cfg, w, policy).unwrap().try_run().unwrap();
         assert!(out.metrics.total_cycles > 0);
         let finish = out.metrics.aux("per_gpu_finish_cycles").unwrap();
         assert_eq!(finish.len(), 8);
@@ -1759,15 +1777,6 @@ mod tests {
         };
         assert_eq!(err.field, "workload");
         assert!(err.to_string().contains("GPU count must match"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "GPU count must match")]
-    fn deprecated_new_still_panics_on_mismatch() {
-        let w = WorkloadBuilder::new(App::Gemm).num_gpus(2).scale(0.02).build();
-        let policy = Box::new(StaticPolicy::new(Scheme::OnTouch));
-        let _ = Simulation::new(SimConfig::default(), w, policy);
     }
 
     #[test]
@@ -1847,7 +1856,8 @@ mod tests {
             .observer(ObserverConfig::tracking(PageId(1)).with_grids(20))
             .build()
             .unwrap()
-            .run()
+            .try_run()
+            .unwrap()
     }
 
     #[test]
@@ -1878,14 +1888,20 @@ mod tests {
             )
         };
         let policy = || Box::new(StaticPolicy::new(Scheme::Duplication));
-        let serial =
-            digest(&SimulationBuilder::new(two_gpu_cfg(), make(), policy()).build().unwrap().run());
+        let serial = digest(
+            &SimulationBuilder::new(two_gpu_cfg(), make(), policy())
+                .build()
+                .unwrap()
+                .try_run()
+                .unwrap(),
+        );
         let sharded = digest(
             &SimulationBuilder::new(two_gpu_cfg(), make(), policy())
                 .sim_threads(2)
                 .build()
                 .unwrap()
-                .run(),
+                .try_run()
+                .unwrap(),
         );
         assert_eq!(serial, sharded);
     }
@@ -1935,7 +1951,7 @@ mod tests {
             4,
         );
         let policy = Box::new(StaticPolicy::new(Scheme::OnTouch));
-        let out = Simulation::try_new(two_gpu_cfg(), w, policy).unwrap().run();
+        let out = Simulation::try_new(two_gpu_cfg(), w, policy).unwrap().try_run().unwrap();
         assert_eq!(out.metrics.faults.local_faults, 1);
         assert!(out.attrs.is_written(PageId(3)));
         let _ = AccessKind::Write; // silence unused import in some cfgs

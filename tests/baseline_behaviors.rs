@@ -95,7 +95,8 @@ fn oracle_beats_every_uniform_scheme_on_static_apps() {
         .build();
     let oracle = Simulation::try_new(cfg, w, Box::new(oracle_policy))
         .unwrap()
-        .run()
+        .try_run()
+        .unwrap()
         .metrics
         .total_cycles;
     for scheme in Scheme::ALL {
@@ -168,14 +169,14 @@ fn prefetcher_is_neutral_or_better_for_every_policy() {
         };
         let w = build();
         let p = policy.build(&cfg, w.footprint_pages);
-        let plain = Simulation::try_new(cfg.clone(), w, p).unwrap().run().metrics;
+        let plain = Simulation::try_new(cfg.clone(), w, p).unwrap().try_run().unwrap().metrics;
         let w = build();
         let p = policy.build(&cfg, w.footprint_pages);
         let sim = SimulationBuilder::new(cfg.clone(), w, p)
             .prefetcher(Box::new(TreePrefetcher::new()))
             .build()
             .unwrap();
-        let fetched = sim.run().metrics;
+        let fetched = sim.try_run().unwrap().metrics;
         assert!(
             fetched.faults.local_faults < plain.faults.local_faults,
             "{}: prefetching must absorb cold faults",

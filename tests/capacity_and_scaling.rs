@@ -181,7 +181,8 @@ fn prefetching_cuts_cold_faults_without_breaking_invariants() {
         let p = PolicyKind::Static(Scheme::OnTouch).build(&cfg, w.footprint_pages);
         Simulation::try_new(cfg.clone(), w, p)
             .unwrap()
-            .run()
+            .try_run()
+            .unwrap()
             .metrics
             .faults
             .local_faults
@@ -193,7 +194,7 @@ fn prefetching_cuts_cold_faults_without_breaking_invariants() {
             .prefetcher(Box::new(TreePrefetcher::new()))
             .build()
             .unwrap();
-        sim.run().metrics.faults.local_faults
+        sim.try_run().unwrap().metrics.faults.local_faults
     };
     assert!(
         with_pf < base,

@@ -86,14 +86,14 @@ fn serialized_traces_simulate_identically() {
     let direct = {
         let w = build();
         let p = PolicyKind::GRIT.build(&cfg, w.footprint_pages);
-        Simulation::try_new(cfg.clone(), w, p).unwrap().run().metrics
+        Simulation::try_new(cfg.clone(), w, p).unwrap().try_run().unwrap().metrics
     };
     let via_disk = {
         let mut buf = Vec::new();
         write_trace(&build(), &mut buf).unwrap();
         let w = read_trace(buf.as_slice()).unwrap();
         let p = PolicyKind::GRIT.build(&cfg, w.footprint_pages);
-        Simulation::try_new(cfg.clone(), w, p).unwrap().run().metrics
+        Simulation::try_new(cfg.clone(), w, p).unwrap().try_run().unwrap().metrics
     };
     assert_eq!(direct.total_cycles, via_disk.total_cycles);
     assert_eq!(direct.faults.total_faults(), via_disk.faults.total_faults());

@@ -169,7 +169,8 @@ fn pa_cache_absorbs_table_traffic() {
     // decision latency, visible as extra host-class cycles.
     let with_cache = Simulation::try_new(cfg.clone(), workload, Box::new(policy))
         .unwrap()
-        .run()
+        .try_run()
+        .unwrap()
         .metrics
         .breakdown
         .get(LatencyClass::Host);
@@ -180,7 +181,8 @@ fn pa_cache_absorbs_table_traffic() {
     );
     let without_cache = Simulation::try_new(cfg, workload, Box::new(no_cache))
         .unwrap()
-        .run()
+        .try_run()
+        .unwrap()
         .metrics
         .breakdown
         .get(LatencyClass::Host);

@@ -64,7 +64,7 @@ proptest! {
         let expected_accesses = workload.total_accesses();
         let p = policy.build(&cfg, workload.footprint_pages);
         // `Simulation::run` panics if any VM invariant breaks.
-        let out = Simulation::try_new(cfg, workload, p).unwrap().run();
+        let out = Simulation::try_new(cfg, workload, p).unwrap().try_run().unwrap();
 
         prop_assert_eq!(out.metrics.accesses, expected_accesses);
         prop_assert!(out.metrics.total_cycles > 0);
@@ -104,7 +104,7 @@ proptest! {
                 .seed(seed)
                 .build();
             let p = policy.build(&cfg, w.footprint_pages);
-            let out = Simulation::try_new(cfg, w, p).unwrap().run();
+            let out = Simulation::try_new(cfg, w, p).unwrap().try_run().unwrap();
             prop_assert_eq!(out.metrics.faults.evictions, 0);
             // Migration-style policies never take protection faults; the
             // duplication scheme can (a lone GPU still writes to its own

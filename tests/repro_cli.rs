@@ -9,8 +9,10 @@ use std::process::Command;
 
 use grit_trace::{BenchSummary, EventCategory, Json, RunReport, TraceEvent};
 
-fn scratch_dir() -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("grit-repro-cli-{}", std::process::id()));
+/// Per-test scratch directory: tests run concurrently, so each owns a
+/// distinct tree it can wipe freely.
+fn scratch_dir_for(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grit-repro-cli-{}-{label}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     fs::create_dir_all(&dir).expect("create scratch dir");
     dir
@@ -18,7 +20,7 @@ fn scratch_dir() -> PathBuf {
 
 #[test]
 fn trace_and_reports_agree() {
-    let dir = scratch_dir();
+    let dir = scratch_dir_for("trace");
     let trace = dir.join("trace.jsonl");
     let metrics = dir.join("metrics");
     let status = Command::new(env!("CARGO_BIN_EXE_repro"))
@@ -128,6 +130,134 @@ fn trace_and_reports_agree() {
     let report_faults: u64 = report.cells.iter().map(|c| c.metrics.faults.total_faults()).sum();
     assert_eq!(bench.fault_totals.total_faults(), report_faults);
     assert!(bench.total_seconds > 0.0);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `--profile` / `--profile-out` end to end: the report gains a `profile`
+/// object, the span trace is Chrome-trace JSON, `repro profile` renders
+/// it, and `--metrics-out` refuses to overwrite without `--force`.
+#[test]
+fn profile_flags_end_to_end() {
+    let dir = scratch_dir_for("profile");
+    fs::create_dir_all(&dir).expect("create profile scratch dir");
+    let prof = dir.join("prof.json");
+    let run = |extra: &[&str]| {
+        let mut args = vec!["fig4", "--quick", "--jobs", "1"];
+        args.extend_from_slice(extra);
+        Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(&args)
+            .output()
+            .expect("repro runs")
+    };
+
+    let dir_s = dir.to_str().unwrap().to_string();
+    let out = run(&[
+        "--profile",
+        "--profile-out",
+        prof.to_str().unwrap(),
+        "--metrics-out",
+        &dir_s,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // run_report.json carries the v5 profile object.
+    let report_text = fs::read_to_string(dir.join("run_report.json")).expect("run report");
+    let report = RunReport::from_json(&Json::parse(&report_text).expect("valid JSON"))
+        .expect("report matches schema");
+    let profile = report.profile.expect("--profile adds the profile object");
+    assert!(!profile.wall.is_empty(), "phase totals recorded");
+    assert!(
+        profile.cycle.fault_occupancy.samples > 0,
+        "cycle-domain histograms populated"
+    );
+
+    // The span trace is well-formed Chrome trace-event JSON.
+    let trace = Json::parse(&fs::read_to_string(&prof).expect("profile trace written"))
+        .expect("trace is valid JSON");
+    let events = trace.get("traceEvents").expect("traceEvents key");
+    match events {
+        Json::Arr(evs) => assert!(!evs.is_empty(), "span events recorded"),
+        _ => panic!("traceEvents is not an array"),
+    }
+
+    // The text renderer accepts the report.
+    let rendered = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["profile", dir.join("run_report.json").to_str().unwrap()])
+        .output()
+        .expect("repro profile runs");
+    assert!(rendered.status.success());
+    let text = String::from_utf8_lossy(&rendered.stdout);
+    assert!(text.contains("wall-clock phases"), "{text}");
+    assert!(text.contains("fault_occupancy"), "{text}");
+
+    // Overwrite guard: same --metrics-out dir fails without --force.
+    let refused = run(&["--metrics-out", &dir_s]);
+    assert!(!refused.status.success(), "overwrite must be refused");
+    assert!(
+        String::from_utf8_lossy(&refused.stderr).contains("--force"),
+        "refusal names the escape hatch"
+    );
+    let forced = run(&["--metrics-out", &dir_s, "--force"]);
+    assert!(forced.status.success(), "--force overwrites");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `bench-diff` flags regressions past the threshold and passes clean runs.
+#[test]
+fn bench_diff_gates_on_threshold() {
+    use grit_trace::TargetTiming;
+    let dir = scratch_dir_for("bench-diff");
+    fs::create_dir_all(&dir).expect("create bench-diff scratch dir");
+    let summary = |seconds: f64| BenchSummary {
+        scale: 0.25,
+        intensity: 1.0,
+        seed: 7,
+        jobs: 1,
+        sim_threads: 1,
+        total_seconds: seconds,
+        cells_run: 8,
+        targets: vec![TargetTiming {
+            name: "fig4".into(),
+            seconds,
+        }],
+        ..BenchSummary::default()
+    };
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    fs::write(&a, summary(1.0).to_json().to_string()).unwrap();
+    fs::write(&b, summary(3.0).to_json().to_string()).unwrap();
+
+    let diff = |x: &PathBuf, y: &PathBuf, threshold: &str| {
+        Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args([
+                "bench-diff",
+                x.to_str().unwrap(),
+                y.to_str().unwrap(),
+                "--threshold",
+                threshold,
+            ])
+            .output()
+            .expect("bench-diff runs")
+    };
+
+    let regressed = diff(&a, &b, "50");
+    assert!(
+        !regressed.status.success(),
+        "3x slowdown past 50% must fail"
+    );
+    assert!(String::from_utf8_lossy(&regressed.stdout).contains("REGRESSED"));
+
+    let tolerated = diff(&a, &b, "500");
+    assert!(tolerated.status.success(), "500% threshold tolerates 3x");
+
+    let identical = diff(&a, &a, "50");
+    assert!(identical.status.success(), "identical summaries pass");
 
     let _ = fs::remove_dir_all(&dir);
 }
