@@ -1,0 +1,156 @@
+//! A small blocking client for the campaign server, used by
+//! `repro submit` and the integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+use grit_sim::RunSpec;
+use grit_trace::Json;
+
+use crate::wire::{CellResult, Request, Response};
+
+/// Everything a campaign streamed back, collected by
+/// [`ServeClient::finish`].
+#[derive(Clone, PartialEq, Debug, Default)]
+#[non_exhaustive]
+pub struct CampaignOutcome {
+    /// `result` lines in arrival order — which the server guarantees is
+    /// this client's submission order.
+    pub results: Vec<CellResult>,
+    /// `(id, event)` pairs from `trace` lines, in arrival order.
+    pub traces: Vec<(u64, Json)>,
+    /// Protocol-level `error` lines (not per-cell failures, which land
+    /// in [`CampaignOutcome::results`] with a non-`ok` status).
+    pub errors: Vec<String>,
+    /// The `done` tally sent by the server, when the connection closed
+    /// cleanly.
+    pub done_results: Option<u64>,
+}
+
+/// A blocking connection to a campaign server.
+pub struct ServeClient {
+    write: TcpStream,
+    read: BufReader<TcpStream>,
+    /// Server version from the `hello` line.
+    pub server_version: String,
+}
+
+impl ServeClient {
+    /// Connects and consumes the server's `hello` line.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures and protocol violations, as a message.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, String> {
+        let write = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let read_half = write.try_clone().map_err(|e| format!("clone: {e}"))?;
+        let mut read = BufReader::new(read_half);
+        let mut line = String::new();
+        read.read_line(&mut line).map_err(|e| format!("hello: {e}"))?;
+        let hello = Json::parse(&line)
+            .map_err(|e| format!("hello: bad JSON {e:?}"))
+            .and_then(|v| Response::from_json(&v))?;
+        let Response::Hello { version } = hello else {
+            return Err(format!("expected hello, got {hello:?}"));
+        };
+        Ok(ServeClient {
+            write,
+            read,
+            server_version: version,
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), String> {
+        let line = format!("{}\n", req.to_json());
+        self.write.write_all(line.as_bytes()).map_err(|e| format!("send: {e}"))
+    }
+
+    /// Submits one cell under a client-chosen id.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn submit(&mut self, id: u64, spec: &RunSpec) -> Result<(), String> {
+        self.send(&Request::Submit {
+            id,
+            spec: spec.clone(),
+        })
+    }
+
+    /// Round-trips a ping. Any buffered `accepted`/`progress` lines
+    /// ahead of the pong are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures or an unexpected end of stream.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.send(&Request::Ping)?;
+        loop {
+            match self.next_response()? {
+                Some(Response::Pong) => return Ok(()),
+                Some(_) => continue,
+                None => return Err("server closed before pong".into()),
+            }
+        }
+    }
+
+    /// Asks the server to exit once all outstanding work (from every
+    /// client) is answered.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn shutdown_server(&mut self) -> Result<(), String> {
+        self.send(&Request::Shutdown)
+    }
+
+    /// Reads one response line, or `None` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Socket read failures or unparseable lines.
+    pub fn next_response(&mut self) -> Result<Option<Response>, String> {
+        let mut line = String::new();
+        let n = self.read.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if line.trim().is_empty() {
+            return self.next_response();
+        }
+        Json::parse(&line)
+            .map_err(|e| format!("recv: bad JSON {e:?}"))
+            .and_then(|v| Response::from_json(&v))
+            .map(Some)
+    }
+
+    /// Half-closes the write side (telling the server no more requests
+    /// are coming) and drains the stream until `done`/EOF.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures while draining.
+    pub fn finish(mut self) -> Result<CampaignOutcome, String> {
+        let _ = self.write.shutdown(Shutdown::Write);
+        let mut outcome = CampaignOutcome::default();
+        while let Some(resp) = self.next_response()? {
+            match resp {
+                Response::Result(r) => outcome.results.push(r),
+                Response::Trace { id, event } => outcome.traces.push((id, event)),
+                Response::Error { id, message } => outcome.errors.push(match id {
+                    Some(id) => format!("cell {id}: {message}"),
+                    None => message,
+                }),
+                Response::Done { results } => {
+                    outcome.done_results = Some(results);
+                    break;
+                }
+                Response::Hello { .. }
+                | Response::Accepted { .. }
+                | Response::Progress { .. }
+                | Response::Pong => {}
+            }
+        }
+        Ok(outcome)
+    }
+}

@@ -1,0 +1,447 @@
+//! The campaign server: accept loop, shared worker pool, and the
+//! per-connection ordered sink.
+//!
+//! Each connection gets a reader thread that parses request lines and a
+//! sink that buffers response lines per submission. Cells from *all*
+//! connections funnel into one process-wide queue drained by `jobs`
+//! worker threads, so every client shares the same warm process (and,
+//! through the runner, the same workload cache and result store).
+//! Workers finish cells in arbitrary order; the sink releases each
+//! cell's `[trace..., result]` group only when every earlier submission
+//! of the *same connection* has been released, so a client always reads
+//! its results in declaration order, at any `jobs`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+use grit_sim::RunSpec;
+use grit_trace::Json;
+
+use crate::wire::{CellResult, Request, Response};
+
+/// A successfully executed cell, as produced by the [`SpecRunner`].
+#[derive(Clone, PartialEq, Debug, Default)]
+#[non_exhaustive]
+pub struct SpecResult {
+    /// The result came out of the shared store instead of a fresh run.
+    pub store_hit: bool,
+    /// Simulated cycles to completion.
+    pub total_cycles: u64,
+    /// Total memory accesses replayed.
+    pub accesses: u64,
+    /// GPU-local faults.
+    pub local_faults: u64,
+    /// Page migrations.
+    pub migrations: u64,
+    /// Wall-clock simulation seconds.
+    pub sim_seconds: f64,
+    /// Serialized trace events (one JSON object per entry) when the
+    /// spec asked for tracing.
+    pub trace_lines: Vec<String>,
+}
+
+/// A cell that did not complete.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub struct SpecFailure {
+    /// Machine-readable status (`"invalid-spec"`, `"panicked"`,
+    /// `"timed-out"`, ...).
+    pub status: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl SpecFailure {
+    /// Builds a failure with the given status and message.
+    pub fn new(status: impl Into<String>, message: impl Into<String>) -> Self {
+        SpecFailure {
+            status: status.into(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Executes one [`RunSpec`]. The callback is invoked concurrently from
+/// the worker pool, so it must be thread-safe; the `grit` crate's
+/// batch engine (which already serializes store access internally) is
+/// the intended implementation.
+pub type SpecRunner = Arc<dyn Fn(&RunSpec) -> Result<SpecResult, SpecFailure> + Send + Sync>;
+
+/// Server configuration. Construct with [`ServeOptions::new`] and the
+/// builder methods; the struct is non-exhaustive so new knobs can be
+/// added without breaking callers.
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct ServeOptions {
+    /// TCP port to bind on 127.0.0.1; `0` picks an ephemeral port.
+    pub port: u16,
+    /// When set, the bound address is written here (for scripts that
+    /// started the server with port 0).
+    pub port_file: Option<PathBuf>,
+    /// Worker threads; `0` resolves to available parallelism.
+    pub jobs: usize,
+}
+
+impl ServeOptions {
+    /// Default options: ephemeral port, auto worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the TCP port (`0` = ephemeral).
+    pub fn port(mut self, port: u16) -> Self {
+        self.port = port;
+        self
+    }
+
+    /// Writes the bound address to `path` once listening.
+    pub fn port_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.port_file = Some(path.into());
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = auto).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+}
+
+/// What a finished server did, for logs and reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[non_exhaustive]
+pub struct ServeSummary {
+    /// Result lines sent across all connections.
+    pub cells: u64,
+    /// How many of those were store hits.
+    pub store_hits: u64,
+    /// How many ended in a non-`ok` status.
+    pub errors: u64,
+    /// Connections accepted.
+    pub connections: u64,
+}
+
+/// One queued cell: where it came from and where its lines go.
+struct Job {
+    seq: u64,
+    id: u64,
+    spec: RunSpec,
+    sink: Arc<OrderedSink>,
+}
+
+/// Per-connection ordered delivery: buffers each submission's response
+/// lines under its sequence number and flushes groups strictly in
+/// sequence order. `Progress` lines bypass the buffer (they are
+/// documented as out-of-band). One mutex guards both the buffer and the
+/// socket: a group only counts as flushed once its bytes hit the
+/// stream, so `done` can never overtake the final result.
+struct OrderedSink {
+    state: Mutex<SinkState>,
+    cv: Condvar,
+}
+
+struct SinkState {
+    stream: TcpStream,
+    next_flush: u64,
+    pending: HashMap<u64, Vec<String>>,
+    flushed: u64,
+    dead: bool,
+}
+
+impl SinkState {
+    fn write(&mut self, line: &str) {
+        if self.stream.write_all(line.as_bytes()).is_err() {
+            self.dead = true;
+        }
+    }
+}
+
+impl OrderedSink {
+    fn new(stream: TcpStream) -> Self {
+        OrderedSink {
+            state: Mutex::new(SinkState {
+                stream,
+                next_flush: 0,
+                pending: HashMap::new(),
+                flushed: 0,
+                dead: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Sends one line immediately, outside the ordering buffer.
+    fn send_direct(&self, resp: &Response) {
+        let line = format!("{}\n", resp.to_json());
+        self.state.lock().unwrap().write(&line);
+    }
+
+    /// Queues a finished submission's lines and flushes every group
+    /// that is now next in sequence.
+    fn complete(&self, seq: u64, lines: Vec<String>) {
+        let mut st = self.state.lock().unwrap();
+        st.pending.insert(seq, lines);
+        loop {
+            let next = st.next_flush;
+            let Some(group) = st.pending.remove(&next) else {
+                break;
+            };
+            for line in &group {
+                st.write(line);
+            }
+            st.next_flush += 1;
+            st.flushed += 1;
+        }
+        let _ = st.stream.flush();
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until `count` submission groups have been flushed (or the
+    /// connection died).
+    fn wait_flushed(&self, count: u64) {
+        let mut st = self.state.lock().unwrap();
+        while st.flushed < count && !st.dead {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<Vec<Job>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    runner: SpecRunner,
+    cells: AtomicU64,
+    store_hits: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Shared {
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap().push(job);
+        self.work_cv.notify_one();
+    }
+
+    /// Pops the oldest job, or `None` once shutdown is flagged and the
+    /// queue has drained.
+    fn pop(&self) -> Option<Job> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if !q.is_empty() {
+                return Some(q.remove(0));
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.work_cv.wait(q).unwrap();
+        }
+    }
+}
+
+/// A listening campaign server. Obtain one with [`Server::start`], then
+/// either [`Server::run`] on the current thread or keep the handle and
+/// poke [`Server::local_addr`] into clients first.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    jobs: usize,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` and spins up the shared state (workers
+    /// start inside [`Server::run`]). Writes the port file when asked.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind / port-file I/O error as a string.
+    pub fn start(opts: &ServeOptions, runner: SpecRunner) -> Result<Server, String> {
+        let listener = TcpListener::bind(("127.0.0.1", opts.port))
+            .map_err(|e| format!("bind 127.0.0.1:{}: {e}", opts.port))?;
+        let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+        if let Some(path) = &opts.port_file {
+            std::fs::write(path, format!("{addr}\n"))
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+        }
+        let jobs = if opts.jobs == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            opts.jobs
+        };
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                queue: Mutex::new(Vec::new()),
+                work_cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                runner,
+                cells: AtomicU64::new(0),
+                store_hits: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+            }),
+            jobs,
+            addr,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until a client sends `shutdown`; returns the tally of
+    /// work done. Connection handler threads and workers are joined
+    /// before returning, so every accepted submission has been
+    /// answered.
+    pub fn run(self) -> ServeSummary {
+        let workers: Vec<_> = (0..self.jobs)
+            .map(|_| {
+                let shared = Arc::clone(&self.shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let mut handlers = Vec::new();
+        let mut connections = 0u64;
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            connections += 1;
+            let shared = Arc::clone(&self.shared);
+            let addr = self.addr;
+            handlers.push(thread::spawn(move || {
+                handle_connection(stream, &shared, addr)
+            }));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        // Handlers only enqueue while alive, so the queue is final now;
+        // wake the workers to drain and exit.
+        self.shared.work_cv.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        ServeSummary {
+            cells: self.shared.cells.load(Ordering::SeqCst),
+            store_hits: self.shared.store_hits.load(Ordering::SeqCst),
+            errors: self.shared.errors.load(Ordering::SeqCst),
+            connections,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.pop() {
+        job.sink.send_direct(&Response::Progress {
+            id: job.id,
+            state: "running".into(),
+        });
+        let mut lines = Vec::new();
+        let result = match (shared.runner)(&job.spec) {
+            Ok(res) => {
+                for ev in &res.trace_lines {
+                    // Trace lines were serialized by the runner; parse
+                    // so the wire carries a structured event, and skip
+                    // (rather than corrupt the stream with) any line
+                    // that is not valid JSON.
+                    if let Ok(event) = Json::parse(ev) {
+                        lines.push(format!(
+                            "{}\n",
+                            Response::Trace { id: job.id, event }.to_json()
+                        ));
+                    }
+                }
+                if res.store_hit {
+                    shared.store_hits.fetch_add(1, Ordering::SeqCst);
+                }
+                CellResult {
+                    id: job.id,
+                    status: "ok".into(),
+                    store_hit: res.store_hit,
+                    total_cycles: res.total_cycles,
+                    accesses: res.accesses,
+                    local_faults: res.local_faults,
+                    migrations: res.migrations,
+                    sim_seconds: res.sim_seconds,
+                    error: None,
+                }
+            }
+            Err(fail) => {
+                shared.errors.fetch_add(1, Ordering::SeqCst);
+                CellResult {
+                    id: job.id,
+                    status: fail.status,
+                    error: Some(fail.message),
+                    ..CellResult::default()
+                }
+            }
+        };
+        shared.cells.fetch_add(1, Ordering::SeqCst);
+        lines.push(format!("{}\n", Response::Result(result).to_json()));
+        job.sink.complete(job.seq, lines);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: SocketAddr) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let sink = Arc::new(OrderedSink::new(write_half));
+    sink.send_direct(&Response::Hello {
+        version: env!("CARGO_PKG_VERSION").into(),
+    });
+
+    let mut submitted = 0u64;
+    let mut results = 0u64;
+    let mut want_shutdown = false;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = Json::parse(&line)
+            .map_err(|e| format!("bad JSON: {e:?}"))
+            .and_then(|v| Request::from_json(&v));
+        match req {
+            Ok(Request::Submit { id, spec }) => {
+                sink.send_direct(&Response::Accepted { id });
+                shared.push(Job {
+                    seq: submitted,
+                    id,
+                    spec,
+                    sink: Arc::clone(&sink),
+                });
+                submitted += 1;
+                results += 1;
+            }
+            Ok(Request::Ping) => sink.send_direct(&Response::Pong),
+            Ok(Request::Shutdown) => want_shutdown = true,
+            Err(message) => sink.send_direct(&Response::Error { id: None, message }),
+        }
+    }
+
+    // The client half-closed (or dropped); everything it submitted is
+    // in flight. Wait for the sink to flush all of it, then close the
+    // conversation.
+    sink.wait_flushed(submitted);
+    sink.send_direct(&Response::Done { results });
+    let _ = sink.state.lock().unwrap().stream.shutdown(Shutdown::Both);
+
+    if want_shutdown {
+        shared.shutdown.store(true, Ordering::SeqCst);
+        shared.work_cv.notify_all();
+        // The accept loop is blocked in `incoming()`; a throwaway
+        // connection unblocks it so it can observe the flag.
+        let _ = TcpStream::connect(addr);
+    }
+}

@@ -38,6 +38,7 @@ pub mod ids;
 pub mod mlp;
 pub mod rng;
 pub mod scheme;
+pub mod spec;
 pub mod stream;
 
 pub use access::{Access, AccessKind};
@@ -56,6 +57,7 @@ pub use ids::{GpuId, GpuSet, MemLoc, PageId};
 pub use mlp::{MlpIssueUndo, MlpWindow};
 pub use rng::SimRng;
 pub use scheme::{GroupSize, Scheme};
+pub use spec::RunSpec;
 pub use stream::{AccessStream, SliceStream};
 
 /// Simulated time in cycles at the 1 GHz compute-unit clock of Table I.

@@ -22,9 +22,13 @@ use crate::json::Json;
 /// injection ran, so uninjected documents stay v3-shaped), and to v5
 /// when profiled runs gained the top-level `profile` object (emitted
 /// only when self-profiling ran, so unprofiled documents stay
-/// v4-shaped). Older documents still parse: absent objects default to
-/// zeros or `None`.
-pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v5";
+/// v4-shaped), and to v6 when cells gained the optional canonical
+/// `spec` string (the serialized `RunSpec` the cell ran under, also the
+/// result-store key). Older documents still parse: absent objects
+/// default to zeros or `None`.
+pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v6";
+/// v5 run-report schema tag, still accepted by [`RunReport::from_json`].
+pub const RUN_REPORT_SCHEMA_V5: &str = "grit-run-report/v5";
 /// v4 run-report schema tag, still accepted by [`RunReport::from_json`].
 pub const RUN_REPORT_SCHEMA_V4: &str = "grit-run-report/v4";
 /// v3 run-report schema tag, still accepted by [`RunReport::from_json`].
@@ -604,6 +608,10 @@ pub struct CellReport {
     pub status: String,
     /// Human-readable failure description when the cell failed.
     pub error: Option<String>,
+    /// Canonical `RunSpec` string the cell ran under (v6; also the
+    /// result-store cache key). `None` in pre-v6 documents and for
+    /// producers that do not know the spec.
+    pub spec: Option<String>,
     /// Full metrics snapshot (all-zero for failed cells).
     pub metrics: MetricsReport,
     /// Observer time series, when an observer was attached.
@@ -612,7 +620,7 @@ pub struct CellReport {
 
 impl CellReport {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("seq".into(), Json::UInt(self.seq)),
             ("app".into(), Json::Str(self.app.clone())),
             ("policy".into(), Json::Str(self.policy.clone())),
@@ -641,7 +649,13 @@ impl CellReport {
                 "series".into(),
                 Json::Arr(self.series.iter().map(SeriesReport::to_json).collect()),
             ),
-        ])
+        ];
+        // Like `profile`: the key exists only when known, so v5
+        // consumers never see it on documents that predate specs.
+        if let Some(spec) = &self.spec {
+            fields.push(("spec".into(), Json::Str(spec.clone())));
+        }
+        Json::Obj(fields)
     }
 
     fn from_json(v: &Json) -> Result<Self, String> {
@@ -665,6 +679,7 @@ impl CellReport {
                 Json::Null => None,
                 e => Some(e.as_str().ok_or("field \"error\" is not a string or null")?.to_string()),
             },
+            spec: v.get("spec").and_then(Json::as_str).map(String::from),
             metrics: MetricsReport::from_json(req(v, "metrics")?)?,
             series: series?,
         })
@@ -1115,6 +1130,7 @@ impl RunReport {
     pub fn from_json(v: &Json) -> Result<Self, String> {
         let schema = req_str(v, "schema")?;
         if schema != RUN_REPORT_SCHEMA
+            && schema != RUN_REPORT_SCHEMA_V5
             && schema != RUN_REPORT_SCHEMA_V4
             && schema != RUN_REPORT_SCHEMA_V3
             && schema != RUN_REPORT_SCHEMA_V2
@@ -1341,6 +1357,7 @@ mod tests {
             events_recorded: 31,
             status: "ok".into(),
             error: None,
+            spec: Some(format!("app=BFS;policy=grit;seq={seq}")),
             metrics: MetricsReport::from_metrics(&sample_metrics()),
             series: vec![SeriesReport {
                 name: "page_by_gpu".into(),

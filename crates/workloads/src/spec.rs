@@ -83,6 +83,18 @@ impl App {
         }
     }
 
+    /// Every workload the generator knows: Table II, the DNNs, and the
+    /// extension roster, in that order.
+    pub fn all() -> impl Iterator<Item = App> {
+        App::TABLE2.into_iter().chain(App::DNN).chain(App::EXTRA)
+    }
+
+    /// Resolves a figure abbreviation (case-insensitive) back to the
+    /// workload, the inverse of [`App::abbr`]. `None` for unknown names.
+    pub fn parse(name: &str) -> Option<App> {
+        App::all().find(|a| a.abbr().eq_ignore_ascii_case(name))
+    }
+
     /// Full application name (Table II).
     pub fn full_name(self) -> &'static str {
         match self {
@@ -175,5 +187,16 @@ mod tests {
             assert!(seen.insert(a.abbr()));
             assert!(!a.full_name().is_empty());
         }
+    }
+
+    #[test]
+    fn parse_inverts_abbr_case_insensitively() {
+        for a in App::all() {
+            assert_eq!(App::parse(a.abbr()), Some(a));
+            assert_eq!(App::parse(&a.abbr().to_lowercase()), Some(a));
+            assert_eq!(App::parse(&a.abbr().to_uppercase()), Some(a));
+        }
+        assert_eq!(App::parse("quake"), None);
+        assert_eq!(App::all().count(), 12);
     }
 }

@@ -485,6 +485,12 @@ fn print_usage() {
     eprintln!("  summary  one-screen digest of the headline results");
     eprintln!("  validate check every generator against its characterization band");
     eprintln!("  dump-trace <APP> <PATH> / trace-info <PATH>  trace tooling");
+    eprintln!(
+        "  serve    long-lived campaign server (grit-serve/v1 over TCP): --port N (0 = ephemeral), --port-file PATH, --store DIR (default .grit-serve-store), --store-max-bytes N, --jobs N"
+    );
+    eprintln!(
+        "  submit   run an --apps x --policies campaign: --connect HOST:PORT against a server (--shutdown stops it afterwards), or --local through the in-process engine; stdout carries only the table"
+    );
     eprintln!("  profile <REPORT>    render the profile section of a run_report.json");
     eprintln!(
         "  bench-diff <A> <B>  compare two BENCH_*.json; exit nonzero past --threshold PCT regression (default 25)"
@@ -528,6 +534,9 @@ fn print_usage() {
         "  --resume            store finished cells under .grit-resume/ and skip them on re-run"
     );
     eprintln!("  --resume-dir DIR    like --resume, with an explicit store directory");
+    eprintln!(
+        "  --store-max-bytes N bound any result store; oldest entries are evicted deterministically"
+    );
     eprintln!("  --fail-fast         abort the campaign (exit nonzero) on the first failed cell");
     eprintln!("  --keep-going        render failed cells as rows and keep running (default)");
 }
@@ -791,6 +800,200 @@ fn run_figure(
     true
 }
 
+/// Inputs to `repro submit`, collected from the flag loop.
+struct SubmitArgs {
+    /// Override spec with scale/intensity/seed and trace knobs applied;
+    /// app and policy are filled per campaign cell.
+    base: grit_sim::RunSpec,
+    connect: Option<String>,
+    apps: Option<String>,
+    policies: Option<String>,
+    shutdown: bool,
+    local: bool,
+    trace_path: Option<PathBuf>,
+}
+
+fn split_list(raw: &str) -> Vec<String> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect()
+}
+
+/// Renders an app x policy campaign as a total-cycles table. Both the
+/// served and the `--local` paths funnel through here, so their stdout
+/// is comparable byte for byte.
+fn render_campaign(apps: &[String], pols: &[String], cycles: &[f64]) -> Table {
+    let mut t = Table::new("campaign total cycles", pols.to_vec());
+    for (ai, app) in apps.iter().enumerate() {
+        let row: Vec<f64> = (0..pols.len()).map(|pi| cycles[ai * pols.len() + pi]).collect();
+        t.push_row(app, row);
+    }
+    t
+}
+
+/// `repro submit`: run an app x policy campaign against a server
+/// (`--connect`) or through the in-process engine (`--local`). Status
+/// goes to stderr; stdout carries only the table, so the two paths can
+/// be diffed directly.
+fn cmd_submit(a: &SubmitArgs) -> ExitCode {
+    let apps = a.apps.as_deref().map(split_list).unwrap_or_default();
+    let pols = a
+        .policies
+        .as_deref()
+        .map(split_list)
+        .unwrap_or_else(|| vec!["grit".to_string()]);
+    if apps.is_empty() && !a.shutdown {
+        eprintln!("submit needs --apps A,B,... (or --shutdown to only stop a server)");
+        return ExitCode::FAILURE;
+    }
+    for app in &apps {
+        if grit_workloads::App::parse(app).is_none() {
+            eprintln!("submit: unknown app '{app}'");
+            return ExitCode::FAILURE;
+        }
+    }
+    for p in &pols {
+        if ex::PolicyKind::parse(p).is_none() {
+            eprintln!("submit: unknown policy '{p}'");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut specs = Vec::new();
+    for app in &apps {
+        for p in &pols {
+            let mut s = a.base.clone();
+            s.app = app.clone();
+            s.policy = p.clone();
+            specs.push(s);
+        }
+    }
+
+    let (cycles, hits, errs, trace_text) = if a.local {
+        let mut cells = Vec::new();
+        for spec in &specs {
+            match grit::service::parse_spec_cell(spec) {
+                Ok(c) => cells.push(c),
+                Err(e) => {
+                    eprintln!("submit: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let outs = ex::run_batch_with(&cells, &ex::BatchOptions::from_defaults());
+        let mut errs = 0usize;
+        for (i, out) in outs.iter().enumerate() {
+            if let Err(e) = out {
+                errs += 1;
+                eprintln!("[repro] cell {i}: {}: {e}", e.status());
+            }
+        }
+        let hits = outs.iter().flatten().filter(|o| o.timing.resumed).count();
+        let mut trace_text = String::new();
+        for out in outs.iter().flatten() {
+            if let Some(evs) = &out.events {
+                trace_text.push_str(&grit_trace::events_to_jsonl(evs));
+            }
+        }
+        let cycles: Vec<f64> = outs
+            .iter()
+            .map(|o| o.as_ref().map_or(0.0, |o| o.metrics.total_cycles as f64))
+            .collect();
+        (cycles, hits, errs, trace_text)
+    } else {
+        let Some(addr) = &a.connect else {
+            eprintln!("submit needs --connect HOST:PORT (or --local)");
+            return ExitCode::FAILURE;
+        };
+        let mut client = match grit_serve::ServeClient::connect(addr.as_str()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("submit: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (id, spec) in specs.iter().enumerate() {
+            if let Err(e) = client.submit(id as u64, spec) {
+                eprintln!("submit: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if a.shutdown {
+            if let Err(e) = client.shutdown_server() {
+                eprintln!("submit: shutdown: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let outcome = match client.finish() {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("submit: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for e in &outcome.errors {
+            eprintln!("[repro] server error: {e}");
+        }
+        if outcome.results.len() != specs.len() {
+            eprintln!(
+                "[repro] submit: sent {} cells but received {} results",
+                specs.len(),
+                outcome.results.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        if let Some((i, r)) = outcome.results.iter().enumerate().find(|(i, r)| r.id != *i as u64) {
+            eprintln!(
+                "[repro] submit: result {i} carries id {} — declaration order broken",
+                r.id
+            );
+            return ExitCode::FAILURE;
+        }
+        let mut errs = 0usize;
+        for r in &outcome.results {
+            if !r.is_ok() {
+                errs += 1;
+                eprintln!(
+                    "[repro] cell {}: {}{}",
+                    r.id,
+                    r.status,
+                    r.error.as_deref().map(|m| format!(": {m}")).unwrap_or_default()
+                );
+            }
+        }
+        let hits = outcome.results.iter().filter(|r| r.store_hit).count();
+        let mut trace_text = String::new();
+        for (_id, ev) in &outcome.traces {
+            trace_text.push_str(&ev.to_string());
+            trace_text.push('\n');
+        }
+        let cycles: Vec<f64> = outcome.results.iter().map(|r| r.total_cycles as f64).collect();
+        (cycles, hits, errs, trace_text)
+    };
+
+    if let Some(path) = &a.trace_path {
+        if let Err(e) = fs::write(path, &trace_text) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "[repro] submit: {} cells, {} store hits, {} errors",
+        specs.len(),
+        hits,
+        errs
+    );
+    if !specs.is_empty() {
+        print!("{}", render_campaign(&apps, &pols, &cycles).to_text());
+    }
+    if errs == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
@@ -811,6 +1014,19 @@ fn main() -> ExitCode {
     let mut profile_out: Option<PathBuf> = None;
     let mut force = false;
     let mut threshold = 25.0_f64;
+    // The machine/execution overrides accumulate into one RunSpec — the
+    // same struct the result store keys on and the serve wire carries.
+    let mut ospec = grit_sim::RunSpec::default();
+    let mut trace_filter_raw: Option<String> = None;
+    let mut port: u16 = 0;
+    let mut port_file: Option<PathBuf> = None;
+    let mut store_dir: Option<PathBuf> = None;
+    let mut store_max_bytes: Option<u64> = None;
+    let mut connect_addr: Option<String> = None;
+    let mut apps_raw: Option<String> = None;
+    let mut policies_raw: Option<String> = None;
+    let mut do_shutdown = false;
+    let mut local_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -856,7 +1072,7 @@ fn main() -> ExitCode {
                     eprintln!("--sim-threads needs a positive integer");
                     return ExitCode::FAILURE;
                 };
-                ex::set_sim_threads(v);
+                ospec = ospec.sim_threads(v);
             }
             "--csv" => {
                 i += 1;
@@ -892,6 +1108,7 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 }
+                trace_filter_raw = Some(list.clone());
             }
             "--trace-sample" => {
                 i += 1;
@@ -948,7 +1165,7 @@ fn main() -> ExitCode {
                     eprintln!("--cell-timeout needs a non-negative number of seconds");
                     return ExitCode::FAILURE;
                 };
-                ex::set_cell_timeout(Some(std::time::Duration::from_secs_f64(v)));
+                ospec = ospec.timeout_secs(v);
             }
             "--resume" => ex::set_resume_dir(Some(PathBuf::from(".grit-resume"))),
             "--resume-dir" => {
@@ -967,13 +1184,11 @@ fn main() -> ExitCode {
                     eprintln!("--topology needs a name (all-to-all, nvswitch[:RADIX], ring, mesh2d, hierarchical)");
                     return ExitCode::FAILURE;
                 };
-                match grit_sim::TopologyConfig::parse(spec) {
-                    Ok(topo) => ex::set_topology(Some(topo)),
-                    Err(e) => {
-                        eprintln!("--topology: {e}");
-                        return ExitCode::FAILURE;
-                    }
+                if let Err(e) = grit_sim::TopologyConfig::parse(spec) {
+                    eprintln!("--topology: {e}");
+                    return ExitCode::FAILURE;
                 }
+                ospec = ospec.topology(spec);
             }
             "--inject" => {
                 i += 1;
@@ -983,15 +1198,77 @@ fn main() -> ExitCode {
                     );
                     return ExitCode::FAILURE;
                 };
-                match grit_sim::InjectConfig::parse(spec) {
-                    Ok(inject) => ex::set_inject(Some(inject)),
-                    Err(e) => {
-                        eprintln!("--inject: {e}");
-                        return ExitCode::FAILURE;
-                    }
+                if let Err(e) = grit_sim::InjectConfig::parse(spec) {
+                    eprintln!("--inject: {e}");
+                    return ExitCode::FAILURE;
                 }
+                ospec = ospec.inject(spec);
             }
-            "--check-invariants" => ex::set_check_invariants(true),
+            "--check-invariants" => ospec = ospec.check_invariants(true),
+            "--store-max-bytes" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<u64>().ok()).filter(|&n| n > 0)
+                else {
+                    eprintln!("--store-max-bytes needs a positive byte count");
+                    return ExitCode::FAILURE;
+                };
+                store_max_bytes = Some(v);
+                ex::set_store_max_bytes(Some(v));
+            }
+            "--port" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<u16>().ok()) else {
+                    eprintln!("--port needs a TCP port number (0 = ephemeral)");
+                    return ExitCode::FAILURE;
+                };
+                port = v;
+            }
+            "--port-file" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--port-file needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                port_file = Some(PathBuf::from(path));
+            }
+            "--store" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--store needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                // One flag, one store: the serve store and the local
+                // resume store are the same directory, so `submit
+                // --local` and a server share hits.
+                store_dir = Some(PathBuf::from(dir));
+                ex::set_resume_dir(Some(PathBuf::from(dir)));
+            }
+            "--connect" => {
+                i += 1;
+                let Some(addr) = args.get(i) else {
+                    eprintln!("--connect needs HOST:PORT");
+                    return ExitCode::FAILURE;
+                };
+                connect_addr = Some(addr.clone());
+            }
+            "--apps" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    eprintln!("--apps needs a comma-separated list (e.g. GEMM,BFS)");
+                    return ExitCode::FAILURE;
+                };
+                apps_raw = Some(list.clone());
+            }
+            "--policies" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    eprintln!("--policies needs a comma-separated list (e.g. grit,on-touch)");
+                    return ExitCode::FAILURE;
+                };
+                policies_raw = Some(list.clone());
+            }
+            "--shutdown" => do_shutdown = true,
+            "--local" => local_mode = true,
             "list" | "--list" | "-l" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -1000,6 +1277,7 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    ex::set_override_spec(Some(ospec.clone()));
 
     // Trace tooling takes positional arguments.
     if targets.first().map(String::as_str) == Some("dump-trace") {
@@ -1046,6 +1324,24 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         };
     }
+    if targets.first().map(String::as_str) == Some("submit") {
+        let mut base = ospec.clone().scale(exp.scale).intensity(exp.intensity).seed(exp.seed);
+        if trace_path.is_some() {
+            base = base.trace(true).trace_sample(trace_sample);
+            if let Some(filter) = &trace_filter_raw {
+                base = base.trace_filter(filter);
+            }
+        }
+        return cmd_submit(&SubmitArgs {
+            base,
+            connect: connect_addr,
+            apps: apps_raw,
+            policies: policies_raw,
+            shutdown: do_shutdown,
+            local: local_mode,
+            trace_path,
+        });
+    }
 
     // A half-finished campaign must not silently clobber a report the user
     // still needs; make replacement an explicit decision.
@@ -1060,6 +1356,12 @@ fn main() -> ExitCode {
         }
     }
 
+    let serve_mode = targets.first().map(String::as_str) == Some("serve");
+    if serve_mode && targets.len() > 1 {
+        eprintln!("serve takes no figure targets");
+        return ExitCode::FAILURE;
+    }
+
     if targets.iter().any(|t| t == "all") {
         // Every figure, capped by the digest — which reuses the fig17 and
         // fig18 tables computed moments earlier.
@@ -1072,13 +1374,19 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &trace_path {
-        let cfg = TraceConfig {
-            categories: trace_mask,
-            sample_every: trace_sample,
-        };
-        if let Err(e) = trace_writer::install_global(cfg, path) {
-            eprintln!("cannot create trace file {}: {e}", path.display());
-            return ExitCode::FAILURE;
+        if serve_mode {
+            // A global trace writer would disable the shared store for
+            // every client; served cells opt into tracing per spec.
+            eprintln!("serve ignores --trace; clients request traces per cell");
+        } else {
+            let cfg = TraceConfig {
+                categories: trace_mask,
+                sample_every: trace_sample,
+            };
+            if let Err(e) = trace_writer::install_global(cfg, path) {
+                eprintln!("cannot create trace file {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
         }
     }
     if metrics_dir.is_some() || emit_bench {
@@ -1101,20 +1409,44 @@ fn main() -> ExitCode {
     );
     let mut cache = TableCache::default();
     let t0 = Instant::now();
-    for t in &targets {
-        eprintln!("[repro] running {t} ...");
-        let started = Instant::now();
-        if !run_figure(t, &exp, &csv_dir, &mut cache) {
-            eprintln!("unknown figure: {t}");
-            print_usage();
-            return ExitCode::FAILURE;
+    if serve_mode {
+        let mut sopts = grit_serve::ServeOptions::new().port(port).jobs(ex::effective_jobs());
+        if let Some(pf) = &port_file {
+            sopts = sopts.port_file(pf);
         }
-        let seconds = started.elapsed().as_secs_f64();
-        report_sink::record_target(t, seconds);
-        eprintln!("[repro] {t} time: {seconds:.2}s");
-        if ex::fail_fast_triggered() {
-            eprintln!("[repro] fail-fast: a cell failed during {t}; skipping remaining targets");
-            break;
+        let dir = store_dir.clone().unwrap_or_else(|| PathBuf::from(".grit-serve-store"));
+        let started = Instant::now();
+        match grit::service::serve(&sopts, Some(dir), store_max_bytes) {
+            Ok(s) => {
+                report_sink::record_target("serve", started.elapsed().as_secs_f64());
+                eprintln!(
+                    "[repro] serve: {} cells ({} store hits, {} errors) over {} connections",
+                    s.cells, s.store_hits, s.errors, s.connections
+                );
+            }
+            Err(e) => {
+                eprintln!("serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        for t in &targets {
+            eprintln!("[repro] running {t} ...");
+            let started = Instant::now();
+            if !run_figure(t, &exp, &csv_dir, &mut cache) {
+                eprintln!("unknown figure: {t}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+            let seconds = started.elapsed().as_secs_f64();
+            report_sink::record_target(t, seconds);
+            eprintln!("[repro] {t} time: {seconds:.2}s");
+            if ex::fail_fast_triggered() {
+                eprintln!(
+                    "[repro] fail-fast: a cell failed during {t}; skipping remaining targets"
+                );
+                break;
+            }
         }
     }
     let total_seconds = t0.elapsed().as_secs_f64();

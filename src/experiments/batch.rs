@@ -42,7 +42,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use grit_sim::{CancelState, CancelToken, CellError, InjectConfig, SimConfig, TopologyConfig};
+use grit_sim::{
+    CancelState, CancelToken, CellError, RunSpec, SimConfig, TopologyConfig, TopologyKind,
+};
 use grit_trace::{writer as trace_writer, BatchProfile, CellMeta, CellTiming, TraceConfig, Tracer};
 use grit_uvm::{PlacementPolicy, Prefetcher};
 use grit_workloads::App;
@@ -118,9 +120,9 @@ impl std::fmt::Debug for CellSpec {
 
 impl CellSpec {
     /// A cell with the baseline system configuration (under the
-    /// process-wide overrides installed by [`set_topology`],
-    /// [`set_inject`] and [`set_check_invariants`], so `repro --topology`
-    /// / `--inject` / `--check-invariants` reshape every figure driver).
+    /// process-wide override [`RunSpec`] installed by
+    /// [`set_override_spec`], so `repro --topology` / `--inject` /
+    /// `--check-invariants` reshape every figure driver).
     pub fn new(app: App, policy: impl Into<PolicySpec>, exp: &ExpConfig) -> Self {
         CellSpec {
             app,
@@ -182,27 +184,62 @@ impl CellSpec {
         }
     }
 
+    /// Projects the cell back onto the serializable [`RunSpec`] surface:
+    /// app and policy by their stable labels, experiment knobs verbatim,
+    /// and machine overrides recorded only where the configuration
+    /// differs from [`SimConfig::default`]. This is the `spec` column of
+    /// `run_report.json` cell rows and the backbone of [`resume_key`],
+    /// so the CLI, the store, the report, and the `grit-serve/v1` wire
+    /// all name cells the same way.
+    ///
+    /// Execution knobs that live outside the cell (`sim_threads`,
+    /// timeouts) are batch-level and stay unset here.
+    ///
+    /// [`resume_key`]: CellSpec::resume_key
+    pub fn to_run_spec(&self) -> RunSpec {
+        let d = SimConfig::default();
+        let mut spec = RunSpec::new(self.app.abbr(), self.policy_label())
+            .scale(self.exp.scale)
+            .intensity(self.exp.intensity)
+            .seed(self.exp.seed)
+            .check_invariants(self.cfg.check_invariants);
+        if self.cfg.num_gpus != d.num_gpus {
+            spec = spec.gpus(self.cfg.num_gpus);
+        }
+        if self.cfg.page_size != d.page_size {
+            spec = spec.page_size(self.cfg.page_size);
+        }
+        if self.cfg.topology != d.topology {
+            spec = spec.topology(topology_label(&self.cfg.topology));
+        }
+        if !self.cfg.inject.is_empty() {
+            spec = spec.inject(self.cfg.inject.to_string());
+        }
+        spec.trace(self.trace.is_some())
+    }
+
     /// The cell's content-address in a [`ResultStore`], or `None` when the
     /// cell is ineligible for resumption: opaque policy factories can't be
     /// keyed, and prefetchers / per-cell tracing produce outputs the store
     /// can't fully reconstruct.
     ///
     /// The key embeds the crate version, so results never survive a code
-    /// change, and the `Debug` forms of every knob that shapes the
-    /// simulation (f64s print in exact round-trip form).
+    /// change; the cell itself is named by [`RunSpec::canonical`] (one
+    /// encoding shared with reports and the serve wire), backed by the
+    /// full `Debug` form of the configuration so drivers that reshape
+    /// `SimConfig` fields beyond the spec surface (latency sweeps, cache
+    /// geometry ablations) still get distinct keys.
     pub fn resume_key(&self) -> Option<String> {
         if self.prefetcher.is_some() || self.trace.is_some() {
             return None;
         }
-        let kind = match &self.policy {
-            PolicySpec::Kind(kind) => kind,
-            PolicySpec::Factory(_) => return None,
-        };
+        if matches!(self.policy, PolicySpec::Factory(_)) {
+            return None;
+        }
         Some(format!(
-            "store={STORE_SCHEMA};code={};app={:?};exp={:?};cfg={:?};policy={kind:?};observer={:?}",
+            "store={STORE_SCHEMA};code={};spec={};cfg={:?};observer={:?}",
             env!("CARGO_PKG_VERSION"),
-            self.app,
-            self.exp,
+            self.to_run_spec().canonical(),
             self.cfg,
             self.observer,
         ))
@@ -315,7 +352,9 @@ impl CellResultExt for Result<RunOutput, CellError> {
 /// [`effective_jobs`] workers, no timeout, no resume store, and
 /// keep-going semantics; [`BatchOptions::from_defaults`] additionally
 /// picks up the process-wide settings installed by the `repro` CLI flags
-/// (`--cell-timeout`, `--resume`, `--fail-fast`).
+/// (the override [`RunSpec`]'s timeout, `--resume`, `--fail-fast`,
+/// `--store-max-bytes`); `BatchOptions::from(&RunSpec)` lifts the
+/// execution knobs out of one explicit spec (the serve path).
 #[derive(Clone, Debug, Default)]
 pub struct BatchOptions {
     /// Worker threads; `None` resolves via [`effective_jobs`].
@@ -334,6 +373,10 @@ pub struct BatchOptions {
     /// parallelism (warn and clamp). An explicit `Some(n)` is honored
     /// verbatim. Output is byte-identical at any value.
     pub sim_threads: Option<usize>,
+    /// Size budget for the on-disk [`ResultStore`] in bytes; `None`
+    /// means unbounded. After every save the store evicts oldest-first
+    /// until it fits.
+    pub store_max_bytes: Option<u64>,
 }
 
 impl BatchOptions {
@@ -343,7 +386,8 @@ impl BatchOptions {
     }
 
     /// Options seeded from the process-wide defaults installed by
-    /// [`set_cell_timeout`], [`set_resume_dir`] and [`set_fail_fast`].
+    /// [`set_override_spec`], [`set_resume_dir`], [`set_fail_fast`] and
+    /// [`set_store_max_bytes`].
     pub fn from_defaults() -> Self {
         BatchOptions {
             jobs: None,
@@ -351,6 +395,7 @@ impl BatchOptions {
             resume_dir: default_resume_dir(),
             fail_fast: FAIL_FAST_DEFAULT.load(Ordering::Relaxed),
             sim_threads: None,
+            store_max_bytes: default_store_max_bytes(),
         }
     }
 
@@ -383,28 +428,48 @@ impl BatchOptions {
         self.sim_threads = Some(n);
         self
     }
+
+    /// Bounds the on-disk result store to `bytes`.
+    pub fn store_max_bytes(mut self, bytes: u64) -> Self {
+        self.store_max_bytes = Some(bytes);
+        self
+    }
+}
+
+impl From<&RunSpec> for BatchOptions {
+    /// Lifts the execution knobs (`timeout_secs`, `sim_threads`) out of a
+    /// spec. Batch-level knobs a single-cell spec cannot name (worker
+    /// count, resume directory, fail-fast, store budget) stay at their
+    /// defaults so the caller composes them explicitly.
+    fn from(spec: &RunSpec) -> Self {
+        BatchOptions {
+            jobs: None,
+            timeout: spec.timeout_secs.map(Duration::from_secs_f64),
+            resume_dir: None,
+            fail_fast: false,
+            sim_threads: spec.sim_threads,
+            store_max_bytes: None,
+        }
+    }
 }
 
 /// Explicit worker-count override; 0 means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
-/// Explicit per-cell event-loop thread override; 0 means "not set".
-static SIM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
-/// Process-wide per-cell timeout in milliseconds; 0 means "not set",
-/// `u64::MAX` marks an explicit zero budget (used by tests/CLI).
-static CELL_TIMEOUT_MS: AtomicUsize = AtomicUsize::new(0);
 /// Process-wide fail-fast default (the `repro --fail-fast` flag).
 static FAIL_FAST_DEFAULT: AtomicBool = AtomicBool::new(false);
 /// Latched when any batch aborts due to fail-fast; the CLI exit code.
 static FAIL_FAST_TRIGGERED: AtomicBool = AtomicBool::new(false);
 /// Process-wide resume directory (the `repro --resume` flag).
 static RESUME_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
-/// Process-wide topology override (the `repro --topology` flag).
-static TOPOLOGY_OVERRIDE: Mutex<Option<TopologyConfig>> = Mutex::new(None);
-/// Process-wide fault-injection override (the `repro --inject` flag).
-static INJECT_OVERRIDE: Mutex<Option<InjectConfig>> = Mutex::new(None);
-/// Process-wide invariant-check opt-in (the `repro --check-invariants`
-/// flag; debug builds always check).
-static CHECK_INVARIANTS_DEFAULT: AtomicBool = AtomicBool::new(false);
+/// Process-wide result-store size budget in bytes; 0 means "unbounded"
+/// (the `repro --store-max-bytes` flag).
+static STORE_MAX_BYTES: AtomicUsize = AtomicUsize::new(0);
+/// The process-wide override [`RunSpec`]: the single place the `repro`
+/// batch-override flags (`--topology`, `--inject`, `--check-invariants`,
+/// `--sim-threads`, `--cell-timeout`) land. Machine-shaping fields flow
+/// into every subsequently declared [`CellSpec`]; execution fields seed
+/// [`BatchOptions::from_defaults`] and [`effective_sim_threads`].
+static OVERRIDE_SPEC: Mutex<Option<RunSpec>> = Mutex::new(None);
 /// Process-wide progress-heartbeat opt-in (the `repro --progress` flag).
 static PROGRESS: AtomicBool = AtomicBool::new(false);
 
@@ -423,41 +488,51 @@ pub fn progress_enabled() -> bool {
     PROGRESS.load(Ordering::Relaxed)
 }
 
-/// Sets the interconnect topology for every subsequently declared
-/// [`CellSpec`] (`None` restores the default all-to-all). The
-/// `repro --topology` flag lands here; it flows into each cell's
-/// `SimConfig`, so resume keys and run reports distinguish topologies
-/// automatically.
-pub fn set_topology(topo: Option<TopologyConfig>) {
-    *TOPOLOGY_OVERRIDE.lock().expect("topology override lock poisoned") = topo;
+/// Installs the process-wide override [`RunSpec`] (`None` clears every
+/// override). The `repro` batch-override flags build one spec and land
+/// it here: its machine-shaping fields (`gpus`, `page_size`, `topology`,
+/// `inject`, `check_invariants`) are applied to every subsequently
+/// declared [`CellSpec`] — flowing into each cell's `SimConfig`, so
+/// resume keys and run reports distinguish overridden runs
+/// automatically — and its execution fields (`sim_threads`,
+/// `timeout_secs`) seed [`effective_sim_threads`] and
+/// [`BatchOptions::from_defaults`]. The spec's `app`/`policy`/experiment
+/// knobs are ignored: cells already name those.
+pub fn set_override_spec(spec: Option<RunSpec>) {
+    *OVERRIDE_SPEC.lock().expect("override spec lock poisoned") = spec;
 }
 
-/// Schedules fault injection in every subsequently declared [`CellSpec`]
-/// (`None` restores fault-free runs). The `repro --inject` flag lands
-/// here; the schedule flows into each cell's `SimConfig`, so resume keys
-/// and run reports distinguish injected runs automatically.
-pub fn set_inject(inject: Option<InjectConfig>) {
-    *INJECT_OVERRIDE.lock().expect("inject override lock poisoned") = inject;
-}
-
-/// Opts every subsequently declared [`CellSpec`] into the driver's
-/// automatic invariant sweeps (the `repro --check-invariants` flag;
-/// debug builds always sweep).
-pub fn set_check_invariants(on: bool) {
-    CHECK_INVARIANTS_DEFAULT.store(on, Ordering::Relaxed);
+/// The current process-wide override [`RunSpec`]; a default spec (a
+/// no-op when applied) when none is installed.
+pub fn override_spec() -> RunSpec {
+    OVERRIDE_SPEC
+        .lock()
+        .expect("override spec lock poisoned")
+        .clone()
+        .unwrap_or_default()
 }
 
 fn apply_cell_overrides(mut cfg: SimConfig) -> SimConfig {
-    if let Some(topo) = *TOPOLOGY_OVERRIDE.lock().expect("topology override lock poisoned") {
-        cfg.topology = topo;
-    }
-    if let Some(inject) = INJECT_OVERRIDE.lock().expect("inject override lock poisoned").as_ref() {
-        cfg.inject = inject.clone();
-    }
-    if CHECK_INVARIANTS_DEFAULT.load(Ordering::Relaxed) {
-        cfg.check_invariants = true;
+    let spec = override_spec();
+    if let Err(e) = spec.apply_to(&mut cfg) {
+        // The CLI validates the grammar before installing the spec, so
+        // this only fires when an override conflicts with a cell's own
+        // configuration; the cell keeps what could be applied.
+        eprintln!("override spec: {e}");
     }
     cfg
+}
+
+/// How a [`TopologyConfig`] is named on the [`RunSpec`] surface: the
+/// `--topology` grammar string that parses back to it (radix-qualified
+/// for non-default NVSwitch planes).
+fn topology_label(t: &TopologyConfig) -> String {
+    if t.kind == TopologyKind::NvSwitch && t.switch_radix != TopologyConfig::of(t.kind).switch_radix
+    {
+        format!("nvswitch:{}", t.switch_radix)
+    } else {
+        t.name().to_string()
+    }
 }
 
 /// Sets the worker count for subsequent [`run_batch`] calls (0 clears the
@@ -466,24 +541,8 @@ pub fn set_jobs(jobs: usize) {
     JOBS_OVERRIDE.store(jobs, Ordering::Relaxed);
 }
 
-/// Sets the process-wide per-cell timeout default picked up by
-/// [`BatchOptions::from_defaults`]. The `repro --cell-timeout SECS` flag
-/// lands here; `None` clears it.
-pub fn set_cell_timeout(budget: Option<Duration>) {
-    let encoded = match budget {
-        None => 0,
-        Some(d) if d.as_millis() == 0 => usize::MAX,
-        Some(d) => usize::try_from(d.as_millis()).unwrap_or(usize::MAX - 1),
-    };
-    CELL_TIMEOUT_MS.store(encoded, Ordering::Relaxed);
-}
-
 fn default_timeout() -> Option<Duration> {
-    match CELL_TIMEOUT_MS.load(Ordering::Relaxed) {
-        0 => None,
-        usize::MAX => Some(Duration::ZERO),
-        ms => Some(Duration::from_millis(ms as u64)),
-    }
+    override_spec().timeout_secs.map(Duration::from_secs_f64)
 }
 
 /// Sets the process-wide resume-store directory picked up by
@@ -495,6 +554,21 @@ pub fn set_resume_dir(dir: Option<PathBuf>) {
 
 fn default_resume_dir() -> Option<PathBuf> {
     RESUME_DIR.lock().expect("resume dir lock poisoned").clone()
+}
+
+/// Sets the process-wide result-store size budget picked up by
+/// [`BatchOptions::from_defaults`]. The `repro --store-max-bytes N` flag
+/// lands here; `None` clears it (unbounded).
+pub fn set_store_max_bytes(bytes: Option<u64>) {
+    let encoded = bytes.map_or(0, |b| usize::try_from(b.max(1)).unwrap_or(usize::MAX));
+    STORE_MAX_BYTES.store(encoded, Ordering::Relaxed);
+}
+
+fn default_store_max_bytes() -> Option<u64> {
+    match STORE_MAX_BYTES.load(Ordering::Relaxed) {
+        0 => None,
+        b => Some(b as u64),
+    }
 }
 
 /// Sets the process-wide fail-fast default picked up by
@@ -510,22 +584,15 @@ pub fn fail_fast_triggered() -> bool {
     FAIL_FAST_TRIGGERED.load(Ordering::Relaxed)
 }
 
-/// Sets the per-cell event-loop thread count for subsequent [`run_batch`]
-/// calls and [`CellSpec::run`] (0 clears the override). The
-/// `repro --sim-threads N` flag lands here.
-pub fn set_sim_threads(n: usize) {
-    SIM_THREADS_OVERRIDE.store(n, Ordering::Relaxed);
-}
-
-/// The per-cell event-loop thread count: the [`set_sim_threads`]
-/// override, else `GRIT_SIM_THREADS`, else 1 (the serial engine). Unlike
+/// The per-cell event-loop thread count: the override [`RunSpec`]'s
+/// `sim_threads` (the `repro --sim-threads N` flag), else
+/// `GRIT_SIM_THREADS`, else 1 (the serial engine). Unlike
 /// [`effective_jobs`] this does not default to the machine's parallelism:
 /// sharding one cell only pays off on big cells, and the batch layer
 /// already fans out across cells.
 pub fn effective_sim_threads() -> usize {
-    let explicit = SIM_THREADS_OVERRIDE.load(Ordering::Relaxed);
-    if explicit > 0 {
-        return explicit;
+    if let Some(n) = override_spec().sim_threads.filter(|&n| n > 0) {
+        return n;
     }
     std::env::var("GRIT_SIM_THREADS")
         .ok()
@@ -607,13 +674,15 @@ pub fn run_batch_with(
         .resume_dir
         .as_ref()
         .filter(|_| trace_writer::global_config().is_none())
-        .and_then(|dir| match ResultStore::open(dir) {
-            Ok(s) => Some(s),
-            Err(e) => {
-                eprintln!("resume: cannot open store at {}: {e}", dir.display());
-                None
-            }
-        });
+        .and_then(
+            |dir| match ResultStore::open_with(dir, opts.store_max_bytes) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("resume: cannot open store at {}: {e}", dir.display());
+                    None
+                }
+            },
+        );
     // The abort flag exists only under fail-fast, so keep-going batches
     // run with inert (zero-cost) tokens unless a timeout is configured.
     let batch_token = if opts.fail_fast {
@@ -845,13 +914,26 @@ mod tests {
     }
 
     #[test]
-    fn sim_threads_resolution_prefers_override() {
+    fn sim_threads_resolution_prefers_override_spec() {
         // No override: at least the serial default of 1.
-        set_sim_threads(0);
+        set_override_spec(None);
         assert!(effective_sim_threads() >= 1);
-        set_sim_threads(3);
+        set_override_spec(Some(RunSpec::default().sim_threads(3)));
         assert_eq!(effective_sim_threads(), 3);
-        set_sim_threads(0);
+        set_override_spec(None);
+    }
+
+    #[test]
+    fn batch_options_lift_execution_knobs_from_spec() {
+        let spec = RunSpec::default().sim_threads(2).timeout_secs(1.5);
+        let opts = BatchOptions::from(&spec);
+        assert_eq!(opts.sim_threads, Some(2));
+        assert_eq!(opts.timeout, Some(Duration::from_secs_f64(1.5)));
+        assert!(opts.jobs.is_none() && opts.resume_dir.is_none());
+        assert!(!opts.fail_fast && opts.store_max_bytes.is_none());
+        // A spec without execution knobs lifts to all-default options.
+        let plain = BatchOptions::from(&RunSpec::default());
+        assert!(plain.timeout.is_none() && plain.sim_threads.is_none());
     }
 
     #[test]
@@ -897,6 +979,41 @@ mod tests {
         assert!(err.output().is_none());
         assert!(err.cycles().is_nan());
         assert!(err.metric(|_| 1.0).is_nan());
+    }
+
+    #[test]
+    fn to_run_spec_names_the_machine_and_rebuilds_it() {
+        let cfg = SimConfig {
+            num_gpus: 8,
+            topology: TopologyConfig::of(TopologyKind::Ring),
+            ..SimConfig::default()
+        };
+        let cell = CellSpec {
+            app: App::Fir,
+            policy: PolicySpec::Kind(PolicyKind::GRIT),
+            exp: exp(),
+            cfg,
+            observer: None,
+            prefetcher: None,
+            trace: None,
+        };
+        let spec = cell.to_run_spec();
+        assert_eq!(spec.app, "FIR");
+        assert_eq!(spec.policy, "grit");
+        assert_eq!(spec.gpus, Some(8));
+        assert_eq!(spec.topology.as_deref(), Some("ring"));
+        assert_eq!(spec.scale, exp().scale);
+        // Applying the projected spec to a default machine reconstructs
+        // the cell's configuration, so spec naming loses nothing.
+        let mut rebuilt = SimConfig::default();
+        spec.apply_to(&mut rebuilt).unwrap();
+        assert_eq!(rebuilt, cell.cfg);
+        // The canonical spec string is embedded verbatim in the resume
+        // key: one naming scheme across store, report, and wire.
+        assert!(cell.resume_key().unwrap().contains(&spec.canonical()));
+        // A default-machine cell projects to a spec with no overrides.
+        let plain = CellSpec::new(App::Bfs, PolicyKind::GRIT, &exp()).to_run_spec();
+        assert!(plain.gpus.is_none() && plain.topology.is_none() && plain.inject.is_none());
     }
 
     #[test]

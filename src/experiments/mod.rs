@@ -41,10 +41,9 @@ pub mod result_store;
 pub mod workload_cache;
 
 pub use batch::{
-    effective_jobs, effective_sim_threads, fail_fast_triggered, run_batch, run_batch_with,
-    run_grid, set_cell_timeout, set_check_invariants, set_fail_fast, set_inject, set_jobs,
-    set_progress, set_resume_dir, set_sim_threads, set_topology, BatchOptions, CellResultExt,
-    CellSpec, PolicySpec,
+    effective_jobs, effective_sim_threads, fail_fast_triggered, override_spec, run_batch,
+    run_batch_with, run_grid, set_fail_fast, set_jobs, set_override_spec, set_progress,
+    set_resume_dir, set_store_max_bytes, BatchOptions, CellResultExt, CellSpec, PolicySpec,
 };
 
 use grit_baselines::{FirstTouchPolicy, GpsPolicy, GriffinDpcPolicy, IdealPolicy};
@@ -148,6 +147,45 @@ impl PolicyKind {
             PolicyKind::GritWithCache { entries } => format!("grit(pa-cache={entries})"),
         }
     }
+
+    /// Resolves a report label back to the policy recipe, the inverse of
+    /// [`PolicyKind::label`]. This is how serialized [`grit_sim::RunSpec`]
+    /// cells (CLI submissions, `grit-serve/v1` requests) name policies.
+    /// `None` for unknown labels.
+    pub fn parse(label: &str) -> Option<PolicyKind> {
+        let label = label.trim();
+        if let Some(s) = Scheme::ALL.into_iter().find(|s| s.to_string() == label) {
+            return Some(PolicyKind::Static(s));
+        }
+        match label {
+            "ideal" => return Some(PolicyKind::Ideal),
+            "grit" => return Some(PolicyKind::GRIT),
+            "first-touch" => return Some(PolicyKind::FirstTouch),
+            "griffin-dpc" => return Some(PolicyKind::GriffinDpc),
+            "gps" => return Some(PolicyKind::Gps),
+            _ => {}
+        }
+        let body = label.strip_prefix("grit(")?.strip_suffix(')')?;
+        if let Some(entries) = body.strip_prefix("pa-cache=") {
+            let entries = entries.parse().ok()?;
+            return Some(PolicyKind::GritWithCache { entries });
+        }
+        let (mut threshold, mut pa_cache, mut nap) = (None, None, None);
+        for part in body.split(',') {
+            let (k, v) = part.split_once('=')?;
+            match k {
+                "t" => threshold = Some(v.parse().ok()?),
+                "cache" => pa_cache = Some(v.parse().ok()?),
+                "nap" => nap = Some(v.parse().ok()?),
+                _ => return None,
+            }
+        }
+        Some(PolicyKind::Grit {
+            threshold: threshold?,
+            pa_cache: pa_cache?,
+            nap: nap?,
+        })
+    }
 }
 
 /// Shared experiment knobs: workload scale and trace intensity trade
@@ -244,6 +282,42 @@ mod tests {
             .label(),
             "grit(t=8,cache=true,nap=true)"
         );
+    }
+
+    #[test]
+    fn policy_parse_inverts_label() {
+        let kinds = [
+            PolicyKind::Static(Scheme::OnTouch),
+            PolicyKind::Static(Scheme::AccessCounter),
+            PolicyKind::Static(Scheme::Duplication),
+            PolicyKind::Ideal,
+            PolicyKind::GRIT,
+            PolicyKind::Grit {
+                threshold: 8,
+                pa_cache: false,
+                nap: true,
+            },
+            PolicyKind::FirstTouch,
+            PolicyKind::GriffinDpc,
+            PolicyKind::Gps,
+            PolicyKind::GritWithCache { entries: 512 },
+        ];
+        for k in kinds {
+            assert_eq!(PolicyKind::parse(&k.label()), Some(k), "{}", k.label());
+        }
+        assert_eq!(PolicyKind::parse("grit( t=4 )"), None);
+        assert_eq!(PolicyKind::parse("belady"), None);
+    }
+
+    /// `RunSpec`'s documented experiment defaults are `ExpConfig`'s; the
+    /// constants live in `grit-sim`, which cannot see `ExpConfig`, so the
+    /// agreement is pinned here.
+    #[test]
+    fn run_spec_defaults_match_exp_config() {
+        let exp = ExpConfig::default();
+        assert_eq!(exp.scale, grit_sim::spec::DEFAULT_SCALE);
+        assert_eq!(exp.intensity, grit_sim::spec::DEFAULT_INTENSITY);
+        assert_eq!(exp.seed, grit_sim::spec::DEFAULT_SEED);
     }
 
     #[test]

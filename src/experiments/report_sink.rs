@@ -85,6 +85,7 @@ pub fn record_cell(spec: &CellSpec, out: &RunOutput) {
         events_recorded: out.events.as_ref().map_or(0, |e| e.len() as u64),
         status: if out.timing.resumed { "resumed" } else { "ok" }.into(),
         error: None,
+        spec: Some(spec.to_run_spec().canonical()),
         metrics: MetricsReport::from_metrics(&out.metrics),
         series,
     });
@@ -115,6 +116,7 @@ pub fn record_cell_error(spec: &CellSpec, err: &CellError) {
         events_recorded: 0,
         status: err.status().into(),
         error: Some(err.to_string()),
+        spec: Some(spec.to_run_spec().canonical()),
         metrics: MetricsReport::default(),
         series: Vec::new(),
     });

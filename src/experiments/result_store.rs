@@ -15,14 +15,25 @@
 //! and the batch executor disables the store entirely while a global
 //! trace writer is active (trace events are not persisted).
 //!
-//! Robustness: writes are atomic (temp file + rename), loads verify the
-//! schema *and* the full key (hash collisions degrade to a re-run, never a
+//! Robustness: writes are atomic (uniquely named temp file + rename, so
+//! any number of threads or processes may race on one key — the losers'
+//! renames just replace equivalent content), loads verify the schema
+//! *and* the full key (hash collisions degrade to a re-run, never a
 //! wrong result), and any unreadable or mistyped file is treated as a
 //! cache miss.
+//!
+//! The store can be bounded ([`ResultStore::open_with`], wired to
+//! `repro --store-max-bytes`): after every save it deterministically
+//! evicts oldest-first — by modification time, ties broken by file name —
+//! until the directory fits the budget. Long-lived stores (the
+//! `repro serve` campaign service) therefore converge to an LRU-by-write
+//! working set instead of growing without bound.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::SystemTime;
 
 use grit_metrics::{AttrGrid, IntervalSeries, PageAttrTracker};
 use grit_trace::{CellTiming, Json, MetricsReport};
@@ -30,8 +41,13 @@ use grit_trace::{CellTiming, Json, MetricsReport};
 use crate::runner::{RunObserver, RunOutput};
 
 /// Schema tag of every store file; bump when the layout changes so stale
-/// files are re-run instead of misparsed.
-pub const STORE_SCHEMA: &str = "grit-result-store/v1";
+/// files are re-run instead of misparsed. v2: resume keys name cells by
+/// their canonical `RunSpec` string instead of ad-hoc `Debug` fields.
+pub const STORE_SCHEMA: &str = "grit-result-store/v2";
+
+/// Distinguishes temp files written by racing threads of one process
+/// (the process id alone is shared between them).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// FNV-1a 64-bit hash of the key string; the store's file name.
 fn fnv1a64(key: &str) -> u64 {
@@ -47,24 +63,42 @@ fn fnv1a64(key: &str) -> u64 {
 #[derive(Clone, Debug)]
 pub struct ResultStore {
     dir: PathBuf,
+    max_bytes: Option<u64>,
 }
 
 impl ResultStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) an unbounded store rooted at `dir`.
     ///
     /// # Errors
     ///
     /// Propagates directory-creation failures.
     pub fn open(dir: &Path) -> io::Result<Self> {
+        ResultStore::open_with(dir, None)
+    }
+
+    /// Opens (creating if needed) a store rooted at `dir`, bounded to
+    /// `max_bytes` of result files (`None` = unbounded). The budget is
+    /// enforced after every save by oldest-first eviction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open_with(dir: &Path, max_bytes: Option<u64>) -> io::Result<Self> {
         fs::create_dir_all(dir)?;
         Ok(ResultStore {
             dir: dir.to_path_buf(),
+            max_bytes,
         })
     }
 
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The store's size budget in bytes, if bounded.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
     }
 
     fn path_for(&self, key: &str) -> PathBuf {
@@ -86,7 +120,12 @@ impl ResultStore {
         decode_output(&json)
     }
 
-    /// Atomically persists a completed cell under `key`.
+    /// Atomically persists a completed cell under `key`, then enforces
+    /// the size budget. Concurrent writers — other threads of this
+    /// process or other processes sharing the directory — may race on
+    /// one key safely: each writes a uniquely named temp file
+    /// (pid + per-process counter) and the rename is atomic, so the
+    /// file is always one writer's complete output, never interleaved.
     ///
     /// # Errors
     ///
@@ -94,9 +133,48 @@ impl ResultStore {
     /// save only costs a future re-run).
     pub fn save(&self, key: &str, out: &RunOutput) -> io::Result<()> {
         let final_path = self.path_for(key);
-        let tmp_path = final_path.with_extension(format!("tmp-{}", std::process::id()));
+        let tmp_path = final_path.with_extension(format!(
+            "tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
         fs::write(&tmp_path, encode_output(key, out).to_string())?;
-        fs::rename(&tmp_path, &final_path)
+        fs::rename(&tmp_path, &final_path)?;
+        self.enforce_budget();
+        Ok(())
+    }
+
+    /// Deletes result files oldest-first (modification time, ties broken
+    /// by file name so the order is deterministic) until the store fits
+    /// its budget. Unbounded stores no-op. Failures are swallowed: a
+    /// fat store costs disk, not correctness, and racing evictors may
+    /// legitimately delete the same file.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.max_bytes else { return };
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut files: Vec<(SystemTime, PathBuf, u64)> = entries
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((mtime, e.path(), meta.len()))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        if total <= budget {
+            return;
+        }
+        files.sort();
+        for (_, path, len) in files {
+            if total <= budget {
+                break;
+            }
+            let _ = fs::remove_file(&path);
+            total = total.saturating_sub(len);
+        }
     }
 }
 
@@ -333,5 +411,80 @@ mod tests {
         // FNV-1a reference value: hash("") = offset basis.
         assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a64("a"), fnv1a64("b"));
+    }
+
+    #[test]
+    fn bounded_store_evicts_oldest_first() {
+        let exp = ExpConfig {
+            scale: 0.02,
+            intensity: 0.5,
+            seed: 0x7E57,
+        };
+        let out = run_cell(App::Bfs, PolicyKind::FirstTouch, &exp);
+
+        // Same-length keys give same-size files, so the budget math is
+        // exact: measure one file, then allow room for two and a half.
+        let probe_dir = tmp_dir("evict-probe");
+        let probe = ResultStore::open(&probe_dir).unwrap();
+        probe.save("key-0", &out).unwrap();
+        let file_size = fs::read_dir(&probe_dir)
+            .unwrap()
+            .flatten()
+            .next()
+            .unwrap()
+            .metadata()
+            .unwrap()
+            .len();
+        let _ = fs::remove_dir_all(&probe_dir);
+
+        let dir = tmp_dir("evict");
+        let store = ResultStore::open_with(&dir, Some(file_size * 5 / 2)).unwrap();
+        assert_eq!(store.max_bytes(), Some(file_size * 5 / 2));
+        for key in ["key-1", "key-2", "key-3"] {
+            store.save(key, &out).unwrap();
+            // Distinct mtimes so "oldest" is well defined on coarse
+            // filesystem clocks.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert!(
+            store.load("key-1").is_none(),
+            "oldest entry evicted once the third save broke the budget"
+        );
+        assert!(store.load("key-2").is_some(), "newer entries survive");
+        assert!(store.load("key-3").is_some(), "newest entry survives");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_on_one_key_never_corrupt() {
+        let exp = ExpConfig {
+            scale: 0.02,
+            intensity: 0.5,
+            seed: 0x7E57,
+        };
+        let out = run_cell(App::Bfs, PolicyKind::FirstTouch, &exp);
+        let dir = tmp_dir("race");
+        let store = ResultStore::open(&dir).unwrap();
+        // Two writers race the same key repeatedly (the serve path: two
+        // clients miss simultaneously, both re-run, both save). Whatever
+        // the interleaving, the loser's rename replaces equivalent
+        // content and every load in between sees one complete file.
+        for _ in 0..25 {
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| store.save("shared-key", &out).unwrap());
+                }
+            });
+            let back = store.load("shared-key").expect("file is never corrupt");
+            assert_eq!(back.metrics.total_cycles, out.metrics.total_cycles);
+        }
+        // No temp-file litter: every writer's rename landed.
+        let stray: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_none_or(|x| x != "json"))
+            .collect();
+        assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

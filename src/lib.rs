@@ -40,6 +40,7 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod service;
 
 pub use runner::{ObserverConfig, RunObserver, RunOutput, Simulation, SimulationBuilder};
 
@@ -51,9 +52,12 @@ pub mod prelude {
     };
     pub use grit_core::{GritConfig, GritPolicy};
     pub use grit_metrics::{geomean, LatencyClass, Table};
+    pub use grit_serve::{
+        CampaignOutcome, CellResult, ServeClient, ServeOptions, ServeSummary, SERVE_SCHEMA,
+    };
     pub use grit_sim::{
         Access, AccessKind, CancelToken, CellError, ConfigError, Cycle, GpuId, GritError, PageId,
-        Scheme, SimConfig, PAGE_SIZE_2M, PAGE_SIZE_4K,
+        RunSpec, Scheme, SimConfig, PAGE_SIZE_2M, PAGE_SIZE_4K,
     };
     pub use grit_uvm::{PlacementPolicy, StaticPolicy, UvmDriver};
     pub use grit_workloads::{App, MultiGpuWorkload, WorkloadBuilder};
@@ -63,4 +67,5 @@ pub mod prelude {
         PolicyKind, PolicySpec,
     };
     pub use crate::runner::{ObserverConfig, RunOutput, Simulation, SimulationBuilder};
+    pub use crate::service::{parse_spec_cell, run_spec, spec_runner};
 }

@@ -1,0 +1,116 @@
+//! Glue between the campaign server (`grit-serve`) and the experiment
+//! engine: turns a serialized [`RunSpec`] into a [`CellSpec`], runs it
+//! through the resilient batch executor, and packages the outcome for
+//! the wire.
+//!
+//! `grit-serve` itself knows nothing about simulations — it executes
+//! cells through an opaque [`SpecRunner`] callback. This module is the
+//! one place that callback is implemented for real, which keeps the
+//! dependency arrow pointing the right way (`grit` → `grit-serve`, not
+//! the reverse) and means every served cell goes through exactly the
+//! same engine — workload cache, result store, catch-unwind isolation —
+//! as a `repro` batch run.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use grit_serve::{ServeOptions, ServeSummary, Server, SpecFailure, SpecResult, SpecRunner};
+use grit_sim::{RunSpec, SimConfig};
+use grit_trace::{CategoryMask, TraceConfig};
+use grit_workloads::App;
+
+use crate::experiments::{run_batch_with, BatchOptions, CellSpec, ExpConfig, PolicyKind};
+
+/// Resolves a wire-level [`RunSpec`] into a runnable [`CellSpec`].
+///
+/// # Errors
+///
+/// A message naming the offending field: unknown app or policy label,
+/// or machine knobs [`RunSpec::apply_to`] rejects.
+pub fn parse_spec_cell(spec: &RunSpec) -> Result<CellSpec, String> {
+    let app = App::parse(&spec.app).ok_or_else(|| format!("unknown app '{}'", spec.app))?;
+    let policy = PolicyKind::parse(&spec.policy)
+        .ok_or_else(|| format!("unknown policy '{}'", spec.policy))?;
+    let mut cfg = SimConfig::default();
+    spec.apply_to(&mut cfg).map_err(|e| e.to_string())?;
+    let exp = ExpConfig {
+        scale: spec.scale,
+        intensity: spec.intensity,
+        seed: spec.seed,
+    };
+    let mut cell = CellSpec::new(app, policy, &exp).with_cfg(cfg);
+    if spec.trace {
+        let categories = match &spec.trace_filter {
+            Some(filter) => CategoryMask::parse(filter)?,
+            None => CategoryMask::ALL,
+        };
+        cell = cell.traced(TraceConfig {
+            categories,
+            sample_every: spec.trace_sample.max(1),
+        });
+    }
+    Ok(cell)
+}
+
+/// Runs one spec through the batch engine, honoring the spec's own
+/// execution knobs (`sim_threads`, `timeout_secs`) plus the server's
+/// shared store.
+pub fn run_spec(
+    spec: &RunSpec,
+    store_dir: Option<&Path>,
+    store_max_bytes: Option<u64>,
+) -> Result<SpecResult, SpecFailure> {
+    let cell =
+        parse_spec_cell(spec).map_err(|message| SpecFailure::new("invalid-spec", message))?;
+    let mut opts = BatchOptions::from(spec);
+    if let Some(dir) = store_dir {
+        opts = opts.resume_dir(dir);
+    }
+    if let Some(bytes) = store_max_bytes {
+        opts = opts.store_max_bytes(bytes);
+    }
+    let mut results = run_batch_with(std::slice::from_ref(&cell), &opts);
+    match results.pop().expect("one cell in, one result out") {
+        Ok(out) => {
+            let mut res = SpecResult::default();
+            res.store_hit = out.timing.resumed;
+            res.total_cycles = out.metrics.total_cycles;
+            res.accesses = out.metrics.accesses;
+            res.local_faults = out.metrics.faults.local_faults;
+            res.migrations = out.metrics.faults.migrations;
+            res.sim_seconds = out.timing.sim_seconds;
+            res.trace_lines = out
+                .events
+                .as_deref()
+                .unwrap_or_default()
+                .iter()
+                .map(|ev| ev.to_json().to_string())
+                .collect();
+            Ok(res)
+        }
+        Err(err) => Err(SpecFailure::new(err.status(), err.to_string())),
+    }
+}
+
+/// Builds the production [`SpecRunner`]: every cell (from any client)
+/// shares this process's workload cache and the given result store.
+pub fn spec_runner(store_dir: Option<PathBuf>, store_max_bytes: Option<u64>) -> SpecRunner {
+    Arc::new(move |spec: &RunSpec| run_spec(spec, store_dir.as_deref(), store_max_bytes))
+}
+
+/// Starts a campaign server and blocks until a client asks it to shut
+/// down. Prints the bound address to stderr (and to `opts.port_file`
+/// when set) so scripts started with port 0 can find it.
+///
+/// # Errors
+///
+/// Bind or port-file failures, as a message.
+pub fn serve(
+    opts: &ServeOptions,
+    store_dir: Option<PathBuf>,
+    store_max_bytes: Option<u64>,
+) -> Result<ServeSummary, String> {
+    let server = Server::start(opts, spec_runner(store_dir, store_max_bytes))?;
+    eprintln!("repro serve: listening on {}", server.local_addr());
+    Ok(server.run())
+}

@@ -1,0 +1,149 @@
+//! End-to-end campaign-server tests: a real `Server` on an ephemeral
+//! port, the production `spec_runner`, and `ServeClient` over TCP.
+
+use std::path::PathBuf;
+use std::thread;
+
+use grit::service::spec_runner;
+use grit_serve::{ServeClient, ServeOptions, Server};
+use grit_sim::RunSpec;
+
+fn scratch_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grit-serve-e2e-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn tiny_spec(app: &str, policy: &str) -> RunSpec {
+    RunSpec::new(app, policy).scale(0.02).intensity(0.5).seed(0x5E12)
+}
+
+fn campaign() -> Vec<RunSpec> {
+    ["GEMM", "BFS"]
+        .into_iter()
+        .flat_map(|app| ["grit", "on-touch"].map(|p| tiny_spec(app, p)))
+        .collect()
+}
+
+/// Runs `specs` through a fresh client connection, in declaration
+/// order, and returns the per-cell results.
+fn run_campaign(addr: std::net::SocketAddr, specs: &[RunSpec]) -> Vec<grit_serve::CellResult> {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    for (id, spec) in specs.iter().enumerate() {
+        client.submit(id as u64, spec).expect("submit");
+    }
+    let outcome = client.finish().expect("finish");
+    assert_eq!(outcome.errors, Vec::<String>::new(), "protocol errors");
+    assert_eq!(outcome.done_results, Some(specs.len() as u64));
+    outcome.results
+}
+
+#[test]
+fn campaign_round_trip_hits_the_shared_store_and_keeps_declaration_order() {
+    let store = scratch_dir("roundtrip");
+    let server = Server::start(
+        &ServeOptions::new().jobs(4),
+        spec_runner(Some(store.clone()), None),
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run());
+
+    let specs = campaign();
+    // Fresh campaign: every cell simulates, nothing hits the store.
+    let first = run_campaign(addr, &specs);
+    assert_eq!(first.len(), specs.len());
+    for (i, r) in first.iter().enumerate() {
+        assert_eq!(r.id, i as u64, "results must arrive in submission order");
+        assert_eq!(r.status, "ok", "cell {i}: {:?}", r.error);
+        assert!(!r.store_hit, "cell {i} hit a store that should be cold");
+        assert!(r.total_cycles > 0);
+    }
+
+    // The same campaign again, at the same jobs: everything is served
+    // from the store with identical cycles, still in declaration order.
+    let second = run_campaign(addr, &specs);
+    for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+        assert_eq!(b.id, i as u64);
+        assert!(b.store_hit, "cell {i} missed the warm store");
+        assert_eq!(
+            a.total_cycles, b.total_cycles,
+            "cell {i} changed cycles between a fresh and a resumed run"
+        );
+    }
+
+    // A ping on a fresh connection still round-trips while idle.
+    let mut prober = ServeClient::connect(addr).expect("connect prober");
+    prober.ping().expect("ping");
+    prober.shutdown_server().expect("shutdown");
+    drop(prober.finish());
+    let summary = handle.join().expect("server thread");
+    assert_eq!(summary.cells, 2 * specs.len() as u64);
+    assert_eq!(summary.store_hits, specs.len() as u64);
+    assert_eq!(summary.errors, 0);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn invalid_specs_become_error_results_not_dead_connections() {
+    let server =
+        Server::start(&ServeOptions::new().jobs(2), spec_runner(None, None)).expect("start server");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run());
+
+    let specs = [
+        tiny_spec("GEMM", "grit"),
+        tiny_spec("QUAKE", "grit"),   // unknown app
+        tiny_spec("BFS", "belady"),   // unknown policy
+        tiny_spec("BFS", "on-touch"), // healthy again
+    ];
+    let results = run_campaign(addr, &specs);
+    assert_eq!(results.len(), 4);
+    assert_eq!(results[0].status, "ok");
+    assert_eq!(results[1].status, "invalid-spec");
+    assert!(results[1].error.as_deref().unwrap_or("").contains("QUAKE"));
+    assert_eq!(results[2].status, "invalid-spec");
+    assert!(results[2].error.as_deref().unwrap_or("").contains("belady"));
+    assert_eq!(results[3].status, "ok");
+
+    let mut closer = ServeClient::connect(addr).expect("connect");
+    closer.shutdown_server().expect("shutdown");
+    drop(closer.finish());
+    let summary = handle.join().expect("server thread");
+    assert_eq!(summary.errors, 2);
+}
+
+#[test]
+fn traced_cells_stream_their_events_before_the_result() {
+    let server =
+        Server::start(&ServeOptions::new().jobs(2), spec_runner(None, None)).expect("start server");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run());
+
+    let specs = [
+        tiny_spec("FIR", "grit").trace(true).trace_filter("fault"),
+        tiny_spec("FIR", "on-touch"),
+    ];
+    let mut client = ServeClient::connect(addr).expect("connect");
+    for (id, spec) in specs.iter().enumerate() {
+        client.submit(id as u64, spec).expect("submit");
+    }
+    client.shutdown_server().expect("shutdown");
+    let outcome = client.finish().expect("finish");
+    assert_eq!(outcome.results.len(), 2);
+    assert!(
+        !outcome.traces.is_empty(),
+        "a traced cell must stream events"
+    );
+    // Only the traced submission may emit trace lines.
+    assert!(outcome.traces.iter().all(|(id, _)| *id == 0));
+    for (_, ev) in &outcome.traces {
+        assert_eq!(
+            ev.get("type").and_then(grit_trace::Json::as_str),
+            Some("fault"),
+            "the fault filter leaked another category"
+        );
+    }
+    handle.join().expect("server thread");
+}

@@ -1,0 +1,122 @@
+//! Crash-safety of the served store: SIGKILL a campaign server after it
+//! has persisted part of a campaign, then finish the campaign through
+//! the in-process engine pointed at the same store. The final table
+//! must be byte-identical to a never-interrupted run — the store's
+//! write-temp-then-rename discipline guarantees no torn entries.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn scratch_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grit-serve-kill-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+const EXP_FLAGS: [&str; 6] = ["--scale", "0.02", "--intensity", "0.5", "--seed", "4919"];
+
+fn submit_local(store: Option<&PathBuf>, jobs: &str, apps: &str) -> (String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.arg("submit")
+        .arg("--local")
+        .args(["--jobs", jobs])
+        .args(["--apps", apps])
+        .args(["--policies", "grit,on-touch"])
+        .args(EXP_FLAGS);
+    if let Some(dir) = store {
+        cmd.arg("--store").arg(dir);
+    }
+    let out = cmd.output().expect("run repro submit --local");
+    assert!(
+        out.status.success(),
+        "submit --local failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).expect("stdout utf8"),
+        String::from_utf8(out.stderr).expect("stderr utf8"),
+    )
+}
+
+fn wait_for_port(port_file: &PathBuf, server: &mut Child) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            let addr = text.trim().to_string();
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        if let Some(status) = server.try_wait().expect("poll server") {
+            panic!("server exited early: {status}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never wrote {port_file:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn sigkilled_server_leaves_a_store_that_resumes_byte_identically() {
+    let scratch = scratch_dir("resume");
+    let store = scratch.join("store");
+    let port_file = scratch.join("port.txt");
+
+    // Reference: the full campaign, never interrupted, no store at all.
+    let (reference, _) = submit_local(None, "1", "GEMM,BFS");
+    assert!(
+        reference.contains("campaign total cycles"),
+        "unexpected table: {reference}"
+    );
+
+    // A server fills the store with half the campaign...
+    let mut server = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("serve")
+        .args(["--port", "0"])
+        .arg("--port-file")
+        .arg(&port_file)
+        .arg("--store")
+        .arg(&store)
+        .args(["--jobs", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn repro serve");
+    let addr = wait_for_port(&port_file, &mut server);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("submit")
+        .args(["--connect", &addr])
+        .args(["--apps", "GEMM"])
+        .args(["--policies", "grit,on-touch"])
+        .args(EXP_FLAGS)
+        .output()
+        .expect("run repro submit");
+    assert!(
+        out.status.success(),
+        "submit failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // ... and dies without any chance to clean up.
+    server.kill().expect("SIGKILL server");
+    let _ = server.wait();
+
+    // Finishing the campaign against the survivor store reuses the two
+    // persisted cells and renders the exact reference bytes — at a
+    // different worker count, for good measure.
+    let (resumed, status) = submit_local(Some(&store), "4", "GEMM,BFS");
+    assert_eq!(
+        resumed, reference,
+        "resumed table differs from the uninterrupted run"
+    );
+    assert!(
+        status.contains("2 store hits"),
+        "expected 2 store hits after the kill, got: {status}"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}

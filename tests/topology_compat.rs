@@ -107,11 +107,12 @@ fn default_topology_tables_match_pre_topology_goldens_at_any_jobs() {
 #[test]
 fn explicit_all_to_all_override_is_identical_to_the_default() {
     // `--topology all-to-all` must be a no-op: the override path through
-    // `set_topology` renders the very same tables as no override at all.
+    // `set_override_spec` renders the very same tables as no override at
+    // all.
     let baseline = render_tables();
-    ex::set_topology(Some(grit_sim::TopologyConfig::parse("all-to-all").unwrap()));
+    ex::set_override_spec(Some(grit_sim::RunSpec::default().topology("all-to-all")));
     let explicit = render_tables();
-    ex::set_topology(None);
+    ex::set_override_spec(None);
     assert_eq!(
         baseline, explicit,
         "an explicit all-to-all override changed the default output"
