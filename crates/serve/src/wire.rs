@@ -37,6 +37,9 @@ pub fn spec_to_json(spec: &RunSpec) -> Json {
     if let Some(bytes) = spec.page_size {
         fields.push(("page_size".into(), Json::UInt(bytes)));
     }
+    if let Some(mode) = &spec.page_size_mode {
+        fields.push(("page_size_mode".into(), Json::Str(mode.clone())));
+    }
     if let Some(topology) = &spec.topology {
         fields.push(("topology".into(), Json::Str(topology.clone())));
     }
@@ -93,6 +96,7 @@ pub fn spec_from_json(v: &Json) -> Result<RunSpec, String> {
     }
     spec.gpus = v.get("gpus").and_then(Json::as_u64).map(|g| g as usize);
     spec.page_size = v.get("page_size").and_then(Json::as_u64);
+    spec.page_size_mode = v.get("page_size_mode").and_then(Json::as_str).map(String::from);
     spec.topology = v.get("topology").and_then(Json::as_str).map(String::from);
     spec.inject = v.get("inject").and_then(Json::as_str).map(String::from);
     spec.check_invariants = v.get("check_invariants").and_then(Json::as_bool).unwrap_or(false);
@@ -378,6 +382,7 @@ mod tests {
             .seed(7)
             .gpus(8)
             .page_size(2 * 1024 * 1024)
+            .page_size_mode("mixed")
             .topology("ring")
             .inject("retire@10:gpu=0:frames=1")
             .check_invariants(true)

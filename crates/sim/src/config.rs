@@ -43,6 +43,40 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+/// Cache lines per page for an arbitrary page size, with the same
+/// structural checks [`SimConfig::validate`] applies: the size must be a
+/// power of two of at least one cache line, and the resulting line count
+/// must fit the simulator's `u16` line indices (so 4 MB pages and larger
+/// are rejected rather than silently truncated).
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] naming `page_size` on any violation.
+pub fn lines_per_page_checked(page_size: u64) -> Result<u16, ConfigError> {
+    if !page_size.is_power_of_two() {
+        return Err(ConfigError::new(
+            "page_size",
+            format!("{page_size} must be a power of two"),
+        ));
+    }
+    if page_size < CACHE_LINE_BYTES {
+        return Err(ConfigError::new(
+            "page_size",
+            format!("{page_size} is smaller than one {CACHE_LINE_BYTES}-byte cache line"),
+        ));
+    }
+    u16::try_from(page_size / CACHE_LINE_BYTES).map_err(|_| {
+        ConfigError::new(
+            "page_size",
+            format!(
+                "{page_size} implies {} cache lines per page, which overflows the \
+                 simulator's 16-bit line indices (maximum page size {PAGE_SIZE_2M} bytes)",
+                page_size / CACHE_LINE_BYTES,
+            ),
+        )
+    })
+}
+
 /// Baseline 4 KB page size (§III-B).
 pub const PAGE_SIZE_4K: u64 = 4096;
 
@@ -52,6 +86,75 @@ pub const PAGE_SIZE_2M: u64 = 2 * 1024 * 1024;
 /// Volta-style access-counter threshold for counter-based migration
 /// (Table I / §II-B2).
 pub const ACCESS_COUNTER_THRESHOLD_DEFAULT: u32 = 256;
+
+/// How the driver manages page granularity (Mosaic-style multi-page-size
+/// support).
+///
+/// Under [`PageSizeMode::Uniform4k`] the simulator behaves exactly as it
+/// always has: every mapping is a base page of `SimConfig::page_size`
+/// bytes and the `grit-pagesize` subsystem is inert. The other two modes
+/// turn on the two-level page-state model where base pages live inside
+/// 2 MB large-page frames:
+///
+/// * [`PageSizeMode::Uniform2m`] — the driver coalesces every frame the
+///   moment it becomes fully resident and private, approximating a
+///   system that only allocates 2 MB pages (splintering still happens on
+///   false sharing and partial eviction, because the migration machinery
+///   operates on base pages).
+/// * [`PageSizeMode::Mixed`] — Mosaic-style transparent management: a
+///   frame is coalesced only once *every* base page inside it has been
+///   touched, so cold ranges stay at base granularity and hot private
+///   ranges gain TLB reach.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PageSizeMode {
+    /// Base pages only; behavior (and output) identical to the pre-
+    /// multi-page-size simulator.
+    #[default]
+    Uniform4k,
+    /// Coalesce every fully-resident private 2 MB frame eagerly.
+    Uniform2m,
+    /// Coalesce only fully-touched, fully-resident private frames.
+    Mixed,
+}
+
+impl PageSizeMode {
+    /// Every mode, in stable order (also the order `describe()` encodes).
+    pub const ALL: [PageSizeMode; 3] = [
+        PageSizeMode::Uniform4k,
+        PageSizeMode::Uniform2m,
+        PageSizeMode::Mixed,
+    ];
+
+    /// Stable name used by `--page-size-mode` and report labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            PageSizeMode::Uniform4k => "uniform4k",
+            PageSizeMode::Uniform2m => "uniform2m",
+            PageSizeMode::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a `--page-size-mode` argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message listing the valid names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        PageSizeMode::ALL.into_iter().find(|m| m.name() == s).ok_or_else(|| {
+            let names: Vec<&str> = PageSizeMode::ALL.iter().map(|m| m.name()).collect();
+            format!(
+                "unknown page-size mode {s:?} (expected one of {})",
+                names.join(", ")
+            )
+        })
+    }
+
+    /// True when large-page frames are managed at all (any mode other
+    /// than [`PageSizeMode::Uniform4k`]).
+    pub fn large_pages_enabled(self) -> bool {
+        self != PageSizeMode::Uniform4k
+    }
+}
 
 /// Geometry of a set-associative TLB level.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -379,8 +482,11 @@ impl Default for LatencyConfig {
 pub struct SimConfig {
     /// Number of GPUs in the node (paper baseline: 4).
     pub num_gpus: usize,
-    /// Page size in bytes (4 KB baseline, 2 MB in §VI-B3).
+    /// Base page size in bytes (4 KB baseline, 2 MB in §VI-B3).
     pub page_size: u64,
+    /// Large-page management mode (uniform 4 KB by default; see
+    /// [`PageSizeMode`]).
+    pub page_size_mode: PageSizeMode,
     /// GPU memory capacity as a fraction of the application footprint,
     /// split evenly across GPUs (paper: 70 %, §III-B).
     pub capacity_ratio: f64,
@@ -389,6 +495,13 @@ pub struct SimConfig {
     pub l1_tlb: TlbGeometry,
     /// Shared per-GPU L2 TLB.
     pub l2_tlb: TlbGeometry,
+    /// Per-GPU L1 TLB for 2 MB translations. VIPT TLBs are partitioned
+    /// by page size: large pages get their own small array whose reach
+    /// (entries × 2 MB) dwarfs the base array's. Only consulted when
+    /// [`SimConfig::page_size_mode`] enables large pages.
+    pub l1_tlb_2m: TlbGeometry,
+    /// Shared per-GPU L2 TLB for 2 MB translations.
+    pub l2_tlb_2m: TlbGeometry,
     /// GMMU page-walk machinery.
     pub walk: WalkConfig,
     /// Per-CU-scale L1 data cache stage (Table I: 16 KB, 4-way vector L1;
@@ -424,6 +537,7 @@ impl Default for SimConfig {
         SimConfig {
             num_gpus: 4,
             page_size: PAGE_SIZE_4K,
+            page_size_mode: PageSizeMode::default(),
             capacity_ratio: 0.70,
             l1_tlb: TlbGeometry {
                 entries: 256,
@@ -432,6 +546,16 @@ impl Default for SimConfig {
             },
             l2_tlb: TlbGeometry {
                 entries: 512,
+                ways: 16,
+                lookup_latency: 10,
+            },
+            l1_tlb_2m: TlbGeometry {
+                entries: 32,
+                ways: 4,
+                lookup_latency: 1,
+            },
+            l2_tlb_2m: TlbGeometry {
+                entries: 128,
                 ways: 16,
                 lookup_latency: 10,
             },
@@ -466,8 +590,32 @@ impl SimConfig {
     }
 
     /// Cache lines per page under this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the line count overflows `u16` (page sizes ≥ 4 MB);
+    /// configurations that can reach this path should use
+    /// [`SimConfig::try_lines_per_page`].
     pub fn lines_per_page(&self) -> u16 {
-        (self.page_size / CACHE_LINE_BYTES) as u16
+        self.try_lines_per_page().expect("validated page size")
+    }
+
+    /// Cache lines per page, rejecting sizes whose line count does not
+    /// fit the simulator's `u16` line indices instead of silently
+    /// truncating.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for non-power-of-two sizes, sizes below
+    /// one cache line, and sizes of 4 MB or more (≥ 65 536 lines).
+    pub fn try_lines_per_page(&self) -> Result<u16, ConfigError> {
+        lines_per_page_checked(self.page_size)
+    }
+
+    /// Base pages per 2 MB large-page frame under this configuration
+    /// (1 when the base page already is 2 MB or larger).
+    pub fn pages_per_large_frame(&self) -> u64 {
+        (PAGE_SIZE_2M / self.page_size).max(1)
     }
 
     /// Checks internal consistency.
@@ -493,13 +641,30 @@ impl SimConfig {
                 format!("{} must be a power of two >= 1024", self.page_size),
             ));
         }
+        self.try_lines_per_page()?;
+        if self.page_size_mode.large_pages_enabled() && self.page_size >= PAGE_SIZE_2M {
+            return Err(ConfigError::new(
+                "page_size_mode",
+                format!(
+                    "{} needs base pages smaller than the {PAGE_SIZE_2M}-byte large-page \
+                     frame, but page_size is {}",
+                    self.page_size_mode.name(),
+                    self.page_size
+                ),
+            ));
+        }
         if !(self.capacity_ratio > 0.0 && self.capacity_ratio <= 2.0) {
             return Err(ConfigError::new(
                 "capacity_ratio",
                 format!("{} out of range (0, 2]", self.capacity_ratio),
             ));
         }
-        for (name, t) in [("l1_tlb", self.l1_tlb), ("l2_tlb", self.l2_tlb)] {
+        for (name, t) in [
+            ("l1_tlb", self.l1_tlb),
+            ("l2_tlb", self.l2_tlb),
+            ("l1_tlb_2m", self.l1_tlb_2m),
+            ("l2_tlb_2m", self.l2_tlb_2m),
+        ] {
             if t.ways == 0 || t.entries == 0 || t.entries % t.ways != 0 {
                 return Err(ConfigError::new(name, format!("geometry invalid: {t:?}")));
             }
@@ -544,6 +709,13 @@ impl SimConfig {
         vec![
             ("num_gpus", self.num_gpus as f64),
             ("page_size", self.page_size as f64),
+            (
+                "page_size_mode",
+                PageSizeMode::ALL
+                    .iter()
+                    .position(|m| *m == self.page_size_mode)
+                    .expect("mode in ALL") as f64,
+            ),
             ("capacity_ratio", self.capacity_ratio),
             ("l1_tlb_entries", self.l1_tlb.entries as f64),
             ("l1_tlb_ways", self.l1_tlb.ways as f64),
@@ -551,6 +723,10 @@ impl SimConfig {
             ("l2_tlb_entries", self.l2_tlb.entries as f64),
             ("l2_tlb_ways", self.l2_tlb.ways as f64),
             ("l2_tlb_lookup_latency", self.l2_tlb.lookup_latency as f64),
+            ("l1_tlb_2m_entries", self.l1_tlb_2m.entries as f64),
+            ("l1_tlb_2m_ways", self.l1_tlb_2m.ways as f64),
+            ("l2_tlb_2m_entries", self.l2_tlb_2m.entries as f64),
+            ("l2_tlb_2m_ways", self.l2_tlb_2m.ways as f64),
             ("walkers", self.walk.walkers as f64),
             ("walk_queue_capacity", self.walk.queue_capacity as f64),
             ("walk_levels", f64::from(self.walk.levels)),
@@ -690,6 +866,49 @@ mod tests {
         );
         // It is a std error.
         let _: &dyn std::error::Error = &e;
+    }
+
+    #[test]
+    fn page_size_mode_parse_round_trips_names() {
+        for mode in PageSizeMode::ALL {
+            assert_eq!(PageSizeMode::parse(mode.name()).unwrap(), mode);
+        }
+        let err = PageSizeMode::parse("huge").unwrap_err();
+        assert!(err.contains("uniform4k") && err.contains("mixed"), "{err}");
+        assert_eq!(PageSizeMode::default(), PageSizeMode::Uniform4k);
+        assert!(!PageSizeMode::Uniform4k.large_pages_enabled());
+        assert!(PageSizeMode::Mixed.large_pages_enabled());
+    }
+
+    #[test]
+    fn lines_per_page_checked_rejects_truncating_sizes() {
+        assert_eq!(lines_per_page_checked(PAGE_SIZE_4K).unwrap(), 64);
+        assert_eq!(
+            u64::from(lines_per_page_checked(PAGE_SIZE_2M).unwrap()),
+            PAGE_SIZE_2M / CACHE_LINE_BYTES
+        );
+        // 4 MB would silently truncate to 0 lines under an `as u16` cast.
+        let err = lines_per_page_checked(4 * 1024 * 1024).unwrap_err();
+        assert_eq!(err.field, "page_size");
+        assert!(err.reason.contains("overflows"), "{}", err.reason);
+        assert!(lines_per_page_checked(3000).is_err());
+        assert!(lines_per_page_checked(32).is_err());
+    }
+
+    #[test]
+    fn large_page_modes_require_small_base_pages() {
+        let mut c = SimConfig {
+            page_size_mode: PageSizeMode::Mixed,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        assert_eq!(c.pages_per_large_frame(), 512);
+        c.page_size = PAGE_SIZE_2M;
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.field, "page_size_mode");
+        c.page_size_mode = PageSizeMode::Uniform4k;
+        assert!(c.validate().is_ok());
+        assert_eq!(c.pages_per_large_frame(), 1);
     }
 
     #[test]

@@ -43,9 +43,9 @@ pub mod stream;
 
 pub use access::{Access, AccessKind};
 pub use config::{
-    CacheGeometry, ConfigError, LatencyConfig, LinkConfig, SimConfig, TlbGeometry, TopologyConfig,
-    TopologyKind, WalkConfig, ACCESS_COUNTER_THRESHOLD_DEFAULT, CACHE_LINE_BYTES, PAGE_SIZE_2M,
-    PAGE_SIZE_4K,
+    lines_per_page_checked, CacheGeometry, ConfigError, LatencyConfig, LinkConfig, PageSizeMode,
+    SimConfig, TlbGeometry, TopologyConfig, TopologyKind, WalkConfig,
+    ACCESS_COUNTER_THRESHOLD_DEFAULT, CACHE_LINE_BYTES, PAGE_SIZE_2M, PAGE_SIZE_4K,
 };
 pub use error::{CancelState, CancelToken, CellError, GritError};
 pub use grit_inject::{

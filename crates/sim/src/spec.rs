@@ -67,6 +67,9 @@ pub struct RunSpec {
     pub gpus: Option<usize>,
     /// Page-size override in bytes (`None` = config default, 4 KiB).
     pub page_size: Option<u64>,
+    /// Large-page management mode by stable name (`"uniform4k"`,
+    /// `"uniform2m"`, `"mixed"`); `None` = uniform 4 KiB base pages.
+    pub page_size_mode: Option<String>,
     /// Topology spec in `--topology` grammar (`"ring"`,
     /// `"nvswitch:16"`, ...); `None` = all-to-all.
     pub topology: Option<String>,
@@ -101,6 +104,7 @@ impl Default for RunSpec {
             seed: DEFAULT_SEED,
             gpus: None,
             page_size: None,
+            page_size_mode: None,
             topology: None,
             inject: None,
             check_invariants: false,
@@ -167,6 +171,13 @@ impl RunSpec {
         self
     }
 
+    /// Overrides the large-page management mode (CLI `--page-size-mode`
+    /// grammar: `uniform4k`, `uniform2m`, or `mixed`).
+    pub fn page_size_mode(mut self, mode: impl Into<String>) -> Self {
+        self.page_size_mode = Some(mode.into());
+        self
+    }
+
     /// Overrides the interconnect topology (CLI `--topology` grammar).
     pub fn topology(mut self, spec: impl Into<String>) -> Self {
         self.topology = Some(spec.into());
@@ -222,7 +233,8 @@ impl RunSpec {
     }
 
     /// Applies the machine-shaping overrides (`gpus`, `page_size`,
-    /// `topology`, `inject`, `check_invariants`) to `cfg`, parsing the
+    /// `page_size_mode`, `topology`, `inject`, `check_invariants`) to
+    /// `cfg`, parsing the
     /// string grammars and validating the result. Experiment knobs
     /// (`scale`/`intensity`/`seed`) and execution knobs
     /// (`sim_threads`/`timeout_secs`/trace/profile) are untouched: they
@@ -239,6 +251,10 @@ impl RunSpec {
         }
         if let Some(bytes) = self.page_size {
             cfg.page_size = bytes;
+        }
+        if let Some(mode) = &self.page_size_mode {
+            cfg.page_size_mode = crate::config::PageSizeMode::parse(mode)
+                .map_err(|e| ConfigError::new("page_size_mode", e))?;
         }
         if let Some(spec) = &self.topology {
             cfg.topology =
@@ -275,8 +291,8 @@ impl RunSpec {
         }
         format!(
             "app={};policy={};scale={};intensity={};seed={};gpus={};page_size={};\
-             topology={};inject={};check_invariants={};sim_threads={};timeout_secs={};\
-             trace={};trace_filter={};trace_sample={};profile={}",
+             page_size_mode={};topology={};inject={};check_invariants={};sim_threads={};\
+             timeout_secs={};trace={};trace_filter={};trace_sample={};profile={}",
             self.app,
             self.policy,
             self.scale,
@@ -284,6 +300,7 @@ impl RunSpec {
             self.seed,
             opt(&self.gpus),
             opt(&self.page_size),
+            opt(&self.page_size_mode),
             opt(&self.topology),
             opt(&self.inject),
             self.check_invariants,
@@ -325,6 +342,14 @@ mod tests {
         assert_eq!(cfg.topology.switch_radix, 16);
         assert!(!cfg.inject.is_empty());
         assert!(cfg.check_invariants);
+
+        // Large-page mode threads through by stable name (the 2 MB
+        // page-size override above must drop back to 4 KB base pages
+        // for the mode to validate).
+        let spec = RunSpec::new("bfs", "grit").page_size_mode("mixed");
+        let mut cfg = SimConfig::default();
+        spec.apply_to(&mut cfg).unwrap();
+        assert_eq!(cfg.page_size_mode.name(), "mixed");
     }
 
     #[test]
@@ -335,6 +360,9 @@ mod tests {
 
         let err = RunSpec::default().inject("explode@now").apply_to(&mut cfg).unwrap_err();
         assert_eq!(err.field, "inject");
+
+        let err = RunSpec::default().page_size_mode("huge").apply_to(&mut cfg).unwrap_err();
+        assert_eq!(err.field, "page_size_mode");
 
         // Out-of-range GPU counts are caught by validate(), not silently
         // applied.
@@ -348,11 +376,14 @@ mod tests {
         assert_eq!(
             a.canonical(),
             "app=Gemm;policy=grit;scale=0.1;intensity=2;seed=48879;gpus=-;page_size=-;\
-             topology=-;inject=-;check_invariants=false;sim_threads=-;timeout_secs=-;\
-             trace=false;trace_filter=-;trace_sample=1;profile=false"
+             page_size_mode=-;topology=-;inject=-;check_invariants=false;sim_threads=-;\
+             timeout_secs=-;trace=false;trace_filter=-;trace_sample=1;profile=false"
         );
         let b = a.clone().gpus(8);
         assert_ne!(a.canonical(), b.canonical());
+        // Page-size mode is part of the cell identity (cache keys must
+        // not collide across modes).
+        assert_ne!(a.canonical(), a.clone().page_size_mode("mixed").canonical());
         assert_eq!(a.canonical(), a.clone().canonical());
         // Floats render round-trip exact, so close-but-different scales
         // stay distinct.
@@ -370,6 +401,7 @@ mod tests {
             .seed(7)
             .gpus(2)
             .page_size(4096)
+            .page_size_mode("uniform2m")
             .topology("ring")
             .inject("retire@10:gpu=0:frames=1")
             .check_invariants(true)
@@ -381,6 +413,7 @@ mod tests {
             .profile(true);
         assert_eq!(spec.app, "bfs");
         assert_eq!(spec.policy, "ideal");
+        assert_eq!(spec.page_size_mode.as_deref(), Some("uniform2m"));
         assert_eq!(spec.sim_threads, Some(4));
         assert_eq!(spec.timeout_secs, Some(1.5));
         assert!(spec.trace && spec.profile && spec.check_invariants);

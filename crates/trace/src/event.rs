@@ -8,6 +8,7 @@
 //! `"type"` discriminant; see `tests/golden_jsonl.rs` for the frozen schema.
 
 use crate::json::Json;
+use grit_pagesize::SplinterCause;
 use grit_sim::{Cycle, GpuId, InjectedKind, MemLoc, PageId, Scheme};
 
 /// Version tag of the JSONL event schema.
@@ -21,7 +22,11 @@ use grit_sim::{Cycle, GpuId, InjectedKind, MemLoc, PageId, Scheme};
 /// `recovered`, `migration-retried`, `fallback-remote`), emitted only when
 /// a fault plan is installed; no pre-existing line shape changes, so `v2`
 /// readers keep working on every uninjected trace.
-pub const TRACE_SCHEMA: &str = "grit-trace/v3";
+/// `v4` adds two multi-page-size event types (`page-coalesced`,
+/// `page-splintered`), emitted only when large pages are enabled
+/// (`page_size_mode` other than `uniform4k`); no pre-existing line shape
+/// changes, so `v3` readers keep working on every uniform-4 KB trace.
+pub const TRACE_SCHEMA: &str = "grit-trace/v4";
 
 /// One structured, cycle-stamped simulator event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -164,6 +169,27 @@ pub enum TraceEvent {
         /// pages), `false` if it stayed with the remote owner.
         staged: bool,
     },
+    /// A fully-private, fully-resident 2 MB frame was coalesced into one
+    /// large mapping (v4, emitted only when large pages are enabled).
+    PageCoalesced {
+        /// Cycle the driver promoted the frame.
+        cycle: Cycle,
+        /// GPU owning the coalesced frame.
+        gpu: GpuId,
+        /// First base page of the frame.
+        vpn: PageId,
+    },
+    /// A coalesced 2 MB frame was splintered back to base pages (v4).
+    PageSplintered {
+        /// Cycle the driver demoted the frame.
+        cycle: Cycle,
+        /// GPU that owned the frame before the split.
+        gpu: GpuId,
+        /// First base page of the frame.
+        vpn: PageId,
+        /// Why the frame splintered.
+        cause: SplinterCause,
+    },
 }
 
 /// Fault classification mirroring `grit_uvm::FaultKind`.
@@ -257,11 +283,15 @@ pub enum EventCategory {
     MigrationRetried,
     /// [`TraceEvent::FallbackRemote`].
     FallbackRemote,
+    /// [`TraceEvent::PageCoalesced`].
+    PageCoalesced,
+    /// [`TraceEvent::PageSplintered`].
+    PageSplintered,
 }
 
 impl EventCategory {
     /// All categories, in bit order.
-    pub const ALL: [EventCategory; 11] = [
+    pub const ALL: [EventCategory; 13] = [
         EventCategory::Fault,
         EventCategory::Migration,
         EventCategory::Duplication,
@@ -273,6 +303,8 @@ impl EventCategory {
         EventCategory::Recovered,
         EventCategory::MigrationRetried,
         EventCategory::FallbackRemote,
+        EventCategory::PageCoalesced,
+        EventCategory::PageSplintered,
     ];
 
     /// Stable name used in JSON `"type"` fields and `--trace-filter` lists.
@@ -289,6 +321,8 @@ impl EventCategory {
             EventCategory::Recovered => "recovered",
             EventCategory::MigrationRetried => "migration-retried",
             EventCategory::FallbackRemote => "fallback-remote",
+            EventCategory::PageCoalesced => "page-coalesced",
+            EventCategory::PageSplintered => "page-splintered",
         }
     }
 
@@ -310,7 +344,7 @@ pub struct CategoryMask(u16);
 
 impl CategoryMask {
     /// Every category enabled.
-    pub const ALL: CategoryMask = CategoryMask(0x7ff);
+    pub const ALL: CategoryMask = CategoryMask(0x1fff);
     /// No category enabled.
     pub const NONE: CategoryMask = CategoryMask(0);
 
@@ -386,6 +420,8 @@ impl TraceEvent {
             TraceEvent::Recovered { .. } => EventCategory::Recovered,
             TraceEvent::MigrationRetried { .. } => EventCategory::MigrationRetried,
             TraceEvent::FallbackRemote { .. } => EventCategory::FallbackRemote,
+            TraceEvent::PageCoalesced { .. } => EventCategory::PageCoalesced,
+            TraceEvent::PageSplintered { .. } => EventCategory::PageSplintered,
         }
     }
 
@@ -402,7 +438,9 @@ impl TraceEvent {
             | TraceEvent::FaultInjected { cycle, .. }
             | TraceEvent::Recovered { cycle, .. }
             | TraceEvent::MigrationRetried { cycle, .. }
-            | TraceEvent::FallbackRemote { cycle, .. } => cycle,
+            | TraceEvent::FallbackRemote { cycle, .. }
+            | TraceEvent::PageCoalesced { cycle, .. }
+            | TraceEvent::PageSplintered { cycle, .. } => cycle,
         }
     }
 
@@ -502,6 +540,17 @@ impl TraceEvent {
                 fields.push(("gpu".into(), Json::UInt(gpu.index() as u64)));
                 fields.push(("vpn".into(), Json::UInt(vpn.vpn())));
                 fields.push(("staged".into(), Json::Bool(staged)));
+            }
+            TraceEvent::PageCoalesced { gpu, vpn, .. } => {
+                fields.push(("gpu".into(), Json::UInt(gpu.index() as u64)));
+                fields.push(("vpn".into(), Json::UInt(vpn.vpn())));
+            }
+            TraceEvent::PageSplintered {
+                gpu, vpn, cause, ..
+            } => {
+                fields.push(("gpu".into(), Json::UInt(gpu.index() as u64)));
+                fields.push(("vpn".into(), Json::UInt(vpn.vpn())));
+                fields.push(("cause".into(), Json::Str(cause.name().into())));
             }
         }
         Json::Obj(fields)
@@ -623,6 +672,21 @@ impl TraceEvent {
                     .get("staged")
                     .and_then(Json::as_bool)
                     .ok_or("fallback-remote event missing \"staged\"")?,
+            },
+            EventCategory::PageCoalesced => TraceEvent::PageCoalesced {
+                cycle,
+                gpu: gpu()?,
+                vpn: PageId(u("vpn")?),
+            },
+            EventCategory::PageSplintered => TraceEvent::PageSplintered {
+                cycle,
+                gpu: gpu()?,
+                vpn: PageId(u("vpn")?),
+                cause: v
+                    .get("cause")
+                    .and_then(Json::as_str)
+                    .and_then(SplinterCause::parse)
+                    .ok_or("page-splintered event missing \"cause\"")?,
             },
         })
     }
@@ -762,6 +826,17 @@ mod tests {
                 gpu: GpuId::new(0),
                 vpn: PageId(78),
                 staged: true,
+            },
+            TraceEvent::PageCoalesced {
+                cycle: 15,
+                gpu: GpuId::new(2),
+                vpn: PageId(512),
+            },
+            TraceEvent::PageSplintered {
+                cycle: 16,
+                gpu: GpuId::new(2),
+                vpn: PageId(512),
+                cause: SplinterCause::FalseSharing,
             },
         ];
         for ev in events {

@@ -35,8 +35,8 @@ pub use event::{
 pub use json::Json;
 pub use report::{
     BatchProfile, BenchSummary, CellReport, CellTiming, CycleProfile, FabricReport,
-    HeadlineSpeedups, HistReport, MetricsReport, PhaseEntry, ProfileReport, ResilienceReport,
-    RunReport, SeriesReport, SpeculationReport, TargetTiming,
+    HeadlineSpeedups, HistReport, MetricsReport, PagesizeReport, PhaseEntry, ProfileReport,
+    ResilienceReport, RunReport, SeriesReport, SpeculationReport, TargetTiming,
 };
 pub use sink::{TraceConfig, Tracer};
 pub use writer::CellMeta;

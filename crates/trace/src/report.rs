@@ -24,9 +24,13 @@ use crate::json::Json;
 /// only when self-profiling ran, so unprofiled documents stay
 /// v4-shaped), and to v6 when cells gained the optional canonical
 /// `spec` string (the serialized `RunSpec` the cell ran under, also the
-/// result-store key). Older documents still parse: absent objects
-/// default to zeros or `None`.
-pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v6";
+/// result-store key), and to v7 when multi-page-size runs gained the
+/// `pagesize` counter object (emitted only when large pages are enabled,
+/// so uniform-4 KB documents stay v6-shaped). Older documents still
+/// parse: absent objects default to zeros or `None`.
+pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v7";
+/// v6 run-report schema tag, still accepted by [`RunReport::from_json`].
+pub const RUN_REPORT_SCHEMA_V6: &str = "grit-run-report/v6";
 /// v5 run-report schema tag, still accepted by [`RunReport::from_json`].
 pub const RUN_REPORT_SCHEMA_V5: &str = "grit-run-report/v5";
 /// v4 run-report schema tag, still accepted by [`RunReport::from_json`].
@@ -317,6 +321,113 @@ impl ResilienceReport {
     }
 }
 
+/// Multi-page-size activity counters of one cell (grit-run-report/v7):
+/// how often 2 MB frames coalesced and splintered, why they splintered,
+/// and what coalescing did to access-counter granularity. Zeros — and
+/// omitted from the JSON — when the run managed uniform 4 KB pages.
+///
+/// The field order mirrors the `pagesize_counters` aux series recorded
+/// by the runner (`grit_pagesize::PageSizeCounters::to_series`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PagesizeReport {
+    /// Frames coalesced into a 2 MB mapping.
+    pub coalesces: u64,
+    /// Frames splintered because a peer GPU started sharing the range.
+    pub splinters_false_sharing: u64,
+    /// Frames splintered by partial capacity eviction / host staging.
+    pub splinters_eviction: u64,
+    /// Frames splintered by ECC frame retirement.
+    pub splinters_retirement: u64,
+    /// Access-counter trips on ordinary 64 KB groups.
+    pub counter_trips_base: u64,
+    /// Access-counter trips on coalesced frame-granularity groups.
+    pub counter_trips_large: u64,
+    /// Total 64 KB groups aliased into tripped frame groups.
+    pub counter_groups_aliased: u64,
+    /// Highest number of simultaneously coalesced frames observed.
+    pub coalesced_peak: u64,
+    /// Frames still coalesced when the run finished.
+    pub coalesced_final: u64,
+}
+
+impl PagesizeReport {
+    /// Extracts the snapshot from the `pagesize_counters` aux series the
+    /// runner records (field order above); zeros when the series is
+    /// absent (uniform-4 KB runs, older reports).
+    pub fn from_aux(aux: &[(String, Vec<f64>)]) -> Self {
+        let mut out = [0u64; 9];
+        if let Some((_, vs)) = aux.iter().find(|(k, _)| k == "pagesize_counters") {
+            for (slot, v) in out.iter_mut().zip(vs) {
+                *slot = *v as u64;
+            }
+        }
+        PagesizeReport {
+            coalesces: out[0],
+            splinters_false_sharing: out[1],
+            splinters_eviction: out[2],
+            splinters_retirement: out[3],
+            counter_trips_base: out[4],
+            counter_trips_large: out[5],
+            counter_groups_aliased: out[6],
+            coalesced_peak: out[7],
+            coalesced_final: out[8],
+        }
+    }
+
+    /// Total splinters across every cause.
+    pub fn splinters(&self) -> u64 {
+        self.splinters_false_sharing + self.splinters_eviction + self.splinters_retirement
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("coalesces".into(), Json::UInt(self.coalesces)),
+            (
+                "splinters_false_sharing".into(),
+                Json::UInt(self.splinters_false_sharing),
+            ),
+            (
+                "splinters_eviction".into(),
+                Json::UInt(self.splinters_eviction),
+            ),
+            (
+                "splinters_retirement".into(),
+                Json::UInt(self.splinters_retirement),
+            ),
+            (
+                "counter_trips_base".into(),
+                Json::UInt(self.counter_trips_base),
+            ),
+            (
+                "counter_trips_large".into(),
+                Json::UInt(self.counter_trips_large),
+            ),
+            (
+                "counter_groups_aliased".into(),
+                Json::UInt(self.counter_groups_aliased),
+            ),
+            ("coalesced_peak".into(), Json::UInt(self.coalesced_peak)),
+            ("coalesced_final".into(), Json::UInt(self.coalesced_final)),
+            // Derived, for human readers; ignored when parsing.
+            ("splinters_total".into(), Json::UInt(self.splinters())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(PagesizeReport {
+            coalesces: req_u64(v, "coalesces")?,
+            splinters_false_sharing: req_u64(v, "splinters_false_sharing")?,
+            splinters_eviction: req_u64(v, "splinters_eviction")?,
+            splinters_retirement: req_u64(v, "splinters_retirement")?,
+            counter_trips_base: req_u64(v, "counter_trips_base")?,
+            counter_trips_large: req_u64(v, "counter_trips_large")?,
+            counter_groups_aliased: req_u64(v, "counter_groups_aliased")?,
+            coalesced_peak: req_u64(v, "coalesced_peak")?,
+            coalesced_final: req_u64(v, "coalesced_final")?,
+        })
+    }
+}
+
 /// A `RunMetrics` snapshot in plain-data form.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsReport {
@@ -346,6 +457,9 @@ pub struct MetricsReport {
     /// Fault-injection outcomes (v4; zeros when the run was uninjected or
     /// the report predates v4).
     pub resilience: ResilienceReport,
+    /// Multi-page-size activity (v7; zeros when the run managed uniform
+    /// 4 KB pages or the report predates v7).
+    pub pagesize: PagesizeReport,
     /// Auxiliary named series, sorted by name for deterministic output.
     pub aux: Vec<(String, Vec<f64>)>,
 }
@@ -378,6 +492,7 @@ impl MetricsReport {
             oversubscription_rate: m.oversubscription_rate,
             fabric: FabricReport::from_aux(&aux),
             resilience: ResilienceReport::from_aux(&aux),
+            pagesize: PagesizeReport::from_aux(&aux),
             aux,
         }
     }
@@ -432,6 +547,14 @@ impl MetricsReport {
                 fields.insert(at, ("resilience".into(), self.resilience.to_json()));
             }
         }
+        // Likewise, the pagesize object appears only on runs that
+        // managed large pages, keeping uniform-4 KB documents v6-shaped.
+        if self.pagesize != PagesizeReport::default() {
+            if let Json::Obj(fields) = &mut obj {
+                let at = fields.len() - 1; // before "aux"
+                fields.insert(at, ("pagesize".into(), self.pagesize.to_json()));
+            }
+        }
         obj
     }
 
@@ -481,6 +604,11 @@ impl MetricsReport {
             resilience: match v.get("resilience") {
                 Some(r) => ResilienceReport::from_json(r)?,
                 None => ResilienceReport::default(),
+            },
+            // Present only on large-page v7 runs; default to zeros.
+            pagesize: match v.get("pagesize") {
+                Some(p) => PagesizeReport::from_json(p)?,
+                None => PagesizeReport::default(),
             },
             aux,
         })
@@ -1130,6 +1258,7 @@ impl RunReport {
     pub fn from_json(v: &Json) -> Result<Self, String> {
         let schema = req_str(v, "schema")?;
         if schema != RUN_REPORT_SCHEMA
+            && schema != RUN_REPORT_SCHEMA_V6
             && schema != RUN_REPORT_SCHEMA_V5
             && schema != RUN_REPORT_SCHEMA_V4
             && schema != RUN_REPORT_SCHEMA_V3
@@ -1557,6 +1686,56 @@ mod tests {
         let back =
             MetricsReport::from_json(&Json::parse(&r.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn pagesize_report_round_trips_and_is_omitted_when_zero() {
+        // A uniform-4 KB run: no pagesize_counters series, no JSON object.
+        let plain = MetricsReport::from_metrics(&sample_metrics());
+        assert_eq!(plain.pagesize, PagesizeReport::default());
+        let text = plain.to_json().to_string();
+        assert!(!text.contains("\"pagesize\""), "zero object leaked: {text}");
+
+        // A large-page run: the aux series populates the object, it is
+        // serialized, and it parses back identically.
+        let mut m = sample_metrics();
+        m.aux.insert(
+            "pagesize_counters".into(),
+            vec![8.0, 3.0, 2.0, 1.0, 40.0, 5.0, 160.0, 6.0, 2.0],
+        );
+        let r = MetricsReport::from_metrics(&m);
+        assert_eq!(
+            r.pagesize,
+            PagesizeReport {
+                coalesces: 8,
+                splinters_false_sharing: 3,
+                splinters_eviction: 2,
+                splinters_retirement: 1,
+                counter_trips_base: 40,
+                counter_trips_large: 5,
+                counter_groups_aliased: 160,
+                coalesced_peak: 6,
+                coalesced_final: 2,
+            }
+        );
+        assert_eq!(r.pagesize.splinters(), 6);
+        let back =
+            MetricsReport::from_json(&Json::parse(&r.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn v6_run_report_schema_tag_still_parses() {
+        let report = RunReport {
+            cells: vec![sample_cell(0)],
+            ..RunReport::default()
+        };
+        let mut j = report.to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields[0].1 = Json::Str(RUN_REPORT_SCHEMA_V6.into());
+        }
+        let back = RunReport::from_json(&j).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

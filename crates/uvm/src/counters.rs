@@ -44,11 +44,23 @@ impl AccessCounters {
         }
     }
 
+    /// The 64 KB counter group `vpn` falls into at this page size.
+    pub fn group_of(&self, vpn: PageId) -> u64 {
+        vpn.counter_group(self.page_size)
+    }
+
     /// Records one remote access by `gpu` to `vpn`. Returns `true` when the
     /// group counter reaches the threshold; the counter then resets.
     pub fn record_remote(&mut self, gpu: GpuId, vpn: PageId) -> bool {
-        let key = (gpu, vpn.counter_group(self.page_size));
-        let c = self.counts.entry(key).or_insert(0);
+        self.record_remote_grouped(gpu, vpn.counter_group(self.page_size))
+    }
+
+    /// Records one remote access under an explicit group key. Coalesced
+    /// 2 MB frames track remote traffic under a single frame-granularity
+    /// key rather than per 64 KB group, so the driver supplies the key
+    /// itself (disjoint from ordinary group indices).
+    pub fn record_remote_grouped(&mut self, gpu: GpuId, group: u64) -> bool {
+        let c = self.counts.entry((gpu, group)).or_insert(0);
         *c += 1;
         if *c >= self.threshold {
             *c = 0;
@@ -64,10 +76,19 @@ impl AccessCounters {
         self.counts.get(&(gpu, vpn.counter_group(self.page_size))).copied().unwrap_or(0)
     }
 
+    /// Current counter value under an explicit group key.
+    pub fn value_grouped(&self, gpu: GpuId, group: u64) -> u32 {
+        self.counts.get(&(gpu, group)).copied().unwrap_or(0)
+    }
+
     /// Clears all counters for the group containing `vpn` (after the page
     /// migrates, stale remote counts are meaningless).
     pub fn reset_group(&mut self, vpn: PageId) {
-        let group = vpn.counter_group(self.page_size);
+        self.reset_group_key(vpn.counter_group(self.page_size));
+    }
+
+    /// Clears all counters under an explicit group key.
+    pub fn reset_group_key(&mut self, group: u64) {
         self.counts.retain(|&(_, g), _| g != group);
     }
 
@@ -130,6 +151,22 @@ mod tests {
         assert!(!c.record_remote(g, PageId(1)));
         assert!(!c.record_remote(g, PageId(2))); // different "group"
         assert!(c.record_remote(g, PageId(1)));
+    }
+
+    #[test]
+    fn explicit_group_keys_are_independent() {
+        let mut c = AccessCounters::new(2, 4096);
+        let g = GpuId::new(0);
+        let frame_key = (1u64 << 63) | 7;
+        assert!(!c.record_remote_grouped(g, frame_key));
+        // The same pages under their natural group stay untouched.
+        assert_eq!(c.value(g, PageId(7 * 512)), 0);
+        assert_eq!(c.value_grouped(g, frame_key), 1);
+        assert!(c.record_remote_grouped(g, frame_key));
+        assert_eq!(c.triggers(), 1);
+        c.record_remote_grouped(g, frame_key);
+        c.reset_group_key(frame_key);
+        assert_eq!(c.value_grouped(g, frame_key), 0);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use grit_interconnect::Fabric;
 use grit_mem::{GpuMemory, LocalPageTable, Mapping};
 use grit_metrics::{FaultCounters, LatencyBreakdown, LatencyClass, LatencyHistogram};
+use grit_pagesize::{BasePageView, LargePageTable, SplinterCause};
 use grit_prof::{span, Phase};
 use grit_sim::{
     AccessKind, Backoff, ConfigError, Cycle, FaultPlan, GpuId, InjectedKind, MemLoc, PageId,
@@ -39,6 +40,10 @@ pub struct DriverOutcome {
     pub stalls: Vec<(GpuId, Cycle)>,
     /// Translations the runner must drop from TLBs and data caches.
     pub invalidated: Vec<(GpuId, PageId)>,
+    /// Coalesced 2 MB frames splintered by this operation, as `(owner,
+    /// frame_base)` pairs: the runner must drop the owner's large-TLB
+    /// entry for the frame. Always empty under uniform 4 KB pages.
+    pub splintered: Vec<(GpuId, PageId)>,
     /// The mapping the mechanism installed for the *faulting* GPU and page,
     /// when the operation resolved a fault. Lets the runner replay the
     /// access without a second page-table lookup. Only meaningful on
@@ -52,6 +57,7 @@ impl DriverOutcome {
         self.done_at = self.done_at.max(other.done_at);
         self.stalls.extend(other.stalls);
         self.invalidated.extend(other.invalidated);
+        self.splintered.extend(other.splintered);
         // The first mapping recorded belongs to the faulting page; merged
         // side effects (group duplication, teardown) must not clobber it.
         if self.mapping.is_none() {
@@ -101,6 +107,7 @@ impl std::error::Error for InvariantViolation {}
 /// epoch work) stops the speculation for that GPU instead of executing.
 pub struct DriverView<'a> {
     local_pts: &'a [LocalPageTable],
+    large: &'a LargePageTable,
     pending: Option<Cycle>,
 }
 
@@ -108,6 +115,23 @@ impl DriverView<'_> {
     /// Mirrors [`UvmDriver::translate`] against the frozen tables.
     pub fn translate(&self, gpu: GpuId, vpn: PageId) -> Option<Mapping> {
         self.local_pts[gpu.index()].lookup(vpn)
+    }
+
+    /// Mirrors [`UvmDriver::coalesced_frame`] against the frozen
+    /// large-page table: the 2 MB frame base when `vpn` lies inside a
+    /// coalesced frame. Coalescing and splintering happen only on serial
+    /// driver paths, so the answer is stable for a whole speculation
+    /// round.
+    pub fn coalesced_frame(&self, vpn: PageId) -> Option<PageId> {
+        self.large.coalesced_frame(vpn)
+    }
+
+    /// Mirrors [`UvmDriver::large_translation`] against the frozen
+    /// large-page table.
+    pub fn large_translation(&self, gpu: GpuId, vpn: PageId) -> Option<PageId> {
+        self.large
+            .coalesced_frame(vpn)
+            .filter(|_| self.large.frame_owner(vpn) == Some(gpu))
     }
 
     /// Whether driver-side work (an epoch or an injection) is due at or
@@ -126,6 +150,10 @@ pub struct UvmDriver {
     memories: Vec<GpuMemory>,
     fabric: Fabric,
     counters: AccessCounters,
+    /// Which 2 MB frames are currently coalesced (inert under uniform
+    /// 4 KB pages). Mutated only on serial driver paths so the sharded
+    /// runner's speculation rounds observe frozen large-page state.
+    large: LargePageTable,
     policy: Box<dyn PlacementPolicy>,
     prefetcher: Option<Box<dyn Prefetcher>>,
     footprint_pages: u64,
@@ -223,6 +251,7 @@ impl UvmDriver {
             memories: (0..cfg.num_gpus).map(|_| GpuMemory::new(cap)).collect(),
             fabric,
             counters: AccessCounters::new(cfg.access_counter_threshold, cfg.page_size),
+            large: LargePageTable::from_config(cfg.page_size_mode, cfg.page_size),
             policy,
             prefetcher: None,
             footprint_pages,
@@ -269,6 +298,42 @@ impl UvmDriver {
         self.local_pts[gpu.index()].lookup(vpn)
     }
 
+    /// The 2 MB frame base when `vpn` lies inside a coalesced frame —
+    /// the key under which the large translation lives in the 2 MB TLBs.
+    /// Always `None` under uniform 4 KB pages.
+    pub fn coalesced_frame(&self, vpn: PageId) -> Option<PageId> {
+        self.large.coalesced_frame(vpn)
+    }
+
+    /// The 2 MB frame base when `gpu` holds the frame's large
+    /// translation — it owns the coalesced frame containing `vpn` — so
+    /// its accesses translate through the 2 MB TLBs under this key.
+    /// Peers mapping into the frame remotely keep base-page
+    /// translations.
+    pub fn large_translation(&self, gpu: GpuId, vpn: PageId) -> Option<PageId> {
+        self.large
+            .coalesced_frame(vpn)
+            .filter(|_| self.large.frame_owner(vpn) == Some(gpu))
+    }
+
+    /// Whether this driver manages multi-page-size state at all (a
+    /// `page_size_mode` other than `uniform4k` with base pages smaller
+    /// than 2 MB).
+    pub fn large_pages_active(&self) -> bool {
+        self.large.enabled()
+    }
+
+    /// Read access to the large-page table (coalesced frames, counters).
+    pub fn large_pages(&self) -> &LargePageTable {
+        &self.large
+    }
+
+    /// The fixed-order `pagesize_counters` aux series (see
+    /// `grit_pagesize::PageSizeCounters::to_series`).
+    pub fn pagesize_series(&self) -> Vec<f64> {
+        self.large.counter_series()
+    }
+
     /// Effective placement scheme of a page (Fig. 19 metric); pages with
     /// unset scheme bits report the baseline on-touch scheme.
     pub fn scheme_of(&self, vpn: PageId) -> Scheme {
@@ -295,6 +360,7 @@ impl UvmDriver {
     pub fn view(&self) -> DriverView<'_> {
         DriverView {
             local_pts: &self.local_pts,
+            large: &self.large,
             pending: self.pending_work_cycle(),
         }
     }
@@ -646,6 +712,8 @@ impl UvmDriver {
             gpu,
             vpn,
         });
+        // Retirement force-evicts part of the frame's range.
+        self.splinter_frame(vpn, SplinterCause::Retirement, now, &mut out);
         if self.central.page(vpn).owner == MemLoc::Gpu(gpu) {
             // The authoritative copy goes back to host memory; dirty pages
             // pay the full PCIe write-back, clean ones a control message.
@@ -717,6 +785,9 @@ impl UvmDriver {
                     if self.central.page(vpn).owner != MemLoc::Gpu(to) {
                         let o = self.migrate_page(to, vpn, now, LatencyClass::PageMigration);
                         out.merge(o);
+                        // Epoch placement settles pages too: the target
+                        // frame may now be fully private on `to`.
+                        self.try_coalesce(vpn, now);
                     }
                 }
             }
@@ -862,6 +933,10 @@ impl UvmDriver {
             self.run_prefetch(fault.gpu, fault.vpn, out.done_at);
         }
 
+        // Fault resolution settles placement: the frame may just have
+        // become fully private and resident on one GPU.
+        self.try_coalesce(fault.vpn, fault.now);
+
         out.done_at += lat.fault_replay;
         self.fault_latency.record(out.done_at.saturating_sub(fault.now));
         out
@@ -882,15 +957,26 @@ impl UvmDriver {
         if self.scheme_of(vpn) != Scheme::AccessCounter {
             return injected;
         }
+        // A coalesced 2 MB frame exposes one translation, so the hardware
+        // can only count at frame granularity: all of its 64 KB counter
+        // groups alias onto a single frame-keyed counter (disjoint from
+        // ordinary group indices via the top bit). Uncoalesced pages use
+        // the ordinary 64 KB group key — under uniform 4 KB pages `frame`
+        // is always `None` and this path is byte-identical to before.
+        let frame = self.large.coalesced_frame(vpn);
+        let group = match frame {
+            Some(base) => (1 << 63) | (base.vpn() / self.large.pages_per_frame()),
+            None => self.counters.group_of(vpn),
+        };
         // Cost-weighted placement under injected faults: an access that
         // crosses a sick route (degraded, detoured, or severed) counts
         // double, so the counters pull hot 64 KB groups away from sick
         // links roughly twice as fast. Zero-cost without a plan.
-        let mut tripped = self.counters.record_remote(gpu, vpn);
+        let mut tripped = self.counters.record_remote_grouped(gpu, group);
         if !tripped && !self.plan.is_empty() {
             if let MemLoc::Gpu(o) = self.central.page(vpn).owner {
                 if o != gpu && self.fabric.route_sick(gpu, o, now) {
-                    tripped = self.counters.record_remote(gpu, vpn);
+                    tripped = self.counters.record_remote_grouped(gpu, group);
                 }
             }
         }
@@ -898,19 +984,32 @@ impl UvmDriver {
             return injected;
         }
         // Counter tripped: the UVM driver broadcasts invalidations, then
-        // migrates the whole 64 KB page group to the heavy accessor (the
-        // counters track and move 64 KB regions, §II-B2).
-        self.counters.reset_group(vpn);
+        // migrates the whole tracked region to the heavy accessor — a
+        // 64 KB page group normally (§II-B2), the whole 2 MB frame when
+        // the trip was on a coalesced frame's aliased counter.
+        self.counters.reset_group_key(group);
+        if self.large.enabled() {
+            let pages_per_group = (65_536 / self.cfg.page_size).max(1);
+            self.large.note_counter_trip(match frame {
+                Some(_) => (self.large.pages_per_frame() / pages_per_group).max(1),
+                None => 0,
+            });
+        }
         let lat = self.cfg.lat;
         self.breakdown.record(LatencyClass::Host, lat.host_fault_base);
         let t = now + lat.host_fault_base;
-        let pages_per_group = (65_536 / self.cfg.page_size).max(1);
-        let base = vpn.group_base(pages_per_group);
+        let (base, span_pages) = match frame {
+            Some(fb) => (fb, self.large.pages_per_frame()),
+            None => {
+                let pages_per_group = (65_536 / self.cfg.page_size).max(1);
+                (vpn.group_base(pages_per_group), pages_per_group)
+            }
+        };
         let mut out = DriverOutcome {
             done_at: t,
             ..Default::default()
         };
-        for i in 0..pages_per_group {
+        for i in 0..span_pages {
             let p = base.offset(i);
             if p.vpn() >= self.footprint_pages || !self.central.page(p).touched {
                 continue;
@@ -918,6 +1017,9 @@ impl UvmDriver {
             let o = self.migrate_page(gpu, p, t, LatencyClass::PageMigration);
             out.merge(o);
         }
+        // The whole region now sits on the accessor: re-coalesce if the
+        // frame came out fully private (frame migration end-to-end).
+        self.try_coalesce(vpn, t);
         if let Some(inj) = injected {
             out.merge(inj);
         }
@@ -991,6 +1093,74 @@ impl UvmDriver {
     }
 
     // ------------------------------------------------------------------
+    // Multi-page-size management (coalescing / splintering).
+    // ------------------------------------------------------------------
+
+    /// Splinters the coalesced frame containing `vpn`, if any: records
+    /// the cause, emits the trace event, charges the owner's large-TLB
+    /// shootdown and queues it on the outcome. A no-op under uniform
+    /// 4 KB pages or when the frame was not coalesced, so every
+    /// sharing/eviction path hooks this unconditionally.
+    fn splinter_frame(
+        &mut self,
+        vpn: PageId,
+        cause: SplinterCause,
+        now: Cycle,
+        out: &mut DriverOutcome,
+    ) {
+        if let Some((base, owner)) = self.large.splinter(vpn, cause) {
+            self.tracer.emit(EventCategory::PageSplintered, || {
+                TraceEvent::PageSplintered {
+                    cycle: now,
+                    gpu: owner,
+                    vpn: base,
+                    cause,
+                }
+            });
+            // The demotion rewrites the frame's PTEs and shoots down the
+            // owner's large translation.
+            self.breakdown.record(
+                LatencyClass::Host,
+                self.cfg.lat.scheme_change + self.cfg.lat.invalidation_per_gpu,
+            );
+            out.splintered.push((owner, base));
+        }
+    }
+
+    /// Re-scans the frame containing `vpn` against the central table and
+    /// coalesces it when it became fully private and resident on one
+    /// GPU. Called at the end of serial driver operations that settle
+    /// page placement (fault resolution, counter-trip migration, epoch
+    /// migration); a no-op under uniform 4 KB pages.
+    fn try_coalesce(&mut self, vpn: PageId, now: Cycle) {
+        if !self.large.enabled() {
+            return;
+        }
+        let central = &self.central;
+        let candidate = self.large.coalesce_candidate(vpn, self.footprint_pages, |p| {
+            let st = central.page(p);
+            Some(BasePageView {
+                owner: match st.owner {
+                    MemLoc::Gpu(g) => Some(g),
+                    MemLoc::Host => None,
+                },
+                replicated: !st.replicas.is_empty(),
+                touched: st.touched,
+            })
+        });
+        if let Some((base, owner)) = candidate {
+            self.large.coalesce(base, owner);
+            self.tracer.emit(EventCategory::PageCoalesced, || TraceEvent::PageCoalesced {
+                cycle: now,
+                gpu: owner,
+                vpn: base,
+            });
+            // The promotion rewrites the frame's PTEs host-side.
+            self.breakdown.record(LatencyClass::Host, self.cfg.lat.scheme_change);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Mechanisms.
     // ------------------------------------------------------------------
 
@@ -1032,6 +1202,8 @@ impl UvmDriver {
         };
         let state = *self.central.page_mut(vpn);
         let lat = self.cfg.lat;
+        // Evicting any base page leaves the frame partially resident.
+        self.splinter_frame(vpn, SplinterCause::Eviction, now, &mut out);
         if state.owner == MemLoc::Gpu(gpu) {
             // The authoritative copy moves back to host memory; only dirty
             // pages pay the PCIe write-back, clean ones are dropped.
@@ -1101,6 +1273,9 @@ impl UvmDriver {
             vpn,
             from: state.owner,
         });
+        // A base page leaving its frame's owner breaks the frame's
+        // privacy; a no-op when the frame was not coalesced.
+        self.splinter_frame(vpn, SplinterCause::FalseSharing, now, &mut out);
         let mut t = now;
 
         // 1. Flush/drain the source GPU that owns the page.
@@ -1207,6 +1382,8 @@ impl UvmDriver {
             // The only up-to-date copy sits behind the dead route; park
             // it in host memory so every GPU can still reach it.
             self.resilience.host_staged += 1;
+            // Host staging pulls a page out of the frame's residency.
+            self.splinter_frame(vpn, SplinterCause::Eviction, t, &mut out);
             let mut teardown = self.teardown_mappings_except(vpn, dst, t, class);
             out.stalls.append(&mut teardown.stalls);
             out.invalidated.append(&mut teardown.invalidated);
@@ -1356,6 +1533,8 @@ impl UvmDriver {
             vpn,
             from: state.owner,
         });
+        // A replica on a peer ends the frame's single-owner privacy.
+        self.splinter_frame(vpn, SplinterCause::FalseSharing, now, &mut out);
         // Copy from the authoritative owner; the driver mediates the
         // replica creation (dup_overhead).
         let now = now + self.cfg.lat.dup_overhead;
@@ -1391,6 +1570,9 @@ impl UvmDriver {
             ..Default::default()
         };
         let mut t = now;
+        // The writer takes exclusive ownership away from the current
+        // holders: any coalesced frame over this range is falsely shared.
+        self.splinter_frame(vpn, SplinterCause::FalseSharing, now, &mut out);
         if !others.is_empty() {
             self.faults.collapses += 1;
             self.tracer.emit(EventCategory::Collapse, || TraceEvent::Collapse {
@@ -1654,6 +1836,101 @@ mod tests {
         assert_eq!(d.central.page(PageId(0)).owner, MemLoc::Host);
         assert_eq!(d.translate(GpuId::new(0), PageId(0)), None);
         assert!(d.oversubscription_rate() > 0.0);
+    }
+
+    /// 512 KB base pages -> 4 base pages per 2 MB frame, so whole frames
+    /// coalesce after a handful of faults.
+    fn large_cfg() -> SimConfig {
+        SimConfig {
+            page_size: 512 * 1024,
+            page_size_mode: grit_sim::PageSizeMode::Uniform2m,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn private_frame_coalesces_and_false_sharing_splinters_it() {
+        let mut d = UvmDriver::new(large_cfg(), 8, Box::new(StaticPolicy::new(Scheme::OnTouch)));
+        assert!(d.large_pages_active());
+        for p in 0..4 {
+            d.handle_fault(fault(0, p, AccessKind::Read, FaultKind::Local, p * 100_000));
+        }
+        // Frame 0 (pages 0..4) is fully private on GPU0: coalesced.
+        assert_eq!(d.coalesced_frame(PageId(2)), Some(PageId(0)));
+        assert_eq!(d.large_pages().frame_owner(PageId(0)), Some(GpuId::new(0)));
+        assert_eq!(d.large_pages().counters().coalesces, 1);
+
+        // GPU1 pulls one base page out of the frame: false sharing.
+        let out = d.handle_fault(fault(1, 2, AccessKind::Read, FaultKind::Local, 500_000));
+        assert_eq!(d.coalesced_frame(PageId(0)), None);
+        assert!(out.splintered.contains(&(GpuId::new(0), PageId(0))));
+        assert_eq!(d.large_pages().counters().splinters_false_sharing, 1);
+    }
+
+    #[test]
+    fn partial_eviction_splinters_the_frame() {
+        // Footprint 8 pages -> capacity ceil(8*0.7)=6: the 7th resident
+        // page evicts the LRU page out of the coalesced first frame.
+        let mut d = UvmDriver::new(large_cfg(), 8, Box::new(StaticPolicy::new(Scheme::OnTouch)));
+        for p in 0..7 {
+            d.handle_fault(fault(0, p, AccessKind::Read, FaultKind::Local, p * 100_000));
+        }
+        assert_eq!(d.fault_counters().evictions, 1);
+        assert_eq!(d.coalesced_frame(PageId(0)), None);
+        assert!(d.large_pages().counters().splinters_eviction >= 1);
+    }
+
+    #[test]
+    fn frame_counter_trip_migrates_whole_frame_and_recoalesces() {
+        let mut d = UvmDriver::new(
+            large_cfg(),
+            8,
+            Box::new(StaticPolicy::new(Scheme::AccessCounter)),
+        );
+        for p in 0..4 {
+            d.handle_fault(fault(0, p, AccessKind::Read, FaultKind::Local, p * 100_000));
+        }
+        assert_eq!(d.coalesced_frame(PageId(0)), Some(PageId(0)));
+        // A clean remote mapping by a peer does NOT splinter: the owner's
+        // large translation stays valid.
+        d.handle_fault(fault(1, 0, AccessKind::Read, FaultKind::Local, 500_000));
+        assert_eq!(d.coalesced_frame(PageId(0)), Some(PageId(0)));
+
+        // Remote accesses count against the frame-granularity alias; the
+        // trip migrates the whole 2 MB frame and re-coalesces on GPU1.
+        let mut migrated = false;
+        for i in 0..256 {
+            if d.record_remote_access(600_000 + i, GpuId::new(1), PageId(0)).is_some() {
+                migrated = true;
+            }
+        }
+        assert!(migrated, "256 remote accesses must trip the frame counter");
+        for p in 0..4 {
+            assert_eq!(d.central.page(PageId(p)).owner, MemLoc::Gpu(GpuId::new(1)));
+        }
+        let c = d.large_pages().counters();
+        assert_eq!(c.counter_trips_large, 1);
+        assert_eq!(c.counter_groups_aliased, 4);
+        assert_eq!(c.splinters_false_sharing, 1);
+        assert_eq!(c.coalesces, 2);
+        assert_eq!(d.large_pages().frame_owner(PageId(0)), Some(GpuId::new(1)));
+        // The series mirrors the counters (fixed order, 9 slots).
+        let series = d.pagesize_series();
+        assert_eq!(series.len(), 9);
+        assert_eq!(series[0], 2.0);
+    }
+
+    #[test]
+    fn uniform4k_drivers_never_touch_large_page_state() {
+        let mut d = driver(Scheme::AccessCounter);
+        assert!(!d.large_pages_active());
+        d.handle_fault(fault(0, 7, AccessKind::Read, FaultKind::Local, 0));
+        d.handle_fault(fault(1, 7, AccessKind::Read, FaultKind::Local, 100_000));
+        for i in 0..256 {
+            d.record_remote_access(200_000 + i, GpuId::new(1), PageId(7));
+        }
+        assert_eq!(d.coalesced_frame(PageId(7)), None);
+        assert_eq!(d.pagesize_series(), vec![0.0; 9]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Workload construction: turns an [`App`] into per-GPU access streams.
 
-use grit_sim::{SimRng, SliceStream};
+use grit_sim::{ConfigError, SimRng, SliceStream};
 
 use crate::apps;
 use crate::common::GpuTrace;
@@ -106,21 +106,64 @@ impl WorkloadBuilder {
     /// # Panics
     ///
     /// Panics if the configuration is degenerate (zero GPUs, more than 16
-    /// GPUs, non-positive scale).
+    /// GPUs, non-positive scale, or a page size [`try_build`] rejects).
+    ///
+    /// [`try_build`]: WorkloadBuilder::try_build
     pub fn build(self) -> MultiGpuWorkload {
         assert!(
             self.num_gpus > 0 && self.num_gpus <= 16,
             "GPU count out of range"
         );
-        assert!(self.scale > 0.0, "scale must be positive");
-        assert!(self.intensity > 0.0, "intensity must be positive");
+        match self.try_build() {
+            Ok(w) => w,
+            Err(e) => panic!("invalid workload configuration: {e}"),
+        }
+    }
+
+    /// Generates the workload, reporting degenerate configurations as a
+    /// [`ConfigError`] instead of panicking: GPU count outside 1–16,
+    /// non-positive scale or intensity, a non-power-of-two page size, a
+    /// page size whose line count overflows the simulator's 16-bit line
+    /// indices, or a page size larger than the scaled footprint (the
+    /// whole working set must span at least one page).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn try_build(self) -> Result<MultiGpuWorkload, ConfigError> {
+        if self.num_gpus == 0 || self.num_gpus > 16 {
+            return Err(ConfigError::new(
+                "num_gpus",
+                format!("{} out of range 1..=16", self.num_gpus),
+            ));
+        }
+        if self.scale.is_nan() || self.scale <= 0.0 {
+            return Err(ConfigError::new("scale", "must be positive"));
+        }
+        if self.intensity.is_nan() || self.intensity <= 0.0 {
+            return Err(ConfigError::new("intensity", "must be positive"));
+        }
+        let lines_per_page = grit_sim::lines_per_page_checked(self.page_size)?;
+        let footprint_bytes = (self.app.footprint_bytes() as f64 * self.scale).ceil() as u64;
+        if self.page_size > footprint_bytes {
+            return Err(ConfigError::new(
+                "page_size",
+                format!(
+                    "{} exceeds the scaled footprint of {footprint_bytes} bytes \
+                     ({} at scale {})",
+                    self.page_size,
+                    self.app.abbr(),
+                    self.scale
+                ),
+            ));
+        }
         let pages = (((self.app.footprint_bytes() as f64 * self.scale) / self.page_size as f64)
             .ceil() as u64)
             .max(64);
         let mut ctx = GenCtx {
             num_gpus: self.num_gpus,
             pages,
-            lines_per_page: (self.page_size / grit_sim::CACHE_LINE_BYTES) as u16,
+            lines_per_page,
             intensity: self.intensity,
             rng: SimRng::seeded(self.seed ^ (self.app.abbr().len() as u64) << 32 ^ pages),
         };
@@ -138,12 +181,12 @@ impl WorkloadBuilder {
             barriers.iter().all(|b| b.len() == phases),
             "every GPU must see the same kernel-boundary count"
         );
-        MultiGpuWorkload {
+        Ok(MultiGpuWorkload {
             app: self.app,
             footprint_pages: pages,
             streams,
             barriers,
-        }
+        })
     }
 }
 
@@ -254,5 +297,50 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn zero_gpus_rejected() {
         let _ = WorkloadBuilder::new(App::Bfs).num_gpus(0).build();
+    }
+
+    #[test]
+    fn try_build_rejects_degenerate_page_sizes() {
+        // Non-power-of-two.
+        let err = WorkloadBuilder::new(App::Bfs).page_size(3000).try_build().unwrap_err();
+        assert_eq!(err.field, "page_size");
+        // Line count would overflow u16 (the old `as u16` cast truncated
+        // 4 MB pages to zero lines).
+        let err = WorkloadBuilder::new(App::Bfs)
+            .page_size(4 * 1024 * 1024)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err.field, "page_size");
+        assert!(err.reason.contains("overflows"), "{}", err.reason);
+        // Page larger than the scaled footprint.
+        let err = WorkloadBuilder::new(App::Bfs)
+            .scale(1e-6)
+            .page_size(grit_sim::PAGE_SIZE_2M)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err.field, "page_size");
+        assert!(err.reason.contains("footprint"), "{}", err.reason);
+        // Scale and intensity must be positive, GPU count in range.
+        assert_eq!(
+            WorkloadBuilder::new(App::Bfs).scale(0.0).try_build().unwrap_err().field,
+            "scale"
+        );
+        assert_eq!(
+            WorkloadBuilder::new(App::Bfs).intensity(0.0).try_build().unwrap_err().field,
+            "intensity"
+        );
+        assert_eq!(
+            WorkloadBuilder::new(App::Bfs).num_gpus(17).try_build().unwrap_err().field,
+            "num_gpus"
+        );
+        // A valid configuration still builds.
+        let w = WorkloadBuilder::new(App::Bfs).scale(0.02).try_build().unwrap();
+        assert!(w.total_accesses() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload configuration")]
+    fn build_panics_on_truncating_page_size() {
+        let _ = WorkloadBuilder::new(App::Bfs).page_size(4 * 1024 * 1024).build();
     }
 }

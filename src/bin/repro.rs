@@ -107,6 +107,10 @@ const FIGURES: &[(&str, &str)] = &[
         "ext-resilience",
         "EXT: injected-fault scenarios x GPU count (slowdown vs healthy run)",
     ),
+    (
+        "ext-pagesize",
+        "EXT: page-size mode x policy sweep (2MB coalescing, per-size TLBs)",
+    ),
 ];
 
 /// Tables that later targets can reuse — `repro all` runs fig17/fig18
@@ -504,6 +508,10 @@ fn print_usage() {
     eprintln!(
         "  --topology T        interconnect for every cell: all-to-all (default), nvswitch[:RADIX], ring, mesh2d, hierarchical"
     );
+    eprintln!("  --page-size N       base page size in bytes for every cell (default 4096)");
+    eprintln!(
+        "  --page-size-mode M  large-page management for every cell: uniform4k (default), uniform2m, mixed"
+    );
     eprintln!(
         "  --inject SPEC       deterministic fault schedule for every cell, e.g. 'outage@1000:wire=0:for=5000;retire@2000:gpu=1:pct=10'"
     );
@@ -773,6 +781,12 @@ fn run_figure(
             let study = ex::ext_topology::run(exp);
             emit(&study.speedup, "ext_topology_speedup", csv_dir);
             emit(&study.queue, "ext_topology_queue", csv_dir);
+        }
+        "ext-pagesize" | "pagesize" => {
+            let study = ex::ext_pagesize::run(exp);
+            emit(&study.speedup, "ext_pagesize_speedup", csv_dir);
+            emit(&study.tlb, "ext_pagesize_tlb", csv_dir);
+            emit(&study.activity, "ext_pagesize_activity", csv_dir);
         }
         "ext-resilience" | "resilience" => {
             let study = ex::ext_resilience::run(exp);
@@ -1189,6 +1203,30 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 ospec = ospec.topology(spec);
+            }
+            "--page-size" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("--page-size needs a byte count (e.g. 4096, 65536)");
+                    return ExitCode::FAILURE;
+                };
+                if let Err(e) = grit_sim::lines_per_page_checked(v) {
+                    eprintln!("--page-size: {e}");
+                    return ExitCode::FAILURE;
+                }
+                ospec = ospec.page_size(v);
+            }
+            "--page-size-mode" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    eprintln!("--page-size-mode needs a mode (uniform4k, uniform2m, mixed)");
+                    return ExitCode::FAILURE;
+                };
+                if let Err(e) = grit_sim::PageSizeMode::parse(spec) {
+                    eprintln!("--page-size-mode: {e}");
+                    return ExitCode::FAILURE;
+                }
+                ospec = ospec.page_size_mode(spec.as_str());
             }
             "--inject" => {
                 i += 1;

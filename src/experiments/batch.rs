@@ -209,6 +209,9 @@ impl CellSpec {
         if self.cfg.page_size != d.page_size {
             spec = spec.page_size(self.cfg.page_size);
         }
+        if self.cfg.page_size_mode != d.page_size_mode {
+            spec = spec.page_size_mode(self.cfg.page_size_mode.name());
+        }
         if self.cfg.topology != d.topology {
             spec = spec.topology(topology_label(&self.cfg.topology));
         }

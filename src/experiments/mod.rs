@@ -30,6 +30,7 @@ pub mod fig31_dnn;
 pub mod ext_adaptation;
 pub mod ext_oracle;
 pub mod ext_pa_cache;
+pub mod ext_pagesize;
 pub mod ext_resilience;
 pub mod ext_sweeps;
 pub mod ext_topology;

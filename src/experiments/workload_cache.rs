@@ -229,8 +229,10 @@ mod tests {
             },
             &cfg,
         ));
+        // 64 KB still fits the tiny scaled footprint; 2 MB would exceed
+        // it and be rejected by the builder's validation.
         let big = SimConfig {
-            page_size: grit_sim::PAGE_SIZE_2M,
+            page_size: 64 * 1024,
             ..SimConfig::default()
         };
         cache.get_or_build(WorkloadKey::new(App::Bfs, &exp(13), &big));

@@ -65,6 +65,11 @@ struct GpuFrontend {
     ready: Cycle,
     window: MlpWindow,
     tlb: TlbHierarchy,
+    /// Page-size-partitioned VIPT TLBs: 2 MB translations live in their
+    /// own hierarchy, keyed by frame base. Allocated only when the
+    /// configuration manages large pages, so uniform-4 KB runs carry no
+    /// extra state.
+    tlb_2m: Option<TlbHierarchy>,
     walker: WalkerPool,
     l1: SetAssocCache<LineKey, ()>,
     l2: SetAssocCache<LineKey, ()>,
@@ -84,6 +89,8 @@ impl GpuFrontend {
             ready: 0,
             window: MlpWindow::new(cfg.mlp_window),
             tlb: TlbHierarchy::new(cfg.l1_tlb, cfg.l2_tlb),
+            tlb_2m: (cfg.page_size_mode.large_pages_enabled() && cfg.pages_per_large_frame() > 1)
+                .then(|| TlbHierarchy::new(cfg.l1_tlb_2m, cfg.l2_tlb_2m)),
             walker: WalkerPool::new(cfg.walk),
             l1: SetAssocCache::with_entries(cfg.l1_cache.entries, cfg.l1_cache.ways),
             l2: SetAssocCache::with_entries(cfg.l2_cache.entries, cfg.l2_cache.ways),
@@ -110,6 +117,15 @@ impl GpuFrontend {
         self.tlb.invalidate(vpn);
         *self.line_generation.entry(vpn).or_insert(0) += 1;
     }
+
+    /// Drops the 2 MB translation of a splintered frame. Base-page TLB
+    /// entries and cached lines are untouched: splintering demotes the
+    /// translation, the data does not move.
+    fn invalidate_large(&mut self, frame_base: PageId) {
+        if let Some(t2) = self.tlb_2m.as_mut() {
+            t2.invalidate(frame_base);
+        }
+    }
 }
 
 /// Inverse record of one speculatively executed access: everything needed
@@ -129,6 +145,10 @@ struct EntryUndo {
     pushed: Cycle,
     tlb: grit_mem::TlbTranslateUndo,
     tlb_fill: Option<grit_mem::TlbFillUndo>,
+    /// The translate/fill above went through the 2 MB hierarchy (the
+    /// access hit a coalesced frame owned by this GPU), so the undos
+    /// must be routed back to it.
+    tlb_large: bool,
     walk: Option<grit_mem::WalkUndo>,
     l1_get: grit_mem::CacheUndo<LineKey, ()>,
     l2_get: Option<grit_mem::CacheUndo<LineKey, ()>>,
@@ -308,7 +328,15 @@ fn advance_pure(
         let issue_base = r + acc.think as Cycle;
         let (t0, issue_undo) = f.window.issue_at_recorded(issue_base, &mut slot.arena);
         f.ready = t0;
-        let ((level, tlb_lat), tlb_undo) = f.tlb.translate_recorded(vpn);
+        // An access to a coalesced frame owned by this GPU translates
+        // through the 2 MB hierarchy under the frame-base key; everything
+        // else through the base-page TLBs. The frozen `DriverView` keeps
+        // the routing stable for the whole round.
+        let large_key = f.tlb_2m.as_ref().and_then(|_| view.large_translation(gpu, vpn));
+        let ((level, tlb_lat), tlb_undo) = match (large_key, f.tlb_2m.as_mut()) {
+            (Some(base), Some(t2)) => t2.translate_recorded(base),
+            _ => f.tlb.translate_recorded(vpn),
+        };
         let mut t = t0 + tlb_lat;
         let mut walked = false;
         let mut walk_cycles = 0;
@@ -320,7 +348,10 @@ fn advance_pure(
             walk_cycles = walk.done_at - t;
             t = walk.done_at;
             walk_undo = Some(wu);
-            tlb_fill = Some(f.tlb.fill_recorded(vpn));
+            tlb_fill = Some(match (large_key, f.tlb_2m.as_mut()) {
+                (Some(base), Some(t2)) => t2.fill_recorded(base),
+                _ => f.tlb.fill_recorded(vpn),
+            });
         }
         let mut local_miss = false;
         let (l1_hit, l1_get) = f.l1.get_recorded(&key);
@@ -359,6 +390,7 @@ fn advance_pure(
             pushed: t,
             tlb: tlb_undo,
             tlb_fill,
+            tlb_large: large_key.is_some(),
             walk: walk_undo,
             l1_get,
             l2_get,
@@ -403,14 +435,20 @@ fn rollback_to_cut(g: usize, f: &mut GpuFrontend, slot: &mut RoundSlot, cut: (Cy
         }
         f.l1.undo(u.l1_get);
         if let Some(tf) = u.tlb_fill {
-            f.tlb.undo_fill(tf);
+            match (u.tlb_large, f.tlb_2m.as_mut()) {
+                (true, Some(t2)) => t2.undo_fill(tf),
+                _ => f.tlb.undo_fill(tf),
+            }
         }
         if let Some(w) = u.walk {
             let start = slot.arena.len() - w.retired as usize;
             f.walker.undo_walk(w, &slot.arena[start..]);
             slot.arena.truncate(start);
         }
-        f.tlb.undo_translate(u.tlb);
+        match (u.tlb_large, f.tlb_2m.as_mut()) {
+            (true, Some(t2)) => t2.undo_translate(u.tlb),
+            _ => f.tlb.undo_translate(u.tlb),
+        }
         f.window.uncomplete(u.pushed);
         let start = slot.arena.len() - u.issue.retired as usize;
         f.window.undo_issue(u.issue, &slot.arena[start..]);
@@ -1304,10 +1342,20 @@ impl Simulation {
             self.driver.feed_access(t0, gpu, vpn, acc.kind);
         }
 
-        // Address translation.
+        // Address translation. A coalesced frame owned by this GPU
+        // translates through the 2 MB hierarchy under the frame-base key
+        // (mirroring `advance_pure`); everything else through the
+        // base-page TLBs.
+        let large_key = match self.gpus[g].tlb_2m {
+            Some(_) => self.driver.large_translation(gpu, vpn),
+            None => None,
+        };
         let (level, tlb_lat, mut mapping) = {
             let _prof = span(Phase::Translate);
-            let (level, tlb_lat) = self.gpus[g].tlb.translate(vpn);
+            let (level, tlb_lat) = match (large_key, self.gpus[g].tlb_2m.as_mut()) {
+                (Some(base), Some(t2)) => t2.translate(base),
+                _ => self.gpus[g].tlb.translate(vpn),
+            };
             (level, tlb_lat, self.driver.translate(gpu, vpn))
         };
         let mut t = t0 + tlb_lat;
@@ -1344,7 +1392,7 @@ impl Simulation {
                 // saving a second page-table lookup on the walk path.
                 mapping = out.mapping;
             }
-            self.gpus[g].tlb.fill(vpn);
+            self.tlb_fill(g, vpn);
         }
         let mut mapping = mapping.ok_or_else(|| {
             GritError::Cell(CellError::Invariant(
@@ -1370,7 +1418,7 @@ impl Simulation {
             });
             t = t.max(out.done_at);
             self.apply_outcome(g, &out);
-            self.gpus[g].tlb.fill(vpn);
+            self.tlb_fill(g, vpn);
             mapping = out.mapping.ok_or_else(|| {
                 GritError::Cell(CellError::Invariant(
                     "collapse must leave the writer mapped".into(),
@@ -1421,6 +1469,22 @@ impl Simulation {
         self.gpus[g].last_done = self.gpus[g].last_done.max(done);
     }
 
+    /// Fills the right TLB for `gpu`'s fresh translation of `vpn`: the
+    /// 2 MB hierarchy under the frame key when the GPU owns a coalesced
+    /// frame over the page (fault handling may just have coalesced or
+    /// splintered it), the base hierarchy otherwise.
+    fn tlb_fill(&mut self, g: usize, vpn: PageId) {
+        let key = match self.gpus[g].tlb_2m {
+            Some(_) => self.driver.large_translation(GpuId::new(g as u8), vpn),
+            None => None,
+        };
+        let f = &mut self.gpus[g];
+        match (key, f.tlb_2m.as_mut()) {
+            (Some(base), Some(t2)) => t2.fill(base),
+            _ => f.tlb.fill(vpn),
+        }
+    }
+
     fn apply_outcome(&mut self, _faulting: usize, out: &DriverOutcome) {
         for &(gpu, until) in &out.stalls {
             let f = &mut self.gpus[gpu.index()];
@@ -1428,6 +1492,9 @@ impl Simulation {
         }
         for &(gpu, vpn) in &out.invalidated {
             self.gpus[gpu.index()].invalidate_page(vpn);
+        }
+        for &(gpu, frame) in &out.splintered {
+            self.gpus[gpu.index()].invalidate_large(frame);
         }
     }
 
@@ -1540,6 +1607,22 @@ impl Simulation {
             .unzip();
         metrics.set_aux("tlb_l1_hit_rate", l1_rates);
         metrics.set_aux("tlb_l2_hit_rate", l2_rates);
+        // Multi-page-size telemetry; only large-page runs carry the
+        // series, so uniform-4 KB outputs stay byte-identical.
+        if self.driver.large_pages_active() {
+            metrics.set_aux("pagesize_counters", self.driver.pagesize_series());
+            let (l1_2m, l2_2m): (Vec<f64>, Vec<f64>) = self
+                .gpus
+                .iter()
+                .map(|g| {
+                    let t2 = g.tlb_2m.as_ref().expect("large-page mode allocates 2 MB TLBs");
+                    let (l1, l2) = t2.level_stats();
+                    (l1.hit_rate(), l2.hit_rate())
+                })
+                .unzip();
+            metrics.set_aux("tlb_l1_hit_rate_2m", l1_2m);
+            metrics.set_aux("tlb_l2_hit_rate_2m", l2_2m);
+        }
         // Cycle-domain profiling series. Always recorded (the sources sit
         // on rare paths), and byte-identical at any `sim_threads`: the
         // histograms live behind the driver, which only ever runs in

@@ -1,0 +1,63 @@
+//! Writes `BENCH_pagesize.json` (committed at the repo root): the
+//! headline numbers of the `ext-pagesize` study at the default
+//! experiment configuration. Unlike the wall-clock benches this
+//! document is fully deterministic — same config, same bytes — so a
+//! regeneration diff means the large-page model itself changed.
+//!
+//! Regenerate with:
+//! `cargo test --release --test pagesize_bench -- --ignored`
+
+use std::path::PathBuf;
+
+use grit::experiments::{ext_pagesize, ExpConfig};
+use grit_metrics::Table;
+
+fn cell(t: &Table, row: &str, col: &str) -> f64 {
+    t.cell(row, col).unwrap_or_else(|| panic!("missing table cell ({row}, {col})"))
+}
+
+#[test]
+#[ignore = "full study: ~70 enlarged-input cells; run with --ignored and commit BENCH_pagesize.json"]
+fn pagesize_study_benchmark() {
+    let exp = ExpConfig::default();
+    let s = ext_pagesize::run(&exp);
+    let mut doc = format!(
+        "{{\"schema\":\"grit-pagesize-bench/v1\",\"scale\":{},\"intensity\":{},\"seed\":{},\
+         \"input_enlargement\":{}",
+        exp.scale,
+        exp.intensity,
+        exp.seed,
+        ext_pagesize::INPUT_ENLARGEMENT
+    );
+    for mode in ["uniform2m", "mixed"] {
+        doc.push_str(&format!(
+            ",\"speedup_{mode}\":{{\"on-touch\":{:.4},\"access-counter\":{:.4},\"grit\":{:.4}}}",
+            cell(&s.speedup, mode, "on-touch"),
+            cell(&s.speedup, mode, "access-counter"),
+            cell(&s.speedup, mode, "grit"),
+        ));
+        doc.push_str(&format!(
+            ",\"activity_{mode}\":{{\"coalesces\":{},\"splinters\":{},\"trips_base\":{},\
+             \"trips_2m\":{},\"aliased_groups\":{}}}",
+            cell(&s.activity, mode, "coalesces"),
+            cell(&s.activity, mode, "splinters"),
+            cell(&s.activity, mode, "trips-base"),
+            cell(&s.activity, mode, "trips-2m"),
+            cell(&s.activity, mode, "aliased-groups"),
+        ));
+    }
+    doc.push_str(&format!(
+        ",\"tlb_2m\":{{\"l1_hit_uniform2m\":{:.4},\"l2_hit_uniform2m\":{:.4}}}}}\n",
+        cell(&s.tlb, "uniform2m", "l1-2m"),
+        cell(&s.tlb, "uniform2m", "l2-2m"),
+    ));
+
+    // The study must have real large-page traffic at the default config,
+    // or the committed numbers are vacuous.
+    assert!(cell(&s.activity, "mixed", "coalesces") > 0.0);
+    assert!(cell(&s.activity, "mixed", "splinters") > 0.0);
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_pagesize.json");
+    std::fs::write(&path, &doc).expect("write BENCH_pagesize.json");
+    eprintln!("wrote {}: {doc}", path.display());
+}
