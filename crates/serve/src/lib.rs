@@ -15,6 +15,9 @@
 //!   supplies the real runner; tests supply stubs).
 //! * [`client`] — a small blocking client used by `repro submit` and
 //!   the integration tests.
+//! * [`chaos`] — a deterministic fault-injecting localhost proxy
+//!   (close/truncate/stall/duplicate on exact byte schedules) used by
+//!   the chaos tests to prove the above degrade gracefully.
 //!
 //! The server is *local-first*: it binds a loopback-style TCP port so
 //! several shells and CI steps can share one warm process (one workload
@@ -22,10 +25,14 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{CampaignOutcome, ServeClient};
-pub use server::{ServeOptions, ServeSummary, Server, SpecFailure, SpecResult, SpecRunner};
+pub use chaos::{ChaosFault, ChaosProxy};
+pub use client::{CampaignOutcome, ClientError, ServeClient};
+pub use server::{
+    ServeOptions, ServeSummary, Server, ShutdownHandle, SpecFailure, SpecResult, SpecRunner,
+};
 pub use wire::{CellResult, Request, Response, SERVE_SCHEMA};

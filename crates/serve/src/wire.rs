@@ -196,6 +196,14 @@ pub struct CellResult {
     pub migrations: u64,
     /// Wall-clock simulation seconds on the server.
     pub sim_seconds: f64,
+    /// Result-store loads answered while serving this cell (0 or 1 in
+    /// practice; kept as a counter to match the report schema).
+    pub store_hits: u64,
+    /// Result-store loads that missed while serving this cell.
+    pub store_misses: u64,
+    /// Store files quarantined (failed an integrity check) while
+    /// serving this cell.
+    pub store_quarantined: u64,
     /// Failure detail when `status != "ok"`.
     pub error: Option<String>,
 }
@@ -221,6 +229,16 @@ pub enum Response {
     Accepted {
         /// The client's submission id.
         id: u64,
+    },
+    /// A `submit` was parsed but **not** queued: the server's global
+    /// cell queue is full (admission control). The cell is not counted
+    /// toward the connection's results; the client should back off for
+    /// at least `retry_after_ms` and resubmit.
+    Busy {
+        /// The client's submission id.
+        id: u64,
+        /// Server's backoff hint in milliseconds.
+        retry_after_ms: u64,
     },
     /// Out-of-band progress: a worker picked the cell up. Unlike
     /// `result` lines these are *not* ordered between cells.
@@ -271,6 +289,11 @@ impl Response {
                 fields.push(("type".into(), Json::Str("accepted".into())));
                 fields.push(("id".into(), Json::UInt(*id)));
             }
+            Response::Busy { id, retry_after_ms } => {
+                fields.push(("type".into(), Json::Str("busy".into())));
+                fields.push(("id".into(), Json::UInt(*id)));
+                fields.push(("retry_after_ms".into(), Json::UInt(*retry_after_ms)));
+            }
             Response::Progress { id, state } => {
                 fields.push(("type".into(), Json::Str("progress".into())));
                 fields.push(("id".into(), Json::UInt(*id)));
@@ -291,6 +314,19 @@ impl Response {
                 fields.push(("local_faults".into(), Json::UInt(r.local_faults)));
                 fields.push(("migrations".into(), Json::UInt(r.migrations)));
                 fields.push(("sim_seconds".into(), Json::Float(r.sim_seconds)));
+                // Store traffic is the exception, not the rule: emit
+                // only nonzero counters so pre-v8 readers and golden
+                // fixtures are unchanged for cells that never touch
+                // the store.
+                if r.store_hits != 0 {
+                    fields.push(("store_hits".into(), Json::UInt(r.store_hits)));
+                }
+                if r.store_misses != 0 {
+                    fields.push(("store_misses".into(), Json::UInt(r.store_misses)));
+                }
+                if r.store_quarantined != 0 {
+                    fields.push(("store_quarantined".into(), Json::UInt(r.store_quarantined)));
+                }
                 if let Some(e) = &r.error {
                     fields.push(("error".into(), Json::Str(e.clone())));
                 }
@@ -324,6 +360,10 @@ impl Response {
                 version: v.get("version").and_then(Json::as_str).unwrap_or_default().to_string(),
             }),
             "accepted" => Ok(Response::Accepted { id: id()? }),
+            "busy" => Ok(Response::Busy {
+                id: id()?,
+                retry_after_ms: v.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(0),
+            }),
             "progress" => Ok(Response::Progress {
                 id: id()?,
                 state: v.get("state").and_then(Json::as_str).unwrap_or_default().to_string(),
@@ -345,6 +385,9 @@ impl Response {
                 local_faults: v.get("local_faults").and_then(Json::as_u64).unwrap_or(0),
                 migrations: v.get("migrations").and_then(Json::as_u64).unwrap_or(0),
                 sim_seconds: v.get("sim_seconds").and_then(Json::as_f64).unwrap_or(0.0),
+                store_hits: v.get("store_hits").and_then(Json::as_u64).unwrap_or(0),
+                store_misses: v.get("store_misses").and_then(Json::as_u64).unwrap_or(0),
+                store_quarantined: v.get("store_quarantined").and_then(Json::as_u64).unwrap_or(0),
                 error: v.get("error").and_then(Json::as_str).map(String::from),
             })),
             "pong" => Ok(Response::Pong),
@@ -419,6 +462,10 @@ mod tests {
                 version: "0.1.0".into(),
             },
             Response::Accepted { id: 1 },
+            Response::Busy {
+                id: 2,
+                retry_after_ms: 2000,
+            },
             Response::Progress {
                 id: 1,
                 state: "running".into(),
@@ -436,6 +483,9 @@ mod tests {
                 local_faults: 7,
                 migrations: 8,
                 sim_seconds: 0.25,
+                store_hits: 1,
+                store_misses: 0,
+                store_quarantined: 0,
                 error: None,
             }),
             Response::Pong,
@@ -449,6 +499,64 @@ mod tests {
             let line = m.to_json().to_string();
             let back = Response::from_json(&Json::parse(&line).unwrap()).unwrap();
             assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn zero_store_counters_stay_off_the_wire() {
+        // Pre-v8 readers and golden fixtures must not see new fields on
+        // cells that never touched the store.
+        let r = Response::Result(CellResult {
+            id: 1,
+            status: "ok".into(),
+            ..CellResult::default()
+        });
+        let line = r.to_json().to_string();
+        assert!(!line.contains("store_hits"), "unexpected field in {line}");
+        assert!(!line.contains("store_misses"));
+        assert!(!line.contains("store_quarantined"));
+        assert_eq!(
+            Response::from_json(&Json::parse(&line).unwrap()).unwrap(),
+            r
+        );
+    }
+
+    #[test]
+    fn malformed_lines_parse_to_errors_not_panics() {
+        // Every line the reader loop can see must produce Ok or Err —
+        // never a panic. These are the hand-picked nasty shapes; the
+        // exhaustive randomized sweep lives in tests/prop_wire.rs.
+        let lines = [
+            "",
+            "{",
+            "}",
+            "null",
+            "true",
+            "42",
+            "\"just a string\"",
+            "[1,2,3]",
+            "{}",
+            r#"{"schema":"grit-serve/v1"}"#,
+            r#"{"schema":"grit-serve/v1","type":"submit"}"#,
+            r#"{"schema":"grit-serve/v1","type":"submit","id":"not-a-number","spec":{}}"#,
+            r#"{"schema":"grit-serve/v1","type":"submit","id":1,"spec":{"app":"BFS"}}"#,
+            r#"{"schema":"grit-serve/v1","type":"submit","id":1,"spec":7}"#,
+            r#"{"schema":"grit-serve/v1","type":42}"#,
+            r#"{"schema":null,"type":"ping"}"#,
+            "\u{0}\u{1}\u{2}garbage bytes",
+            r#"{"schema":"grit-serve/v1","type":"ping""#, // truncated
+        ];
+        for line in lines {
+            match Json::parse(line) {
+                Ok(v) => {
+                    let _ = Request::from_json(&v);
+                    let _ = Response::from_json(&v);
+                }
+                Err(e) => assert!(
+                    !format!("{e:?}").is_empty(),
+                    "parse error must carry a message"
+                ),
+            }
         }
     }
 

@@ -26,9 +26,14 @@ use crate::json::Json;
 /// `spec` string (the serialized `RunSpec` the cell ran under, also the
 /// result-store key), and to v7 when multi-page-size runs gained the
 /// `pagesize` counter object (emitted only when large pages are enabled,
-/// so uniform-4 KB documents stay v6-shaped). Older documents still
+/// so uniform-4 KB documents stay v6-shaped), and to v8 when runs that
+/// touch a result store gained the top-level `store` counter object
+/// (hits / misses / quarantined files; emitted only when a store was in
+/// play, so store-less documents stay v7-shaped). Older documents still
 /// parse: absent objects default to zeros or `None`.
-pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v7";
+pub const RUN_REPORT_SCHEMA: &str = "grit-run-report/v8";
+/// v7 run-report schema tag, still accepted by [`RunReport::from_json`].
+pub const RUN_REPORT_SCHEMA_V7: &str = "grit-run-report/v7";
 /// v6 run-report schema tag, still accepted by [`RunReport::from_json`].
 pub const RUN_REPORT_SCHEMA_V6: &str = "grit-run-report/v6";
 /// v5 run-report schema tag, still accepted by [`RunReport::from_json`].
@@ -1184,6 +1189,57 @@ impl ProfileReport {
     }
 }
 
+/// Aggregated result-store traffic of one run (v8): how often cells
+/// were answered from the store, how often they had to simulate, and
+/// how many store files failed integrity checks and were quarantined.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Cells answered from the store.
+    pub hits: u64,
+    /// Cells that had to run because the store had no (valid) entry.
+    pub misses: u64,
+    /// Store files that failed an integrity check (bad JSON, bad
+    /// checksum, schema or key mismatch) and were moved to the
+    /// `quarantine/` subdirectory.
+    pub quarantined: u64,
+}
+
+impl StoreCounters {
+    /// Whether any traffic was recorded at all.
+    pub fn any(&self) -> bool {
+        self.hits != 0 || self.misses != 0 || self.quarantined != 0
+    }
+
+    /// Field-wise sum, for aggregating per-batch counters into a run.
+    pub fn absorb(&mut self, other: StoreCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.quarantined += other.quarantined;
+    }
+
+    /// Serializes the `store` object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("hits".into(), Json::UInt(self.hits)),
+            ("misses".into(), Json::UInt(self.misses)),
+            ("quarantined".into(), Json::UInt(self.quarantined)),
+        ])
+    }
+
+    /// Parses the `store` object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(StoreCounters {
+            hits: req_u64(v, "hits")?,
+            misses: req_u64(v, "misses")?,
+            quarantined: req_u64(v, "quarantined")?,
+        })
+    }
+}
+
 /// The full machine-readable record of one `repro` invocation
 /// (`run_report.json`).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -1210,6 +1266,8 @@ pub struct RunReport {
     pub cells: Vec<CellReport>,
     /// Self-profile of the run (v5), present only when profiling ran.
     pub profile: Option<ProfileReport>,
+    /// Result-store traffic (v8), present only when a store was in play.
+    pub store: Option<StoreCounters>,
 }
 
 impl RunReport {
@@ -1247,6 +1305,12 @@ impl RunReport {
                 fields.push(("profile".into(), p.to_json()));
             }
         }
+        // Likewise, store-less runs stay v7-shaped (no `store` key).
+        if let Some(s) = &self.store {
+            if let Json::Obj(fields) = &mut obj {
+                fields.push(("store".into(), s.to_json()));
+            }
+        }
         obj
     }
 
@@ -1258,6 +1322,7 @@ impl RunReport {
     pub fn from_json(v: &Json) -> Result<Self, String> {
         let schema = req_str(v, "schema")?;
         if schema != RUN_REPORT_SCHEMA
+            && schema != RUN_REPORT_SCHEMA_V7
             && schema != RUN_REPORT_SCHEMA_V6
             && schema != RUN_REPORT_SCHEMA_V5
             && schema != RUN_REPORT_SCHEMA_V4
@@ -1294,6 +1359,11 @@ impl RunReport {
             // Absent on unprofiled runs and every pre-v5 document.
             profile: match v.get("profile") {
                 Some(p) => Some(ProfileReport::from_json(p)?),
+                None => None,
+            },
+            // Absent on store-less runs and every pre-v8 document.
+            store: match v.get("store") {
+                Some(s) => Some(StoreCounters::from_json(s)?),
                 None => None,
             },
         })
@@ -1564,6 +1634,7 @@ mod tests {
             }],
             cells: vec![sample_cell(0), sample_cell(1)],
             profile: None,
+            store: None,
         };
         let text = report.to_json().to_string();
         let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -1722,6 +1793,49 @@ mod tests {
         let back =
             MetricsReport::from_json(&Json::parse(&r.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn store_counters_round_trip_and_are_omitted_when_absent() {
+        // A store-less run: no `store` key, and documents without one
+        // parse back to `None`.
+        let plain = RunReport::default();
+        let text = plain.to_json().to_string();
+        assert!(!text.contains("\"store\""));
+        assert_eq!(
+            RunReport::from_json(&Json::parse(&text).unwrap()).unwrap().store,
+            None
+        );
+
+        // A stored run round-trips exactly.
+        let report = RunReport {
+            cells: vec![sample_cell(0)],
+            store: Some(StoreCounters {
+                hits: 7,
+                misses: 3,
+                quarantined: 1,
+            }),
+            ..RunReport::default()
+        };
+        let text = report.to_json().to_string();
+        assert!(text.contains("\"store\""));
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+        assert!(back.store.unwrap().any());
+    }
+
+    #[test]
+    fn v7_run_report_schema_tag_still_parses() {
+        let report = RunReport {
+            cells: vec![sample_cell(0)],
+            ..RunReport::default()
+        };
+        let mut j = report.to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields[0].1 = Json::Str(RUN_REPORT_SCHEMA_V7.into());
+        }
+        let back = RunReport::from_json(&j).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -54,11 +54,12 @@
 //! `BENCH_*.json` documents per target and exits nonzero when any target
 //! slowed down by more than `--threshold` percent.
 
+use std::collections::{HashMap, HashSet};
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use grit::experiments::{self as ex, report_sink, ExpConfig};
 use grit_metrics::Table;
@@ -490,10 +491,10 @@ fn print_usage() {
     eprintln!("  validate check every generator against its characterization band");
     eprintln!("  dump-trace <APP> <PATH> / trace-info <PATH>  trace tooling");
     eprintln!(
-        "  serve    long-lived campaign server (grit-serve/v1 over TCP): --port N (0 = ephemeral), --port-file PATH, --store DIR (default .grit-serve-store), --store-max-bytes N, --jobs N"
+        "  serve    long-lived campaign server (grit-serve/v1 over TCP): --port N (0 = ephemeral), --port-file PATH, --store DIR (default .grit-serve-store), --store-max-bytes N, --max-queued N (admission control; 0 = unbounded), --jobs N; SIGINT/SIGTERM drains queued cells before exit"
     );
     eprintln!(
-        "  submit   run an --apps x --policies campaign: --connect HOST:PORT against a server (--shutdown stops it afterwards), or --local through the in-process engine; stdout carries only the table"
+        "  submit   run an --apps x --policies campaign: --connect HOST:PORT against a server (--shutdown stops it afterwards, --retry resubmits unresolved cells with capped exponential backoff), or --local through the in-process engine; stdout carries only the table"
     );
     eprintln!("  profile <REPORT>    render the profile section of a run_report.json");
     eprintln!(
@@ -824,6 +825,7 @@ struct SubmitArgs {
     policies: Option<String>,
     shutdown: bool,
     local: bool,
+    retry: bool,
     trace_path: Option<PathBuf>,
 }
 
@@ -845,6 +847,141 @@ fn render_campaign(apps: &[String], pols: &[String], cycles: &[f64]) -> Table {
         t.push_row(app, row);
     }
     t
+}
+
+/// One connect → submit → drain pass over the given `(id, spec)` cells.
+fn campaign_attempt(
+    addr: &str,
+    cells: &[(u64, &grit_sim::RunSpec)],
+    shutdown: bool,
+) -> Result<grit_serve::CampaignOutcome, grit_serve::ClientError> {
+    let mut client = grit_serve::ServeClient::connect(addr)?;
+    for (id, spec) in cells {
+        client.submit(*id, spec)?;
+    }
+    if shutdown {
+        client.shutdown_server()?;
+    }
+    client.finish()
+}
+
+/// What a completed campaign hands back to `cmd_submit`: per-cell
+/// results in declaration order, trace lines tagged by cell id, and any
+/// server-side error strings.
+type CampaignYield = (Vec<grit_serve::CellResult>, Vec<(u64, Json)>, Vec<String>);
+
+/// Drives a served campaign to completion. Without `retry` a single
+/// attempt is made and any failure is final. With `retry`, connection
+/// failures, timeouts, and `busy` admission rejections trigger a
+/// reconnect that resubmits only the still-unresolved ids, backing off
+/// on the capped exponential schedule of [`grit_inject::Backoff`]
+/// (2s/4s/8s/16s; base overridable via `GRIT_SUBMIT_RETRY_BASE_MS` for
+/// tests, floor also raised to any server-sent `retry_after_ms`).
+/// Resubmission is idempotent: the server keys its result store by
+/// canonical spec, so cells that already ran come back as store hits
+/// and a kill-and-retry campaign renders the same table as an
+/// uninterrupted one.
+///
+/// When both `shutdown` and `retry` are requested, the shutdown is
+/// deferred to a dedicated final connection so a failed mid-campaign
+/// attempt can never stop the server while cells are still unresolved.
+fn run_served_campaign(
+    addr: &str,
+    specs: &[grit_sim::RunSpec],
+    shutdown: bool,
+    retry: bool,
+) -> Result<CampaignYield, String> {
+    let mut backoff = grit_inject::Backoff::default();
+    if let Some(ms) = env::var("GRIT_SUBMIT_RETRY_BASE_MS")
+        .ok()
+        .and_then(|raw| raw.parse::<u64>().ok())
+    {
+        backoff.base = ms.max(1);
+    }
+    let mut resolved: HashMap<u64, grit_serve::CellResult> = HashMap::new();
+    let mut traces: Vec<(u64, Json)> = Vec::new();
+    let mut server_errors: Vec<String> = Vec::new();
+    let mut shutdown_pending = shutdown;
+    let mut attempt: u32 = 0;
+    let sleep_then_retry = |attempt: &mut u32, busy_hint: u64, why: &str| -> Result<(), String> {
+        if *attempt >= backoff.max_attempts {
+            return Err(format!("giving up after {} attempts: {why}", *attempt + 1));
+        }
+        let delay = backoff.delay(*attempt).max(busy_hint);
+        eprintln!("[repro] submit: {why}; retrying in {delay}ms");
+        std::thread::sleep(Duration::from_millis(delay));
+        *attempt += 1;
+        Ok(())
+    };
+    loop {
+        let pending: Vec<(u64, &grit_sim::RunSpec)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, s))
+            .filter(|(id, _)| !resolved.contains_key(id))
+            .collect();
+        if pending.is_empty() && !shutdown_pending {
+            break;
+        }
+        // Under --retry the shutdown rides on its own final, empty
+        // submission once every cell has a result.
+        let send_shutdown = shutdown_pending && (!retry || pending.is_empty());
+        match campaign_attempt(addr, &pending, send_shutdown) {
+            Ok(outcome) => {
+                server_errors.extend(outcome.errors);
+                // Duplicate `result` lines across attempts (or from a
+                // duplicating link) are harmless: first resolution wins,
+                // and traces are kept only for ids resolved just now.
+                let newly: HashSet<u64> = outcome
+                    .results
+                    .iter()
+                    .map(|r| r.id)
+                    .filter(|id| !resolved.contains_key(id))
+                    .collect();
+                traces.extend(outcome.traces.into_iter().filter(|(id, _)| newly.contains(id)));
+                for r in outcome.results {
+                    resolved.entry(r.id).or_insert(r);
+                }
+                if send_shutdown {
+                    shutdown_pending = false;
+                }
+                let unresolved =
+                    pending.iter().filter(|(id, _)| !resolved.contains_key(id)).count();
+                if unresolved == 0 {
+                    attempt = 0;
+                    continue;
+                }
+                let busy_hint = outcome.busy.iter().map(|&(_, ms)| ms).max().unwrap_or(0);
+                let why = format!(
+                    "{unresolved} of {} cells unresolved ({} busy-rejected)",
+                    specs.len(),
+                    outcome.busy.len()
+                );
+                if !retry {
+                    return Err(format!("{why}; pass --retry to resubmit"));
+                }
+                if !newly.is_empty() {
+                    attempt = 0;
+                }
+                sleep_then_retry(&mut attempt, busy_hint, &why)?;
+            }
+            Err(e) => {
+                if !retry {
+                    return Err(e.to_string());
+                }
+                sleep_then_retry(&mut attempt, 0, &e.to_string())?;
+            }
+        }
+    }
+    let mut results = Vec::with_capacity(specs.len());
+    for id in 0..specs.len() as u64 {
+        results.push(resolved.remove(&id).expect("loop exits only once every id resolved"));
+    }
+    // Arrival order within one connection is id order already; a stable
+    // sort normalizes trace order across multi-attempt campaigns while
+    // preserving per-cell event order.
+    traces.sort_by_key(|&(id, _)| id);
+    Ok((results, traces, server_errors))
 }
 
 /// `repro submit`: run an app x policy campaign against a server
@@ -920,44 +1057,18 @@ fn cmd_submit(a: &SubmitArgs) -> ExitCode {
             eprintln!("submit needs --connect HOST:PORT (or --local)");
             return ExitCode::FAILURE;
         };
-        let mut client = match grit_serve::ServeClient::connect(addr.as_str()) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("submit: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        for (id, spec) in specs.iter().enumerate() {
-            if let Err(e) = client.submit(id as u64, spec) {
-                eprintln!("submit: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        if a.shutdown {
-            if let Err(e) = client.shutdown_server() {
-                eprintln!("submit: shutdown: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        let outcome = match client.finish() {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("submit: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        for e in &outcome.errors {
+        let (results, traces, server_errors) =
+            match run_served_campaign(addr, &specs, a.shutdown, a.retry) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("submit: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        for e in &server_errors {
             eprintln!("[repro] server error: {e}");
         }
-        if outcome.results.len() != specs.len() {
-            eprintln!(
-                "[repro] submit: sent {} cells but received {} results",
-                specs.len(),
-                outcome.results.len()
-            );
-            return ExitCode::FAILURE;
-        }
-        if let Some((i, r)) = outcome.results.iter().enumerate().find(|(i, r)| r.id != *i as u64) {
+        if let Some((i, r)) = results.iter().enumerate().find(|(i, r)| r.id != *i as u64) {
             eprintln!(
                 "[repro] submit: result {i} carries id {} — declaration order broken",
                 r.id
@@ -965,7 +1076,7 @@ fn cmd_submit(a: &SubmitArgs) -> ExitCode {
             return ExitCode::FAILURE;
         }
         let mut errs = 0usize;
-        for r in &outcome.results {
+        for r in &results {
             if !r.is_ok() {
                 errs += 1;
                 eprintln!(
@@ -976,13 +1087,17 @@ fn cmd_submit(a: &SubmitArgs) -> ExitCode {
                 );
             }
         }
-        let hits = outcome.results.iter().filter(|r| r.store_hit).count();
+        let quarantined: u64 = results.iter().map(|r| r.store_quarantined).sum();
+        if quarantined > 0 {
+            eprintln!("[repro] submit: server quarantined {quarantined} corrupt store files");
+        }
+        let hits = results.iter().filter(|r| r.store_hit).count();
         let mut trace_text = String::new();
-        for (_id, ev) in &outcome.traces {
+        for (_id, ev) in &traces {
             trace_text.push_str(&ev.to_string());
             trace_text.push('\n');
         }
-        let cycles: Vec<f64> = outcome.results.iter().map(|r| r.total_cycles as f64).collect();
+        let cycles: Vec<f64> = results.iter().map(|r| r.total_cycles as f64).collect();
         (cycles, hits, errs, trace_text)
     };
 
@@ -1041,6 +1156,8 @@ fn main() -> ExitCode {
     let mut policies_raw: Option<String> = None;
     let mut do_shutdown = false;
     let mut local_mode = false;
+    let mut do_retry = false;
+    let mut max_queued: usize = 0;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -1307,6 +1424,15 @@ fn main() -> ExitCode {
             }
             "--shutdown" => do_shutdown = true,
             "--local" => local_mode = true,
+            "--retry" => do_retry = true,
+            "--max-queued" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--max-queued needs a cell count (0 = unbounded)");
+                    return ExitCode::FAILURE;
+                };
+                max_queued = v;
+            }
             "list" | "--list" | "-l" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -1377,6 +1503,7 @@ fn main() -> ExitCode {
             policies: policies_raw,
             shutdown: do_shutdown,
             local: local_mode,
+            retry: do_retry,
             trace_path,
         });
     }
@@ -1448,7 +1575,10 @@ fn main() -> ExitCode {
     let mut cache = TableCache::default();
     let t0 = Instant::now();
     if serve_mode {
-        let mut sopts = grit_serve::ServeOptions::new().port(port).jobs(ex::effective_jobs());
+        let mut sopts = grit_serve::ServeOptions::new()
+            .port(port)
+            .jobs(ex::effective_jobs())
+            .max_queued(max_queued);
         if let Some(pf) = &port_file {
             sopts = sopts.port_file(pf);
         }

@@ -659,6 +659,18 @@ pub fn run_batch_with(
     cells: &[CellSpec],
     opts: &BatchOptions,
 ) -> Vec<Result<RunOutput, CellError>> {
+    run_batch_with_stats(cells, opts).0
+}
+
+/// [`run_batch_with`], additionally returning this batch's result-store
+/// traffic (hits, misses, quarantined files). The store is opened per
+/// batch, so the counters cover exactly these cells; they are all zero
+/// when resumption is disabled. The campaign service uses them to report
+/// per-cell store behaviour to remote clients.
+pub fn run_batch_with_stats(
+    cells: &[CellSpec],
+    opts: &BatchOptions,
+) -> (Vec<Result<RunOutput, CellError>>, grit_trace::StoreCounters) {
     let profile = report_sink::enabled() && !cells.is_empty();
     let cache_before = workload_cache::global().stats();
     let start = Instant::now();
@@ -820,7 +832,9 @@ pub fn run_batch_with(
             workload_cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
         });
     }
-    results
+    let store_counters = store.as_ref().map(ResultStore::counters).unwrap_or_default();
+    report_sink::record_store(store_counters);
+    (results, store_counters)
 }
 
 /// Runs an `apps x policies` grid — the shape of most figures — and

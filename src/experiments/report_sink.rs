@@ -13,7 +13,8 @@ use std::sync::Mutex;
 use grit_sim::CellError;
 use grit_trace::{
     BatchProfile, BenchSummary, CellReport, CycleProfile, HeadlineSpeedups, MetricsReport,
-    PhaseEntry, ProfileReport, RunReport, SeriesReport, SpeculationReport, TargetTiming,
+    PhaseEntry, ProfileReport, RunReport, SeriesReport, SpeculationReport, StoreCounters,
+    TargetTiming,
 };
 
 use crate::runner::RunOutput;
@@ -29,6 +30,7 @@ struct CollectorState {
     cells: Vec<CellReport>,
     headline: Option<HeadlineSpeedups>,
     fig18_fault_geomean: Option<f64>,
+    store: StoreCounters,
 }
 
 static STATE: Mutex<CollectorState> = Mutex::new(CollectorState {
@@ -37,6 +39,11 @@ static STATE: Mutex<CollectorState> = Mutex::new(CollectorState {
     cells: Vec::new(),
     headline: None,
     fig18_fault_geomean: None,
+    store: StoreCounters {
+        hits: 0,
+        misses: 0,
+        quarantined: 0,
+    },
 });
 
 fn state() -> std::sync::MutexGuard<'static, CollectorState> {
@@ -153,6 +160,16 @@ pub fn record_headline(vs_on_touch: f64, vs_access_counter: f64, vs_duplication:
     });
 }
 
+/// Accumulates one batch's result-store traffic (hits, misses,
+/// quarantined files) into the run-wide totals reported under the
+/// run report's `store` object.
+pub fn record_store(counters: StoreCounters) {
+    if !enabled() || !counters.any() {
+        return;
+    }
+    state().store.absorb(counters);
+}
+
 /// Records the Fig. 18 geomean of GRIT's normalized fault count.
 pub fn record_fig18_geomean(value: f64) {
     if !enabled() {
@@ -182,6 +199,7 @@ pub fn build_report(exp: &ExpConfig, jobs: usize, total_seconds: f64) -> RunRepo
         batches: st.batches.clone(),
         cells: st.cells.clone(),
         profile: grit_prof::enabled().then(|| build_profile(&st.cells)),
+        store: st.store.any().then_some(st.store),
     }
 }
 

@@ -17,39 +17,59 @@
 //!
 //! Robustness: writes are atomic (uniquely named temp file + rename, so
 //! any number of threads or processes may race on one key — the losers'
-//! renames just replace equivalent content), loads verify the schema
-//! *and* the full key (hash collisions degrade to a re-run, never a
-//! wrong result), and any unreadable or mistyped file is treated as a
-//! cache miss.
+//! renames just replace equivalent content), and loads verify three
+//! things about the file: the schema tag, an FNV-1a checksum over the
+//! serialized payload (v3), and the full key (hash collisions degrade
+//! to a re-run, never a wrong result). A file that fails any of those
+//! checks — or does not parse at all — is **quarantined**: moved to a
+//! `quarantine/` subdirectory so it is inspected at most once instead of
+//! being re-parsed on every miss, and counted in [`ResultStore::counters`].
+//! Files written under the previous `grit-result-store/v2` schema carry
+//! no checksum and still load.
 //!
 //! The store can be bounded ([`ResultStore::open_with`], wired to
-//! `repro --store-max-bytes`): after every save it deterministically
-//! evicts oldest-first — by modification time, ties broken by file name —
-//! until the directory fits the budget. Long-lived stores (the
-//! `repro serve` campaign service) therefore converge to an LRU-by-write
-//! working set instead of growing without bound.
+//! `repro --store-max-bytes`): after a save that pushes the *cached*
+//! running size past the budget it deterministically evicts oldest-first
+//! — by modification time, ties broken by file name — until the
+//! directory fits. Loads bump the hit file's mtime (best effort), so
+//! long-lived stores (the `repro serve` campaign service) converge to a
+//! true LRU working set: an entry that is read often survives eviction
+//! even if it was written long ago. The running size is maintained
+//! incrementally; the directory is only fully rescanned on open and
+//! after an eviction pass, so a hot save path is one `stat` + one
+//! rename, not a directory walk.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::SystemTime;
 
 use grit_metrics::{AttrGrid, IntervalSeries, PageAttrTracker};
-use grit_trace::{CellTiming, Json, MetricsReport};
+use grit_trace::{CellTiming, Json, MetricsReport, StoreCounters};
 
 use crate::runner::{RunObserver, RunOutput};
 
 /// Schema tag of every store file; bump when the layout changes so stale
-/// files are re-run instead of misparsed. v2: resume keys name cells by
-/// their canonical `RunSpec` string instead of ad-hoc `Debug` fields.
-pub const STORE_SCHEMA: &str = "grit-result-store/v2";
+/// files are re-run instead of misparsed. v3: files carry an FNV-1a
+/// checksum over the serialized payload, verified on load.
+pub const STORE_SCHEMA: &str = "grit-result-store/v3";
+/// The previous schema tag: same layout minus the checksum. Still
+/// accepted by [`ResultStore::load`] so stores written by older builds
+/// keep their contents.
+pub const STORE_SCHEMA_V2: &str = "grit-result-store/v2";
+
+/// Subdirectory (under the store root) holding files that failed an
+/// integrity check on load.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Distinguishes temp files written by racing threads of one process
 /// (the process id alone is shared between them).
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
-/// FNV-1a 64-bit hash of the key string; the store's file name.
+/// FNV-1a 64-bit hash of the key string; the store's file name and the
+/// payload checksum.
 fn fnv1a64(key: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in key.bytes() {
@@ -59,11 +79,31 @@ fn fnv1a64(key: &str) -> u64 {
     h
 }
 
+/// Process-shared traffic counters of one store directory; clones of a
+/// [`ResultStore`] share them.
+#[derive(Debug, Default)]
+struct StoreStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    quarantined: AtomicU64,
+    /// Full directory rescans performed (open + post-eviction); the
+    /// incremental-size tests pin this so the hot save path can never
+    /// silently regress to a walk per save.
+    rescans: AtomicU64,
+}
+
 /// A directory of completed cell results, keyed by resume-key hash.
 #[derive(Clone, Debug)]
 pub struct ResultStore {
     dir: PathBuf,
     max_bytes: Option<u64>,
+    stats: Arc<StoreStats>,
+    /// Cached sum of result-file sizes, maintained incrementally across
+    /// saves/quarantines and re-anchored by a full rescan on open and
+    /// after every eviction pass. Only consulted when bounded; other
+    /// processes sharing the directory drift it, which at worst delays
+    /// an eviction pass until the next rescan re-anchors it.
+    size_bytes: Arc<AtomicU64>,
 }
 
 impl ResultStore {
@@ -78,17 +118,24 @@ impl ResultStore {
 
     /// Opens (creating if needed) a store rooted at `dir`, bounded to
     /// `max_bytes` of result files (`None` = unbounded). The budget is
-    /// enforced after every save by oldest-first eviction.
+    /// enforced after every save that pushes the running size past it,
+    /// by oldest-first eviction.
     ///
     /// # Errors
     ///
     /// Propagates directory-creation failures.
     pub fn open_with(dir: &Path, max_bytes: Option<u64>) -> io::Result<Self> {
         fs::create_dir_all(dir)?;
-        Ok(ResultStore {
+        let store = ResultStore {
             dir: dir.to_path_buf(),
             max_bytes,
-        })
+            stats: Arc::new(StoreStats::default()),
+            size_bytes: Arc::new(AtomicU64::new(0)),
+        };
+        if max_bytes.is_some() {
+            store.rescan_size();
+        }
+        Ok(store)
     }
 
     /// The store's root directory.
@@ -96,28 +143,83 @@ impl ResultStore {
         &self.dir
     }
 
+    /// The quarantine directory (which may not exist yet).
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(QUARANTINE_DIR)
+    }
+
     /// The store's size budget in bytes, if bounded.
     pub fn max_bytes(&self) -> Option<u64> {
         self.max_bytes
+    }
+
+    /// Traffic counters since this store (or any clone of it) was
+    /// opened: loads answered, loads that missed, and files quarantined.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            quarantined: self.stats.quarantined.load(Ordering::Relaxed),
+        }
     }
 
     fn path_for(&self, key: &str) -> PathBuf {
         self.dir.join(format!("{:016x}.json", fnv1a64(key)))
     }
 
-    /// Loads the stored output for `key`, or `None` when absent,
-    /// unreadable, schema-mismatched, or keyed by a colliding-but-different
-    /// cell. Every failure mode degrades to "re-run the cell".
+    /// Loads the stored output for `key`, or `None` when absent or
+    /// invalid. A present-but-invalid file (unparseable, bad checksum,
+    /// wrong schema, or keyed by a colliding-but-different cell) is
+    /// moved to `quarantine/` so it is never re-parsed; every failure
+    /// mode degrades to "re-run the cell".
     pub fn load(&self, key: &str) -> Option<RunOutput> {
-        let text = fs::read_to_string(self.path_for(key)).ok()?;
-        let json = Json::parse(&text).ok()?;
-        if json.get("schema")?.as_str()? != STORE_SCHEMA {
+        let path = self.path_for(key);
+        let Ok(text) = fs::read_to_string(&path) else {
+            // Nothing on disk (the common cold miss): no file to blame.
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
             return None;
+        };
+        match decode_checked(key, &text) {
+            Some(out) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                // LRU, not LRU-by-write: a hit refreshes the entry's
+                // eviction age. Best effort — a racing evictor or a
+                // read-only filesystem just leaves the old mtime.
+                if let Ok(f) = fs::OpenOptions::new().append(true).open(&path) {
+                    let _ = f.set_modified(SystemTime::now());
+                }
+                Some(out)
+            }
+            None => {
+                self.quarantine(&path);
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
         }
-        if json.get("key")?.as_str()? != key {
-            return None; // hash collision: treat as a miss
+    }
+
+    /// Moves a failed file into the quarantine subdirectory (keeping its
+    /// name) so it is inspected at most once. Racing quarantiners are
+    /// harmless: one rename wins, the loser's failure is swallowed and
+    /// not counted.
+    fn quarantine(&self, path: &Path) {
+        let Some(name) = path.file_name() else { return };
+        let qdir = self.quarantine_dir();
+        let _ = fs::create_dir_all(&qdir);
+        let len = fs::metadata(path).map_or(0, |m| m.len());
+        if fs::rename(path, qdir.join(name)).is_ok() {
+            self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+            if self.max_bytes.is_some() {
+                let _ = self.size_bytes.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                    Some(s.saturating_sub(len))
+                });
+            }
+            eprintln!(
+                "store: quarantined corrupt entry {} -> {}/",
+                path.display(),
+                QUARANTINE_DIR
+            );
         }
-        decode_output(&json)
     }
 
     /// Atomically persists a completed cell under `key`, then enforces
@@ -138,23 +240,36 @@ impl ResultStore {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        fs::write(&tmp_path, encode_output(key, out).to_string())?;
+        let encoded = encode_output(key, out).to_string();
+        let new_len = encoded.len() as u64;
+        fs::write(&tmp_path, encoded)?;
+        // The rename may replace an equivalent earlier entry; account
+        // for the delta, not the whole file.
+        let old_len = fs::metadata(&final_path).map_or(0, |m| m.len());
         fs::rename(&tmp_path, &final_path)?;
-        self.enforce_budget();
+        if self.max_bytes.is_some() {
+            let _ = self.size_bytes.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_sub(old_len).saturating_add(new_len))
+            });
+            self.enforce_budget();
+        }
         Ok(())
     }
 
-    /// Deletes result files oldest-first (modification time, ties broken
-    /// by file name so the order is deterministic) until the store fits
-    /// its budget. Unbounded stores no-op. Failures are swallowed: a
-    /// fat store costs disk, not correctness, and racing evictors may
-    /// legitimately delete the same file.
-    fn enforce_budget(&self) {
-        let Some(budget) = self.max_bytes else { return };
+    /// Re-anchors the cached running size with a full directory scan.
+    fn rescan_size(&self) {
+        self.stats.rescans.fetch_add(1, Ordering::Relaxed);
+        let total = self.scan_files().iter().map(|(_, _, len)| len).sum();
+        self.size_bytes.store(total, Ordering::Relaxed);
+    }
+
+    /// All result files as `(mtime, path, len)`. The quarantine
+    /// subdirectory has no `.json` extension and is skipped.
+    fn scan_files(&self) -> Vec<(SystemTime, PathBuf, u64)> {
         let Ok(entries) = fs::read_dir(&self.dir) else {
-            return;
+            return Vec::new();
         };
-        let mut files: Vec<(SystemTime, PathBuf, u64)> = entries
+        entries
             .flatten()
             .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
             .filter_map(|e| {
@@ -162,20 +277,80 @@ impl ResultStore {
                 let mtime = meta.modified().ok()?;
                 Some((mtime, e.path(), meta.len()))
             })
-            .collect();
-        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
-        if total <= budget {
+            .collect()
+    }
+
+    /// Deletes result files oldest-first (modification time, ties broken
+    /// by file name so the order is deterministic) until the store fits
+    /// its budget. Only runs a directory scan when the cached size says
+    /// the budget is broken. Failures are swallowed: a fat store costs
+    /// disk, not correctness, and racing evictors may legitimately
+    /// delete the same file.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.max_bytes else { return };
+        if self.size_bytes.load(Ordering::Relaxed) <= budget {
             return;
         }
-        files.sort();
-        for (_, path, len) in files {
-            if total <= budget {
-                break;
+        // The cache says we are over: rescan for ground truth (other
+        // processes may have added or evicted files), evict, re-anchor.
+        self.stats.rescans.fetch_add(1, Ordering::Relaxed);
+        let mut files = self.scan_files();
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        if total > budget {
+            files.sort();
+            for (_, path, len) in files {
+                if total <= budget {
+                    break;
+                }
+                let _ = fs::remove_file(&path);
+                total = total.saturating_sub(len);
             }
-            let _ = fs::remove_file(&path);
-            total = total.saturating_sub(len);
         }
+        self.size_bytes.store(total, Ordering::Relaxed);
     }
+
+    #[cfg(test)]
+    fn debug_rescans(&self) -> u64 {
+        self.stats.rescans.load(Ordering::Relaxed)
+    }
+}
+
+/// The canonical checksum input: the serialized payload object (the
+/// four content fields, in fixed order). Built the same way at save
+/// time (from the freshly encoded document) and at load time (from the
+/// parsed one); [`Json`] printing is value-deterministic, so the two
+/// texts agree exactly when the content does.
+fn payload_text(v: &Json) -> Option<String> {
+    Some(
+        Json::Obj(vec![
+            ("timing".into(), v.get("timing")?.clone()),
+            ("metrics".into(), v.get("metrics")?.clone()),
+            ("pages".into(), v.get("pages")?.clone()),
+            ("observer".into(), v.get("observer")?.clone()),
+        ])
+        .to_string(),
+    )
+}
+
+/// Parses, schema-checks, checksum-checks (v3) and key-checks one store
+/// file. `None` means the file must not be served.
+fn decode_checked(key: &str, text: &str) -> Option<RunOutput> {
+    let json = Json::parse(text).ok()?;
+    match json.get("schema")?.as_str()? {
+        STORE_SCHEMA => {
+            let expected = json.get("checksum")?.as_str()?;
+            let actual = format!("{:016x}", fnv1a64(&payload_text(&json)?));
+            if expected != actual {
+                return None; // torn or bit-flipped payload
+            }
+        }
+        STORE_SCHEMA_V2 => {} // pre-checksum file: key check only
+        _ => return None,
+    }
+    if json.get("key")?.as_str()? != key {
+        return None; // hash collision: treat as a miss
+    }
+    decode_output(&json)
 }
 
 fn series_to_json(s: &IntervalSeries) -> Json {
@@ -279,7 +454,7 @@ fn encode_output(key: &str, out: &RunOutput) -> Json {
             ),
         ])
     });
-    Json::Obj(vec![
+    let mut doc = Json::Obj(vec![
         ("schema".into(), Json::Str(STORE_SCHEMA.into())),
         ("key".into(), Json::Str(key.into())),
         (
@@ -302,7 +477,15 @@ fn encode_output(key: &str, out: &RunOutput) -> Json {
         ),
         ("pages".into(), pages),
         ("observer".into(), observer),
-    ])
+    ]);
+    let checksum = format!(
+        "{:016x}",
+        fnv1a64(&payload_text(&doc).expect("encoded document carries all payload fields"))
+    );
+    if let Json::Obj(fields) = &mut doc {
+        fields.push(("checksum".into(), Json::Str(checksum)));
+    }
+    doc
 }
 
 fn decode_output(v: &Json) -> Option<RunOutput> {
@@ -369,14 +552,18 @@ mod tests {
         d
     }
 
-    #[test]
-    fn save_load_round_trips_a_real_run() {
+    fn tiny_output() -> RunOutput {
         let exp = ExpConfig {
             scale: 0.02,
             intensity: 0.5,
             seed: 0x7E57,
         };
-        let out = run_cell(App::Bfs, PolicyKind::FirstTouch, &exp);
+        run_cell(App::Bfs, PolicyKind::FirstTouch, &exp)
+    }
+
+    #[test]
+    fn save_load_round_trips_a_real_run() {
+        let out = tiny_output();
         let dir = tmp_dir("rt");
         let store = ResultStore::open(&dir).unwrap();
         store.save("some-key", &out).unwrap();
@@ -390,19 +577,97 @@ mod tests {
         // A different key misses even though the hash file exists for the
         // first one.
         assert!(store.load("другой-key").is_none());
+        assert_eq!(store.counters().hits, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn corrupt_files_degrade_to_miss() {
+    fn v2_files_without_checksum_still_load() {
+        let out = tiny_output();
+        let dir = tmp_dir("v2");
+        let store = ResultStore::open(&dir).unwrap();
+        // Rewrite a fresh v3 file as its v2 equivalent: v2 schema tag,
+        // no checksum field — exactly what an older build left behind.
+        store.save("old-key", &out).unwrap();
+        let path = store.path_for("old-key");
+        let text = fs::read_to_string(&path).unwrap();
+        let mut doc = Json::parse(&text).unwrap();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "checksum");
+            fields[0].1 = Json::Str(STORE_SCHEMA_V2.into());
+        }
+        fs::write(&path, doc.to_string()).unwrap();
+        let back = store.load("old-key").expect("v2 file loads");
+        assert_eq!(back.metrics.total_cycles, out.metrics.total_cycles);
+        assert_eq!(
+            store.counters().quarantined,
+            0,
+            "a valid v2 file is not corrupt"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_files_are_quarantined_exactly_once() {
+        let out = tiny_output();
         let dir = tmp_dir("corrupt");
         let store = ResultStore::open(&dir).unwrap();
-        fs::write(
-            store.dir().join(format!("{:016x}.json", fnv1a64("k"))),
-            "{ not json",
-        )
-        .unwrap();
-        assert!(store.load("k").is_none());
+
+        // Three flavours of damage: not JSON at all, a truncated valid
+        // file, and a single flipped payload byte (checksum catches it).
+        fs::write(store.path_for("garbage"), "{ not json").unwrap();
+        store.save("truncated", &out).unwrap();
+        let tpath = store.path_for("truncated");
+        let text = fs::read_to_string(&tpath).unwrap();
+        fs::write(&tpath, &text[..text.len() / 2]).unwrap();
+        store.save("bitflip", &out).unwrap();
+        let bpath = store.path_for("bitflip");
+        let flipped = fs::read_to_string(&bpath)
+            .unwrap()
+            .replace("\"total_cycles\":", "\"total_cycles\":1");
+        fs::write(&bpath, flipped).unwrap();
+
+        for key in ["garbage", "truncated", "bitflip"] {
+            assert!(store.load(key).is_none(), "{key} must not be served");
+        }
+        assert_eq!(store.counters().quarantined, 3);
+        let quarantined = fs::read_dir(store.quarantine_dir()).unwrap().count();
+        assert_eq!(quarantined, 3, "all three damaged files moved aside");
+
+        // Second pass: the files are gone from the main directory, so
+        // the misses are plain cold misses — nothing is re-parsed or
+        // re-quarantined.
+        for key in ["garbage", "truncated", "bitflip"] {
+            assert!(store.load(key).is_none());
+        }
+        assert_eq!(
+            store.counters().quarantined,
+            3,
+            "quarantine happens exactly once"
+        );
+        assert_eq!(store.counters().misses, 6);
+
+        // The slot is usable again: a fresh save round-trips.
+        store.save("garbage", &out).unwrap();
+        assert!(store.load("garbage").is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_mismatch_never_serves_altered_content() {
+        let out = tiny_output();
+        let dir = tmp_dir("altered");
+        let store = ResultStore::open(&dir).unwrap();
+        store.save("k", &out).unwrap();
+        // An "attacker" (or cosmic ray) that keeps the JSON well-formed
+        // still loses: the payload no longer matches the checksum.
+        let path = store.path_for("k");
+        let text = fs::read_to_string(&path).unwrap();
+        let tampered = text.replace("\"sim_seconds\":", "\"sim_seconds\":1e3,\"x\":");
+        assert_ne!(tampered, text, "tamper point must exist");
+        fs::write(&path, tampered).unwrap();
+        assert!(store.load("k").is_none(), "tampered payload served");
+        assert_eq!(store.counters().quarantined, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -415,12 +680,7 @@ mod tests {
 
     #[test]
     fn bounded_store_evicts_oldest_first() {
-        let exp = ExpConfig {
-            scale: 0.02,
-            intensity: 0.5,
-            seed: 0x7E57,
-        };
-        let out = run_cell(App::Bfs, PolicyKind::FirstTouch, &exp);
+        let out = tiny_output();
 
         // Same-length keys give same-size files, so the budget math is
         // exact: measure one file, then allow room for two and a half.
@@ -456,13 +716,72 @@ mod tests {
     }
 
     #[test]
+    fn hot_entries_survive_eviction() {
+        let out = tiny_output();
+        let probe_dir = tmp_dir("lru-probe");
+        let probe = ResultStore::open(&probe_dir).unwrap();
+        probe.save("key-0", &out).unwrap();
+        let file_size = fs::read_dir(&probe_dir)
+            .unwrap()
+            .flatten()
+            .next()
+            .unwrap()
+            .metadata()
+            .unwrap()
+            .len();
+        let _ = fs::remove_dir_all(&probe_dir);
+
+        let dir = tmp_dir("lru");
+        let store = ResultStore::open_with(&dir, Some(file_size * 5 / 2)).unwrap();
+        store.save("key-1", &out).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        store.save("key-2", &out).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // key-1 is the older *write*, but it is read again — the hit
+        // bumps its mtime past key-2's, so the write-cold key-2 is the
+        // eviction victim when key-3 breaks the budget.
+        assert!(store.load("key-1").is_some());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        store.save("key-3", &out).unwrap();
+        assert!(
+            store.load("key-1").is_some(),
+            "a repeatedly-hit entry was evicted as if cold"
+        );
+        assert!(
+            store.load("key-2").is_none(),
+            "the cold entry is the victim"
+        );
+        assert!(store.load("key-3").is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_saves_track_size_incrementally_without_rescans() {
+        let out = tiny_output();
+        let dir = tmp_dir("incr");
+        // Budget far above 1000 entries: no save may trigger eviction,
+        // so the only permitted rescan is the one at open. This is the
+        // bench guard for the hot path — a regression back to
+        // scan-per-save trips the counter, not a flaky timer.
+        let store = ResultStore::open_with(&dir, Some(u64::MAX)).unwrap();
+        assert_eq!(store.debug_rescans(), 1, "open anchors the size cache");
+        for i in 0..1000 {
+            store.save(&format!("key-{i:04}"), &out).unwrap();
+        }
+        assert_eq!(
+            store.debug_rescans(),
+            1,
+            "saves under budget must not rescan the directory"
+        );
+        // The incremental size agrees with the filesystem.
+        let actual: u64 = store.scan_files().iter().map(|(_, _, len)| len).sum();
+        assert_eq!(store.size_bytes.load(Ordering::Relaxed), actual);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn concurrent_writers_on_one_key_never_corrupt() {
-        let exp = ExpConfig {
-            scale: 0.02,
-            intensity: 0.5,
-            seed: 0x7E57,
-        };
-        let out = run_cell(App::Bfs, PolicyKind::FirstTouch, &exp);
+        let out = tiny_output();
         let dir = tmp_dir("race");
         let store = ResultStore::open(&dir).unwrap();
         // Two writers race the same key repeatedly (the serve path: two
@@ -483,6 +802,7 @@ mod tests {
             .unwrap()
             .flatten()
             .filter(|e| e.path().extension().is_none_or(|x| x != "json"))
+            .filter(|e| e.path().is_file())
             .collect();
         assert!(stray.is_empty(), "leftover temp files: {stray:?}");
         let _ = fs::remove_dir_all(&dir);
